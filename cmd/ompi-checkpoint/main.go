@@ -1,0 +1,65 @@
+// Command ompi-checkpoint requests a checkpoint of a running ompi-run
+// job, exactly mirroring the paper's asynchronous tool path (Fig. 1-A):
+//
+//	ompi-checkpoint [--term] [--job N] PID_OF_OMPI_RUN
+//
+// On success it prints the global snapshot reference — the single name
+// the user preserves to later restart the job. With --term the job is
+// terminated once the checkpoint is stable (system-maintenance mode).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/orte/runtime"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ompi-checkpoint:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fs := flag.NewFlagSet("ompi-checkpoint", flag.ContinueOnError)
+	term := fs.Bool("term", false, "terminate the job after the checkpoint is stable")
+	jobID := fs.Int("job", 0, "job id (default: the only running job)")
+	addr := fs.String("addr", "", "control address (overrides PID lookup)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: ompi-checkpoint [--term] [--job N] PID_OF_OMPI_RUN")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return err
+	}
+	target := *addr
+	if target == "" {
+		if fs.NArg() != 1 {
+			fs.Usage()
+			return fmt.Errorf("need the mpirun pid (or --addr)")
+		}
+		pid, err := strconv.Atoi(fs.Arg(0))
+		if err != nil {
+			return fmt.Errorf("bad pid %q: %w", fs.Arg(0), err)
+		}
+		target, err = runtime.ResolveSession(pid)
+		if err != nil {
+			return err
+		}
+	}
+	resp, err := runtime.ControlDial(target, runtime.ControlRequest{
+		Op: "checkpoint", Job: *jobID, Terminate: *term,
+	})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("%s", resp.Err)
+	}
+	fmt.Printf("Snapshot Ref.: %d %s\n", resp.Interval, resp.GlobalRef)
+	return nil
+}

@@ -1,0 +1,66 @@
+// Command ompi-ps lists the jobs of a running ompi-run instance,
+// including how many checkpoint intervals each has taken — the
+// system-administrator view the paper's tool set provides.
+//
+//	ompi-ps PID_OF_OMPI_RUN
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/orte/runtime"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ompi-ps:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fs := flag.NewFlagSet("ompi-ps", flag.ContinueOnError)
+	addr := fs.String("addr", "", "control address (overrides PID lookup)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: ompi-ps PID_OF_OMPI_RUN")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return err
+	}
+	target := *addr
+	if target == "" {
+		if fs.NArg() != 1 {
+			fs.Usage()
+			return fmt.Errorf("need the mpirun pid (or --addr)")
+		}
+		pid, err := strconv.Atoi(fs.Arg(0))
+		if err != nil {
+			return fmt.Errorf("bad pid %q: %w", fs.Arg(0), err)
+		}
+		target, err = runtime.ResolveSession(pid)
+		if err != nil {
+			return err
+		}
+	}
+	resp, err := runtime.ControlDial(target, runtime.ControlRequest{Op: "ps"})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("%s", resp.Err)
+	}
+	fmt.Printf("%4s %-12s %4s %6s %6s  %s\n", "JOB", "APP", "NP", "STATE", "CKPTS", "NODES")
+	for _, j := range resp.Jobs {
+		state := "run"
+		if j.Done {
+			state = "done"
+		}
+		fmt.Printf("%4d %-12s %4d %6s %6d  %s\n", j.Job, j.App, j.NP, state, j.Ckpts, strings.Join(j.Nodes, ","))
+	}
+	return nil
+}

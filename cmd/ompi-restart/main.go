@@ -1,0 +1,99 @@
+// Command ompi-restart relaunches a job from a global snapshot
+// reference. The user supplies nothing but the reference (paper §4): the
+// number of ranks, the application, its arguments and the MCA parameters
+// all come from the snapshot metadata.
+//
+//	ompi-restart [--stable DIR] [--interval N] ompi_global_snapshot_1.ckpt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/core/snapshot"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ompi-restart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fs := flag.NewFlagSet("ompi-restart", flag.ContinueOnError)
+	stable := fs.String("stable", "./ompi_stable", "stable storage directory holding the snapshot")
+	interval := fs.Int("interval", -1, "checkpoint interval to restart from (-1 = latest)")
+	nodes := fs.Int("nodes", 2, "number of simulated nodes for the restarted job")
+	slots := fs.Int("slots", 4, "process slots per node")
+	verbose := fs.Bool("v", false, "print trace summary at exit")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: ompi-restart [flags] GLOBAL_SNAPSHOT_REF")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("need exactly one global snapshot reference")
+	}
+	refDir := fs.Arg(0)
+
+	log := &trace.Log{}
+	sys, err := core.NewSystem(core.Options{
+		Nodes: *nodes, SlotsPerNode: *slots,
+		StableDir: *stable, Log: log,
+	})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	ref, err := sys.OpenGlobalSnapshot(refDir)
+	if err != nil {
+		return err
+	}
+	iv := *interval
+	if iv < 0 {
+		if iv, err = snapshot.LatestInterval(ref); err != nil {
+			return err
+		}
+	}
+	meta, err := snapshot.ReadGlobal(ref, iv)
+	if err != nil {
+		return err
+	}
+	factory, err := apps.Lookup(meta.AppName, meta.AppArgs)
+	if err != nil {
+		return fmt.Errorf("snapshot names application %q: %w", meta.AppName, err)
+	}
+	fmt.Printf("ompi-restart: %s interval %d: app %q np %d (originally on %v)\n",
+		refDir, iv, meta.AppName, meta.NumProcs, meta.Nodes)
+
+	// The restarted job is itself checkpointable again: serve control.
+	ctl, err := sys.Cluster().ServeControl("", true)
+	if err != nil {
+		return err
+	}
+	defer ctl.Close()
+	fmt.Printf("ompi-restart: pid %d, control %s\n", os.Getpid(), ctl.Addr())
+
+	job, err := sys.Restart(ref, iv, factory)
+	if err != nil {
+		return err
+	}
+	err = job.Wait()
+	if *verbose {
+		fmt.Println("trace:", log.Summary())
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println("ompi-restart: job completed")
+	return nil
+}

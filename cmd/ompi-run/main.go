@@ -1,0 +1,135 @@
+// Command ompi-run is the simulator's mpirun: it boots a simulated
+// cluster, launches a parallel job running one of the built-in
+// applications, serves the control socket for the asynchronous tools
+// (ompi-checkpoint, ompi-ps) and waits for the job to finish.
+//
+// Usage:
+//
+//	ompi-run [flags] <app> [app flags...]
+//	ompi-run --np 8 --nodes 4 --mca crcp=bkmrk ring -iters 0
+//
+// The process registers its control address under its OS pid, so
+// `ompi-checkpoint $(pidof ompi-run)` works exactly like the paper's
+// tool invocation. Global snapshots are written to --stable (a real
+// directory) so they survive this process for ompi-restart.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/mca"
+	"repro/internal/trace"
+)
+
+// mcaFlags collects repeated --mca key=value flags.
+type mcaFlags []string
+
+func (m *mcaFlags) String() string     { return strings.Join(*m, ",") }
+func (m *mcaFlags) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ompi-run:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fs := flag.NewFlagSet("ompi-run", flag.ContinueOnError)
+	np := fs.Int("np", 4, "number of ranks")
+	nodes := fs.Int("nodes", 2, "number of simulated nodes")
+	slots := fs.Int("slots", 4, "process slots per node")
+	stable := fs.String("stable", "./ompi_stable", "stable storage directory (survives this process)")
+	every := fs.Duration("checkpoint-every", 0, "take a global checkpoint periodically (0 = off)")
+	verbose := fs.Bool("v", false, "print trace summary at exit")
+	var mcaArgs mcaFlags
+	fs.Var(&mcaArgs, "mca", "MCA parameter key=value (repeatable), e.g. --mca crcp=bkmrk --mca crs=self")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ompi-run [flags] <app> [app flags...]\napplications:\n")
+		apps.Usage(os.Stderr)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		fs.Usage()
+		return fmt.Errorf("missing application name")
+	}
+	appName := fs.Arg(0)
+	appArgs := fs.Args()[1:]
+	factory, err := apps.Lookup(appName, appArgs)
+	if err != nil {
+		return err
+	}
+	params, err := mca.ParseParams(mcaArgs)
+	if err != nil {
+		return err
+	}
+
+	log := &trace.Log{}
+	sys, err := core.NewSystem(core.Options{
+		Nodes: *nodes, SlotsPerNode: *slots,
+		StableDir: *stable, Params: params, Log: log,
+	})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	ctl, err := sys.Cluster().ServeControl("", true)
+	if err != nil {
+		return err
+	}
+	defer ctl.Close()
+
+	job, err := sys.Launch(core.JobSpec{
+		Name: appName, Args: appArgs, NP: *np, AppFactory: factory,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ompi-run: pid %d, job %d, np %d on %d nodes, control %s\n",
+		os.Getpid(), job.JobID(), *np, *nodes, ctl.Addr())
+	fmt.Printf("ompi-run: checkpoint with: ompi-checkpoint %d\n", os.Getpid())
+
+	// Periodic checkpointing: the scheduler-style automation the paper's
+	// asynchronous tool path enables.
+	if *every > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			ticker := time.NewTicker(*every)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ticker.C:
+					ck, err := sys.Checkpoint(job.JobID(), false)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "ompi-run: periodic checkpoint:", err)
+						return
+					}
+					fmt.Printf("ompi-run: periodic Snapshot Ref.: %d %s\n", ck.Interval, ck.Dir)
+				}
+			}
+		}()
+	}
+
+	err = job.Wait()
+	if *verbose {
+		fmt.Println("trace:", log.Summary())
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println("ompi-run: job completed")
+	return nil
+}

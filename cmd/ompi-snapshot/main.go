@@ -1,0 +1,184 @@
+// Command ompi-snapshot inspects and manages global snapshot references
+// on stable storage: the usability complement to ompi-checkpoint and
+// ompi-restart (paper §4 — the user deals in one opaque reference, and
+// this tool answers "what is in it?" without any knowledge of the
+// underlying checkpointers' file formats).
+//
+//	ompi-snapshot list   --stable DIR                  # all references
+//	ompi-snapshot show   --stable DIR REF              # intervals + per-rank detail
+//	ompi-snapshot verify --stable DIR REF              # validate metadata + images
+//	ompi-snapshot prune  --stable DIR REF --keep N     # drop old intervals
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"strings"
+
+	"repro/internal/core/snapshot"
+	"repro/internal/vfs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ompi-snapshot:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	if len(os.Args) < 2 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	sub := os.Args[1]
+	fs := flag.NewFlagSet("ompi-snapshot "+sub, flag.ContinueOnError)
+	stable := fs.String("stable", "./ompi_stable", "stable storage directory")
+	keep := fs.Int("keep", 1, "prune: newest intervals to keep")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		return err
+	}
+	fsys, err := vfs.NewOS(*stable)
+	if err != nil {
+		return err
+	}
+	switch sub {
+	case "list":
+		return list(fsys)
+	case "show", "verify", "prune":
+		if fs.NArg() != 1 {
+			return fmt.Errorf("%s needs a global snapshot reference", sub)
+		}
+		ref := snapshot.GlobalRef{FS: fsys, Dir: fs.Arg(0)}
+		switch sub {
+		case "show":
+			return show(ref)
+		case "verify":
+			return verify(ref)
+		default:
+			return prune(ref, *keep)
+		}
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", sub)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: ompi-snapshot <list|show|verify|prune> [--stable DIR] [REF] [--keep N]`)
+}
+
+func list(fsys vfs.FS) error {
+	entries, err := fsys.ReadDir(".")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-40s %9s %5s %9s\n", "REFERENCE", "INTERVALS", "NP", "APP")
+	for _, e := range entries {
+		if !e.IsDir || !strings.HasSuffix(e.Name, ".ckpt") {
+			continue
+		}
+		ref := snapshot.GlobalRef{FS: fsys, Dir: e.Name}
+		ivs, err := snapshot.Intervals(ref)
+		if err != nil || len(ivs) == 0 {
+			fmt.Printf("%-40s %9s\n", e.Name, "(empty)")
+			continue
+		}
+		meta, err := snapshot.ReadGlobal(ref, ivs[len(ivs)-1])
+		if err != nil {
+			fmt.Printf("%-40s %9d %5s %9s\n", e.Name, len(ivs), "?", "(corrupt)")
+			continue
+		}
+		fmt.Printf("%-40s %9d %5d %9s\n", e.Name, len(ivs), meta.NumProcs, meta.AppName)
+	}
+	return nil
+}
+
+func show(ref snapshot.GlobalRef) error {
+	ivs, err := snapshot.Intervals(ref)
+	if err != nil {
+		return err
+	}
+	for _, iv := range ivs {
+		meta, err := snapshot.ReadGlobal(ref, iv)
+		if err != nil {
+			fmt.Printf("interval %d: CORRUPT: %v\n", iv, err)
+			continue
+		}
+		fmt.Printf("interval %d: job %d app %q np %d taken %s\n",
+			iv, meta.JobID, meta.AppName, meta.NumProcs, meta.Taken.Format("2006-01-02 15:04:05"))
+		if len(meta.AppArgs) > 0 {
+			fmt.Printf("  args: %s\n", strings.Join(meta.AppArgs, " "))
+		}
+		if len(meta.MCAParams) > 0 {
+			fmt.Printf("  mca:  %v\n", meta.MCAParams)
+		}
+		for _, pe := range meta.Procs {
+			lref := snapshot.LocalRefIn(ref, iv, pe)
+			size, _ := vfs.TreeSize(lref.FS, lref.Dir)
+			fmt.Printf("  rank %2d  node %-8s crs %-6s %8d bytes  %s\n",
+				pe.Vpid, pe.Node, pe.Component, size, pe.LocalDir)
+		}
+	}
+	return nil
+}
+
+func verify(ref snapshot.GlobalRef) error {
+	ivs, err := snapshot.Intervals(ref)
+	if err != nil {
+		return err
+	}
+	bad := 0
+	for _, iv := range ivs {
+		meta, err := snapshot.ReadGlobal(ref, iv)
+		if err != nil {
+			fmt.Printf("interval %d: BAD global metadata: %v\n", iv, err)
+			bad++
+			continue
+		}
+		for _, pe := range meta.Procs {
+			lref := snapshot.LocalRefIn(ref, iv, pe)
+			lmeta, err := snapshot.ReadLocal(lref)
+			if err != nil {
+				fmt.Printf("interval %d rank %d: BAD local metadata: %v\n", iv, pe.Vpid, err)
+				bad++
+				continue
+			}
+			for _, f := range lmeta.Files {
+				if !vfs.Exists(lref.FS, path.Join(lref.Dir, f)) {
+					fmt.Printf("interval %d rank %d: MISSING payload %s\n", iv, pe.Vpid, f)
+					bad++
+				}
+			}
+		}
+		fmt.Printf("interval %d: ok (%d ranks)\n", iv, meta.NumProcs)
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d problems found", bad)
+	}
+	fmt.Println("snapshot is restartable")
+	return nil
+}
+
+func prune(ref snapshot.GlobalRef, keep int) error {
+	if keep < 1 {
+		return fmt.Errorf("--keep must be at least 1")
+	}
+	ivs, err := snapshot.Intervals(ref)
+	if err != nil {
+		return err
+	}
+	if len(ivs) <= keep {
+		fmt.Printf("nothing to prune (%d intervals, keeping %d)\n", len(ivs), keep)
+		return nil
+	}
+	for _, iv := range ivs[:len(ivs)-keep] {
+		if err := ref.FS.Remove(ref.IntervalDir(iv)); err != nil {
+			return fmt.Errorf("prune interval %d: %w", iv, err)
+		}
+		fmt.Printf("pruned interval %d\n", iv)
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+// Package core is the library's front door: it assembles the paper's
+// checkpoint/restart infrastructure — the MCA frameworks (SNAPC, FILEM,
+// CRCP, CRS, PLM), the simulated ORTE runtime and the OMPI library —
+// into one API a user (or the command-line tools) drives:
+//
+//	sys, _ := core.NewSystem(core.Options{Nodes: 4, SlotsPerNode: 2})
+//	job, _ := sys.Launch(core.JobSpec{Name: "ring", NP: 8, AppFactory: f})
+//	ckpt, _ := sys.Checkpoint(job.JobID(), false)   // global snapshot ref
+//	...
+//	job2, _ := sys.Restart(ckpt.Ref, ckpt.Interval, f2)
+//
+// Snapshot representations (paper §4) live in the snapshot subpackage;
+// everything here is orchestration.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/core/snapshot"
+	"repro/internal/mca"
+	"repro/internal/netsim"
+	"repro/internal/ompi"
+	"repro/internal/orte/names"
+	"repro/internal/orte/plm"
+	"repro/internal/orte/runtime"
+	"repro/internal/orte/snapc"
+	"repro/internal/trace"
+	"repro/internal/vfs"
+)
+
+// Options configure a System. The zero value is not valid; use at least
+// Nodes >= 1.
+type Options struct {
+	// Nodes is the number of simulated nodes (named node0..nodeN-1)
+	// unless NodeSpecs is given.
+	Nodes int
+	// SlotsPerNode is the per-node process capacity (default 2).
+	SlotsPerNode int
+	// NodeSpecs overrides Nodes/SlotsPerNode with explicit machines.
+	NodeSpecs []plm.NodeSpec
+	// StableDir, when non-empty, backs stable storage with a real
+	// directory so snapshots survive the process (the tool path).
+	// Otherwise stable storage is in-memory.
+	StableDir string
+	// MCA parameters ("crs=self", "crcp=none", "filem=raw", ...).
+	Params *mca.Params
+	// Log captures trace events; optional.
+	Log *trace.Log
+	// Uplink/Ingress override modeled link speeds; optional.
+	Uplink  *netsim.Link
+	Ingress *netsim.Link
+}
+
+// System is a running simulated cluster plus its runtime services.
+type System struct {
+	cluster *runtime.Cluster
+	log     *trace.Log
+}
+
+// JobSpec re-exports the runtime job description.
+type JobSpec = runtime.JobSpec
+
+// Job re-exports the runtime job handle.
+type Job = runtime.Job
+
+// CheckpointResult is what the paper's tools hand back to the user: the
+// single global snapshot reference (plus bookkeeping).
+type CheckpointResult struct {
+	Ref      snapshot.GlobalRef
+	Dir      string // the reference the user preserves
+	Interval int
+	Meta     snapshot.GlobalMeta
+}
+
+// NewSystem boots a simulated cluster.
+func NewSystem(opts Options) (*System, error) {
+	specs := opts.NodeSpecs
+	if specs == nil {
+		if opts.Nodes <= 0 {
+			return nil, fmt.Errorf("core: need at least one node")
+		}
+		slots := opts.SlotsPerNode
+		if slots <= 0 {
+			slots = 2
+		}
+		for i := 0; i < opts.Nodes; i++ {
+			specs = append(specs, plm.NodeSpec{Name: fmt.Sprintf("node%d", i), Slots: slots})
+		}
+	}
+	var stable vfs.FS
+	if opts.StableDir != "" {
+		osfs, err := vfs.NewOS(opts.StableDir)
+		if err != nil {
+			return nil, fmt.Errorf("core: stable storage: %w", err)
+		}
+		stable = osfs
+	}
+	cluster, err := runtime.New(runtime.Config{
+		Nodes:   specs,
+		Stable:  stable,
+		Params:  opts.Params,
+		Log:     opts.Log,
+		Uplink:  opts.Uplink,
+		Ingress: opts.Ingress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{cluster: cluster, log: opts.Log}, nil
+}
+
+// Close shuts the cluster down.
+func (s *System) Close() { s.cluster.Close() }
+
+// Cluster exposes the underlying runtime for advanced callers
+// (benchmarks, tools).
+func (s *System) Cluster() *runtime.Cluster { return s.cluster }
+
+// Launch starts a parallel job.
+func (s *System) Launch(spec JobSpec) (*Job, error) { return s.cluster.Launch(spec) }
+
+// Job looks a job up by id.
+func (s *System) Job(id names.JobID) (*Job, error) { return s.cluster.Job(id) }
+
+// JobIDs lists known jobs.
+func (s *System) JobIDs() []names.JobID { return s.cluster.JobIDs() }
+
+// Checkpoint takes a global checkpoint of the job (optionally
+// terminating it) and returns the global snapshot reference — the one
+// name the user must preserve (paper §4).
+func (s *System) Checkpoint(id names.JobID, terminate bool) (CheckpointResult, error) {
+	res, err := s.cluster.CheckpointJob(id, snapc.Options{Terminate: terminate})
+	if err != nil {
+		return CheckpointResult{}, err
+	}
+	return CheckpointResult{
+		Ref:      res.Ref,
+		Dir:      res.Ref.Dir,
+		Interval: res.Interval,
+		Meta:     res.Meta,
+	}, nil
+}
+
+// Restart relaunches a job from a global snapshot reference at the
+// given interval (LatestInterval(ref) picks the newest). Only the
+// application factory is supplied by the caller; process count, node
+// layout and runtime parameters all come from the snapshot metadata.
+func (s *System) Restart(ref snapshot.GlobalRef, interval int, appFactory func(rank int) ompi.App) (*Job, error) {
+	return s.cluster.Restart(ref, interval, appFactory)
+}
+
+// RestartLatest restarts from the newest interval in ref.
+func (s *System) RestartLatest(ref snapshot.GlobalRef, appFactory func(rank int) ompi.App) (*Job, error) {
+	iv, err := snapshot.LatestInterval(ref)
+	if err != nil {
+		return nil, err
+	}
+	return s.Restart(ref, iv, appFactory)
+}
+
+// OpenGlobalSnapshot builds a reference to an existing global snapshot
+// directory on this system's stable storage.
+func (s *System) OpenGlobalSnapshot(dir string) (snapshot.GlobalRef, error) {
+	ref := snapshot.GlobalRef{FS: s.cluster.Stable(), Dir: dir}
+	if _, err := snapshot.LatestInterval(ref); err != nil {
+		return snapshot.GlobalRef{}, fmt.Errorf("core: %q is not a global snapshot reference: %w", dir, err)
+	}
+	return ref, nil
+}

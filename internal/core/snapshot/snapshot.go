@@ -1,0 +1,271 @@
+// Package snapshot implements the paper's snapshot-reference abstraction
+// (§4): the usability layer that frees users from tracking checkpoint
+// files and original launch parameters.
+//
+// A local snapshot reference names a directory holding one process's
+// checkpoint: a metadata file (which checkpointer produced it, interval
+// number, process identity) plus the checkpointer-specific payload files.
+//
+// A global snapshot reference names a directory holding one distributed
+// checkpoint: a metadata file (aggregated local references, last-known
+// process layout, the runtime parameters the job was started with, and
+// the global interval) plus the physical set of local snapshots. Restart
+// reads only this metadata — the user supplies nothing but the reference.
+package snapshot
+
+import (
+	"encoding/json"
+	"fmt"
+	"path"
+	"time"
+
+	"repro/internal/vfs"
+)
+
+// Naming conventions, mirroring Open MPI's on-disk layout.
+const (
+	// GlobalMetaFile is the metadata file inside a global snapshot dir.
+	GlobalMetaFile = "global_snapshot_meta.json"
+	// LocalMetaFile is the metadata file inside a local snapshot dir.
+	LocalMetaFile = "snapshot_meta.json"
+	// FormatVersion guards against metadata from incompatible builds.
+	FormatVersion = 1
+)
+
+// GlobalDirName returns the directory name for a job's global snapshots,
+// e.g. "ompi_global_snapshot_7.ckpt".
+func GlobalDirName(jobID int) string {
+	return fmt.Sprintf("ompi_global_snapshot_%d.ckpt", jobID)
+}
+
+// LocalDirName returns the directory name for one process's local
+// snapshot within a global interval, e.g. "opal_snapshot_3.ckpt".
+func LocalDirName(vpid int) string {
+	return fmt.Sprintf("opal_snapshot_%d.ckpt", vpid)
+}
+
+// IntervalDirName returns the subdirectory for one checkpoint interval.
+func IntervalDirName(interval int) string {
+	return fmt.Sprintf("%d", interval)
+}
+
+// LocalMeta describes a single-process checkpoint. It lives beside the
+// checkpointer's payload files so the snapshot directory is
+// self-describing: the user need not know which CRS produced it.
+type LocalMeta struct {
+	Version   int       `json:"version"`
+	Component string    `json:"crs_component"` // CRS component that took it
+	JobID     int       `json:"job_id"`
+	Vpid      int       `json:"vpid"` // process rank within the job
+	Interval  int       `json:"interval"`
+	Node      string    `json:"node"` // node the process ran on
+	Files     []string  `json:"files"`
+	Taken     time.Time `json:"taken"`
+}
+
+// Validate rejects structurally impossible metadata (corrupt or from an
+// incompatible producer).
+func (m *LocalMeta) Validate() error {
+	switch {
+	case m.Version != FormatVersion:
+		return fmt.Errorf("snapshot: local metadata version %d, want %d", m.Version, FormatVersion)
+	case m.Component == "":
+		return fmt.Errorf("snapshot: local metadata missing CRS component")
+	case m.Vpid < 0:
+		return fmt.Errorf("snapshot: local metadata has negative vpid %d", m.Vpid)
+	case m.Interval < 0:
+		return fmt.Errorf("snapshot: local metadata has negative interval %d", m.Interval)
+	}
+	return nil
+}
+
+// LocalRef is a reference to a local snapshot: a filesystem plus the
+// directory the snapshot lives in.
+type LocalRef struct {
+	FS  vfs.FS
+	Dir string
+}
+
+// WriteLocal writes meta (and nothing else) into dir on fsys, creating
+// the directory. Payload files are written by the CRS component.
+func WriteLocal(fsys vfs.FS, dir string, meta LocalMeta) (LocalRef, error) {
+	meta.Version = FormatVersion
+	if err := meta.Validate(); err != nil {
+		return LocalRef{}, err
+	}
+	data, err := json.MarshalIndent(&meta, "", "  ")
+	if err != nil {
+		return LocalRef{}, fmt.Errorf("snapshot: marshal local metadata: %w", err)
+	}
+	if err := fsys.MkdirAll(dir); err != nil {
+		return LocalRef{}, err
+	}
+	if err := fsys.WriteFile(path.Join(dir, LocalMetaFile), data); err != nil {
+		return LocalRef{}, err
+	}
+	return LocalRef{FS: fsys, Dir: dir}, nil
+}
+
+// ReadLocal loads and validates the local snapshot metadata in ref.
+func ReadLocal(ref LocalRef) (LocalMeta, error) {
+	data, err := ref.FS.ReadFile(path.Join(ref.Dir, LocalMetaFile))
+	if err != nil {
+		return LocalMeta{}, fmt.Errorf("snapshot: read local metadata: %w", err)
+	}
+	var meta LocalMeta
+	if err := json.Unmarshal(data, &meta); err != nil {
+		return LocalMeta{}, fmt.Errorf("snapshot: corrupt local metadata in %q: %w", ref.Dir, err)
+	}
+	if err := meta.Validate(); err != nil {
+		return LocalMeta{}, fmt.Errorf("snapshot: %q: %w", ref.Dir, err)
+	}
+	return meta, nil
+}
+
+// ProcEntry records one process's place in a global snapshot: its
+// last-known rank, the node it ran on, the CRS component that produced
+// its local snapshot, and where the local snapshot sits inside the
+// global snapshot directory.
+type ProcEntry struct {
+	Vpid      int    `json:"vpid"`
+	Node      string `json:"node"`
+	Component string `json:"crs_component"`
+	LocalDir  string `json:"local_dir"` // relative to the interval dir
+}
+
+// GlobalMeta describes one distributed checkpoint. Everything restart
+// needs is here: the paper's answer to tools that forced users to recall
+// the original mpirun command line.
+type GlobalMeta struct {
+	Version   int               `json:"version"`
+	JobID     int               `json:"job_id"`
+	Interval  int               `json:"interval"`
+	Taken     time.Time         `json:"taken"`
+	NumProcs  int               `json:"num_procs"`
+	AppName   string            `json:"app_name"`
+	AppArgs   []string          `json:"app_args,omitempty"`
+	MCAParams map[string]string `json:"mca_params,omitempty"`
+	Nodes     []string          `json:"nodes"` // node list the job ran on
+	Procs     []ProcEntry       `json:"procs"`
+}
+
+// Validate rejects structurally impossible global metadata.
+func (m *GlobalMeta) Validate() error {
+	switch {
+	case m.Version != FormatVersion:
+		return fmt.Errorf("snapshot: global metadata version %d, want %d", m.Version, FormatVersion)
+	case m.NumProcs <= 0:
+		return fmt.Errorf("snapshot: global metadata has %d procs", m.NumProcs)
+	case len(m.Procs) != m.NumProcs:
+		return fmt.Errorf("snapshot: global metadata lists %d proc entries for %d procs", len(m.Procs), m.NumProcs)
+	case m.Interval < 0:
+		return fmt.Errorf("snapshot: global metadata has negative interval %d", m.Interval)
+	}
+	seen := make(map[int]bool, len(m.Procs))
+	for _, p := range m.Procs {
+		if p.Vpid < 0 || p.Vpid >= m.NumProcs {
+			return fmt.Errorf("snapshot: proc entry vpid %d out of range [0,%d)", p.Vpid, m.NumProcs)
+		}
+		if seen[p.Vpid] {
+			return fmt.Errorf("snapshot: duplicate proc entry for vpid %d", p.Vpid)
+		}
+		seen[p.Vpid] = true
+		if p.LocalDir == "" {
+			return fmt.Errorf("snapshot: proc entry vpid %d missing local snapshot dir", p.Vpid)
+		}
+	}
+	return nil
+}
+
+// GlobalRef is a reference to a global snapshot: a filesystem (stable
+// storage) plus the snapshot's root directory. A single opaque name is
+// all the user preserves — the paper's central usability claim.
+type GlobalRef struct {
+	FS  vfs.FS
+	Dir string
+}
+
+// IntervalDir returns the directory of the given checkpoint interval
+// within the global snapshot.
+func (r GlobalRef) IntervalDir(interval int) string {
+	return path.Join(r.Dir, IntervalDirName(interval))
+}
+
+// WriteGlobal writes the global metadata into the interval subdirectory
+// of ref. Local snapshots are placed there by the FILEM gather.
+func WriteGlobal(ref GlobalRef, meta GlobalMeta) error {
+	meta.Version = FormatVersion
+	if err := meta.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(&meta, "", "  ")
+	if err != nil {
+		return fmt.Errorf("snapshot: marshal global metadata: %w", err)
+	}
+	dir := ref.IntervalDir(meta.Interval)
+	if err := ref.FS.MkdirAll(dir); err != nil {
+		return err
+	}
+	return ref.FS.WriteFile(path.Join(dir, GlobalMetaFile), data)
+}
+
+// ReadGlobal loads and validates the metadata of the given interval.
+func ReadGlobal(ref GlobalRef, interval int) (GlobalMeta, error) {
+	data, err := ref.FS.ReadFile(path.Join(ref.IntervalDir(interval), GlobalMetaFile))
+	if err != nil {
+		return GlobalMeta{}, fmt.Errorf("snapshot: read global metadata: %w", err)
+	}
+	var meta GlobalMeta
+	if err := json.Unmarshal(data, &meta); err != nil {
+		return GlobalMeta{}, fmt.Errorf("snapshot: corrupt global metadata in %q: %w", ref.Dir, err)
+	}
+	if err := meta.Validate(); err != nil {
+		return GlobalMeta{}, fmt.Errorf("snapshot: %q: %w", ref.Dir, err)
+	}
+	return meta, nil
+}
+
+// Intervals lists the checkpoint intervals present in a global snapshot,
+// in ascending order.
+func Intervals(ref GlobalRef) ([]int, error) {
+	entries, err := ref.FS.ReadDir(ref.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: list intervals: %w", err)
+	}
+	var out []int
+	for _, e := range entries {
+		if !e.IsDir {
+			continue
+		}
+		var n int
+		if _, err := fmt.Sscanf(e.Name, "%d", &n); err == nil && fmt.Sprintf("%d", n) == e.Name && n >= 0 {
+			out = append(out, n)
+		}
+	}
+	// ReadDir sorts by name; resort numerically ("10" < "9" by name).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out, nil
+}
+
+// LatestInterval returns the highest interval present in ref, or an
+// error if the snapshot holds none.
+func LatestInterval(ref GlobalRef) (int, error) {
+	ivs, err := Intervals(ref)
+	if err != nil {
+		return 0, err
+	}
+	if len(ivs) == 0 {
+		return 0, fmt.Errorf("snapshot: %q contains no checkpoint intervals", ref.Dir)
+	}
+	return ivs[len(ivs)-1], nil
+}
+
+// LocalRefIn returns the local snapshot reference for one process entry
+// within a given interval of a global snapshot.
+func LocalRefIn(ref GlobalRef, interval int, proc ProcEntry) LocalRef {
+	return LocalRef{FS: ref.FS, Dir: path.Join(ref.IntervalDir(interval), proc.LocalDir)}
+}

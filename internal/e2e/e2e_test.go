@@ -1,0 +1,207 @@
+// Package e2e_test exercises the command-line tool set as real OS
+// processes: ompi-run serving its control socket, ompi-ps inspecting it,
+// ompi-checkpoint taking and terminating, and ompi-restart resuming a
+// job from nothing but the global snapshot reference — the paper's full
+// usability story, end to end.
+package e2e_test
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildTools compiles the three tools once per test binary.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	bin := t.TempDir()
+	for _, tool := range []string{"ompi-run", "ompi-checkpoint", "ompi-restart", "ompi-ps", "ompi-snapshot"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(bin, tool), "repro/cmd/"+tool)
+		cmd.Dir = repoRoot(t)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, out)
+		}
+	}
+	return bin
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// internal/e2e -> repo root
+	return filepath.Dir(filepath.Dir(wd))
+}
+
+// startOmpiRun launches ompi-run and waits until its control session is
+// registered (it prints its pid on stdout).
+func startOmpiRun(t *testing.T, bin, stable string, args ...string) (*exec.Cmd, int, *bufio.Scanner) {
+	t.Helper()
+	full := append([]string{"--stable", stable}, args...)
+	cmd := exec.Command(filepath.Join(bin, "ompi-run"), full...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	scanner := bufio.NewScanner(stdout)
+	// First line: "ompi-run: pid N, job J, ..."
+	if !scanner.Scan() {
+		t.Fatal("ompi-run produced no output")
+	}
+	line := scanner.Text()
+	var pid, job, np, nodes int
+	var ctl string
+	if _, err := fmt.Sscanf(line, "ompi-run: pid %d, job %d, np %d on %d nodes, control %s",
+		&pid, &job, &np, &nodes, &ctl); err != nil {
+		t.Fatalf("unexpected ompi-run banner %q: %v", line, err)
+	}
+	// Wait for the session file to exist.
+	deadline := time.Now().Add(5 * time.Second)
+	session := filepath.Join(os.TempDir(), "ompi-go-sessions", fmt.Sprintf("%d.addr", pid))
+	for {
+		if _, err := os.Stat(session); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session file %s never appeared", session)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return cmd, pid, scanner
+}
+
+func runTool(t *testing.T, bin, tool string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(filepath.Join(bin, tool), args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", tool, args, err, out)
+	}
+	return string(out)
+}
+
+func TestToolsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs real binaries")
+	}
+	bin := buildTools(t)
+	stable := t.TempDir()
+
+	// 1. Launch a long-running job (ring -iters 0 runs until terminated).
+	run, pid, scanner := startOmpiRun(t, bin, stable,
+		"--np", "4", "--nodes", "2", "--mca", "crcp=bkmrk", "ring", "-iters", "0")
+	defer func() { _ = run.Process.Kill() }()
+
+	// 2. ompi-ps sees the running job.
+	ps := runTool(t, bin, "ompi-ps", fmt.Sprint(pid))
+	if !strings.Contains(ps, "ring") || !strings.Contains(ps, "run") {
+		t.Fatalf("ompi-ps output:\n%s", ps)
+	}
+
+	// 3. Plain checkpoint: job keeps running; the tool prints the
+	// global snapshot reference.
+	ck := runTool(t, bin, "ompi-checkpoint", fmt.Sprint(pid))
+	if !strings.Contains(ck, "Snapshot Ref.: 0 ") {
+		t.Fatalf("ompi-checkpoint output: %q", ck)
+	}
+
+	// 4. Checkpoint-and-terminate for "maintenance".
+	ck2 := runTool(t, bin, "ompi-checkpoint", "--term", fmt.Sprint(pid))
+	var interval int
+	var refDir string
+	if _, err := fmt.Sscanf(strings.TrimSpace(ck2), "Snapshot Ref.: %d %s", &interval, &refDir); err != nil {
+		t.Fatalf("ompi-checkpoint --term output %q: %v", ck2, err)
+	}
+	if interval != 1 {
+		t.Errorf("second checkpoint interval = %d", interval)
+	}
+	if err := run.Wait(); err != nil {
+		t.Fatalf("ompi-run exited with error: %v", err)
+	}
+	_ = scanner
+
+	// 5. The global snapshot is a real directory on disk.
+	if _, err := os.Stat(filepath.Join(stable, refDir, "1", "global_snapshot_meta.json")); err != nil {
+		t.Fatalf("global snapshot missing on stable storage: %v", err)
+	}
+
+	// 6. ompi-restart resumes from the reference alone, in a brand-new
+	// process. The restarted ring is unbounded again, so terminate it
+	// through its own control session.
+	restart := exec.Command(filepath.Join(bin, "ompi-restart"), "--stable", stable, refDir)
+	rOut, err := restart.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restart.Stderr = os.Stderr
+	if err := restart.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = restart.Process.Kill() }()
+	rScan := bufio.NewScanner(rOut)
+	var rPid int
+	for rScan.Scan() {
+		line := rScan.Text()
+		if strings.HasPrefix(line, "ompi-restart: pid ") {
+			if _, err := fmt.Sscanf(line, "ompi-restart: pid %d,", &rPid); err != nil {
+				t.Fatalf("restart banner %q: %v", line, err)
+			}
+			break
+		}
+	}
+	if rPid == 0 {
+		t.Fatal("ompi-restart never printed its pid")
+	}
+	// Wait for its session, then terminate the restarted job.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := os.Stat(filepath.Join(os.TempDir(), "ompi-go-sessions", fmt.Sprintf("%d.addr", rPid))); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("restart session never appeared")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	ck3 := runTool(t, bin, "ompi-checkpoint", "--term", fmt.Sprint(rPid))
+	if !strings.Contains(ck3, "Snapshot Ref.:") {
+		t.Fatalf("checkpoint of restarted job: %q", ck3)
+	}
+	if err := restart.Wait(); err != nil {
+		t.Fatalf("ompi-restart exited with error: %v", err)
+	}
+
+	// 7. ompi-snapshot inspects, verifies and prunes the reference.
+	listOut := runTool(t, bin, "ompi-snapshot", "list", "--stable", stable)
+	if !strings.Contains(listOut, refDir) {
+		t.Fatalf("ompi-snapshot list:\n%s", listOut)
+	}
+	showOut := runTool(t, bin, "ompi-snapshot", "show", "--stable", stable, refDir)
+	if !strings.Contains(showOut, "rank  0") || !strings.Contains(showOut, "crs") {
+		t.Fatalf("ompi-snapshot show:\n%s", showOut)
+	}
+	verifyOut := runTool(t, bin, "ompi-snapshot", "verify", "--stable", stable, refDir)
+	if !strings.Contains(verifyOut, "restartable") {
+		t.Fatalf("ompi-snapshot verify:\n%s", verifyOut)
+	}
+	pruneOut := runTool(t, bin, "ompi-snapshot", "prune", "--stable", stable, "--keep", "1", refDir)
+	if !strings.Contains(pruneOut, "pruned interval 0") {
+		t.Fatalf("ompi-snapshot prune:\n%s", pruneOut)
+	}
+	// After pruning, the reference still verifies (latest interval kept).
+	verifyOut = runTool(t, bin, "ompi-snapshot", "verify", "--stable", stable, refDir)
+	if !strings.Contains(verifyOut, "restartable") {
+		t.Fatalf("verify after prune:\n%s", verifyOut)
+	}
+}

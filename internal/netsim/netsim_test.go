@@ -1,0 +1,156 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testTopology() *Topology {
+	t := NewTopology(DefaultIngress)
+	for _, n := range []string{"n0", "n1", "n2", "n3"} {
+		t.AddNode(n, DefaultUplink)
+	}
+	return t
+}
+
+func TestLinkTransferTime(t *testing.T) {
+	l := Link{Latency: time.Millisecond, Bandwidth: 1e6} // 1 MB/s
+	got := l.TransferTime(1e6)
+	want := time.Millisecond + time.Second
+	if got != want {
+		t.Errorf("TransferTime(1MB) = %v, want %v", got, want)
+	}
+	if got := l.TransferTime(0); got != time.Millisecond {
+		t.Errorf("TransferTime(0) = %v, want latency only", got)
+	}
+}
+
+func TestNodeToStorageSlowerLinkGoverns(t *testing.T) {
+	topo := NewTopology(Link{Latency: 0, Bandwidth: 100e6})
+	topo.AddNode("fast", Link{Latency: 0, Bandwidth: 1000e6})
+	topo.AddNode("slow", Link{Latency: 0, Bandwidth: 10e6})
+
+	dFast, err := topo.NodeToStorage("fast", 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fast node is capped by the 100 MB/s ingress: 1 second.
+	if dFast != time.Second {
+		t.Errorf("fast node: %v, want 1s (ingress-bound)", dFast)
+	}
+	dSlow, err := topo.NodeToStorage("slow", 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slow node is capped by its own 10 MB/s uplink: 10 seconds.
+	if dSlow != 10*time.Second {
+		t.Errorf("slow node: %v, want 10s (uplink-bound)", dSlow)
+	}
+}
+
+func TestUnknownNode(t *testing.T) {
+	topo := testTopology()
+	if _, err := topo.NodeToStorage("ghost", 1); err == nil {
+		t.Error("NodeToStorage(ghost) succeeded, want error")
+	}
+	if _, err := topo.NodeToNode("n0", "ghost", 1); err == nil {
+		t.Error("NodeToNode(to ghost) succeeded, want error")
+	}
+}
+
+func TestSameNodeCopyIsFast(t *testing.T) {
+	topo := testTopology()
+	same, err := topo.NodeToNode("n0", "n0", 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross, err := topo.NodeToNode("n0", "n1", 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same >= cross {
+		t.Errorf("same-node copy (%v) not faster than cross-node (%v)", same, cross)
+	}
+}
+
+// TestGroupedNeverSlowerThanSequential is the property behind experiment
+// A3: issuing a gather as one grouped request can never be slower than
+// serializing the same transfers.
+func TestGroupedNeverSlowerThanSequential(t *testing.T) {
+	topo := testTopology()
+	nodes := []string{"n0", "n1", "n2", "n3"}
+	prop := func(sizes []uint32) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		var xs []GatherTransfer
+		for i, s := range sizes {
+			xs = append(xs, GatherTransfer{Node: nodes[i%len(nodes)], Bytes: int64(s)})
+		}
+		seq, err := topo.SequentialGatherTime(xs)
+		if err != nil {
+			return false
+		}
+		grp, err := topo.GroupedGatherTime(xs)
+		if err != nil {
+			return false
+		}
+		return grp <= seq
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupedBoundedByIngress(t *testing.T) {
+	topo := testTopology()
+	// Four nodes each pushing 100 MB: uplinks could each do it in ~0.8s in
+	// parallel, but the shared 250 MB/s ingress must serialize 400 MB,
+	// which takes at least 1.6s.
+	var xs []GatherTransfer
+	for _, n := range []string{"n0", "n1", "n2", "n3"} {
+		xs = append(xs, GatherTransfer{Node: n, Bytes: 100e6})
+	}
+	grp, err := topo.GroupedGatherTime(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minBound := DefaultIngress.TransferTime(400e6)
+	if grp < minBound {
+		t.Errorf("grouped gather %v violates ingress bound %v", grp, minBound)
+	}
+}
+
+func TestClockAccumulates(t *testing.T) {
+	var c Clock
+	c.Advance(time.Second)
+	c.Advance(2 * time.Second)
+	c.Advance(-5 * time.Second) // negative durations are ignored
+	if got := c.Elapsed(); got != 3*time.Second {
+		t.Errorf("Elapsed = %v, want 3s", got)
+	}
+	c.Reset()
+	if got := c.Elapsed(); got != 0 {
+		t.Errorf("Elapsed after reset = %v, want 0", got)
+	}
+}
+
+func TestClockConcurrent(t *testing.T) {
+	var c Clock
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Advance(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Elapsed(); got != 1600*time.Millisecond {
+		t.Errorf("Elapsed = %v, want 1.6s", got)
+	}
+}

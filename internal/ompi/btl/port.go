@@ -1,0 +1,92 @@
+package btl
+
+import "repro/internal/mca"
+
+// Port is one rank's attachment to a transport, the surface the PML
+// drives. Both the in-process fabric (sm) and the TCP fabric implement
+// it, so the message engine is transport-agnostic — the property that
+// let the paper's design support TCP and InfiniBand interchangeably.
+type Port interface {
+	// Rank returns the attached rank.
+	Rank() int
+	// Send delivers fr to fr.Dst with per-pair FIFO ordering. It must
+	// not block indefinitely (the fabric buffers).
+	Send(fr Frag) error
+	// Recv blocks until a fragment arrives or the port closes.
+	Recv() (Frag, error)
+	// TryRecv returns a fragment without blocking; ok reports whether
+	// one was available.
+	TryRecv() (Frag, bool, error)
+	// Pending returns the number of queued incoming fragments.
+	Pending() int
+}
+
+// JobFabric is a per-job transport instance: the set of ports a job's
+// ranks communicate through. Detach severs one rank (restart in a new
+// topology detaches everywhere and attaches fresh); Close tears the
+// whole fabric down.
+type JobFabric interface {
+	Attach(rank int) (Port, error)
+	Detach(rank int)
+	Close()
+}
+
+// FrameworkName is the MCA selection parameter for the BTL framework.
+const FrameworkName = "btl"
+
+// Component is a BTL implementation: a factory for per-job fabrics.
+type Component interface {
+	mca.Component
+	// NewFabric builds a fabric for an n-rank job.
+	NewFabric(n int) (JobFabric, error)
+}
+
+// NewFramework returns the BTL framework with the built-in components:
+// sm (in-process shared-memory-style switchboard, default) and tcp
+// (real loopback TCP sockets with framed fragments).
+func NewFramework() *mca.Framework[Component] {
+	f := mca.NewFramework[Component](FrameworkName)
+	f.MustRegister(&SM{})
+	f.MustRegister(&TCP{})
+	return f
+}
+
+// SM is the in-process fabric component.
+type SM struct{}
+
+// Name implements mca.Component.
+func (*SM) Name() string { return "sm" }
+
+// Priority implements mca.Component; sm is the default.
+func (*SM) Priority() int { return 20 }
+
+// NewFabric implements Component.
+func (*SM) NewFabric(n int) (JobFabric, error) {
+	return &fabricAdapter{f: NewFabric()}, nil
+}
+
+var _ Component = (*SM)(nil)
+
+// Close tears the in-process fabric down by detaching every rank.
+func (f *Fabric) Close() {
+	for _, r := range f.Attached() {
+		f.Detach(r)
+	}
+}
+
+// AdaptFabric lifts an in-process *Fabric to the JobFabric interface.
+func AdaptFabric(f *Fabric) JobFabric { return &fabricAdapter{f: f} }
+
+// fabricAdapter lifts *Fabric's concrete Attach signature to JobFabric.
+type fabricAdapter struct{ f *Fabric }
+
+// Attach implements JobFabric.
+func (a *fabricAdapter) Attach(rank int) (Port, error) { return a.f.Attach(rank) }
+
+// Detach implements JobFabric.
+func (a *fabricAdapter) Detach(rank int) { a.f.Detach(rank) }
+
+// Close implements JobFabric.
+func (a *fabricAdapter) Close() { a.f.Close() }
+
+var _ JobFabric = (*fabricAdapter)(nil)

@@ -1,0 +1,451 @@
+package coll
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ompi/btl"
+	"repro/internal/ompi/pml"
+)
+
+// world builds n collective modules on one fabric.
+func world(t testing.TB, n int) []*Coll {
+	t.Helper()
+	f := btl.NewFabric()
+	out := make([]*Coll, n)
+	for r := 0; r < n; r++ {
+		ep, err := f.Attach(r)
+		if err != nil {
+			t.Fatalf("Attach(%d): %v", r, err)
+		}
+		out[r] = New(pml.New(pml.Config{Rank: r, Size: n, Endpoint: ep}))
+	}
+	return out
+}
+
+// runAll executes fn per rank concurrently.
+func runAll(t testing.TB, n int, fn func(rank int) error) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = fn(r)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+// sizes exercises power-of-two and odd world sizes.
+var sizes = []int{1, 2, 3, 4, 5, 7, 8}
+
+func TestBarrierAllArrive(t *testing.T) {
+	for _, n := range sizes {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			cs := world(t, n)
+			var before, after atomic.Int32
+			runAll(t, n, func(rank int) error {
+				before.Add(1)
+				if err := cs[rank].Barrier(); err != nil {
+					return err
+				}
+				// Every rank must have entered before any exits.
+				if got := before.Load(); got != int32(n) {
+					return fmt.Errorf("exited barrier with only %d entrants", got)
+				}
+				after.Add(1)
+				return nil
+			})
+			if after.Load() != int32(n) {
+				t.Errorf("after = %d", after.Load())
+			}
+		})
+	}
+}
+
+func TestBcastAllRootsAllSizes(t *testing.T) {
+	for _, n := range sizes {
+		for root := 0; root < n; root++ {
+			t.Run(fmt.Sprintf("n=%d/root=%d", n, root), func(t *testing.T) {
+				cs := world(t, n)
+				payload := []byte(fmt.Sprintf("payload from %d", root))
+				runAll(t, n, func(rank int) error {
+					var in []byte
+					if rank == root {
+						in = payload
+					}
+					got, err := cs[rank].Bcast(root, in)
+					if err != nil {
+						return err
+					}
+					if !bytes.Equal(got, payload) {
+						return fmt.Errorf("got %q", got)
+					}
+					return nil
+				})
+			})
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, n := range sizes {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			cs := world(t, n)
+			root := n - 1
+			runAll(t, n, func(rank int) error {
+				contrib := Int64sToBytes([]int64{int64(rank), 1})
+				res, err := cs[rank].Reduce(root, contrib, SumInt64)
+				if err != nil {
+					return err
+				}
+				if rank != root {
+					if res != nil {
+						return fmt.Errorf("non-root got a result")
+					}
+					return nil
+				}
+				got, err := BytesToInt64s(res)
+				if err != nil {
+					return err
+				}
+				wantSum := int64(n * (n - 1) / 2)
+				if got[0] != wantSum || got[1] != int64(n) {
+					return fmt.Errorf("reduce = %v, want [%d %d]", got, wantSum, n)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestAllreduceEveryRankGetsResult(t *testing.T) {
+	for _, n := range sizes {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			cs := world(t, n)
+			runAll(t, n, func(rank int) error {
+				res, err := cs[rank].Allreduce(Float64sToBytes([]float64{float64(rank + 1)}), SumFloat64)
+				if err != nil {
+					return err
+				}
+				got, err := BytesToFloat64s(res)
+				if err != nil {
+					return err
+				}
+				want := float64(n*(n+1)) / 2
+				if got[0] != want {
+					return fmt.Errorf("allreduce = %v, want %v", got[0], want)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestGatherIndexedByRank(t *testing.T) {
+	const n = 5
+	cs := world(t, n)
+	runAll(t, n, func(rank int) error {
+		res, err := cs[rank].Gather(2, []byte{byte(rank * 10)})
+		if err != nil {
+			return err
+		}
+		if rank != 2 {
+			if res != nil {
+				return fmt.Errorf("non-root got gather result")
+			}
+			return nil
+		}
+		for p := 0; p < n; p++ {
+			if len(res[p]) != 1 || res[p][0] != byte(p*10) {
+				return fmt.Errorf("res[%d] = %v", p, res[p])
+			}
+		}
+		return nil
+	})
+}
+
+func TestScatter(t *testing.T) {
+	const n = 4
+	cs := world(t, n)
+	runAll(t, n, func(rank int) error {
+		var blocks [][]byte
+		if rank == 0 {
+			for p := 0; p < n; p++ {
+				blocks = append(blocks, []byte{byte(p + 100)})
+			}
+		}
+		got, err := cs[rank].Scatter(0, blocks)
+		if err != nil {
+			return err
+		}
+		if len(got) != 1 || got[0] != byte(rank+100) {
+			return fmt.Errorf("scatter block = %v", got)
+		}
+		return nil
+	})
+}
+
+func TestAllgatherRing(t *testing.T) {
+	for _, n := range sizes {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			cs := world(t, n)
+			runAll(t, n, func(rank int) error {
+				res, err := cs[rank].Allgather([]byte(fmt.Sprintf("r%d", rank)))
+				if err != nil {
+					return err
+				}
+				for p := 0; p < n; p++ {
+					if string(res[p]) != fmt.Sprintf("r%d", p) {
+						return fmt.Errorf("res[%d] = %q", p, res[p])
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	const n = 4
+	cs := world(t, n)
+	runAll(t, n, func(rank int) error {
+		blocks := make([][]byte, n)
+		for p := 0; p < n; p++ {
+			blocks[p] = []byte{byte(rank), byte(p)}
+		}
+		res, err := cs[rank].Alltoall(blocks)
+		if err != nil {
+			return err
+		}
+		for p := 0; p < n; p++ {
+			want := []byte{byte(p), byte(rank)}
+			if !bytes.Equal(res[p], want) {
+				return fmt.Errorf("res[%d] = %v, want %v", p, res[p], want)
+			}
+		}
+		return nil
+	})
+}
+
+func TestBackToBackCollectivesDoNotCrosstalk(t *testing.T) {
+	const n = 4
+	cs := world(t, n)
+	runAll(t, n, func(rank int) error {
+		for iter := 0; iter < 20; iter++ {
+			got, err := cs[rank].Bcast(iter%n, []byte{byte(iter)})
+			if err != nil {
+				return err
+			}
+			if got[0] != byte(iter) {
+				return fmt.Errorf("iter %d: bcast = %d", iter, got[0])
+			}
+			res, err := cs[rank].Allreduce(Int64sToBytes([]int64{1}), SumInt64)
+			if err != nil {
+				return err
+			}
+			v, _ := BytesToInt64s(res)
+			if v[0] != int64(n) {
+				return fmt.Errorf("iter %d: allreduce = %d", iter, v[0])
+			}
+		}
+		return nil
+	})
+	// Sequence numbers stay in lockstep across ranks.
+	for r := 1; r < n; r++ {
+		if cs[r].Seq() != cs[0].Seq() {
+			t.Errorf("rank %d seq %d != rank 0 seq %d", r, cs[r].Seq(), cs[0].Seq())
+		}
+	}
+}
+
+func TestSeqSetRestore(t *testing.T) {
+	cs := world(t, 1)
+	if err := cs[0].Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if cs[0].Seq() != 1 {
+		t.Errorf("Seq = %d", cs[0].Seq())
+	}
+	cs[0].SetSeq(42)
+	if cs[0].Seq() != 42 {
+		t.Errorf("Seq after SetSeq = %d", cs[0].Seq())
+	}
+}
+
+func TestInvalidArguments(t *testing.T) {
+	cs := world(t, 2)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := cs[0].Bcast(5, nil); err == nil {
+			t.Error("Bcast with bad root succeeded")
+		}
+		if _, err := cs[0].Reduce(-1, nil, SumInt64); err == nil {
+			t.Error("Reduce with bad root succeeded")
+		}
+		if _, err := cs[0].Alltoall(make([][]byte, 1)); err == nil {
+			t.Error("Alltoall with wrong block count succeeded")
+		}
+		if rank0blocks := make([][]byte, 1); true {
+			if _, err := cs[0].Scatter(0, rank0blocks); err == nil {
+				t.Error("Scatter with wrong block count succeeded")
+			}
+		}
+	}()
+	<-done
+}
+
+func TestCodecRoundTrips(t *testing.T) {
+	f := func(xs []float64) bool {
+		got, err := BytesToFloat64s(Float64sToBytes(xs))
+		if err != nil {
+			return false
+		}
+		if len(got) != len(xs) {
+			return false
+		}
+		for i := range xs {
+			// NaN-safe bit comparison.
+			if Float64sToBytes(got[i : i+1])[0] != Float64sToBytes(xs[i : i+1])[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+	g := func(xs []int64) bool {
+		got, err := BytesToInt64s(Int64sToBytes(xs))
+		return err == nil && reflect.DeepEqual(got, append([]int64{}, xs...))
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+	if _, err := BytesToFloat64s([]byte{1, 2, 3}); err == nil {
+		t.Error("BytesToFloat64s accepted ragged payload")
+	}
+	if _, err := BytesToInt64s([]byte{1}); err == nil {
+		t.Error("BytesToInt64s accepted ragged payload")
+	}
+}
+
+func TestOps(t *testing.T) {
+	a := Float64sToBytes([]float64{1, 5, -2})
+	b := Float64sToBytes([]float64{4, 2, -7})
+	sum, err := SumFloat64(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := BytesToFloat64s(sum)
+	if !reflect.DeepEqual(got, []float64{5, 7, -9}) {
+		t.Errorf("SumFloat64 = %v", got)
+	}
+	mx, err := MaxFloat64(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ = BytesToFloat64s(mx)
+	if !reflect.DeepEqual(got, []float64{4, 5, -2}) {
+		t.Errorf("MaxFloat64 = %v", got)
+	}
+	mn, err := MinFloat64(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ = BytesToFloat64s(mn)
+	if !reflect.DeepEqual(got, []float64{1, 2, -7}) {
+		t.Errorf("MinFloat64 = %v", got)
+	}
+	ai := Int64sToBytes([]int64{3, -1})
+	bi := Int64sToBytes([]int64{2, 8})
+	mi, err := MaxInt64(ai, bi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goti, _ := BytesToInt64s(mi)
+	if !reflect.DeepEqual(goti, []int64{3, 8}) {
+		t.Errorf("MaxInt64 = %v", goti)
+	}
+	if _, err := SumInt64(Int64sToBytes([]int64{1}), Int64sToBytes([]int64{1, 2})); err == nil {
+		t.Error("SumInt64 accepted mismatched lengths")
+	}
+	if _, err := SumFloat64(Float64sToBytes([]float64{1}), Float64sToBytes([]float64{1, 2})); err == nil {
+		t.Error("SumFloat64 accepted mismatched lengths")
+	}
+}
+
+// TestQuickAllreduceRandomSizes: allreduce sums match the serial sum for
+// random world sizes and vector lengths.
+func TestQuickAllreduceRandomSizes(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		vec := 1 + rng.Intn(8)
+		cs := worldQuiet(n)
+		contribs := make([][]int64, n)
+		want := make([]int64, vec)
+		for r := 0; r < n; r++ {
+			contribs[r] = make([]int64, vec)
+			for i := range contribs[r] {
+				contribs[r][i] = int64(rng.Intn(1000) - 500)
+				want[i] += contribs[r][i]
+			}
+		}
+		var wg sync.WaitGroup
+		ok := make([]bool, n)
+		for r := 0; r < n; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				res, err := cs[r].Allreduce(Int64sToBytes(contribs[r]), SumInt64)
+				if err != nil {
+					return
+				}
+				got, err := BytesToInt64s(res)
+				if err != nil {
+					return
+				}
+				ok[r] = reflect.DeepEqual(got, want)
+			}(r)
+		}
+		wg.Wait()
+		for _, o := range ok {
+			if !o {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// worldQuiet builds a world without a testing.TB (for quick properties).
+func worldQuiet(n int) []*Coll {
+	f := btl.NewFabric()
+	out := make([]*Coll, n)
+	for r := 0; r < n; r++ {
+		ep, err := f.Attach(r)
+		if err != nil {
+			return nil
+		}
+		out[r] = New(pml.New(pml.Config{Rank: r, Size: n, Endpoint: ep}))
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package crs
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/vfs"
+)
+
+// Self is the application-level checkpointer: the paper's SELF component.
+// Instead of capturing a process image, it hands control to callbacks the
+// application registered, so the application itself decides what to save
+// and how to rebuild from it.
+type Self struct{}
+
+// Name implements mca.Component.
+func (*Self) Name() string { return "self" }
+
+// Priority implements mca.Component: below simcr, chosen explicitly.
+func (*Self) Priority() int { return 10 }
+
+// Checkpoint implements Component: invoke the application's checkpoint
+// callback and report whatever files it produced.
+func (*Self) Checkpoint(proc Process, fsys vfs.FS, dir string) ([]string, error) {
+	cbs := proc.Self()
+	if cbs == nil || cbs.Checkpoint == nil {
+		return nil, fmt.Errorf("crs self: pid %d registered no checkpoint callback: %w", proc.PID(), ErrNotSupported)
+	}
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("crs self: prepare snapshot dir: %w", err)
+	}
+	if err := cbs.Checkpoint(fsys, dir); err != nil {
+		return nil, fmt.Errorf("crs self: pid %d checkpoint callback: %w", proc.PID(), err)
+	}
+	// The callback wrote arbitrary files; record them (recursively) so
+	// the snapshot metadata stays self-describing.
+	var files []string
+	err := vfs.Walk(fsys, dir, func(name string, _ vfs.FileInfo) error {
+		rel := name[len(dir):]
+		for len(rel) > 0 && rel[0] == '/' {
+			rel = rel[1:]
+		}
+		files = append(files, rel)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("crs self: enumerate snapshot files: %w", err)
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// Restart implements Component: invoke the application's restart
+// callback with the snapshot directory.
+func (*Self) Restart(proc Process, fsys vfs.FS, dir string, files []string) error {
+	cbs := proc.Self()
+	if cbs == nil || cbs.Restart == nil {
+		return fmt.Errorf("crs self: pid %d registered no restart callback: %w", proc.PID(), ErrNotSupported)
+	}
+	if err := cbs.Restart(fsys, dir); err != nil {
+		return fmt.Errorf("crs self: pid %d restart callback: %w", proc.PID(), err)
+	}
+	return nil
+}
+
+// Continue implements Component: invoke the optional continue callback.
+func (*Self) Continue(proc Process) error {
+	cbs := proc.Self()
+	if cbs == nil || cbs.Continue == nil {
+		return nil
+	}
+	if err := cbs.Continue(); err != nil {
+		return fmt.Errorf("crs self: pid %d continue callback: %w", proc.PID(), err)
+	}
+	return nil
+}
+
+var _ Component = (*Self)(nil)

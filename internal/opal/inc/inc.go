@@ -1,0 +1,159 @@
+// Package inc implements the paper's Interlayer Notification Callback
+// mechanism (§5.5, §6.5, Fig. 2): the ordered notification of every
+// software layer — application, OMPI, ORTE, OPAL — around a checkpoint
+// or restart request.
+//
+// Each layer (and the application itself) registers an INC. Registration
+// returns the previously registered callback, and the new INC is
+// responsible for invoking the previous one from within its own body.
+// That contract yields stack-like ordering: a higher layer may act both
+// before and after the layers beneath it, exactly as the paper requires
+// so an application INC can "use the full suite of MPI functionality
+// before allowing the library to prepare for a checkpoint".
+//
+// Within a layer, subsystems that need notification implement the
+// paper's ft_event(state) extension, modeled here as the FTEventer
+// interface; LayerCallback builds an INC that fans a state out to an
+// ordered subsystem list and then calls the previous INC.
+package inc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// State is the checkpoint/restart protocol state passed to ft_event and
+// to every INC, mirroring the paper's single int argument.
+type State int
+
+const (
+	// StateCheckpoint: a checkpoint request has arrived; prepare.
+	StateCheckpoint State = iota
+	// StateContinue: the checkpoint completed and the process keeps
+	// running in place.
+	StateContinue
+	// StateRestart: the process has just been restored from a snapshot,
+	// possibly on a different node or in a new process topology.
+	StateRestart
+	// StateError: the checkpoint attempt failed; undo preparation.
+	StateError
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (s State) String() string {
+	switch s {
+	case StateCheckpoint:
+		return "checkpoint"
+	case StateContinue:
+		return "continue"
+	case StateRestart:
+		return "restart"
+	case StateError:
+		return "error"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Callback is an interlayer notification callback. Implementations must
+// call the previous callback (returned at registration) from within
+// their own body; see Stack.
+type Callback func(s State) error
+
+// FTEventer is the paper's ft_event extension to framework APIs: a
+// subsystem encapsulates all of its checkpoint/restart logic behind one
+// function, keeping fault-tolerance concerns out of its main code paths.
+type FTEventer interface {
+	FTEvent(s State) error
+}
+
+// FTEventFunc adapts a plain function to FTEventer.
+type FTEventFunc func(s State) error
+
+// FTEvent implements FTEventer.
+func (f FTEventFunc) FTEvent(s State) error { return f(s) }
+
+// ErrNoINC is returned by Stack.Call when nothing was registered.
+var ErrNoINC = errors.New("inc: no interlayer notification callback registered")
+
+// Stack holds the INC registration chain for one process. The zero value
+// is an empty stack ready for use; it is safe for concurrent
+// registration, though registration normally happens during init.
+type Stack struct {
+	mu  sync.Mutex
+	top Callback
+}
+
+// Register installs cb as the topmost INC and returns the previously
+// registered callback (nil if none). The caller must arrange for cb to
+// invoke the returned callback; failing to do so silences every layer
+// below, so Call cannot verify it — tests do (see the package tests).
+func (st *Stack) Register(cb Callback) (prev Callback) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	prev = st.top
+	st.top = cb
+	return prev
+}
+
+// Call invokes the topmost INC with the given state. It is the entry
+// point's half of Fig. 2: one invocation per protocol state.
+func (st *Stack) Call(s State) error {
+	st.mu.Lock()
+	top := st.top
+	st.mu.Unlock()
+	if top == nil {
+		return ErrNoINC
+	}
+	return top(s)
+}
+
+// Registered reports whether any INC has been registered.
+func (st *Stack) Registered() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.top != nil
+}
+
+// LayerCallback builds an INC for one software layer: on every state it
+// notifies the layer's subsystems in order via ft_event, then invokes
+// prev (the next-lower layer), giving the standard "act, descend" shape.
+// A nil prev terminates the chain (the bottom layer).
+func LayerCallback(layer string, subsystems []FTEventer, prev Callback) Callback {
+	return func(s State) error {
+		for i, sub := range subsystems {
+			if err := sub.FTEvent(s); err != nil {
+				return fmt.Errorf("inc: layer %s subsystem %d ft_event(%v): %w", layer, i, s, err)
+			}
+		}
+		if prev != nil {
+			return prev(s)
+		}
+		return nil
+	}
+}
+
+// WrapCallback builds an INC that runs before(s) on the way down and
+// after(s) on the way back up around prev, for layers that need the
+// paper's "before and after" opportunity. Either hook may be nil.
+func WrapCallback(layer string, before, after func(s State) error, prev Callback) Callback {
+	return func(s State) error {
+		if before != nil {
+			if err := before(s); err != nil {
+				return fmt.Errorf("inc: layer %s before(%v): %w", layer, s, err)
+			}
+		}
+		if prev != nil {
+			if err := prev(s); err != nil {
+				return err
+			}
+		}
+		if after != nil {
+			if err := after(s); err != nil {
+				return fmt.Errorf("inc: layer %s after(%v): %w", layer, s, err)
+			}
+		}
+		return nil
+	}
+}

@@ -1,0 +1,171 @@
+package inc
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestStateString(t *testing.T) {
+	cases := map[State]string{
+		StateCheckpoint: "checkpoint",
+		StateContinue:   "continue",
+		StateRestart:    "restart",
+		StateError:      "error",
+		State(42):       "state(42)",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+func TestEmptyStack(t *testing.T) {
+	var st Stack
+	if st.Registered() {
+		t.Error("empty stack reports Registered")
+	}
+	if err := st.Call(StateCheckpoint); !errors.Is(err, ErrNoINC) {
+		t.Errorf("Call on empty stack: err = %v, want ErrNoINC", err)
+	}
+}
+
+// TestStackOrdering verifies the paper's stack-like ordering: each newly
+// registered INC wraps the previous one, so with layers registered
+// bottom-up (OPAL, ORTE, OMPI, app) a Call runs app→OMPI→ORTE→OPAL on
+// the way down and unwinds in reverse.
+func TestStackOrdering(t *testing.T) {
+	var st Stack
+	var order []string
+	// Build the chain the way real code does: register in order
+	// OPAL, ORTE, OMPI, app, each wrapping the previous.
+	for _, name := range []string{"opal", "orte", "ompi", "app"} {
+		name := name
+		var prev Callback
+		prev = st.Register(func(s State) error {
+			order = append(order, name+".pre")
+			if prev != nil {
+				if err := prev(s); err != nil {
+					return err
+				}
+			}
+			order = append(order, name+".post")
+			return nil
+		})
+	}
+	if err := st.Call(StateCheckpoint); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	want := []string{
+		"app.pre", "ompi.pre", "orte.pre", "opal.pre",
+		"opal.post", "orte.post", "ompi.post", "app.post",
+	}
+	if !reflect.DeepEqual(order, want) {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+}
+
+func TestLayerCallbackNotifiesSubsystemsInOrder(t *testing.T) {
+	var got []string
+	subs := []FTEventer{
+		FTEventFunc(func(s State) error { got = append(got, "pml:"+s.String()); return nil }),
+		FTEventFunc(func(s State) error { got = append(got, "coll:"+s.String()); return nil }),
+	}
+	var lower []State
+	prev := Callback(func(s State) error { lower = append(lower, s); return nil })
+	cb := LayerCallback("ompi", subs, prev)
+	if err := cb(StateContinue); err != nil {
+		t.Fatalf("cb: %v", err)
+	}
+	if want := []string{"pml:continue", "coll:continue"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("subsystem order = %v, want %v", got, want)
+	}
+	if len(lower) != 1 || lower[0] != StateContinue {
+		t.Errorf("lower layer calls = %v", lower)
+	}
+}
+
+func TestLayerCallbackPropagatesError(t *testing.T) {
+	boom := errors.New("pml refused")
+	subs := []FTEventer{
+		FTEventFunc(func(s State) error { return boom }),
+		FTEventFunc(func(s State) error { t.Error("second subsystem ran after failure"); return nil }),
+	}
+	cb := LayerCallback("ompi", subs, func(s State) error {
+		t.Error("lower layer ran after failure")
+		return nil
+	})
+	err := cb(StateCheckpoint)
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want wrapped %v", err, boom)
+	}
+}
+
+func TestLayerCallbackNilPrevTerminates(t *testing.T) {
+	cb := LayerCallback("opal", nil, nil)
+	if err := cb(StateRestart); err != nil {
+		t.Errorf("bottom layer: %v", err)
+	}
+}
+
+func TestWrapCallbackBeforeAfter(t *testing.T) {
+	var order []string
+	prev := Callback(func(s State) error { order = append(order, "lower"); return nil })
+	cb := WrapCallback("app",
+		func(s State) error { order = append(order, "before:"+s.String()); return nil },
+		func(s State) error { order = append(order, "after:"+s.String()); return nil },
+		prev)
+	if err := cb(StateRestart); err != nil {
+		t.Fatalf("cb: %v", err)
+	}
+	want := []string{"before:restart", "lower", "after:restart"}
+	if !reflect.DeepEqual(order, want) {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+}
+
+func TestWrapCallbackErrorShortCircuits(t *testing.T) {
+	boom := errors.New("no")
+	cb := WrapCallback("app",
+		func(s State) error { return boom },
+		func(s State) error { t.Error("after ran despite before failure"); return nil },
+		func(s State) error { t.Error("prev ran despite before failure"); return nil })
+	if err := cb(StateCheckpoint); !errors.Is(err, boom) {
+		t.Errorf("err = %v, want %v", err, boom)
+	}
+
+	lowerBoom := errors.New("lower failed")
+	cb2 := WrapCallback("app", nil,
+		func(s State) error { t.Error("after ran despite lower failure"); return nil },
+		func(s State) error { return lowerBoom })
+	if err := cb2(StateCheckpoint); !errors.Is(err, lowerBoom) {
+		t.Errorf("err = %v, want %v", err, lowerBoom)
+	}
+}
+
+func TestWrapCallbackNilHooks(t *testing.T) {
+	cb := WrapCallback("x", nil, nil, nil)
+	if err := cb(StateContinue); err != nil {
+		t.Errorf("all-nil wrap: %v", err)
+	}
+}
+
+func ExampleStack() {
+	var st Stack
+	// The OPAL layer registers first (bottom), the application last (top).
+	st.Register(LayerCallback("opal", []FTEventer{
+		FTEventFunc(func(s State) error { fmt.Println("opal ft_event:", s); return nil }),
+	}, nil))
+	var prev Callback
+	prev = st.Register(WrapCallback("app",
+		func(s State) error { fmt.Println("app before:", s); return nil },
+		func(s State) error { fmt.Println("app after:", s); return nil },
+		Callback(func(s State) error { return prev(s) })))
+	_ = st.Call(StateCheckpoint)
+	// Output:
+	// app before: checkpoint
+	// opal ft_event: checkpoint
+	// app after: checkpoint
+}

@@ -1,0 +1,321 @@
+// Package filem implements the paper's ORTE FILEM framework (§5.2,
+// §6.2): remote file management for the runtime. It supports the three
+// operations the design requires — broadcast (preload files onto remote
+// machines before starting processes there), gather (move remote local
+// snapshots to stable storage), and remove (clean up preloaded or
+// temporary checkpoint data) — and accepts grouped request lists so a
+// component can use collective algorithms to avoid network congestion.
+//
+// FILEM knows every machine in the job but nothing about MPI semantics,
+// so it lives at the ORTE layer, exactly as the paper places it. File
+// bytes move for real between the per-node virtual filesystems; the
+// network cost of each transfer is charged to a simulated clock using
+// the netsim topology (see DESIGN.md's substitution table).
+package filem
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/mca"
+	"repro/internal/netsim"
+	"repro/internal/trace"
+	"repro/internal/vfs"
+)
+
+// FrameworkName is the MCA selection parameter for this framework.
+const FrameworkName = "filem"
+
+// StableNode is the pseudo-node name addressing stable storage. The
+// paper's stable storage is a shared filesystem that survives node
+// failures; modeling it as a distinguished node keeps the component API
+// uniform across node-to-node and node-to-storage movement.
+const StableNode = "#stable"
+
+// ErrUnknownNode reports a request naming a node the environment cannot
+// resolve.
+var ErrUnknownNode = errors.New("filem: unknown node")
+
+// Env supplies a component with the cluster's filesystems and network.
+type Env struct {
+	// Resolve returns the filesystem of the named node (or StableNode).
+	Resolve func(node string) (vfs.FS, error)
+	// Topo models transfer costs. Optional: if nil, transfers are free.
+	Topo *netsim.Topology
+	// Clock accrues simulated transfer time. Optional.
+	Clock *netsim.Clock
+	// Log receives filem.* trace events. Optional.
+	Log *trace.Log
+}
+
+func (e *Env) fs(node string) (vfs.FS, error) {
+	if e.Resolve == nil {
+		return nil, fmt.Errorf("%w: no resolver configured", ErrUnknownNode)
+	}
+	fsys, err := e.Resolve(node)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q: %v", ErrUnknownNode, node, err)
+	}
+	return fsys, nil
+}
+
+// transferCost returns the modeled duration of moving n bytes between
+// two (pseudo-)nodes.
+func (e *Env) transferCost(src, dst string, n int64) (time.Duration, error) {
+	if e.Topo == nil {
+		return 0, nil
+	}
+	switch {
+	case src == StableNode && dst == StableNode:
+		return 0, nil
+	case dst == StableNode:
+		return e.Topo.NodeToStorage(src, n)
+	case src == StableNode:
+		return e.Topo.NodeToStorage(dst, n)
+	default:
+		return e.Topo.NodeToNode(src, dst, n)
+	}
+}
+
+func (e *Env) charge(d time.Duration) {
+	if e.Clock != nil {
+		e.Clock.Advance(d)
+	}
+}
+
+// Request names one tree movement from a source node to a destination.
+type Request struct {
+	SrcNode string
+	SrcPath string
+	DstNode string
+	DstPath string
+}
+
+// Stats reports what a FILEM operation did: real bytes moved and the
+// modeled network time charged for them.
+type Stats struct {
+	Bytes     int64
+	Simulated time.Duration
+	Transfers int
+}
+
+func (s Stats) add(o Stats) Stats {
+	return Stats{Bytes: s.Bytes + o.Bytes, Simulated: s.Simulated + o.Simulated, Transfers: s.Transfers + o.Transfers}
+}
+
+// Component is a FILEM implementation. Move executes a grouped request
+// list (the gather/broadcast building block); Remove deletes remote
+// paths. How a component schedules the requests — serially like repeated
+// rsh/scp invocations, or overlapped like a collective — is the
+// technique under study.
+type Component interface {
+	mca.Component
+	// Move executes all requests, moving file trees between nodes.
+	Move(env *Env, reqs []Request) (Stats, error)
+	// Remove deletes the named paths on the given node. Missing paths
+	// are reported as errors, matching the strictness of `rm` without -f.
+	Remove(env *Env, node string, paths []string) error
+}
+
+// NewFramework returns the FILEM framework with the built-in components
+// registered: rsh (sequential remote copies, the paper's first
+// component, default) and raw (grouped transfers that overlap node
+// uplinks, the congestion-avoiding alternative the paper anticipates).
+func NewFramework() *mca.Framework[Component] {
+	f := mca.NewFramework[Component](FrameworkName)
+	f.MustRegister(&RSH{})
+	f.MustRegister(&Raw{})
+	return f
+}
+
+// Broadcast preloads the tree at srcPath on srcNode onto every
+// destination node at dstPath using component c. It is a convenience
+// wrapper building the grouped request list the framework API takes.
+func Broadcast(c Component, env *Env, srcNode, srcPath string, dstNodes []string, dstPath string) (Stats, error) {
+	reqs := make([]Request, 0, len(dstNodes))
+	for _, n := range dstNodes {
+		reqs = append(reqs, Request{SrcNode: srcNode, SrcPath: srcPath, DstNode: n, DstPath: dstPath})
+	}
+	return c.Move(env, reqs)
+}
+
+// copyOne performs the real data movement for one request and returns
+// its stats. Shared by both components; they differ only in scheduling
+// and cost accounting.
+func copyOne(env *Env, r Request) (Stats, error) {
+	srcFS, err := env.fs(r.SrcNode)
+	if err != nil {
+		return Stats{}, err
+	}
+	dstFS, err := env.fs(r.DstNode)
+	if err != nil {
+		return Stats{}, err
+	}
+	n, err := vfs.CopyTree(srcFS, r.SrcPath, dstFS, r.DstPath)
+	if err != nil {
+		return Stats{}, fmt.Errorf("filem: move %s:%s -> %s:%s: %w", r.SrcNode, r.SrcPath, r.DstNode, r.DstPath, err)
+	}
+	cost, err := env.transferCost(r.SrcNode, r.DstNode, n)
+	if err != nil {
+		return Stats{}, err
+	}
+	env.Log.Emit("filem", "filem.copy", "%s:%s -> %s:%s (%d bytes, %v)", r.SrcNode, r.SrcPath, r.DstNode, r.DstPath, n, cost)
+	return Stats{Bytes: n, Simulated: cost, Transfers: 1}, nil
+}
+
+// removeOn removes paths on one node's filesystem.
+func removeOn(env *Env, node string, paths []string) error {
+	fsys, err := env.fs(node)
+	if err != nil {
+		return err
+	}
+	for _, p := range paths {
+		if err := fsys.Remove(p); err != nil {
+			return fmt.Errorf("filem: remove %s:%s: %w", node, p, err)
+		}
+		env.Log.Emit("filem", "filem.remove", "%s:%s", node, p)
+	}
+	return nil
+}
+
+// RSH models the paper's first FILEM component: RSH/SSH remote execution
+// and copy commands issued one after another. Every request is executed
+// and charged sequentially.
+type RSH struct{}
+
+// Name implements mca.Component.
+func (*RSH) Name() string { return "rsh" }
+
+// Priority implements mca.Component; rsh is the paper's default.
+func (*RSH) Priority() int { return 20 }
+
+// Move implements Component with strictly sequential transfers.
+func (*RSH) Move(env *Env, reqs []Request) (Stats, error) {
+	var total Stats
+	for _, r := range reqs {
+		st, err := copyOne(env, r)
+		if err != nil {
+			return total, err
+		}
+		total = total.add(st)
+	}
+	env.charge(total.Simulated)
+	return total, nil
+}
+
+// Remove implements Component.
+func (*RSH) Remove(env *Env, node string, paths []string) error {
+	return removeOn(env, node, paths)
+}
+
+var _ Component = (*RSH)(nil)
+
+// Raw is the grouped component: all requests are issued together, so
+// transfers from distinct nodes overlap and only the shared
+// stable-storage ingress serializes them. The charged time is the
+// grouped-gather model from netsim: max(slowest stream, ingress bound).
+type Raw struct{}
+
+// Name implements mca.Component.
+func (*Raw) Name() string { return "raw" }
+
+// Priority implements mca.Component.
+func (*Raw) Priority() int { return 10 }
+
+// Move implements Component with overlapped transfers.
+func (*Raw) Move(env *Env, reqs []Request) (Stats, error) {
+	var (
+		mu       sync.Mutex
+		total    Stats
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	perStream := make([]time.Duration, len(reqs))
+	for i, r := range reqs {
+		wg.Add(1)
+		go func(i int, r Request) {
+			defer wg.Done()
+			st, err := copyOne(env, r)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			perStream[i] = st.Simulated
+			total.Bytes += st.Bytes
+			total.Transfers += st.Transfers
+		}(i, r)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return total, firstErr
+	}
+	total.Simulated = groupedCost(env, reqs, perStream, total.Bytes)
+	env.charge(total.Simulated)
+	return total, nil
+}
+
+// groupedCost computes the modeled duration of the overlapped schedule:
+// the slowest individual stream, floored by the stable-storage ingress
+// serialization bound when storage is involved.
+func groupedCost(env *Env, reqs []Request, perStream []time.Duration, totalBytes int64) time.Duration {
+	var max time.Duration
+	for _, d := range perStream {
+		if d > max {
+			max = d
+		}
+	}
+	if env.Topo == nil {
+		return max
+	}
+	touchesStorage := false
+	for _, r := range reqs {
+		if r.SrcNode == StableNode || r.DstNode == StableNode {
+			touchesStorage = true
+			break
+		}
+	}
+	if touchesStorage {
+		if bound := env.Topo.Ingress().TransferTime(totalBytes); bound > max {
+			return bound
+		}
+	}
+	return max
+}
+
+// Remove implements Component.
+func (*Raw) Remove(env *Env, node string, paths []string) error {
+	return removeOn(env, node, paths)
+}
+
+var _ Component = (*Raw)(nil)
+
+// ListTree returns the sorted relative file paths under root on node,
+// a helper the snapshot coordinator uses to validate gathers.
+func ListTree(env *Env, node, root string) ([]string, error) {
+	fsys, err := env.fs(node)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	err = vfs.Walk(fsys, root, func(name string, _ vfs.FileInfo) error {
+		rel := name
+		if root != "." && len(name) > len(root) {
+			rel = name[len(root)+1:]
+		}
+		out = append(out, path.Clean(rel))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,249 @@
+package filem
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netsim"
+	"repro/internal/trace"
+	"repro/internal/vfs"
+)
+
+// testEnv builds an Env with n compute nodes plus stable storage, all
+// in-memory, on a default topology.
+func testEnv(n int) (*Env, map[string]*vfs.Mem) {
+	stores := map[string]*vfs.Mem{StableNode: vfs.NewMem()}
+	topo := netsim.NewTopology(netsim.DefaultIngress)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("n%d", i)
+		stores[name] = vfs.NewMem()
+		topo.AddNode(name, netsim.DefaultUplink)
+	}
+	env := &Env{
+		Resolve: func(node string) (vfs.FS, error) {
+			fsys, ok := stores[node]
+			if !ok {
+				return nil, fmt.Errorf("no such node")
+			}
+			return fsys, nil
+		},
+		Topo:  topo,
+		Clock: &netsim.Clock{},
+		Log:   &trace.Log{},
+	}
+	return env, stores
+}
+
+func components() map[string]Component {
+	return map[string]Component{"rsh": &RSH{}, "raw": &Raw{}}
+}
+
+func TestFrameworkDefaults(t *testing.T) {
+	f := NewFramework()
+	c, err := f.Select(nil)
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if c.Name() != "rsh" {
+		t.Errorf("default = %q, want rsh (the paper's first component)", c.Name())
+	}
+	if got, want := f.Names(), []string{"raw", "rsh"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Names = %v, want %v", got, want)
+	}
+}
+
+func TestGatherMovesSnapshotsToStableStorage(t *testing.T) {
+	for name, comp := range components() {
+		t.Run(name, func(t *testing.T) {
+			env, stores := testEnv(2)
+			// Each node holds one local snapshot directory.
+			if err := stores["n0"].WriteFile("tmp/opal_snapshot_0.ckpt/image.bin", []byte("rank0")); err != nil {
+				t.Fatal(err)
+			}
+			if err := stores["n1"].WriteFile("tmp/opal_snapshot_1.ckpt/image.bin", []byte("rank1!")); err != nil {
+				t.Fatal(err)
+			}
+			reqs := []Request{
+				{SrcNode: "n0", SrcPath: "tmp/opal_snapshot_0.ckpt", DstNode: StableNode, DstPath: "g/0/opal_snapshot_0.ckpt"},
+				{SrcNode: "n1", SrcPath: "tmp/opal_snapshot_1.ckpt", DstNode: StableNode, DstPath: "g/0/opal_snapshot_1.ckpt"},
+			}
+			st, err := comp.Move(env, reqs)
+			if err != nil {
+				t.Fatalf("Move: %v", err)
+			}
+			if st.Bytes != int64(len("rank0")+len("rank1!")) {
+				t.Errorf("Bytes = %d", st.Bytes)
+			}
+			if st.Transfers != 2 {
+				t.Errorf("Transfers = %d, want 2", st.Transfers)
+			}
+			if st.Simulated <= 0 {
+				t.Errorf("Simulated = %v, want > 0", st.Simulated)
+			}
+			if env.Clock.Elapsed() != st.Simulated {
+				t.Errorf("clock %v != stats %v", env.Clock.Elapsed(), st.Simulated)
+			}
+			got, err := stores[StableNode].ReadFile("g/0/opal_snapshot_1.ckpt/image.bin")
+			if err != nil {
+				t.Fatalf("stable read: %v", err)
+			}
+			if string(got) != "rank1!" {
+				t.Errorf("stable content = %q", got)
+			}
+		})
+	}
+}
+
+func TestBroadcastPreloadsAllNodes(t *testing.T) {
+	for name, comp := range components() {
+		t.Run(name, func(t *testing.T) {
+			env, stores := testEnv(3)
+			if err := stores[StableNode].WriteFile("g/0/opal_snapshot_2.ckpt/image.bin", []byte("img")); err != nil {
+				t.Fatal(err)
+			}
+			st, err := Broadcast(comp, env, StableNode, "g/0/opal_snapshot_2.ckpt",
+				[]string{"n0", "n1", "n2"}, "restart/opal_snapshot_2.ckpt")
+			if err != nil {
+				t.Fatalf("Broadcast: %v", err)
+			}
+			if st.Transfers != 3 {
+				t.Errorf("Transfers = %d, want 3", st.Transfers)
+			}
+			for _, n := range []string{"n0", "n1", "n2"} {
+				if !vfs.Exists(stores[n], "restart/opal_snapshot_2.ckpt/image.bin") {
+					t.Errorf("node %s missing preloaded snapshot", n)
+				}
+			}
+		})
+	}
+}
+
+func TestRemove(t *testing.T) {
+	for name, comp := range components() {
+		t.Run(name, func(t *testing.T) {
+			env, stores := testEnv(1)
+			if err := stores["n0"].WriteFile("tmp/ckpt/image.bin", []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+			if err := comp.Remove(env, "n0", []string{"tmp/ckpt"}); err != nil {
+				t.Fatalf("Remove: %v", err)
+			}
+			if vfs.Exists(stores["n0"], "tmp/ckpt") {
+				t.Error("tree survived Remove")
+			}
+			if err := comp.Remove(env, "n0", []string{"tmp/ckpt"}); err == nil {
+				t.Error("Remove of missing path succeeded")
+			}
+		})
+	}
+}
+
+func TestMoveErrors(t *testing.T) {
+	for name, comp := range components() {
+		t.Run(name, func(t *testing.T) {
+			env, _ := testEnv(1)
+			// Unknown source node.
+			_, err := comp.Move(env, []Request{{SrcNode: "ghost", SrcPath: "x", DstNode: "n0", DstPath: "y"}})
+			if !errors.Is(err, ErrUnknownNode) {
+				t.Errorf("unknown node err = %v", err)
+			}
+			// Missing source path.
+			_, err = comp.Move(env, []Request{{SrcNode: "n0", SrcPath: "missing", DstNode: StableNode, DstPath: "y"}})
+			if err == nil {
+				t.Error("Move of missing path succeeded")
+			}
+		})
+	}
+}
+
+// TestRawNeverChargesMoreThanRSH is the A3 ablation invariant: grouped
+// transfers can never be modeled slower than sequential ones for the
+// same request list.
+func TestRawNeverChargesMoreThanRSH(t *testing.T) {
+	prop := func(sizes []uint16) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 8 {
+			sizes = sizes[:8]
+		}
+		mkEnv := func() *Env {
+			env, stores := testEnv(len(sizes))
+			for i, s := range sizes {
+				node := fmt.Sprintf("n%d", i)
+				data := make([]byte, int(s))
+				if err := stores[node].WriteFile("snap/img", data); err != nil {
+					return nil
+				}
+			}
+			return env
+		}
+		var reqs []Request
+		for i := range sizes {
+			node := fmt.Sprintf("n%d", i)
+			reqs = append(reqs, Request{SrcNode: node, SrcPath: "snap", DstNode: StableNode, DstPath: "g/" + node})
+		}
+		envSeq := mkEnv()
+		envGrp := mkEnv()
+		if envSeq == nil || envGrp == nil {
+			return false
+		}
+		seqStats, err1 := (&RSH{}).Move(envSeq, reqs)
+		grpStats, err2 := (&Raw{}).Move(envGrp, reqs)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return grpStats.Simulated <= seqStats.Simulated && grpStats.Bytes == seqStats.Bytes
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestListTree(t *testing.T) {
+	env, stores := testEnv(1)
+	for _, f := range []string{"snap/meta.json", "snap/image.bin", "snap/aux/x"} {
+		if err := stores["n0"].WriteFile(f, []byte("d")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ListTree(env, "n0", "snap")
+	if err != nil {
+		t.Fatalf("ListTree: %v", err)
+	}
+	want := []string{"aux/x", "image.bin", "meta.json"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ListTree = %v, want %v", got, want)
+	}
+}
+
+func TestNoTopologyMeansFreeTransfers(t *testing.T) {
+	env, stores := testEnv(1)
+	env.Topo = nil
+	if err := stores["n0"].WriteFile("f", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	st, err := (&RSH{}).Move(env, []Request{{SrcNode: "n0", SrcPath: "f", DstNode: StableNode, DstPath: "f"}})
+	if err != nil {
+		t.Fatalf("Move: %v", err)
+	}
+	if st.Simulated != 0 {
+		t.Errorf("Simulated = %v, want 0 without a topology", st.Simulated)
+	}
+}
+
+func TestTraceEventsEmitted(t *testing.T) {
+	env, stores := testEnv(1)
+	if err := stores["n0"].WriteFile("f", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (&RSH{}).Move(env, []Request{{SrcNode: "n0", SrcPath: "f", DstNode: StableNode, DstPath: "f"}}); err != nil {
+		t.Fatal(err)
+	}
+	if env.Log.Count("filem.copy") != 1 {
+		t.Errorf("filem.copy events = %d, want 1", env.Log.Count("filem.copy"))
+	}
+}

@@ -1,0 +1,77 @@
+// Package names provides ORTE process naming: every entity in the
+// runtime — the HNP (mpirun), the per-node daemons (orteds) and the
+// application processes — is addressed by a (job, vpid) pair. The paper's
+// SNAPC coordinators and FILEM requests are routed between these names.
+package names
+
+import (
+	"fmt"
+	"sync"
+)
+
+// JobID identifies one parallel job. Job 0 is reserved for the runtime
+// itself (HNP and daemons), matching ORTE's convention.
+type JobID int
+
+// DaemonJob is the reserved job id of runtime infrastructure processes.
+const DaemonJob JobID = 0
+
+// Vpid is a virtual process id within a job: the MPI rank for
+// application processes, or a daemon index within the runtime job.
+type Vpid int
+
+// Name addresses one runtime entity.
+type Name struct {
+	Job  JobID
+	Vpid Vpid
+}
+
+// String renders the name in ORTE's familiar "[job,vpid]" form.
+func (n Name) String() string { return fmt.Sprintf("[%d,%d]", n.Job, n.Vpid) }
+
+// HNP is the name of the head node process (mpirun).
+var HNP = Name{Job: DaemonJob, Vpid: 0}
+
+// Daemon returns the name of the orted with the given index (0-based);
+// daemon vpids start at 1 because vpid 0 of the daemon job is the HNP.
+func Daemon(index int) Name {
+	return Name{Job: DaemonJob, Vpid: Vpid(index + 1)}
+}
+
+// Proc returns the name of rank vpid in job job.
+func Proc(job JobID, vpid int) Name {
+	return Name{Job: job, Vpid: Vpid(vpid)}
+}
+
+// IsDaemonName reports whether n belongs to the runtime job.
+func (n Name) IsDaemonName() bool { return n.Job == DaemonJob }
+
+// Service allocates job ids. Job ids begin at 1; 0 is the daemon job.
+type Service struct {
+	mu   sync.Mutex
+	next JobID
+}
+
+// NewService returns a name service whose first allocated job id is 1.
+func NewService() *Service {
+	return &Service{next: 1}
+}
+
+// AllocateJob returns a fresh job id.
+func (s *Service) AllocateJob() JobID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.next
+	s.next++
+	return id
+}
+
+// Reserve marks ids up to and including id as used, so a restarted
+// runtime never re-issues a job id recorded in a snapshot.
+func (s *Service) Reserve(id JobID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id >= s.next {
+		s.next = id + 1
+	}
+}

@@ -1,0 +1,72 @@
+package names
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNameString(t *testing.T) {
+	if got := HNP.String(); got != "[0,0]" {
+		t.Errorf("HNP.String() = %q", got)
+	}
+	if got := Proc(3, 2).String(); got != "[3,2]" {
+		t.Errorf("Proc(3,2).String() = %q", got)
+	}
+}
+
+func TestDaemonNames(t *testing.T) {
+	d0 := Daemon(0)
+	if d0 == HNP {
+		t.Error("Daemon(0) collides with HNP")
+	}
+	if !d0.IsDaemonName() {
+		t.Error("Daemon(0) not in daemon job")
+	}
+	if d0.Vpid != 1 {
+		t.Errorf("Daemon(0).Vpid = %d, want 1", d0.Vpid)
+	}
+	if Proc(1, 0).IsDaemonName() {
+		t.Error("app proc reported as daemon")
+	}
+}
+
+func TestServiceAllocatesUniqueIDs(t *testing.T) {
+	s := NewService()
+	seen := make(map[JobID]bool)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				id := s.AllocateJob()
+				mu.Lock()
+				if seen[id] {
+					t.Errorf("job id %d allocated twice", id)
+				}
+				if id == DaemonJob {
+					t.Errorf("daemon job id allocated to an application job")
+				}
+				seen[id] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != 200 {
+		t.Errorf("allocated %d unique ids, want 200", len(seen))
+	}
+}
+
+func TestServiceReserve(t *testing.T) {
+	s := NewService()
+	s.Reserve(41) // e.g. a job id read from a snapshot
+	if id := s.AllocateJob(); id != 42 {
+		t.Errorf("AllocateJob after Reserve(41) = %d, want 42", id)
+	}
+	s.Reserve(10) // reserving below the watermark is a no-op
+	if id := s.AllocateJob(); id != 43 {
+		t.Errorf("AllocateJob = %d, want 43", id)
+	}
+}

@@ -1,0 +1,137 @@
+// Package plm is the ORTE Process Lifecycle Management framework: the
+// launch service that decides where each process of a job runs. The
+// paper cites process launch as the canonical MCA example ("SLURM and
+// RSH components of the process launch framework"); we reproduce the
+// framework shape with two placement components so launch policy is
+// runtime-swappable like everything else:
+//
+//   - rr: round-robin ("by node") placement, orted-spawn style;
+//   - slurmsim: block ("by slot") placement, batch-scheduler style.
+//
+// Placement matters to the C/R work because restart may map the same
+// ranks onto a different topology (paper §6.3: the PML "reconnects peers
+// when restarting in new process topologies"); experiment A4 uses these
+// components to produce the alternative mappings.
+package plm
+
+import (
+	"fmt"
+
+	"repro/internal/mca"
+)
+
+// FrameworkName is the MCA selection parameter for this framework.
+const FrameworkName = "plm"
+
+// NodeSpec describes one machine available to the launcher.
+type NodeSpec struct {
+	Name  string
+	Slots int // process slots (cores); must be >= 1
+}
+
+// Component maps the ranks of a job onto nodes.
+type Component interface {
+	mca.Component
+	// MapProcs returns a rank -> node-name placement for nprocs ranks.
+	MapProcs(nprocs int, nodes []NodeSpec) (map[int]string, error)
+}
+
+// NewFramework returns the PLM framework with the built-in components
+// registered: rr (default) and slurmsim.
+func NewFramework() *mca.Framework[Component] {
+	f := mca.NewFramework[Component](FrameworkName)
+	f.MustRegister(&RoundRobin{})
+	f.MustRegister(&SlurmSim{})
+	return f
+}
+
+func validate(nprocs int, nodes []NodeSpec) (totalSlots int, err error) {
+	if nprocs <= 0 {
+		return 0, fmt.Errorf("plm: nprocs must be positive, got %d", nprocs)
+	}
+	if len(nodes) == 0 {
+		return 0, fmt.Errorf("plm: no nodes available")
+	}
+	for _, n := range nodes {
+		if n.Name == "" {
+			return 0, fmt.Errorf("plm: node with empty name")
+		}
+		if n.Slots < 1 {
+			return 0, fmt.Errorf("plm: node %q has %d slots", n.Name, n.Slots)
+		}
+		totalSlots += n.Slots
+	}
+	if nprocs > totalSlots {
+		return 0, fmt.Errorf("plm: job needs %d slots but the allocation has %d", nprocs, totalSlots)
+	}
+	return totalSlots, nil
+}
+
+// RoundRobin places ranks across nodes one at a time ("map by node"),
+// wrapping until slots are exhausted.
+type RoundRobin struct{}
+
+// Name implements mca.Component.
+func (*RoundRobin) Name() string { return "rr" }
+
+// Priority implements mca.Component.
+func (*RoundRobin) Priority() int { return 20 }
+
+// MapProcs implements Component.
+func (*RoundRobin) MapProcs(nprocs int, nodes []NodeSpec) (map[int]string, error) {
+	if _, err := validate(nprocs, nodes); err != nil {
+		return nil, err
+	}
+	used := make([]int, len(nodes))
+	out := make(map[int]string, nprocs)
+	rank := 0
+	for rank < nprocs {
+		placed := false
+		for i := range nodes {
+			if rank >= nprocs {
+				break
+			}
+			if used[i] < nodes[i].Slots {
+				out[rank] = nodes[i].Name
+				used[i]++
+				rank++
+				placed = true
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("plm rr: ran out of slots at rank %d", rank)
+		}
+	}
+	return out, nil
+}
+
+var _ Component = (*RoundRobin)(nil)
+
+// SlurmSim places ranks in node order, filling each node's slots before
+// moving on ("map by slot"), the way a batch scheduler hands out a
+// contiguous allocation.
+type SlurmSim struct{}
+
+// Name implements mca.Component.
+func (*SlurmSim) Name() string { return "slurmsim" }
+
+// Priority implements mca.Component.
+func (*SlurmSim) Priority() int { return 10 }
+
+// MapProcs implements Component.
+func (*SlurmSim) MapProcs(nprocs int, nodes []NodeSpec) (map[int]string, error) {
+	if _, err := validate(nprocs, nodes); err != nil {
+		return nil, err
+	}
+	out := make(map[int]string, nprocs)
+	rank := 0
+	for _, n := range nodes {
+		for s := 0; s < n.Slots && rank < nprocs; s++ {
+			out[rank] = n.Name
+			rank++
+		}
+	}
+	return out, nil
+}
+
+var _ Component = (*SlurmSim)(nil)

@@ -1,0 +1,147 @@
+package plm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+var fourNodes = []NodeSpec{
+	{Name: "n0", Slots: 2},
+	{Name: "n1", Slots: 2},
+	{Name: "n2", Slots: 2},
+	{Name: "n3", Slots: 2},
+}
+
+func TestFrameworkDefault(t *testing.T) {
+	f := NewFramework()
+	c, err := f.Select(nil)
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if c.Name() != "rr" {
+		t.Errorf("default = %q, want rr", c.Name())
+	}
+}
+
+func TestRoundRobinSpreads(t *testing.T) {
+	m, err := (&RoundRobin{}).MapProcs(4, fourNodes)
+	if err != nil {
+		t.Fatalf("MapProcs: %v", err)
+	}
+	want := map[int]string{0: "n0", 1: "n1", 2: "n2", 3: "n3"}
+	for r, n := range want {
+		if m[r] != n {
+			t.Errorf("rank %d -> %q, want %q", r, m[r], n)
+		}
+	}
+}
+
+func TestRoundRobinWraps(t *testing.T) {
+	m, err := (&RoundRobin{}).MapProcs(6, fourNodes)
+	if err != nil {
+		t.Fatalf("MapProcs: %v", err)
+	}
+	if m[4] != "n0" || m[5] != "n1" {
+		t.Errorf("wrap = %v", m)
+	}
+}
+
+func TestSlurmSimFills(t *testing.T) {
+	m, err := (&SlurmSim{}).MapProcs(5, fourNodes)
+	if err != nil {
+		t.Fatalf("MapProcs: %v", err)
+	}
+	want := map[int]string{0: "n0", 1: "n0", 2: "n1", 3: "n1", 4: "n2"}
+	for r, n := range want {
+		if m[r] != n {
+			t.Errorf("rank %d -> %q, want %q", r, m[r], n)
+		}
+	}
+}
+
+func TestPlacementsDiffer(t *testing.T) {
+	// The two components must give experiment A4 genuinely different
+	// mappings for the same job.
+	a, err := (&RoundRobin{}).MapProcs(4, fourNodes[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (&SlurmSim{}).MapProcs(4, fourNodes[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for r := 0; r < 4; r++ {
+		if a[r] != b[r] {
+			same = false
+		}
+	}
+	if same {
+		t.Errorf("rr and slurmsim produced identical placements: %v", a)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	for _, comp := range []Component{&RoundRobin{}, &SlurmSim{}} {
+		if _, err := comp.MapProcs(0, fourNodes); err == nil {
+			t.Errorf("%s: accepted 0 procs", comp.Name())
+		}
+		if _, err := comp.MapProcs(1, nil); err == nil {
+			t.Errorf("%s: accepted empty node list", comp.Name())
+		}
+		if _, err := comp.MapProcs(9, fourNodes); err == nil {
+			t.Errorf("%s: oversubscribed the allocation", comp.Name())
+		}
+		if _, err := comp.MapProcs(1, []NodeSpec{{Name: "", Slots: 1}}); err == nil {
+			t.Errorf("%s: accepted empty node name", comp.Name())
+		}
+		if _, err := comp.MapProcs(1, []NodeSpec{{Name: "x", Slots: 0}}); err == nil {
+			t.Errorf("%s: accepted zero-slot node", comp.Name())
+		}
+	}
+}
+
+// TestQuickPlacementsComplete: every valid request yields a complete
+// placement that respects slot capacities, for both components.
+func TestQuickPlacementsComplete(t *testing.T) {
+	comps := []Component{&RoundRobin{}, &SlurmSim{}}
+	prop := func(npRaw uint8, slotsRaw []uint8) bool {
+		if len(slotsRaw) == 0 || len(slotsRaw) > 8 {
+			return true
+		}
+		var nodes []NodeSpec
+		total := 0
+		for i, s := range slotsRaw {
+			slots := int(s%4) + 1
+			total += slots
+			nodes = append(nodes, NodeSpec{Name: string(rune('a' + i)), Slots: slots})
+		}
+		np := int(npRaw)%total + 1
+		for _, comp := range comps {
+			m, err := comp.MapProcs(np, nodes)
+			if err != nil {
+				return false
+			}
+			if len(m) != np {
+				return false
+			}
+			counts := make(map[string]int)
+			for r := 0; r < np; r++ {
+				node, ok := m[r]
+				if !ok {
+					return false
+				}
+				counts[node]++
+			}
+			for _, n := range nodes {
+				if counts[n.Name] > n.Slots {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

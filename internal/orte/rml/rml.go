@@ -1,0 +1,272 @@
+// Package rml is the ORTE Runtime Messaging Layer: the out-of-band
+// control channel connecting the HNP (mpirun), the per-node daemons
+// (orteds) and the application coordinators. All SNAPC traffic from the
+// paper's Figure 1 — checkpoint requests flowing down, acknowledgements
+// and snapshot references flowing up — travels over this layer, kept
+// strictly separate from the MPI point-to-point data path.
+//
+// Messages are tagged; receivers block on (tag) or (tag, sender). The
+// router is an in-process switchboard, standing in for ORTE's TCP OOB:
+// what matters to the reproduced design is addressing, tagging and
+// ordering, all of which are preserved.
+package rml
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/orte/names"
+)
+
+// Tag classifies a message's purpose, like ORTE's RML tags.
+type Tag int
+
+// Well-known tags used by the runtime and the SNAPC/FILEM frameworks.
+const (
+	TagSnapcRequest Tag = iota + 1 // HNP -> orted: initiate local checkpoints
+	TagSnapcAck                    // orted -> HNP: local snapshots finished
+	TagSnapcApp                    // orted -> app coordinator: checkpoint this proc
+	TagSnapcAppAck                 // app coordinator -> orted: done
+	TagFilemRequest                // file movement request
+	TagFilemAck                    // file movement complete
+	TagJobCtl                      // job control (launch, terminate)
+	TagCRCP                        // checkpoint coordination control traffic
+	TagUser                        // free for tests and tools
+)
+
+// Message is one unit of control traffic.
+type Message struct {
+	From names.Name
+	Tag  Tag
+	Data []byte
+}
+
+// Errors returned by endpoint operations.
+var (
+	// ErrClosed: the endpoint (or whole router) has shut down.
+	ErrClosed = errors.New("rml: endpoint closed")
+	// ErrUnknownPeer: no endpoint is registered under the target name.
+	ErrUnknownPeer = errors.New("rml: unknown peer")
+	// ErrTimeout: a bounded receive expired.
+	ErrTimeout = errors.New("rml: receive timed out")
+)
+
+// Router is the in-process switchboard. It is safe for concurrent use.
+type Router struct {
+	mu     sync.Mutex
+	boxes  map[names.Name]*Endpoint
+	closed bool
+}
+
+// NewRouter returns an empty router.
+func NewRouter() *Router {
+	return &Router{boxes: make(map[names.Name]*Endpoint)}
+}
+
+// Register creates the endpoint for name. Registering a name twice is an
+// error: runtime entities are unique.
+func (r *Router) Register(name names.Name) (*Endpoint, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := r.boxes[name]; dup {
+		return nil, fmt.Errorf("rml: name %v already registered", name)
+	}
+	e := &Endpoint{router: r, name: name}
+	e.cond = sync.NewCond(&e.mu)
+	r.boxes[name] = e
+	return e, nil
+}
+
+// Deregister removes name's endpoint, failing any blocked receives.
+func (r *Router) Deregister(name names.Name) {
+	r.mu.Lock()
+	e := r.boxes[name]
+	delete(r.boxes, name)
+	r.mu.Unlock()
+	if e != nil {
+		e.close()
+	}
+}
+
+// Close shuts the router down, closing every endpoint.
+func (r *Router) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	boxes := make([]*Endpoint, 0, len(r.boxes))
+	for _, e := range r.boxes {
+		boxes = append(boxes, e)
+	}
+	r.boxes = make(map[names.Name]*Endpoint)
+	r.mu.Unlock()
+	for _, e := range boxes {
+		e.close()
+	}
+}
+
+// lookup returns the endpoint for name.
+func (r *Router) lookup(name names.Name) (*Endpoint, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrClosed
+	}
+	e, ok := r.boxes[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownPeer, name)
+	}
+	return e, nil
+}
+
+// Endpoint is one entity's mailbox. Receives match by tag (and
+// optionally sender); sends are non-blocking and ordered per
+// sender/receiver pair, like the OOB TCP channel they stand in for.
+type Endpoint struct {
+	router *Router
+	name   names.Name
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Message
+	closed bool
+}
+
+// Name returns the endpoint's registered name.
+func (e *Endpoint) Name() names.Name { return e.name }
+
+func (e *Endpoint) close() {
+	e.mu.Lock()
+	e.closed = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// Send delivers data to the named peer under tag.
+func (e *Endpoint) Send(to names.Name, tag Tag, data []byte) error {
+	dst, err := e.router.lookup(to)
+	if err != nil {
+		return err
+	}
+	msg := Message{From: e.name, Tag: tag, Data: data}
+	dst.mu.Lock()
+	defer dst.mu.Unlock()
+	if dst.closed {
+		return fmt.Errorf("rml: send to %v: %w", to, ErrClosed)
+	}
+	dst.queue = append(dst.queue, msg)
+	dst.cond.Broadcast()
+	return nil
+}
+
+// SendJSON marshals v as JSON and sends it.
+func (e *Endpoint) SendJSON(to names.Name, tag Tag, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("rml: marshal for %v tag %d: %w", to, tag, err)
+	}
+	return e.Send(to, tag, data)
+}
+
+// match finds and removes the first queued message satisfying pred.
+// Caller holds e.mu.
+func (e *Endpoint) matchLocked(pred func(Message) bool) (Message, bool) {
+	for i, m := range e.queue {
+		if pred(m) {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			return m, true
+		}
+	}
+	return Message{}, false
+}
+
+// recv blocks until a message matching pred arrives, the endpoint
+// closes, or the deadline (if nonzero) passes.
+func (e *Endpoint) recv(pred func(Message) bool, timeout time.Duration) (Message, error) {
+	var timer *time.Timer
+	expired := false
+	if timeout > 0 {
+		timer = time.AfterFunc(timeout, func() {
+			e.mu.Lock()
+			expired = true
+			e.cond.Broadcast()
+			e.mu.Unlock()
+		})
+		defer timer.Stop()
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		if m, ok := e.matchLocked(pred); ok {
+			return m, nil
+		}
+		if e.closed {
+			return Message{}, ErrClosed
+		}
+		if expired {
+			return Message{}, fmt.Errorf("rml: recv on %v: %w", e.name, ErrTimeout)
+		}
+		e.cond.Wait()
+	}
+}
+
+// Recv blocks for the next message with the given tag from any sender.
+func (e *Endpoint) Recv(tag Tag) (Message, error) {
+	return e.recv(func(m Message) bool { return m.Tag == tag }, 0)
+}
+
+// RecvTimeout is Recv with an upper bound on the wait.
+func (e *Endpoint) RecvTimeout(tag Tag, timeout time.Duration) (Message, error) {
+	return e.recv(func(m Message) bool { return m.Tag == tag }, timeout)
+}
+
+// RecvFrom blocks for the next message with the given tag from a
+// specific sender.
+func (e *Endpoint) RecvFrom(from names.Name, tag Tag) (Message, error) {
+	return e.recv(func(m Message) bool { return m.Tag == tag && m.From == from }, 0)
+}
+
+// RecvFromTimeout is RecvFrom with an upper bound on the wait.
+func (e *Endpoint) RecvFromTimeout(from names.Name, tag Tag, timeout time.Duration) (Message, error) {
+	return e.recv(func(m Message) bool { return m.Tag == tag && m.From == from }, timeout)
+}
+
+// RecvJSON receives the next message with tag and unmarshals it into v,
+// returning the sender.
+func (e *Endpoint) RecvJSON(tag Tag, v any) (names.Name, error) {
+	m, err := e.Recv(tag)
+	if err != nil {
+		return names.Name{}, err
+	}
+	if err := json.Unmarshal(m.Data, v); err != nil {
+		return m.From, fmt.Errorf("rml: unmarshal tag %d from %v: %w", tag, m.From, err)
+	}
+	return m.From, nil
+}
+
+// RecvJSONTimeout is RecvJSON with an upper bound on the wait.
+func (e *Endpoint) RecvJSONTimeout(tag Tag, v any, timeout time.Duration) (names.Name, error) {
+	m, err := e.RecvTimeout(tag, timeout)
+	if err != nil {
+		return names.Name{}, err
+	}
+	if err := json.Unmarshal(m.Data, v); err != nil {
+		return m.From, fmt.Errorf("rml: unmarshal tag %d from %v: %w", tag, m.From, err)
+	}
+	return m.From, nil
+}
+
+// Pending returns the number of queued, unreceived messages.
+func (e *Endpoint) Pending() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.queue)
+}

@@ -1,0 +1,223 @@
+package runtime
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+
+	"repro/internal/orte/names"
+	"repro/internal/orte/snapc"
+)
+
+// The control plane reproduces the paper's asynchronous command-line
+// tool path (§4, Fig. 1-A): `ompi-checkpoint PID_MPIRUN` reaches the
+// mpirun process from outside, requests a checkpoint of a running job,
+// and receives the global snapshot reference — with the option to
+// checkpoint-and-terminate for system maintenance.
+//
+// ompi-run serves a loopback TCP socket and registers its address in a
+// per-user session directory keyed by its OS pid, so the tools address
+// the job exactly as the paper's tools do.
+
+// ControlRequest is one tool command. Op is "checkpoint", "ps" or
+// "ping".
+type ControlRequest struct {
+	Op        string `json:"op"`
+	Job       int    `json:"job,omitempty"` // 0 = the only/first job
+	Terminate bool   `json:"terminate,omitempty"`
+}
+
+// ControlJobInfo describes one job in a "ps" response.
+type ControlJobInfo struct {
+	Job   int      `json:"job"`
+	App   string   `json:"app"`
+	NP    int      `json:"np"`
+	Nodes []string `json:"nodes"`
+	Done  bool     `json:"done"`
+	Ckpts int      `json:"checkpoints"`
+}
+
+// ControlResponse is the reply to one ControlRequest.
+type ControlResponse struct {
+	OK        bool             `json:"ok"`
+	Err       string           `json:"err,omitempty"`
+	GlobalRef string           `json:"global_ref,omitempty"`
+	Interval  int              `json:"interval,omitempty"`
+	Jobs      []ControlJobInfo `json:"jobs,omitempty"`
+}
+
+// ControlServer accepts tool connections for a cluster.
+type ControlServer struct {
+	cluster *Cluster
+	ln      net.Listener
+	wg      sync.WaitGroup
+	session string // session file path, removed on Close
+}
+
+// SessionDir is where running ompi-run instances register their control
+// addresses, keyed by OS pid.
+func SessionDir() string {
+	return filepath.Join(os.TempDir(), "ompi-go-sessions")
+}
+
+// SessionFile returns the session file path for an mpirun OS pid.
+func SessionFile(pid int) string {
+	return filepath.Join(SessionDir(), strconv.Itoa(pid)+".addr")
+}
+
+// ServeControl starts the control server on a loopback address
+// ("127.0.0.1:0" picks a free port) and registers the session file for
+// this process's pid. Pass register=false to skip registration (tests).
+func (c *Cluster) ServeControl(addr string, register bool) (*ControlServer, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: control listen: %w", err)
+	}
+	s := &ControlServer{cluster: c, ln: ln}
+	if register {
+		if err := os.MkdirAll(SessionDir(), 0o755); err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("runtime: session dir: %w", err)
+		}
+		s.session = SessionFile(os.Getpid())
+		if err := os.WriteFile(s.session, []byte(ln.Addr().String()), 0o644); err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("runtime: session file: %w", err)
+		}
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	c.log.Emit("hnp", "control.up", "%s", ln.Addr())
+	return s, nil
+}
+
+// Addr returns the bound control address.
+func (s *ControlServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and removes the session file.
+func (s *ControlServer) Close() {
+	s.ln.Close()
+	if s.session != "" {
+		os.Remove(s.session)
+	}
+	s.wg.Wait()
+}
+
+func (s *ControlServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn handles one tool connection: one JSON request, one reply.
+func (s *ControlServer) serveConn(conn net.Conn) {
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	var req ControlRequest
+	if err := dec.Decode(&req); err != nil {
+		_ = enc.Encode(ControlResponse{Err: fmt.Sprintf("bad request: %v", err)})
+		return
+	}
+	_ = enc.Encode(s.handle(req))
+}
+
+func (s *ControlServer) handle(req ControlRequest) ControlResponse {
+	switch req.Op {
+	case "ping":
+		return ControlResponse{OK: true}
+	case "ps":
+		var out []ControlJobInfo
+		for _, id := range s.cluster.JobIDs() {
+			j, err := s.cluster.Job(id)
+			if err != nil {
+				continue
+			}
+			j.mu.Lock()
+			interval := j.nextInterval
+			j.mu.Unlock()
+			out = append(out, ControlJobInfo{
+				Job: int(id), App: j.spec.Name, NP: j.spec.NP,
+				Nodes: j.Nodes(), Done: j.Done(), Ckpts: interval,
+			})
+		}
+		return ControlResponse{OK: true, Jobs: out}
+	case "checkpoint":
+		id, err := s.resolveJobID(req.Job)
+		if err != nil {
+			return ControlResponse{Err: err.Error()}
+		}
+		res, err := s.cluster.CheckpointJob(id, snapc.Options{Terminate: req.Terminate})
+		if err != nil {
+			return ControlResponse{Err: err.Error()}
+		}
+		return ControlResponse{
+			OK:        true,
+			GlobalRef: res.Ref.Dir,
+			Interval:  res.Interval,
+		}
+	default:
+		return ControlResponse{Err: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// resolveJobID maps the tool's job argument (0 = "the job") to an id.
+func (s *ControlServer) resolveJobID(arg int) (names.JobID, error) {
+	if arg != 0 {
+		return names.JobID(arg), nil
+	}
+	ids := s.cluster.JobIDs()
+	switch len(ids) {
+	case 0:
+		return 0, fmt.Errorf("no jobs running")
+	case 1:
+		return ids[0], nil
+	default:
+		return 0, fmt.Errorf("%d jobs running; specify one with --job", len(ids))
+	}
+}
+
+// ControlDial sends one request to a control address and returns the
+// response; the client half used by the tools.
+func ControlDial(addr string, req ControlRequest) (ControlResponse, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return ControlResponse{}, fmt.Errorf("runtime: dial mpirun control %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if err := json.NewEncoder(conn).Encode(req); err != nil {
+		return ControlResponse{}, fmt.Errorf("runtime: send control request: %w", err)
+	}
+	var resp ControlResponse
+	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+		return ControlResponse{}, fmt.Errorf("runtime: read control response: %w", err)
+	}
+	return resp, nil
+}
+
+// ResolveSession reads the control address registered by the mpirun
+// with the given OS pid.
+func ResolveSession(pid int) (string, error) {
+	data, err := os.ReadFile(SessionFile(pid))
+	if err != nil {
+		return "", fmt.Errorf("runtime: no mpirun session for pid %d: %w", pid, err)
+	}
+	return string(data), nil
+}

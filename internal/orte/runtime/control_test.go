@@ -1,0 +1,159 @@
+package runtime
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/ompi"
+	"repro/internal/orte/plm"
+	"repro/internal/trace"
+)
+
+func controlFixture(t *testing.T) (*Cluster, *ControlServer, *Job) {
+	t.Helper()
+	c, err := New(Config{
+		Nodes: []plm.NodeSpec{{Name: "n0", Slots: 4}, {Name: "n1", Slots: 4}},
+		Log:   &trace.Log{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	srv, err := c.ServeControl("", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	factory, _ := newStencilFactory(0, 0)
+	job, err := c.Launch(JobSpec{Name: "stencil", NP: 4, AppFactory: factory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, srv, job
+}
+
+func TestControlPing(t *testing.T) {
+	_, srv, _ := controlFixture(t)
+	resp, err := ControlDial(srv.Addr(), ControlRequest{Op: "ping"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK {
+		t.Errorf("ping: %+v", resp)
+	}
+}
+
+func TestControlUnknownOp(t *testing.T) {
+	_, srv, _ := controlFixture(t)
+	resp, err := ControlDial(srv.Addr(), ControlRequest{Op: "reboot"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || !strings.Contains(resp.Err, "unknown op") {
+		t.Errorf("resp = %+v", resp)
+	}
+}
+
+func TestControlPsAndCheckpoint(t *testing.T) {
+	c, srv, job := controlFixture(t)
+	resp, err := ControlDial(srv.Addr(), ControlRequest{Op: "ps"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || len(resp.Jobs) != 1 || resp.Jobs[0].App != "stencil" || resp.Jobs[0].NP != 4 {
+		t.Fatalf("ps = %+v", resp)
+	}
+	if resp.Jobs[0].Done {
+		t.Error("job reported done while running")
+	}
+
+	// Checkpoint with job 0 = "the only job".
+	ck, err := ControlDial(srv.Addr(), ControlRequest{Op: "checkpoint"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ck.OK || ck.GlobalRef == "" {
+		t.Fatalf("checkpoint = %+v", ck)
+	}
+	// ps now shows one checkpoint taken.
+	resp, err = ControlDial(srv.Addr(), ControlRequest{Op: "ps"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Jobs[0].Ckpts != 1 {
+		t.Errorf("ckpts = %d, want 1", resp.Jobs[0].Ckpts)
+	}
+
+	// Terminate over the wire.
+	ck2, err := ControlDial(srv.Addr(), ControlRequest{Op: "checkpoint", Terminate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ck2.OK || ck2.Interval != 1 {
+		t.Fatalf("checkpoint --term = %+v", ck2)
+	}
+	if err := job.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	_ = c
+}
+
+func TestControlCheckpointExplicitJob(t *testing.T) {
+	_, srv, job := controlFixture(t)
+	ck, err := ControlDial(srv.Addr(), ControlRequest{Op: "checkpoint", Job: int(job.JobID()), Terminate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ck.OK {
+		t.Fatalf("checkpoint = %+v", ck)
+	}
+	if err := job.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown job id fails.
+	bad, err := ControlDial(srv.Addr(), ControlRequest{Op: "checkpoint", Job: 777})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.OK {
+		t.Error("checkpoint of unknown job succeeded")
+	}
+}
+
+func TestControlSessionRegistration(t *testing.T) {
+	c, err := New(Config{
+		Nodes: []plm.NodeSpec{{Name: "n0", Slots: 2}},
+		Log:   &trace.Log{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv, err := c.ServeControl("", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := ResolveSession(os.Getpid())
+	if err != nil {
+		t.Fatalf("ResolveSession: %v", err)
+	}
+	if addr != srv.Addr() {
+		t.Errorf("session addr = %q, want %q", addr, srv.Addr())
+	}
+	srv.Close()
+	if _, err := ResolveSession(os.Getpid()); err == nil {
+		t.Error("session file survived Close")
+	}
+}
+
+func TestControlDialErrors(t *testing.T) {
+	if _, err := ControlDial("127.0.0.1:1", ControlRequest{Op: "ping"}); err == nil {
+		t.Error("dial to dead port succeeded")
+	}
+	if _, err := ResolveSession(-42); err == nil {
+		t.Error("ResolveSession of bogus pid succeeded")
+	}
+}
+
+var _ = ompi.FuncApp{}

@@ -1,0 +1,415 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core/snapshot"
+	"repro/internal/mca"
+	"repro/internal/ompi"
+	"repro/internal/opal/crs"
+	"repro/internal/orte/filem"
+	"repro/internal/orte/names"
+	"repro/internal/orte/plm"
+	"repro/internal/orte/snapc"
+)
+
+// JobSpec describes an application launch.
+type JobSpec struct {
+	// Name identifies the application (recorded in snapshot metadata).
+	Name string
+	// Args are the application's arguments (recorded in metadata).
+	Args []string
+	// NP is the number of ranks.
+	NP int
+	// AppFactory builds the rank-local application instance.
+	AppFactory func(rank int) ompi.App
+	// Params overlays job-specific MCA parameters on the cluster's.
+	Params *mca.Params
+	// CRSByRank optionally selects a CRS component per rank (returning
+	// "" falls back to the job-wide selection). Local snapshots record
+	// which checkpointer produced them, so one global snapshot may mix
+	// components — the paper's heterogeneous-support scenario (§4).
+	CRSByRank func(rank int) string
+}
+
+// ckptState tracks one rank's checkpointability: unknown until the rank
+// completes MPI_INIT, yes between init and finalize, no after finalize
+// entry or when the application opted out.
+type ckptState int8
+
+const (
+	ckptUnknown ckptState = iota
+	ckptYes
+	ckptNo
+)
+
+// Job is one launched parallel application.
+type Job struct {
+	cluster *Cluster
+	id      names.JobID
+	spec    JobSpec
+	params  *mca.Params
+
+	placement map[int]string // rank -> node
+	nodes     []string       // distinct nodes, stable order
+	procs     []*ompi.Proc
+	apps      []ompi.App
+
+	mu             sync.Mutex
+	checkpointable []ckptState
+	nextInterval   int
+
+	errs []error
+	done chan struct{}
+}
+
+// effectiveParams overlays job params on cluster params.
+func effectiveParams(cluster *mca.Params, job *mca.Params) *mca.Params {
+	out := cluster.Clone()
+	for _, k := range job.Keys() {
+		v, _ := job.Lookup(k)
+		out.Set(k, v)
+	}
+	return out
+}
+
+// Launch starts a job on the cluster: the PLM places ranks on nodes,
+// processes attach to a fresh fabric, and each rank's application runs
+// on its own goroutine.
+func (c *Cluster) Launch(spec JobSpec) (*Job, error) {
+	return c.launch(spec, nil, nil)
+}
+
+// launch implements Launch and Restart. placementOverride fixes the
+// rank->node map (restart may re-place); restores supplies per-rank
+// restore specs.
+func (c *Cluster) launch(spec JobSpec, placementOverride map[int]string, restores []*ompi.RestoreSpec) (*Job, error) {
+	if spec.NP <= 0 {
+		return nil, fmt.Errorf("runtime: job needs NP > 0, got %d", spec.NP)
+	}
+	if spec.AppFactory == nil {
+		return nil, fmt.Errorf("runtime: job needs an AppFactory")
+	}
+	params := effectiveParams(c.params, spec.Params)
+
+	placement := placementOverride
+	if placement == nil {
+		var err error
+		placement, err = c.plmComp.MapProcs(spec.NP, c.NodeSpecs())
+		if err != nil {
+			return nil, fmt.Errorf("runtime: place job: %w", err)
+		}
+	}
+
+	defaultCRS, err := c.crsFw.Select(params)
+	if err != nil {
+		return nil, err
+	}
+	crsFor := func(rank int) (crs.Component, error) {
+		if spec.CRSByRank != nil {
+			if name := spec.CRSByRank(rank); name != "" {
+				return c.crsFw.Lookup(name)
+			}
+		}
+		return defaultCRS, nil
+	}
+	crcpComp, err := c.crcpFw.Select(params)
+	if err != nil {
+		return nil, err
+	}
+	btlComp, err := c.btlFw.Select(params)
+	if err != nil {
+		return nil, err
+	}
+
+	j := &Job{
+		cluster:        c,
+		id:             c.ns.AllocateJob(),
+		spec:           spec,
+		params:         params,
+		placement:      placement,
+		checkpointable: make([]ckptState, spec.NP),
+		done:           make(chan struct{}),
+		errs:           make([]error, spec.NP),
+	}
+	seen := make(map[string]bool)
+	for r := 0; r < spec.NP; r++ {
+		node := placement[r]
+		if _, ok := c.nodes[node]; !ok {
+			return nil, fmt.Errorf("runtime: rank %d placed on unknown node %q", r, node)
+		}
+		if !seen[node] {
+			seen[node] = true
+			j.nodes = append(j.nodes, node)
+		}
+	}
+
+	fabric, err := btlComp.NewFabric(spec.NP)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: job fabric: %w", err)
+	}
+	j.procs = make([]*ompi.Proc, spec.NP)
+	j.apps = make([]ompi.App, spec.NP)
+	for r := 0; r < spec.NP; r++ {
+		r := r
+		crsComp, err := crsFor(r)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: rank %d CRS: %w", r, err)
+		}
+		proc, err := ompi.NewProc(ompi.Config{
+			JobID: int(j.id), Rank: r, Size: spec.NP,
+			Node: placement[r], PID: 1000*int(j.id) + r,
+			Fabric: fabric, Params: params,
+			CRS: crsComp, CRCP: crcpComp, Log: c.log,
+			SyncCheckpoint: func() error {
+				// The requesting rank participates in the checkpoint it
+				// triggers, so the global request must run concurrently:
+				// blocking here would deadlock the coordinator against
+				// the caller's own participation.
+				go func() {
+					if _, err := c.CheckpointJob(j.id, snapc.Options{}); err != nil {
+						c.log.Emit("hnp", "ckpt.sync-error", "job %d: %v", j.id, err)
+					}
+				}()
+				return nil
+			},
+			NotifyCheckpointable: func(ok bool) { j.setCheckpointable(r, ok) },
+		})
+		if err != nil {
+			return nil, fmt.Errorf("runtime: create rank %d: %w", r, err)
+		}
+		j.procs[r] = proc
+		j.apps[r] = spec.AppFactory(r)
+	}
+
+	c.mu.Lock()
+	c.jobs[j.id] = j
+	c.mu.Unlock()
+	c.log.Emit("hnp", "job.launch", "job %d np=%d app=%s", j.id, spec.NP, spec.Name)
+
+	var wg sync.WaitGroup
+	for r := 0; r < spec.NP; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var rs *ompi.RestoreSpec
+			if restores != nil {
+				rs = restores[r]
+			}
+			j.errs[r] = j.procs[r].Run(j.apps[r], rs)
+			if j.errs[r] != nil {
+				// A failed rank aborts the whole job, as mpirun kills a
+				// parallel job when one process dies: closing the fabric
+				// fails every peer blocked in communication.
+				j.setCheckpointable(r, false)
+				fabric.Close()
+			}
+		}(r)
+	}
+	go func() {
+		wg.Wait()
+		fabric.Close() // release transport resources (TCP connections)
+		close(j.done)
+		c.log.Emit("hnp", "job.done", "job %d", j.id)
+	}()
+	return j, nil
+}
+
+// Wait blocks until every rank finished and returns the combined error
+// of all failed ranks (nil if the job completed cleanly).
+func (j *Job) Wait() error {
+	<-j.done
+	var errs []error
+	for r, err := range j.errs {
+		if err != nil {
+			errs = append(errs, fmt.Errorf("runtime: job %d rank %d: %w", j.id, r, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Done reports (without blocking) whether the job has finished.
+func (j *Job) Done() bool {
+	select {
+	case <-j.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// App returns the rank-local application instance (examples inspect it).
+func (j *Job) App(rank int) ompi.App { return j.apps[rank] }
+
+// Proc returns the rank's process object.
+func (j *Job) Proc(rank int) *ompi.Proc { return j.procs[rank] }
+
+func (j *Job) setCheckpointable(rank int, ok bool) {
+	st := ckptNo
+	if ok {
+		st = ckptYes
+	}
+	j.mu.Lock()
+	j.checkpointable[rank] = st
+	j.mu.Unlock()
+}
+
+// awaitInitialized waits until no rank is still pre-MPI_INIT, so a
+// checkpoint requested during job startup waits for initialization
+// instead of failing spuriously.
+func (j *Job) awaitInitialized(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		ready := true
+		j.mu.Lock()
+		for _, st := range j.checkpointable {
+			if st == ckptUnknown {
+				ready = false
+				break
+			}
+		}
+		j.mu.Unlock()
+		if ready {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("runtime: job %d did not finish initializing within %v", j.id, timeout)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// --- snapc.JobView -----------------------------------------------------------
+
+// JobID implements snapc.JobView.
+func (j *Job) JobID() names.JobID { return j.id }
+
+// AppName implements snapc.JobView.
+func (j *Job) AppName() string { return j.spec.Name }
+
+// AppArgs implements snapc.JobView.
+func (j *Job) AppArgs() []string { return j.spec.Args }
+
+// NumProcs implements snapc.JobView.
+func (j *Job) NumProcs() int { return j.spec.NP }
+
+// NodeOf implements snapc.JobView.
+func (j *Job) NodeOf(vpid int) string { return j.placement[vpid] }
+
+// Nodes implements snapc.JobView.
+func (j *Job) Nodes() []string {
+	out := make([]string, len(j.nodes))
+	copy(out, j.nodes)
+	return out
+}
+
+// Checkpointable implements snapc.JobView.
+func (j *Job) Checkpointable(vpid int) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.checkpointable[vpid] == ckptYes
+}
+
+// Deliver implements snapc.JobView.
+func (j *Job) Deliver(vpid int, d *ompi.Directive) { j.procs[vpid].Deliver(d) }
+
+// Params implements snapc.JobView.
+func (j *Job) Params() *mca.Params { return j.params }
+
+var _ snapc.JobView = (*Job)(nil)
+
+// --- Checkpoint and restart ---------------------------------------------------
+
+// CheckpointJob runs a global checkpoint of the job through the SNAPC
+// component and returns the result, whose Ref is the global snapshot
+// reference the paper's tools print. Checkpoints are serialized: the
+// full component is a centralized coordinator.
+func (c *Cluster) CheckpointJob(id names.JobID, opts snapc.Options) (snapc.Result, error) {
+	j, err := c.Job(id)
+	if err != nil {
+		return snapc.Result{}, err
+	}
+	c.ckptMu.Lock()
+	defer c.ckptMu.Unlock()
+	if err := j.awaitInitialized(10 * time.Second); err != nil {
+		return snapc.Result{}, err
+	}
+	j.mu.Lock()
+	interval := j.nextInterval
+	j.nextInterval++
+	j.mu.Unlock()
+	globalDir := snapshot.GlobalDirName(int(id))
+	res, err := c.snapcComp.Checkpoint(c.snapcEnv, j, c.hnpEP, c.daemons, globalDir, interval, opts)
+	if err != nil {
+		return snapc.Result{}, err
+	}
+	return res, nil
+}
+
+// Restart relaunches a job from a global snapshot reference, possibly
+// on a different cluster or node mapping. Everything but the application
+// factory comes from the snapshot metadata — the user recalls nothing.
+func (c *Cluster) Restart(ref snapshot.GlobalRef, interval int, appFactory func(rank int) ompi.App) (*Job, error) {
+	meta, err := snapshot.ReadGlobal(ref, interval)
+	if err != nil {
+		return nil, err
+	}
+	params := mca.FromMap(meta.MCAParams)
+	// Re-place the ranks on this cluster's nodes (may differ from the
+	// original mapping: the restart mechanism "maps onto the
+	// heterogeneous environment as required by the global snapshot").
+	plmComp, err := plm.NewFramework().Select(params)
+	if err != nil {
+		return nil, err
+	}
+	placement, err := plmComp.MapProcs(meta.NumProcs, c.NodeSpecs())
+	if err != nil {
+		return nil, fmt.Errorf("runtime: place restarted job: %w", err)
+	}
+
+	// FILEM broadcast: preload each local snapshot from stable storage
+	// onto the node that will host the restarted rank.
+	restores := make([]*ompi.RestoreSpec, meta.NumProcs)
+	for _, pe := range meta.Procs {
+		node := placement[pe.Vpid]
+		lref := snapshot.LocalRefIn(ref, interval, pe)
+		lmeta, err := snapshot.ReadLocal(lref)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: restart rank %d: %w", pe.Vpid, err)
+		}
+		dstDir := fmt.Sprintf("tmp/restart/job%d/%d/%s", meta.JobID, interval, snapshot.LocalDirName(pe.Vpid))
+		_, err = c.filemComp.Move(c.filemEnv, []filem.Request{{
+			SrcNode: filem.StableNode, SrcPath: lref.Dir,
+			DstNode: node, DstPath: dstDir,
+		}})
+		if err != nil {
+			return nil, fmt.Errorf("runtime: preload rank %d on %q: %w", pe.Vpid, node, err)
+		}
+		nodeFS, err := c.nodeFS(node)
+		if err != nil {
+			return nil, err
+		}
+		restores[pe.Vpid] = &ompi.RestoreSpec{FS: nodeFS, Dir: dstDir, Files: lmeta.Files}
+	}
+
+	// Per-process CRS components may differ (heterogeneous snapshots):
+	// each local snapshot's metadata records the checkpointer that
+	// produced it, and the restarted rank must use the same one.
+	crsNames := make([]string, meta.NumProcs)
+	for _, pe := range meta.Procs {
+		crsNames[pe.Vpid] = pe.Component
+	}
+	spec := JobSpec{
+		Name:       meta.AppName,
+		Args:       meta.AppArgs,
+		NP:         meta.NumProcs,
+		AppFactory: appFactory,
+		Params:     params,
+		CRSByRank:  func(rank int) string { return crsNames[rank] },
+	}
+	c.log.Emit("hnp", "job.restart", "from %s interval %d np=%d", ref.Dir, interval, meta.NumProcs)
+	return c.launch(spec, placement, restores)
+}

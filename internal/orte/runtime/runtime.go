@@ -1,0 +1,269 @@
+// Package runtime is the simulated cluster: virtual nodes with local
+// filesystems, one orted (local coordinator) per node, and an HNP
+// (mpirun) that launches jobs, serves checkpoint requests and owns the
+// stable-storage global snapshots. It stands in for ORTE's daemons and
+// TCP out-of-band plane (see DESIGN.md's substitution table) while
+// preserving the entity topology and message flow of the paper's
+// Figure 1.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/mca"
+	"repro/internal/netsim"
+	"repro/internal/ompi/btl"
+	"repro/internal/ompi/crcp"
+	"repro/internal/opal/crs"
+	"repro/internal/orte/filem"
+	"repro/internal/orte/names"
+	"repro/internal/orte/plm"
+	"repro/internal/orte/rml"
+	"repro/internal/orte/snapc"
+	"repro/internal/trace"
+	"repro/internal/vfs"
+)
+
+// Node is one virtual machine in the cluster.
+type Node struct {
+	Name  string
+	Slots int
+	FS    *vfs.Mem // node-local disk
+}
+
+// Config assembles a Cluster.
+type Config struct {
+	// Nodes describes the machines; at least one is required.
+	Nodes []plm.NodeSpec
+	// Stable is the stable storage filesystem. Defaults to an
+	// in-memory store (tests); tools pass an OS-backed one so global
+	// snapshots survive the simulator process.
+	Stable vfs.FS
+	// Params are cluster-default MCA parameters.
+	Params *mca.Params
+	// Log receives runtime trace events. Optional.
+	Log *trace.Log
+	// Uplink and Ingress override the modeled link characteristics.
+	Uplink  *netsim.Link
+	Ingress *netsim.Link
+}
+
+// Cluster is the running simulated machine room plus its runtime.
+type Cluster struct {
+	cfg    Config
+	log    *trace.Log
+	params *mca.Params
+
+	nodes  map[string]*Node
+	order  []string
+	topo   *netsim.Topology
+	clock  *netsim.Clock
+	stable vfs.FS
+
+	router *rml.Router
+	hnpEP  *rml.Endpoint
+	ns     *names.Service
+
+	// Selected components (runtime-wide; jobs may override via params).
+	snapcComp snapc.Component
+	filemComp filem.Component
+	plmComp   plm.Component
+	crsFw     *mca.Framework[crs.Component]
+	crcpFw    *mca.Framework[crcp.Component]
+	btlFw     *mca.Framework[btl.Component]
+
+	filemEnv *filem.Env
+	snapcEnv *snapc.Env
+	daemons  map[string]names.Name
+
+	mu      sync.Mutex
+	jobs    map[names.JobID]*Job
+	ckptMu  sync.Mutex // serializes global checkpoints (centralized coordinator)
+	stopped bool
+	wg      sync.WaitGroup
+}
+
+// New builds and starts a cluster: nodes, daemons and frameworks.
+func New(cfg Config) (*Cluster, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("runtime: cluster needs at least one node")
+	}
+	if cfg.Params == nil {
+		cfg.Params = mca.NewParams()
+	}
+	if cfg.Stable == nil {
+		cfg.Stable = vfs.NewMem()
+	}
+	c := &Cluster{
+		cfg:    cfg,
+		log:    cfg.Log,
+		params: cfg.Params,
+		nodes:  make(map[string]*Node),
+		stable: cfg.Stable,
+		router: rml.NewRouter(),
+		ns:     names.NewService(),
+		clock:  &netsim.Clock{},
+		jobs:   make(map[names.JobID]*Job),
+	}
+
+	// Interconnect model.
+	ingress := netsim.DefaultIngress
+	if cfg.Ingress != nil {
+		ingress = *cfg.Ingress
+	}
+	uplink := netsim.DefaultUplink
+	if cfg.Uplink != nil {
+		uplink = *cfg.Uplink
+	}
+	c.topo = netsim.NewTopology(ingress)
+	for _, spec := range cfg.Nodes {
+		if spec.Name == filem.StableNode {
+			return nil, fmt.Errorf("runtime: node name %q is reserved", spec.Name)
+		}
+		if _, dup := c.nodes[spec.Name]; dup {
+			return nil, fmt.Errorf("runtime: duplicate node %q", spec.Name)
+		}
+		c.nodes[spec.Name] = &Node{Name: spec.Name, Slots: spec.Slots, FS: vfs.NewMem()}
+		c.order = append(c.order, spec.Name)
+		c.topo.AddNode(spec.Name, uplink)
+	}
+
+	// Framework selection (the MCA machinery the whole design rides on).
+	var err error
+	if c.snapcComp, err = snapc.NewFramework().Select(cfg.Params); err != nil {
+		return nil, err
+	}
+	if c.filemComp, err = filem.NewFramework().Select(cfg.Params); err != nil {
+		return nil, err
+	}
+	if c.plmComp, err = plm.NewFramework().Select(cfg.Params); err != nil {
+		return nil, err
+	}
+	c.crsFw = crs.NewFramework()
+	c.crcpFw = crcp.NewFramework()
+	c.btlFw = btl.NewFramework()
+
+	// FILEM/SNAPC environments.
+	c.filemEnv = &filem.Env{
+		Resolve: c.resolveFS,
+		Topo:    c.topo,
+		Clock:   c.clock,
+		Log:     c.log,
+	}
+	c.snapcEnv = &snapc.Env{
+		Filem:    c.filemComp,
+		FilemEnv: c.filemEnv,
+		Stable:   c.stable,
+		NodeFS:   c.nodeFS,
+		Log:      c.log,
+	}
+
+	// Runtime entities: HNP plus one orted (local coordinator) per node.
+	if c.hnpEP, err = c.router.Register(names.HNP); err != nil {
+		return nil, err
+	}
+	c.daemons = make(map[string]names.Name, len(c.order))
+	for i, nodeName := range c.order {
+		dn := names.Daemon(i)
+		ep, err := c.router.Register(dn)
+		if err != nil {
+			return nil, err
+		}
+		c.daemons[nodeName] = dn
+		c.wg.Add(1)
+		go func(nodeName string, ep *rml.Endpoint) {
+			defer c.wg.Done()
+			if err := c.snapcComp.ServeLocal(c.snapcEnv, nodeName, ep, c.resolveJob); err != nil {
+				c.log.Emit("orted["+nodeName+"]", "orted.error", "%v", err)
+			}
+		}(nodeName, ep)
+	}
+	c.log.Emit("hnp", "cluster.up", "%d nodes", len(c.order))
+	return c, nil
+}
+
+// Close shuts the cluster down: daemons stop, endpoints close.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	c.stopped = true
+	c.mu.Unlock()
+	c.router.Close()
+	c.wg.Wait()
+}
+
+// Nodes returns the node names in declaration order.
+func (c *Cluster) Nodes() []string {
+	out := make([]string, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// NodeSpecs returns the launch specs of the cluster's nodes.
+func (c *Cluster) NodeSpecs() []plm.NodeSpec {
+	out := make([]plm.NodeSpec, 0, len(c.order))
+	for _, n := range c.order {
+		out = append(out, plm.NodeSpec{Name: n, Slots: c.nodes[n].Slots})
+	}
+	return out
+}
+
+// Stable returns the stable-storage filesystem.
+func (c *Cluster) Stable() vfs.FS { return c.stable }
+
+// Clock returns the simulated-network clock.
+func (c *Cluster) Clock() *netsim.Clock { return c.clock }
+
+// Log returns the cluster trace log (may be nil).
+func (c *Cluster) Log() *trace.Log { return c.log }
+
+func (c *Cluster) resolveFS(node string) (vfs.FS, error) {
+	if node == filem.StableNode {
+		return c.stable, nil
+	}
+	return c.nodeFS(node)
+}
+
+func (c *Cluster) nodeFS(node string) (vfs.FS, error) {
+	n, ok := c.nodes[node]
+	if !ok {
+		return nil, fmt.Errorf("runtime: unknown node %q", node)
+	}
+	return n.FS, nil
+}
+
+func (c *Cluster) resolveJob(id names.JobID) (snapc.JobView, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("runtime: unknown job %d", id)
+	}
+	return j, nil
+}
+
+// Job returns a running (or finished, not yet forgotten) job by id.
+func (c *Cluster) Job(id names.JobID) (*Job, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("runtime: unknown job %d", id)
+	}
+	return j, nil
+}
+
+// JobIDs lists the ids of all known jobs.
+func (c *Cluster) JobIDs() []names.JobID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]names.JobID, 0, len(c.jobs))
+	for id := range c.jobs {
+		out = append(out, id)
+	}
+	return out
+}

@@ -1,0 +1,376 @@
+// Package snapc implements the paper's ORTE SNAPC framework (§5.1,
+// §6.1): the snapshot coordinator that launches, monitors and aggregates
+// distributed checkpoint requests.
+//
+// The initial component, full, is the paper's centralized coordination
+// approach with its three sub-coordinators (Fig. 1):
+//
+//   - the global coordinator lives in the HNP (mpirun): it accepts
+//     requests from tools and the synchronous API (Fig. 1-A), fans the
+//     request out to the per-node daemons (B), monitors progress (E),
+//     aggregates the remote local snapshots into the global snapshot on
+//     stable storage via FILEM (F), and returns the global snapshot
+//     reference to the user;
+//   - a local coordinator lives in each orted: it initiates the local
+//     checkpoint of every application process on its node (C), records
+//     the local snapshot metadata, and reports back (D→E);
+//   - an application coordinator lives in each process: it interprets
+//     the directive (e.g. checkpoint-and-terminate) and enters the OPAL
+//     entry point (the ompi.Proc participation path).
+//
+// Before initiating anything, the global coordinator consults the
+// checkpointability of every target process; if any process cannot be
+// checkpointed the request fails atomically — no process is affected —
+// exactly the paper's §5.1 requirement.
+package snapc
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"time"
+
+	"repro/internal/core/snapshot"
+	"repro/internal/mca"
+	"repro/internal/ompi"
+	"repro/internal/orte/filem"
+	"repro/internal/orte/names"
+	"repro/internal/orte/rml"
+	"repro/internal/trace"
+	"repro/internal/vfs"
+)
+
+// FrameworkName is the MCA selection parameter for this framework.
+const FrameworkName = "snapc"
+
+// ErrNotCheckpointable reports that a target process opted out of
+// checkpointing, failing the whole request before any process acted.
+var ErrNotCheckpointable = errors.New("snapc: process is not checkpointable")
+
+// JobView is the coordinator's window onto a running job.
+type JobView interface {
+	// JobID identifies the job.
+	JobID() names.JobID
+	// AppName is the launched application's name (recorded in metadata).
+	AppName() string
+	// AppArgs are the application arguments (recorded in metadata).
+	AppArgs() []string
+	// NumProcs is the job size.
+	NumProcs() int
+	// NodeOf returns the node hosting a rank.
+	NodeOf(vpid int) string
+	// Nodes lists the distinct nodes hosting the job.
+	Nodes() []string
+	// Checkpointable reports whether a rank currently permits
+	// checkpoints (false before MPI_INIT, after MPI_FINALIZE entry, or
+	// when the application opted out).
+	Checkpointable(vpid int) bool
+	// Deliver hands a checkpoint directive to a rank's application
+	// coordinator.
+	Deliver(vpid int, d *ompi.Directive)
+	// Params returns the job's MCA parameters (recorded in metadata so
+	// restart needs no user-recalled flags).
+	Params() *mca.Params
+}
+
+// Env wires a coordinator to the runtime's services.
+type Env struct {
+	// Filem moves snapshot files; FilemEnv resolves nodes and charges
+	// simulated transfer time.
+	Filem    filem.Component
+	FilemEnv *filem.Env
+	// Stable is the stable-storage filesystem.
+	Stable vfs.FS
+	// NodeFS resolves a node's local filesystem.
+	NodeFS func(node string) (vfs.FS, error)
+	// Log receives snapc.* trace events. Optional.
+	Log *trace.Log
+	// AckTimeout bounds how long the global coordinator waits for a
+	// local coordinator. Zero means DefaultAckTimeout.
+	AckTimeout time.Duration
+	// CleanupLocal removes node-local snapshot directories after the
+	// gather (the FILEM remove operation). Defaults to true via
+	// Options.
+	// (Set per request in Options.)
+}
+
+// DefaultAckTimeout bounds the wait for local coordinator acks.
+const DefaultAckTimeout = 2 * time.Minute
+
+// Options modify one checkpoint request.
+type Options struct {
+	// Terminate requests checkpoint-and-terminate.
+	Terminate bool
+	// KeepLocal leaves the node-local snapshot copies in place instead
+	// of removing them after the gather.
+	KeepLocal bool
+}
+
+// Result reports a completed global checkpoint.
+type Result struct {
+	Ref      snapshot.GlobalRef
+	Meta     snapshot.GlobalMeta
+	Interval int
+	// GatherStats reports the FILEM aggregation work.
+	GatherStats filem.Stats
+}
+
+// Component is a SNAPC implementation.
+type Component interface {
+	mca.Component
+	// Checkpoint runs one global checkpoint of job, writing the global
+	// snapshot under globalDir on stable storage as the given interval.
+	// hnp is the HNP's RML endpoint; daemons maps node names to their
+	// orted RML names (the local coordinators must be serving).
+	Checkpoint(env *Env, job JobView, hnp *rml.Endpoint, daemons map[string]names.Name,
+		globalDir string, interval int, opts Options) (Result, error)
+	// ServeLocal runs a node's local coordinator loop on ep until the
+	// endpoint closes. resolve maps a job id to its JobView.
+	ServeLocal(env *Env, node string, ep *rml.Endpoint, resolve func(names.JobID) (JobView, error)) error
+}
+
+// NewFramework returns the SNAPC framework with the full (centralized)
+// component registered.
+func NewFramework() *mca.Framework[Component] {
+	f := mca.NewFramework[Component](FrameworkName)
+	f.MustRegister(&Full{})
+	f.MustRegister(&Tree{})
+	return f
+}
+
+// localRequest is the global→local coordinator order (Fig. 1-B).
+type localRequest struct {
+	Job       int    `json:"job"`
+	Interval  int    `json:"interval"`
+	Vpids     []int  `json:"vpids"`
+	BaseDir   string `json:"base_dir"` // node-local directory for snapshots
+	Terminate bool   `json:"terminate"`
+}
+
+// procResult is one process's outcome inside a localAck.
+type procResult struct {
+	Vpid      int      `json:"vpid"`
+	Component string   `json:"crs_component"`
+	Files     []string `json:"files"`
+	Dir       string   `json:"dir"` // node-local snapshot dir
+	Err       string   `json:"err,omitempty"`
+}
+
+// localAck is the local→global coordinator report (Fig. 1-D/E).
+type localAck struct {
+	Job      int          `json:"job"`
+	Interval int          `json:"interval"`
+	Node     string       `json:"node"`
+	Results  []procResult `json:"results"`
+	Err      string       `json:"err,omitempty"`
+}
+
+// Full is the centralized snapshot coordinator component.
+type Full struct{}
+
+// Name implements mca.Component.
+func (*Full) Name() string { return "full" }
+
+// Priority implements mca.Component.
+func (*Full) Priority() int { return 20 }
+
+// localBaseDir is where a node keeps its local snapshots for one
+// checkpoint interval of one job.
+func localBaseDir(job names.JobID, interval int) string {
+	return fmt.Sprintf("tmp/ckpt/job%d/%d", job, interval)
+}
+
+// Checkpoint implements Component. It is the global coordinator.
+func (f *Full) Checkpoint(env *Env, job JobView, hnp *rml.Endpoint, daemons map[string]names.Name,
+	globalDir string, interval int, opts Options) (Result, error) {
+	log := env.Log
+	log.Emit("snapc.global", "ckpt.request", "job %d interval %d terminate=%v", job.JobID(), interval, opts.Terminate)
+
+	// §5.1: verify every target is checkpointable before touching any.
+	for v := 0; v < job.NumProcs(); v++ {
+		if !job.Checkpointable(v) {
+			return Result{}, fmt.Errorf("%w: job %d rank %d", ErrNotCheckpointable, job.JobID(), v)
+		}
+	}
+
+	// Group ranks by node and order each node's local coordinator to
+	// checkpoint them (Fig. 1-B).
+	byNode := make(map[string][]int)
+	for v := 0; v < job.NumProcs(); v++ {
+		n := job.NodeOf(v)
+		byNode[n] = append(byNode[n], v)
+	}
+	base := localBaseDir(job.JobID(), interval)
+	for node, vpids := range byNode {
+		daemon, ok := daemons[node]
+		if !ok {
+			return Result{}, fmt.Errorf("snapc: no local coordinator on node %q", node)
+		}
+		req := localRequest{
+			Job: int(job.JobID()), Interval: interval,
+			Vpids: vpids, BaseDir: base, Terminate: opts.Terminate,
+		}
+		if err := hnp.SendJSON(daemon, rml.TagSnapcRequest, req); err != nil {
+			return Result{}, fmt.Errorf("snapc: order node %q: %w", node, err)
+		}
+	}
+
+	// Monitor progress: one ack per involved node (Fig. 1-E).
+	timeout := env.AckTimeout
+	if timeout == 0 {
+		timeout = DefaultAckTimeout
+	}
+	results := make(map[int]procResult)
+	for range byNode {
+		var ack localAck
+		if _, err := hnp.RecvJSONTimeout(rml.TagSnapcAck, &ack, timeout); err != nil {
+			return Result{}, fmt.Errorf("snapc: waiting for local coordinators: %w", err)
+		}
+		if ack.Err != "" {
+			return Result{}, fmt.Errorf("snapc: node %q: %s", ack.Node, ack.Err)
+		}
+		for _, pr := range ack.Results {
+			if pr.Err != "" {
+				return Result{}, fmt.Errorf("snapc: rank %d on %q: %s", pr.Vpid, ack.Node, pr.Err)
+			}
+			results[pr.Vpid] = pr
+		}
+		log.Emit("snapc.global", "ckpt.node-done", "node %s (%d procs)", ack.Node, len(ack.Results))
+	}
+	if len(results) != job.NumProcs() {
+		return Result{}, fmt.Errorf("snapc: %d of %d local snapshots reported", len(results), job.NumProcs())
+	}
+
+	// Aggregate to stable storage and write metadata (Fig. 1-F).
+	return finishGlobal(env, job, globalDir, interval, opts, byNode, results)
+}
+
+// finishGlobal is the back half of a global checkpoint, shared by every
+// coordination topology: FILEM-gather the local snapshots into the
+// global snapshot directory on stable storage while the processes have
+// already resumed normal operation, write the global metadata, and
+// clean the node-local temporaries.
+func finishGlobal(env *Env, job JobView, globalDir string, interval int, opts Options,
+	byNode map[string][]int, results map[int]procResult) (Result, error) {
+	log := env.Log
+	ref := snapshot.GlobalRef{FS: env.Stable, Dir: globalDir}
+	ivDir := ref.IntervalDir(interval)
+	var reqs []filem.Request
+	for v := 0; v < job.NumProcs(); v++ {
+		pr := results[v]
+		reqs = append(reqs, filem.Request{
+			SrcNode: job.NodeOf(v), SrcPath: pr.Dir,
+			DstNode: filem.StableNode, DstPath: path.Join(ivDir, snapshot.LocalDirName(v)),
+		})
+	}
+	stats, err := env.Filem.Move(env.FilemEnv, reqs)
+	if err != nil {
+		return Result{}, fmt.Errorf("snapc: gather to stable storage: %w", err)
+	}
+	log.Emit("snapc.global", "ckpt.gathered", "%d transfers, %d bytes, %v modeled", stats.Transfers, stats.Bytes, stats.Simulated)
+
+	// Write the global metadata: everything restart needs.
+	meta := snapshot.GlobalMeta{
+		JobID:     int(job.JobID()),
+		Interval:  interval,
+		Taken:     time.Now(),
+		NumProcs:  job.NumProcs(),
+		AppName:   job.AppName(),
+		AppArgs:   job.AppArgs(),
+		MCAParams: job.Params().Map(),
+		Nodes:     job.Nodes(),
+	}
+	for v := 0; v < job.NumProcs(); v++ {
+		meta.Procs = append(meta.Procs, snapshot.ProcEntry{
+			Vpid: v, Node: job.NodeOf(v),
+			Component: results[v].Component,
+			LocalDir:  snapshot.LocalDirName(v),
+		})
+	}
+	if err := snapshot.WriteGlobal(ref, meta); err != nil {
+		return Result{}, fmt.Errorf("snapc: write global metadata: %w", err)
+	}
+
+	// FILEM remove: clean temporary node-local snapshot data.
+	if !opts.KeepLocal {
+		base := localBaseDir(job.JobID(), interval)
+		for node := range byNode {
+			if err := env.Filem.Remove(env.FilemEnv, node, []string{base}); err != nil {
+				return Result{}, fmt.Errorf("snapc: cleanup on %q: %w", node, err)
+			}
+		}
+	}
+	log.Emit("snapc.global", "ckpt.done", "global snapshot %s interval %d", globalDir, interval)
+	return Result{Ref: ref, Meta: meta, Interval: interval, GatherStats: stats}, nil
+}
+
+// ServeLocal implements Component: the local coordinator loop for one
+// node's orted.
+func (f *Full) ServeLocal(env *Env, node string, ep *rml.Endpoint, resolve func(names.JobID) (JobView, error)) error {
+	for {
+		var req localRequest
+		from, err := ep.RecvJSON(rml.TagSnapcRequest, &req)
+		if err != nil {
+			if errors.Is(err, rml.ErrClosed) {
+				return nil // orderly shutdown
+			}
+			return fmt.Errorf("snapc local[%s]: %w", node, err)
+		}
+		ack := f.handleLocal(env, node, req, resolve)
+		if err := ep.SendJSON(from, rml.TagSnapcAck, ack); err != nil {
+			return fmt.Errorf("snapc local[%s]: ack: %w", node, err)
+		}
+	}
+}
+
+// handleLocal performs one node's part of a checkpoint: initiate every
+// local process checkpoint (Fig. 1-C), collect outcomes (D), and write
+// each local snapshot's metadata beside its payload files.
+func (f *Full) handleLocal(env *Env, node string, req localRequest, resolve func(names.JobID) (JobView, error)) localAck {
+	ack := localAck{Job: req.Job, Interval: req.Interval, Node: node}
+	log := env.Log
+	job, err := resolve(names.JobID(req.Job))
+	if err != nil {
+		ack.Err = err.Error()
+		return ack
+	}
+	nodeFS, err := env.NodeFS(node)
+	if err != nil {
+		ack.Err = fmt.Sprintf("no filesystem: %v", err)
+		return ack
+	}
+	// Initiate all local checkpoints, then collect all results: the
+	// application coordinators run concurrently.
+	results := make(chan ompi.ParticipationResult, len(req.Vpids))
+	dirs := make(map[int]string, len(req.Vpids))
+	for _, v := range req.Vpids {
+		dir := path.Join(req.BaseDir, snapshot.LocalDirName(v))
+		dirs[v] = dir
+		log.Emit("snapc.local["+node+"]", "ckpt.start", "rank %d -> %s", v, dir)
+		job.Deliver(v, &ompi.Directive{
+			Interval: req.Interval, FS: nodeFS, Dir: dir,
+			Terminate: req.Terminate, Result: results,
+		})
+	}
+	for range req.Vpids {
+		res := <-results
+		pr := procResult{Vpid: res.Rank, Component: res.Component, Files: res.Files, Dir: dirs[res.Rank]}
+		if res.Err != nil {
+			pr.Err = res.Err.Error()
+			ack.Results = append(ack.Results, pr)
+			continue
+		}
+		// Local snapshot metadata makes the directory self-describing.
+		meta := snapshot.LocalMeta{
+			Component: res.Component,
+			JobID:     req.Job, Vpid: res.Rank,
+			Interval: req.Interval, Node: node,
+			Files: res.Files, Taken: time.Now(),
+		}
+		if _, err := snapshot.WriteLocal(nodeFS, dirs[res.Rank], meta); err != nil {
+			pr.Err = err.Error()
+		}
+		ack.Results = append(ack.Results, pr)
+	}
+	return ack
+}

@@ -1,0 +1,426 @@
+package snapc
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core/snapshot"
+	"repro/internal/mca"
+	"repro/internal/netsim"
+	"repro/internal/ompi"
+	"repro/internal/orte/filem"
+	"repro/internal/orte/names"
+	"repro/internal/orte/rml"
+	"repro/internal/trace"
+	"repro/internal/vfs"
+)
+
+// fakeJob is a JobView whose "processes" respond to directives by
+// writing a fake image file — coordinator logic can be tested without
+// the full MPI stack.
+type fakeJob struct {
+	id        names.JobID
+	np        int
+	placement map[int]string
+	nodeFS    map[string]*vfs.Mem
+	ckptable  []bool
+	failRank  int // rank whose participation fails; -1 = none
+	delivered []int
+	mu        sync.Mutex
+}
+
+func (j *fakeJob) JobID() names.JobID  { return j.id }
+func (j *fakeJob) AppName() string     { return "fake" }
+func (j *fakeJob) AppArgs() []string   { return []string{"-x", "1"} }
+func (j *fakeJob) NumProcs() int       { return j.np }
+func (j *fakeJob) NodeOf(v int) string { return j.placement[v] }
+func (j *fakeJob) Params() *mca.Params { p := mca.NewParams(); p.Set("crcp", "bkmrk"); return p }
+func (j *fakeJob) Checkpointable(v int) bool {
+	return j.ckptable[v]
+}
+func (j *fakeJob) Nodes() []string {
+	seen := map[string]bool{}
+	var out []string
+	for v := 0; v < j.np; v++ {
+		n := j.placement[v]
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func (j *fakeJob) Deliver(v int, d *ompi.Directive) {
+	j.mu.Lock()
+	j.delivered = append(j.delivered, v)
+	j.mu.Unlock()
+	go func() {
+		res := ompi.ParticipationResult{Rank: v, Component: "simcr"}
+		if v == j.failRank {
+			res.Err = errors.New("injected participation failure")
+		} else {
+			body := []byte(fmt.Sprintf("image of rank %d at interval %d", v, d.Interval))
+			if err := d.FS.WriteFile(path.Join(d.Dir, "process_image.bin"), body); err != nil {
+				res.Err = err
+			} else {
+				res.Files = []string{"process_image.bin"}
+			}
+		}
+		d.Result <- res
+	}()
+}
+
+// harness wires a fake 2-node cluster: router, HNP endpoint, local
+// coordinators, FILEM env, stable storage.
+type harness struct {
+	env     *Env
+	hnp     *rml.Endpoint
+	daemons map[string]names.Name
+	job     *fakeJob
+	stable  *vfs.Mem
+	router  *rml.Router
+	log     *trace.Log
+}
+
+func newHarness(t *testing.T, np int) *harness {
+	return newHarnessNodes(t, np, 2, &Full{})
+}
+
+// newHarnessNodes builds a harness with the given node count and
+// coordination component (full or tree).
+func newHarnessNodes(t *testing.T, np, nnodes int, comp Component) *harness {
+	t.Helper()
+	var nodes []string
+	nodeFS := map[string]*vfs.Mem{}
+	for i := 0; i < nnodes; i++ {
+		name := fmt.Sprintf("n%d", i)
+		nodes = append(nodes, name)
+		nodeFS[name] = vfs.NewMem()
+	}
+	stable := vfs.NewMem()
+	topo := netsim.NewTopology(netsim.DefaultIngress)
+	for _, n := range nodes {
+		topo.AddNode(n, netsim.DefaultUplink)
+	}
+	log := &trace.Log{}
+	env := &Env{
+		Filem: &filem.RSH{},
+		FilemEnv: &filem.Env{
+			Resolve: func(node string) (vfs.FS, error) {
+				if node == filem.StableNode {
+					return stable, nil
+				}
+				fs, ok := nodeFS[node]
+				if !ok {
+					return nil, fmt.Errorf("unknown node %q", node)
+				}
+				return fs, nil
+			},
+			Topo:  topo,
+			Clock: &netsim.Clock{},
+			Log:   log,
+		},
+		Stable: stable,
+		NodeFS: func(node string) (vfs.FS, error) {
+			fs, ok := nodeFS[node]
+			if !ok {
+				return nil, fmt.Errorf("unknown node %q", node)
+			}
+			return fs, nil
+		},
+		Log:        log,
+		AckTimeout: 5 * time.Second,
+	}
+	placement := make(map[int]string, np)
+	ckptable := make([]bool, np)
+	for v := 0; v < np; v++ {
+		placement[v] = nodes[v%nnodes]
+		ckptable[v] = true
+	}
+	job := &fakeJob{
+		id: 7, np: np, placement: placement,
+		nodeFS: nodeFS, ckptable: ckptable, failRank: -1,
+	}
+	router := rml.NewRouter()
+	hnp, err := router.Register(names.HNP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	daemons := make(map[string]names.Name)
+	for i, n := range nodes {
+		dn := names.Daemon(i)
+		ep, err := router.Register(dn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		daemons[n] = dn
+		n := n
+		knownID := job.id // captured at registration time, like a job table
+		go func(ep *rml.Endpoint) {
+			_ = comp.ServeLocal(env, n, ep, func(id names.JobID) (JobView, error) {
+				if id != knownID {
+					return nil, fmt.Errorf("unknown job %d", id)
+				}
+				return job, nil
+			})
+		}(ep)
+	}
+	t.Cleanup(router.Close)
+	return &harness{env: env, hnp: hnp, daemons: daemons, job: job, stable: stable, router: router, log: log}
+}
+
+func TestFrameworkHasFull(t *testing.T) {
+	f := NewFramework()
+	c, err := f.Select(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "full" {
+		t.Errorf("default = %q", c.Name())
+	}
+}
+
+func TestGlobalCheckpointEndToEnd(t *testing.T) {
+	h := newHarness(t, 4)
+	comp := &Full{}
+	res, err := comp.Checkpoint(h.env, h.job, h.hnp, h.daemons, snapshot.GlobalDirName(7), 0, Options{})
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if res.Interval != 0 {
+		t.Errorf("Interval = %d", res.Interval)
+	}
+	if res.Meta.NumProcs != 4 || res.Meta.AppName != "fake" {
+		t.Errorf("meta = %+v", res.Meta)
+	}
+	if res.Meta.MCAParams["crcp"] != "bkmrk" {
+		t.Errorf("MCAParams = %v (runtime parameters must be recorded)", res.Meta.MCAParams)
+	}
+	// The global snapshot holds a readable metadata file and every
+	// rank's local snapshot with its image and local metadata.
+	ref := res.Ref
+	meta, err := snapshot.ReadGlobal(ref, 0)
+	if err != nil {
+		t.Fatalf("ReadGlobal: %v", err)
+	}
+	for _, pe := range meta.Procs {
+		lref := snapshot.LocalRefIn(ref, 0, pe)
+		lmeta, err := snapshot.ReadLocal(lref)
+		if err != nil {
+			t.Fatalf("rank %d local metadata: %v", pe.Vpid, err)
+		}
+		if lmeta.Component != "simcr" || lmeta.Node != h.job.placement[pe.Vpid] {
+			t.Errorf("rank %d local meta = %+v", pe.Vpid, lmeta)
+		}
+		img, err := lref.FS.ReadFile(path.Join(lref.Dir, "process_image.bin"))
+		if err != nil {
+			t.Fatalf("rank %d image: %v", pe.Vpid, err)
+		}
+		want := fmt.Sprintf("image of rank %d at interval 0", pe.Vpid)
+		if string(img) != want {
+			t.Errorf("rank %d image = %q", pe.Vpid, img)
+		}
+	}
+	// FILEM remove cleaned the node-local copies of this interval.
+	for _, nodeFS := range h.job.nodeFS {
+		if vfs.Exists(nodeFS, "tmp/ckpt/job7/0") {
+			t.Error("node-local snapshot data survived cleanup")
+		}
+	}
+	// Every rank was delivered exactly one directive.
+	h.job.mu.Lock()
+	defer h.job.mu.Unlock()
+	if len(h.job.delivered) != 4 {
+		t.Errorf("delivered = %v", h.job.delivered)
+	}
+	if res.GatherStats.Transfers != 4 || res.GatherStats.Bytes <= 0 {
+		t.Errorf("gather stats = %+v", res.GatherStats)
+	}
+}
+
+func TestKeepLocalOption(t *testing.T) {
+	h := newHarness(t, 2)
+	comp := &Full{}
+	if _, err := comp.Checkpoint(h.env, h.job, h.hnp, h.daemons, snapshot.GlobalDirName(7), 0, Options{KeepLocal: true}); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	found := false
+	for _, nodeFS := range h.job.nodeFS {
+		if vfs.Exists(nodeFS, "tmp/ckpt/job7/0") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("KeepLocal did not preserve node-local snapshots")
+	}
+}
+
+func TestNonCheckpointableFailsAtomically(t *testing.T) {
+	h := newHarness(t, 4)
+	h.job.ckptable[2] = false
+	comp := &Full{}
+	_, err := comp.Checkpoint(h.env, h.job, h.hnp, h.daemons, snapshot.GlobalDirName(7), 0, Options{})
+	if !errors.Is(err, ErrNotCheckpointable) {
+		t.Fatalf("err = %v, want ErrNotCheckpointable", err)
+	}
+	// §5.1: no process may be affected.
+	h.job.mu.Lock()
+	defer h.job.mu.Unlock()
+	if len(h.job.delivered) != 0 {
+		t.Errorf("directives were delivered despite the refusal: %v", h.job.delivered)
+	}
+	if vfs.Exists(h.stable, snapshot.GlobalDirName(7)) {
+		t.Error("global snapshot dir created despite the refusal")
+	}
+}
+
+func TestParticipationFailurePropagates(t *testing.T) {
+	h := newHarness(t, 4)
+	h.job.failRank = 1
+	comp := &Full{}
+	_, err := comp.Checkpoint(h.env, h.job, h.hnp, h.daemons, snapshot.GlobalDirName(7), 0, Options{})
+	if err == nil || !contains(err.Error(), "injected participation failure") {
+		t.Fatalf("err = %v, want injected failure", err)
+	}
+}
+
+func TestUnknownNodeDaemon(t *testing.T) {
+	h := newHarness(t, 2)
+	comp := &Full{}
+	// A job placed on a node with no local coordinator.
+	h.job.placement[0] = "ghost"
+	_, err := comp.Checkpoint(h.env, h.job, h.hnp, h.daemons, snapshot.GlobalDirName(7), 0, Options{})
+	if err == nil {
+		t.Fatal("Checkpoint succeeded with an uncovered node")
+	}
+}
+
+func TestSequentialIntervals(t *testing.T) {
+	h := newHarness(t, 2)
+	comp := &Full{}
+	for iv := 0; iv < 3; iv++ {
+		if _, err := comp.Checkpoint(h.env, h.job, h.hnp, h.daemons, snapshot.GlobalDirName(7), iv, Options{}); err != nil {
+			t.Fatalf("interval %d: %v", iv, err)
+		}
+	}
+	ref := snapshot.GlobalRef{FS: h.stable, Dir: snapshot.GlobalDirName(7)}
+	ivs, err := snapshot.Intervals(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) != 3 {
+		t.Errorf("intervals = %v", ivs)
+	}
+	latest, err := snapshot.LatestInterval(ref)
+	if err != nil || latest != 2 {
+		t.Errorf("latest = %d, %v", latest, err)
+	}
+}
+
+func TestUnknownJobAtLocalCoordinator(t *testing.T) {
+	h := newHarness(t, 2)
+	comp := &Full{}
+	h.job.id = 99 // global coordinator asks for job 99; resolver only knows 7
+	_, err := comp.Checkpoint(h.env, h.job, h.hnp, h.daemons, snapshot.GlobalDirName(99), 0, Options{})
+	if err == nil {
+		t.Fatal("Checkpoint succeeded for unknown job")
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		func() bool {
+			for i := 0; i+len(sub) <= len(s); i++ {
+				if s[i:i+len(sub)] == sub {
+					return true
+				}
+			}
+			return false
+		}())
+}
+
+// --- tree coordinator ----------------------------------------------------------
+
+func TestTreeCheckpointAcrossManyNodes(t *testing.T) {
+	// 7 nodes, 14 ranks: a 3-level binary tree of local coordinators.
+	h := newHarnessNodes(t, 14, 7, &Tree{})
+	comp := &Tree{}
+	res, err := comp.Checkpoint(h.env, h.job, h.hnp, h.daemons, snapshot.GlobalDirName(7), 0, Options{})
+	if err != nil {
+		t.Fatalf("tree Checkpoint: %v", err)
+	}
+	if res.Meta.NumProcs != 14 {
+		t.Errorf("meta = %+v", res.Meta)
+	}
+	// Every rank's local snapshot landed on stable storage, readable.
+	for _, pe := range res.Meta.Procs {
+		if _, err := snapshot.ReadLocal(snapshot.LocalRefIn(res.Ref, 0, pe)); err != nil {
+			t.Errorf("rank %d: %v", pe.Vpid, err)
+		}
+	}
+	// The tree relayed: intermediate vertices logged their fan-out.
+	if h.log.Count("ckpt.tree-relay") != 7 {
+		t.Errorf("tree-relay events = %d, want 7 (one per vertex)", h.log.Count("ckpt.tree-relay"))
+	}
+	// The HNP exchanged exactly one request and one aggregated ack:
+	// the root's relay did the rest.
+	h.job.mu.Lock()
+	delivered := len(h.job.delivered)
+	h.job.mu.Unlock()
+	if delivered != 14 {
+		t.Errorf("delivered = %d, want 14", delivered)
+	}
+}
+
+func TestTreeNonCheckpointableAtomic(t *testing.T) {
+	h := newHarnessNodes(t, 8, 4, &Tree{})
+	h.job.ckptable[5] = false
+	comp := &Tree{}
+	_, err := comp.Checkpoint(h.env, h.job, h.hnp, h.daemons, snapshot.GlobalDirName(7), 0, Options{})
+	if !errors.Is(err, ErrNotCheckpointable) {
+		t.Fatalf("err = %v", err)
+	}
+	h.job.mu.Lock()
+	defer h.job.mu.Unlock()
+	if len(h.job.delivered) != 0 {
+		t.Errorf("directives delivered despite refusal: %v", h.job.delivered)
+	}
+}
+
+func TestTreeParticipationFailurePropagates(t *testing.T) {
+	h := newHarnessNodes(t, 8, 4, &Tree{})
+	h.job.failRank = 6 // lives on a leaf vertex
+	comp := &Tree{}
+	_, err := comp.Checkpoint(h.env, h.job, h.hnp, h.daemons, snapshot.GlobalDirName(7), 0, Options{})
+	if err == nil {
+		t.Fatal("tree Checkpoint succeeded despite injected failure")
+	}
+}
+
+func TestTreeMatchesFullResults(t *testing.T) {
+	// The two coordination topologies must produce equivalent global
+	// snapshots for the same job.
+	hFull := newHarnessNodes(t, 6, 3, &Full{})
+	rFull, err := (&Full{}).Checkpoint(hFull.env, hFull.job, hFull.hnp, hFull.daemons, snapshot.GlobalDirName(7), 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hTree := newHarnessNodes(t, 6, 3, &Tree{})
+	rTree, err := (&Tree{}).Checkpoint(hTree.env, hTree.job, hTree.hnp, hTree.daemons, snapshot.GlobalDirName(7), 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rFull.Meta.NumProcs != rTree.Meta.NumProcs || len(rFull.Meta.Procs) != len(rTree.Meta.Procs) {
+		t.Errorf("metas differ: %+v vs %+v", rFull.Meta, rTree.Meta)
+	}
+	for i := range rFull.Meta.Procs {
+		if rFull.Meta.Procs[i] != rTree.Meta.Procs[i] {
+			t.Errorf("proc entry %d differs: %+v vs %+v", i, rFull.Meta.Procs[i], rTree.Meta.Procs[i])
+		}
+	}
+}

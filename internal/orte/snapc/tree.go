@@ -1,0 +1,226 @@
+package snapc
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/orte/names"
+	"repro/internal/orte/rml"
+)
+
+// Tree is the hierarchical snapshot coordinator: the alternative
+// technique the paper's framework design explicitly anticipates
+// ("initiating multiple local checkpoints concurrently in a hierarchal
+// tree structure", §5.1). Instead of the HNP messaging every node's
+// local coordinator directly, the request descends a binomial-ish
+// binary tree of daemons and the acknowledgements aggregate back up:
+// the HNP exchanges exactly two messages per checkpoint regardless of
+// node count, trading fan-out load at the root for tree depth.
+//
+// The FILEM aggregation and metadata steps are identical to the full
+// component — only the coordination topology changes, which is exactly
+// the kind of isolated experiment the MCA decomposition exists for.
+type Tree struct{}
+
+// Name implements mca.Component.
+func (*Tree) Name() string { return "tree" }
+
+// Priority implements mca.Component; full remains the default.
+func (*Tree) Priority() int { return 10 }
+
+// treeRequest descends the daemon tree. Nodes is the ordered list of
+// involved nodes (the tree's vertex numbering); each orted finds its own
+// index, relays to children 2i+1 and 2i+2, handles its local ranks, and
+// aggregates its subtree's results.
+type treeRequest struct {
+	Job       int              `json:"job"`
+	Interval  int              `json:"interval"`
+	BaseDir   string           `json:"base_dir"`
+	Terminate bool             `json:"terminate"`
+	Nodes     []string         `json:"nodes"`
+	Vpids     map[string][]int `json:"vpids"` // node -> ranks
+	Daemons   map[string]struct {
+		Job  int `json:"job"`
+		Vpid int `json:"vpid"`
+	} `json:"daemons"` // node -> daemon RML name
+	SelfIndex int `json:"self_index"` // receiver's position in Nodes
+}
+
+func (r *treeRequest) daemonName(node string) (names.Name, bool) {
+	d, ok := r.Daemons[node]
+	if !ok {
+		return names.Name{}, false
+	}
+	return names.Name{Job: names.JobID(d.Job), Vpid: names.Vpid(d.Vpid)}, true
+}
+
+// Checkpoint implements Component: the global coordinator, tree flavor.
+func (t *Tree) Checkpoint(env *Env, job JobView, hnp *rml.Endpoint, daemons map[string]names.Name,
+	globalDir string, interval int, opts Options) (Result, error) {
+	log := env.Log
+	log.Emit("snapc.global", "ckpt.request", "job %d interval %d terminate=%v (tree)", job.JobID(), interval, opts.Terminate)
+
+	// §5.1 atomic checkpointability check, same as full.
+	for v := 0; v < job.NumProcs(); v++ {
+		if !job.Checkpointable(v) {
+			return Result{}, fmt.Errorf("%w: job %d rank %d", ErrNotCheckpointable, job.JobID(), v)
+		}
+	}
+	byNode := make(map[string][]int)
+	for v := 0; v < job.NumProcs(); v++ {
+		byNode[job.NodeOf(v)] = append(byNode[job.NodeOf(v)], v)
+	}
+	// Deterministic vertex numbering: the job's stable node order.
+	nodes := job.Nodes()
+	req := treeRequest{
+		Job: int(job.JobID()), Interval: interval,
+		BaseDir: localBaseDir(job.JobID(), interval), Terminate: opts.Terminate,
+		Nodes: nodes, Vpids: byNode,
+		Daemons: make(map[string]struct {
+			Job  int `json:"job"`
+			Vpid int `json:"vpid"`
+		}, len(nodes)),
+	}
+	for _, n := range nodes {
+		dn, ok := daemons[n]
+		if !ok {
+			return Result{}, fmt.Errorf("snapc tree: no local coordinator on node %q", n)
+		}
+		req.Daemons[n] = struct {
+			Job  int `json:"job"`
+			Vpid int `json:"vpid"`
+		}{Job: int(dn.Job), Vpid: int(dn.Vpid)}
+	}
+	// One message down to the root of the tree...
+	rootDaemon, _ := req.daemonName(nodes[0])
+	req.SelfIndex = 0
+	if err := hnp.SendJSON(rootDaemon, rml.TagSnapcRequest, req); err != nil {
+		return Result{}, fmt.Errorf("snapc tree: order root %q: %w", nodes[0], err)
+	}
+	// ...and one aggregated ack back up.
+	timeout := env.AckTimeout
+	if timeout == 0 {
+		timeout = DefaultAckTimeout
+	}
+	var ack localAck
+	if _, err := hnp.RecvJSONTimeout(rml.TagSnapcAck, &ack, timeout); err != nil {
+		return Result{}, fmt.Errorf("snapc tree: waiting for aggregated ack: %w", err)
+	}
+	if ack.Err != "" {
+		return Result{}, fmt.Errorf("snapc tree: %s", ack.Err)
+	}
+	results := make(map[int]procResult, job.NumProcs())
+	for _, pr := range ack.Results {
+		if pr.Err != "" {
+			return Result{}, fmt.Errorf("snapc tree: rank %d: %s", pr.Vpid, pr.Err)
+		}
+		results[pr.Vpid] = pr
+	}
+	if len(results) != job.NumProcs() {
+		return Result{}, fmt.Errorf("snapc tree: %d of %d local snapshots reported", len(results), job.NumProcs())
+	}
+	log.Emit("snapc.global", "ckpt.node-done", "aggregated ack covers %d procs (tree)", len(results))
+
+	// Aggregation to stable storage and metadata: shared with full.
+	return finishGlobal(env, job, globalDir, interval, opts, byNode, results)
+}
+
+// ServeLocal implements Component: relay down, handle locally, aggregate
+// up.
+func (t *Tree) ServeLocal(env *Env, node string, ep *rml.Endpoint, resolve func(names.JobID) (JobView, error)) error {
+	full := &Full{} // reuse the per-node checkpoint core
+	for {
+		var req treeRequest
+		from, err := ep.RecvJSON(rml.TagSnapcRequest, &req)
+		if err != nil {
+			if errors.Is(err, rml.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("snapc tree local[%s]: %w", node, err)
+		}
+		ack := t.handleSubtree(env, node, ep, req, full, resolve)
+		if err := ep.SendJSON(from, rml.TagSnapcAck, ack); err != nil {
+			return fmt.Errorf("snapc tree local[%s]: ack: %w", node, err)
+		}
+	}
+}
+
+// handleSubtree relays the request to this vertex's children, runs the
+// local checkpoints, and merges the children's aggregated results.
+func (t *Tree) handleSubtree(env *Env, node string, ep *rml.Endpoint, req treeRequest,
+	full *Full, resolve func(names.JobID) (JobView, error)) localAck {
+	ack := localAck{Job: req.Job, Interval: req.Interval, Node: node}
+	i := req.SelfIndex
+	if i < 0 || i >= len(req.Nodes) || req.Nodes[i] != node {
+		ack.Err = fmt.Sprintf("snapc tree: node %q received request for vertex %d (%v)", node, i, req.Nodes)
+		return ack
+	}
+	// Relay to children first so subtrees work concurrently with our
+	// own local checkpoints.
+	var children []names.Name
+	for _, ci := range []int{2*i + 1, 2*i + 2} {
+		if ci >= len(req.Nodes) {
+			continue
+		}
+		child := req.Nodes[ci]
+		dn, ok := req.daemonName(child)
+		if !ok {
+			ack.Err = fmt.Sprintf("snapc tree: no daemon for child node %q", child)
+			return ack
+		}
+		creq := req
+		creq.SelfIndex = ci
+		if err := ep.SendJSON(dn, rml.TagSnapcRequest, creq); err != nil {
+			ack.Err = fmt.Sprintf("snapc tree: relay to %q: %v", child, err)
+			return ack
+		}
+		children = append(children, dn)
+	}
+	env.Log.Emit("snapc.local["+node+"]", "ckpt.tree-relay", "vertex %d, %d children", i, len(children))
+
+	// Local checkpoints of this node's ranks (reusing full's core).
+	local := full.handleLocal(env, node, localRequest{
+		Job: req.Job, Interval: req.Interval,
+		Vpids: req.Vpids[node], BaseDir: req.BaseDir, Terminate: req.Terminate,
+	}, resolve)
+	if local.Err != "" {
+		ack.Err = local.Err
+		return ack
+	}
+	ack.Results = append(ack.Results, local.Results...)
+
+	// Aggregate children.
+	timeout := env.AckTimeout
+	if timeout == 0 {
+		timeout = DefaultAckTimeout
+	}
+	for _, child := range children {
+		var cack localAck
+		m, err := ep.RecvFromTimeout(child, rml.TagSnapcAck, timeout)
+		if err != nil {
+			ack.Err = fmt.Sprintf("snapc tree: waiting for child %v: %v", child, err)
+			return ack
+		}
+		if err := decodeJSON(m.Data, &cack); err != nil {
+			ack.Err = err.Error()
+			return ack
+		}
+		if cack.Err != "" {
+			ack.Err = cack.Err
+			return ack
+		}
+		ack.Results = append(ack.Results, cack.Results...)
+	}
+	return ack
+}
+
+var _ Component = (*Tree)(nil)
+
+// decodeJSON unwraps an aggregated ack payload.
+func decodeJSON(data []byte, v any) error {
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("snapc tree: bad ack payload: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+// Package trace is a lightweight structured event log. The runtime and
+// frameworks emit events (checkpoint requested, bookmark exchanged, file
+// gathered, ...) that integration tests assert on and the benchmark
+// harness summarizes. It deliberately avoids any external dependency and
+// any global state: a Log is plumbed explicitly to whoever needs one.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	Time time.Time
+	// Source identifies the emitting entity, e.g. "snapc.global" or
+	// "crcp.bkmrk[0]".
+	Source string
+	// Kind is a short machine-matchable label, e.g. "ckpt.request".
+	Kind string
+	// Detail is free-form human-readable context.
+	Detail string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%s %s %s", e.Source, e.Kind, e.Detail)
+}
+
+// Log collects events. The zero value is ready to use and safe for
+// concurrent use. A nil *Log discards events, so components can accept
+// an optional log without nil checks at every call site.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit records an event with the current time. Emit on a nil log is a
+// no-op.
+func (l *Log) Emit(source, kind, format string, args ...any) {
+	if l == nil {
+		return
+	}
+	e := Event{
+		Time:   time.Now(),
+		Source: source,
+		Kind:   kind,
+		Detail: fmt.Sprintf(format, args...),
+	}
+	l.mu.Lock()
+	l.events = append(l.events, e)
+	l.mu.Unlock()
+}
+
+// Events returns a copy of all recorded events in emission order.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Kinds returns the ordered sequence of event kinds, optionally filtered
+// to a single source prefix. Tests use this to assert protocol ordering.
+func (l *Log) Kinds(sourcePrefix string) []string {
+	var out []string
+	for _, e := range l.Events() {
+		if sourcePrefix != "" && !strings.HasPrefix(e.Source, sourcePrefix) {
+			continue
+		}
+		out = append(out, e.Kind)
+	}
+	return out
+}
+
+// Count returns how many events of the given kind were recorded.
+func (l *Log) Count(kind string) int {
+	n := 0
+	for _, e := range l.Events() {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset discards all recorded events.
+func (l *Log) Reset() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.events = nil
+	l.mu.Unlock()
+}
+
+// Summary returns kind -> count, with kinds sorted in the returned string
+// form for stable output.
+func (l *Log) Summary() string {
+	counts := make(map[string]int)
+	for _, e := range l.Events() {
+		counts[e.Kind]++
+	}
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	var b strings.Builder
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "%s=%d ", k, counts[k])
+	}
+	return strings.TrimSpace(b.String())
+}

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestEmitAndEvents(t *testing.T) {
+	var l Log
+	l.Emit("snapc.global", "ckpt.request", "job %d", 42)
+	l.Emit("snapc.local[n0]", "ckpt.start", "proc 0")
+	events := l.Events()
+	if len(events) != 2 {
+		t.Fatalf("len(Events) = %d, want 2", len(events))
+	}
+	if events[0].Kind != "ckpt.request" || events[0].Detail != "job 42" {
+		t.Errorf("event 0 = %+v", events[0])
+	}
+	if got := events[1].String(); got != "snapc.local[n0] ckpt.start proc 0" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.Emit("x", "y", "z") // must not panic
+	l.Reset()
+	if got := l.Events(); got != nil {
+		t.Errorf("nil log Events = %v, want nil", got)
+	}
+}
+
+func TestKindsFilter(t *testing.T) {
+	var l Log
+	l.Emit("a.one", "k1", "")
+	l.Emit("b.two", "k2", "")
+	l.Emit("a.three", "k3", "")
+	if got, want := l.Kinds("a."), []string{"k1", "k3"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Kinds(a.) = %v, want %v", got, want)
+	}
+	if got, want := l.Kinds(""), []string{"k1", "k2", "k3"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Kinds() = %v, want %v", got, want)
+	}
+}
+
+func TestCountAndSummary(t *testing.T) {
+	var l Log
+	for i := 0; i < 3; i++ {
+		l.Emit("s", "msg.send", "")
+	}
+	l.Emit("s", "msg.recv", "")
+	if got := l.Count("msg.send"); got != 3 {
+		t.Errorf("Count(msg.send) = %d, want 3", got)
+	}
+	if got := l.Summary(); got != "msg.recv=1 msg.send=3" {
+		t.Errorf("Summary() = %q", got)
+	}
+	l.Reset()
+	if got := l.Count("msg.send"); got != 0 {
+		t.Errorf("Count after reset = %d, want 0", got)
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	var l Log
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Emit("g", "tick", "")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.Count("tick"); got != 800 {
+		t.Errorf("Count(tick) = %d, want 800", got)
+	}
+}

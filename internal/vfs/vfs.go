@@ -1,0 +1,382 @@
+// Package vfs provides the virtual filesystem abstraction used by the
+// simulated cluster. Every node in the cluster owns a node-local
+// filesystem (usually an in-memory Mem), while stable storage is backed
+// by a real on-disk directory (OS) so that global snapshots survive the
+// simulator process, as the paper's stable-storage definition requires.
+//
+// The interface is deliberately small: the FILEM framework and the
+// snapshot code only need create/read/write/remove/list/stat, and keeping
+// the surface minimal makes the Mem and OS implementations easy to prove
+// equivalent (see the shared conformance tests).
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Common error values. Implementations wrap these so callers can use
+// errors.Is regardless of the backing store.
+var (
+	// ErrNotExist reports that a file or directory does not exist.
+	ErrNotExist = errors.New("vfs: file does not exist")
+	// ErrExist reports that a file already exists where one must not.
+	ErrExist = errors.New("vfs: file already exists")
+	// ErrIsDir reports that a directory was found where a file was expected.
+	ErrIsDir = errors.New("vfs: is a directory")
+	// ErrNotDir reports that a file was found where a directory was expected.
+	ErrNotDir = errors.New("vfs: not a directory")
+	// ErrInvalid reports a malformed path.
+	ErrInvalid = errors.New("vfs: invalid path")
+)
+
+// FileInfo describes a file or directory in a virtual filesystem.
+type FileInfo struct {
+	Name    string    // base name
+	Size    int64     // length in bytes; 0 for directories
+	IsDir   bool      // whether the entry is a directory
+	ModTime time.Time // last modification time
+}
+
+// FS is the filesystem contract shared by node-local disks and stable
+// storage. All paths are slash-separated and interpreted relative to the
+// filesystem root; a leading slash is permitted and ignored.
+type FS interface {
+	// WriteFile writes data to name, creating parent directories as
+	// needed and truncating any existing file.
+	WriteFile(name string, data []byte) error
+	// ReadFile returns the contents of the named file.
+	ReadFile(name string) ([]byte, error)
+	// Remove removes the named file or (recursively) directory.
+	// Removing a nonexistent name is an error.
+	Remove(name string) error
+	// MkdirAll creates the named directory along with any parents.
+	// It succeeds if the directory already exists.
+	MkdirAll(name string) error
+	// ReadDir lists the entries of the named directory sorted by name.
+	ReadDir(name string) ([]FileInfo, error)
+	// Stat describes the named file or directory.
+	Stat(name string) (FileInfo, error)
+}
+
+// Clean canonicalizes a slash-separated path: it strips any leading
+// slashes, applies path.Clean, and rejects attempts to escape the root.
+// The empty string and "." both denote the filesystem root.
+func Clean(name string) (string, error) {
+	name = strings.TrimLeft(name, "/")
+	if name == "" {
+		return ".", nil
+	}
+	cleaned := path.Clean(name)
+	if cleaned == ".." || strings.HasPrefix(cleaned, "../") {
+		return "", fmt.Errorf("%w: %q escapes filesystem root", ErrInvalid, name)
+	}
+	return cleaned, nil
+}
+
+// Exists reports whether name exists on fsys.
+func Exists(fsys FS, name string) bool {
+	_, err := fsys.Stat(name)
+	return err == nil
+}
+
+// CopyFile copies a single file from src on srcFS to dst on dstFS.
+func CopyFile(srcFS FS, src string, dstFS FS, dst string) error {
+	data, err := srcFS.ReadFile(src)
+	if err != nil {
+		return fmt.Errorf("vfs: copy %q: %w", src, err)
+	}
+	if err := dstFS.WriteFile(dst, data); err != nil {
+		return fmt.Errorf("vfs: copy to %q: %w", dst, err)
+	}
+	return nil
+}
+
+// CopyTree recursively copies the tree rooted at src on srcFS to dst on
+// dstFS. src may be a single file. Returns the total bytes copied.
+func CopyTree(srcFS FS, src string, dstFS FS, dst string) (int64, error) {
+	info, err := srcFS.Stat(src)
+	if err != nil {
+		return 0, fmt.Errorf("vfs: copy tree %q: %w", src, err)
+	}
+	if !info.IsDir {
+		data, err := srcFS.ReadFile(src)
+		if err != nil {
+			return 0, err
+		}
+		if err := dstFS.WriteFile(dst, data); err != nil {
+			return 0, err
+		}
+		return int64(len(data)), nil
+	}
+	if err := dstFS.MkdirAll(dst); err != nil {
+		return 0, err
+	}
+	entries, err := srcFS.ReadDir(src)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, e := range entries {
+		n, err := CopyTree(srcFS, path.Join(src, e.Name), dstFS, path.Join(dst, e.Name))
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// TreeSize returns the total size in bytes of all files under root.
+func TreeSize(fsys FS, root string) (int64, error) {
+	info, err := fsys.Stat(root)
+	if err != nil {
+		return 0, err
+	}
+	if !info.IsDir {
+		return info.Size, nil
+	}
+	entries, err := fsys.ReadDir(root)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, e := range entries {
+		n, err := TreeSize(fsys, path.Join(root, e.Name))
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// Walk calls fn for every file (not directory) under root, passing the
+// full path and file info. Entries are visited in sorted order.
+func Walk(fsys FS, root string, fn func(name string, info FileInfo) error) error {
+	info, err := fsys.Stat(root)
+	if err != nil {
+		return err
+	}
+	if !info.IsDir {
+		return fn(root, info)
+	}
+	entries, err := fsys.ReadDir(root)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := Walk(fsys, path.Join(root, e.Name), fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Mem is an in-memory FS safe for concurrent use. The zero value is not
+// usable; construct with NewMem.
+type Mem struct {
+	mu    sync.RWMutex
+	files map[string][]byte    // regular files by cleaned path
+	dirs  map[string]bool      // directories by cleaned path; "." always present
+	mtime map[string]time.Time // modification times for files and dirs
+	clock func() time.Time
+}
+
+// NewMem returns an empty in-memory filesystem.
+func NewMem() *Mem {
+	return &Mem{
+		files: make(map[string][]byte),
+		dirs:  map[string]bool{".": true},
+		mtime: map[string]time.Time{".": time.Now()},
+		clock: time.Now,
+	}
+}
+
+func (m *Mem) now() time.Time { return m.clock() }
+
+// mkdirAllLocked creates dir and parents. Caller holds m.mu.
+func (m *Mem) mkdirAllLocked(dir string) error {
+	if dir == "." {
+		return nil
+	}
+	if _, isFile := m.files[dir]; isFile {
+		return fmt.Errorf("vfs: mkdir %q: %w", dir, ErrNotDir)
+	}
+	if m.dirs[dir] {
+		return nil
+	}
+	if err := m.mkdirAllLocked(path.Dir(dir)); err != nil {
+		return err
+	}
+	m.dirs[dir] = true
+	m.mtime[dir] = m.now()
+	return nil
+}
+
+// WriteFile implements FS.
+func (m *Mem) WriteFile(name string, data []byte) error {
+	p, err := Clean(name)
+	if err != nil {
+		return err
+	}
+	if p == "." {
+		return fmt.Errorf("vfs: write %q: %w", name, ErrIsDir)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.dirs[p] {
+		return fmt.Errorf("vfs: write %q: %w", name, ErrIsDir)
+	}
+	if err := m.mkdirAllLocked(path.Dir(p)); err != nil {
+		return err
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	m.files[p] = buf
+	m.mtime[p] = m.now()
+	return nil
+}
+
+// ReadFile implements FS.
+func (m *Mem) ReadFile(name string) ([]byte, error) {
+	p, err := Clean(name)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.dirs[p] {
+		return nil, fmt.Errorf("vfs: read %q: %w", name, ErrIsDir)
+	}
+	data, ok := m.files[p]
+	if !ok {
+		return nil, fmt.Errorf("vfs: read %q: %w", name, ErrNotExist)
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	return buf, nil
+}
+
+// Remove implements FS.
+func (m *Mem) Remove(name string) error {
+	p, err := Clean(name)
+	if err != nil {
+		return err
+	}
+	if p == "." {
+		return fmt.Errorf("vfs: remove %q: %w", name, ErrInvalid)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[p]; ok {
+		delete(m.files, p)
+		delete(m.mtime, p)
+		return nil
+	}
+	if !m.dirs[p] {
+		return fmt.Errorf("vfs: remove %q: %w", name, ErrNotExist)
+	}
+	prefix := p + "/"
+	for f := range m.files {
+		if strings.HasPrefix(f, prefix) {
+			delete(m.files, f)
+			delete(m.mtime, f)
+		}
+	}
+	for d := range m.dirs {
+		if d == p || strings.HasPrefix(d, prefix) {
+			delete(m.dirs, d)
+			delete(m.mtime, d)
+		}
+	}
+	return nil
+}
+
+// MkdirAll implements FS.
+func (m *Mem) MkdirAll(name string) error {
+	p, err := Clean(name)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.mkdirAllLocked(p)
+}
+
+// ReadDir implements FS.
+func (m *Mem) ReadDir(name string) ([]FileInfo, error) {
+	p, err := Clean(name)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if _, isFile := m.files[p]; isFile {
+		return nil, fmt.Errorf("vfs: readdir %q: %w", name, ErrNotDir)
+	}
+	if !m.dirs[p] {
+		return nil, fmt.Errorf("vfs: readdir %q: %w", name, ErrNotExist)
+	}
+	seen := make(map[string]FileInfo)
+	addChild := func(full string, isDir bool, size int64) {
+		var rel string
+		if p == "." {
+			rel = full
+		} else if strings.HasPrefix(full, p+"/") {
+			rel = full[len(p)+1:]
+		} else {
+			return
+		}
+		base, _, nested := strings.Cut(rel, "/")
+		if nested {
+			return // only immediate children; parents exist in m.dirs anyway
+		}
+		info := FileInfo{Name: base, IsDir: isDir, Size: size, ModTime: m.mtime[full]}
+		seen[base] = info
+	}
+	for f, data := range m.files {
+		addChild(f, false, int64(len(data)))
+	}
+	for d := range m.dirs {
+		if d == "." {
+			continue
+		}
+		addChild(d, true, 0)
+	}
+	out := make([]FileInfo, 0, len(seen))
+	for _, info := range seen {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Stat implements FS.
+func (m *Mem) Stat(name string) (FileInfo, error) {
+	p, err := Clean(name)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if data, ok := m.files[p]; ok {
+		return FileInfo{Name: path.Base(p), Size: int64(len(data)), ModTime: m.mtime[p]}, nil
+	}
+	if m.dirs[p] {
+		return FileInfo{Name: path.Base(p), IsDir: true, ModTime: m.mtime[p]}, nil
+	}
+	return FileInfo{}, fmt.Errorf("vfs: stat %q: %w", name, ErrNotExist)
+}
+
+var _ FS = (*Mem)(nil)
+
+// statically assert fs.ErrNotExist compatibility helper exists; the OS
+// implementation maps os errors onto the vfs sentinel errors.
+var _ = fs.ErrNotExist
