@@ -8,6 +8,7 @@
 //	A4     BenchmarkRestartTopology
 //	A5     BenchmarkEagerRendezvousCrossover
 //	A6     BenchmarkSnapcTopology
+//	A7     BenchmarkFaultRetryAblation
 //
 // Run with: go test -bench=. -benchmem
 package repro
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/core"
@@ -429,5 +431,74 @@ func BenchmarkSnapcTopology(b *testing.B) {
 				b.Fatal(err)
 			}
 		})
+	}
+}
+
+// --- A7: checkpoint pipeline robustness vs injected fault rate -----------------
+
+// BenchmarkFaultRetryAblation drives periodic checkpoints of an 8-rank
+// job while the fault plan fails a fraction of FILEM transfers, with the
+// retry policy disabled and enabled. Reported metrics: committed
+// checkpoints as a percentage of attempts (ok-%) and modeled time per
+// attempt. The claim under test: bounded retries convert transient
+// transfer faults from aborted intervals into slightly slower commits,
+// and an aborted interval never costs more than the work it staged.
+func BenchmarkFaultRetryAblation(b *testing.B) {
+	for _, rate := range []float64{0, 0.1, 0.3} {
+		for _, retries := range []int{0, 3} {
+			b.Run(fmt.Sprintf("rate=%.0f%%/retries=%d", rate*100, retries), func(b *testing.B) {
+				params := mca.NewParams()
+				if rate > 0 {
+					params.Set("fault_plan", fmt.Sprintf("seed=42; filem.transfer=p%g", rate))
+				}
+				params.Set("filem_retry_max", fmt.Sprintf("%d", retries))
+				params.Set("filem_retry_backoff", "1ms")
+				sys, err := core.NewSystem(core.Options{Nodes: 4, SlotsPerNode: 2, Params: params, Log: &trace.Log{}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer sys.Close()
+				factory, err := apps.Lookup("ring", []string{"-iters", "0"})
+				if err != nil {
+					b.Fatal(err)
+				}
+				job, err := sys.Launch(core.JobSpec{Name: "ring", Args: []string{"-iters", "0"}, NP: 8, AppFactory: factory})
+				if err != nil {
+					b.Fatal(err)
+				}
+				clock := sys.Cluster().Clock()
+				clock.Reset()
+				committed := 0
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := sys.Checkpoint(job.JobID(), false); err == nil {
+						committed++
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(committed)*100/float64(b.N), "ok-%")
+				b.ReportMetric(clock.Elapsed().Seconds()*1e3/float64(b.N), "sim-ms/attempt")
+				// End the job. A terminating checkpoint stops the ranks even
+				// when its gather aborts, so stop retrying once the job is
+				// down regardless of whether the final interval committed.
+				for tries := 0; ; tries++ {
+					if _, err := sys.Checkpoint(job.JobID(), true); err == nil || job.Done() {
+						break
+					}
+					// The terminate directive may have landed even though the
+					// gather aborted; give the ranks a moment to wind down.
+					time.Sleep(5 * time.Millisecond)
+					if job.Done() {
+						break
+					}
+					if tries > 100 {
+						b.Fatal("could not terminate the job through a checkpoint")
+					}
+				}
+				if err := job.Wait(); err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
 	}
 }

@@ -19,7 +19,6 @@ import (
 	"fmt"
 	"os"
 	"strings"
-	"time"
 
 	"repro/internal/apps"
 	"repro/internal/core"
@@ -47,6 +46,7 @@ func run() error {
 	slots := fs.Int("slots", 4, "process slots per node")
 	stable := fs.String("stable", "./ompi_stable", "stable storage directory (survives this process)")
 	every := fs.Duration("checkpoint-every", 0, "take a global checkpoint periodically (0 = off)")
+	autoRestart := fs.Int("auto-restart", 0, "after a failure, restart the job up to N times from the newest valid snapshot (0 = off)")
 	verbose := fs.Bool("v", false, "print trace summary at exit")
 	var mcaArgs mcaFlags
 	fs.Var(&mcaArgs, "mca", "MCA parameter key=value (repeatable), e.g. --mca crcp=bkmrk --mca crs=self")
@@ -99,33 +99,25 @@ func run() error {
 		os.Getpid(), job.JobID(), *np, *nodes, ctl.Addr())
 	fmt.Printf("ompi-run: checkpoint with: ompi-checkpoint %d\n", os.Getpid())
 
-	// Periodic checkpointing: the scheduler-style automation the paper's
-	// asynchronous tool path enables.
-	if *every > 0 {
-		stop := make(chan struct{})
-		defer close(stop)
-		go func() {
-			ticker := time.NewTicker(*every)
-			defer ticker.Stop()
-			for {
-				select {
-				case <-stop:
-					return
-				case <-ticker.C:
-					ck, err := sys.Checkpoint(job.JobID(), false)
-					if err != nil {
-						fmt.Fprintln(os.Stderr, "ompi-run: periodic checkpoint:", err)
-						return
-					}
-					fmt.Printf("ompi-run: periodic Snapshot Ref.: %d %s\n", ck.Interval, ck.Dir)
-				}
-			}
-		}()
-	}
-
-	err = job.Wait()
+	// The supervision loop owns periodic checkpointing (the
+	// scheduler-style automation the paper's asynchronous tool path
+	// enables) and, with --auto-restart, relaunches a failed job from the
+	// newest valid global snapshot onto the surviving nodes.
+	rep, err := sys.Supervise(job, factory, core.SuperviseOptions{
+		AutoRestart:     *autoRestart,
+		CheckpointEvery: *every,
+		Progress: func(ck core.CheckpointResult) {
+			fmt.Printf("ompi-run: periodic Snapshot Ref.: %d %s\n", ck.Interval, ck.Dir)
+		},
+	})
 	if *verbose {
 		fmt.Println("trace:", log.Summary())
+	}
+	if rep.FailedCheckpoints > 0 {
+		fmt.Fprintf(os.Stderr, "ompi-run: %d checkpoint attempt(s) aborted\n", rep.FailedCheckpoints)
+	}
+	if rep.Restarts > 0 {
+		fmt.Printf("ompi-run: recovered from %d failure(s) via auto-restart\n", rep.Restarts)
 	}
 	if err != nil {
 		return err

@@ -132,9 +132,11 @@ func verify(ref snapshot.GlobalRef) error {
 	}
 	bad := 0
 	for _, iv := range ivs {
-		meta, err := snapshot.ReadGlobal(ref, iv)
+		// Full validation: COMMITTED marker, metadata digest, and every
+		// payload checksum recorded at commit time.
+		meta, err := snapshot.VerifyInterval(ref, iv)
 		if err != nil {
-			fmt.Printf("interval %d: BAD global metadata: %v\n", iv, err)
+			fmt.Printf("interval %d: BAD: %v\n", iv, err)
 			bad++
 			continue
 		}
@@ -155,6 +157,16 @@ func verify(ref snapshot.GlobalRef) error {
 		}
 		fmt.Printf("interval %d: ok (%d ranks)\n", iv, meta.NumProcs)
 	}
+	// Leftovers from aborted or interrupted checkpoints are problems too:
+	// they are never restartable and should be pruned.
+	leftovers, err := snapshot.Uncommitted(ref)
+	if err != nil {
+		return err
+	}
+	for _, d := range leftovers {
+		fmt.Printf("uncommitted: %s (aborted or interrupted checkpoint; prune it)\n", d)
+		bad++
+	}
 	if bad > 0 {
 		return fmt.Errorf("%d problems found", bad)
 	}
@@ -166,15 +178,51 @@ func prune(ref snapshot.GlobalRef, keep int) error {
 	if keep < 1 {
 		return fmt.Errorf("--keep must be at least 1")
 	}
+	// Uncommitted leftovers (aborted or interrupted checkpoints) are
+	// always deleted: no tool will ever restart from them.
+	leftovers, err := snapshot.Uncommitted(ref)
+	if err != nil {
+		return err
+	}
+	for _, d := range leftovers {
+		if err := ref.FS.Remove(path.Join(ref.Dir, d)); err != nil {
+			return fmt.Errorf("prune uncommitted %s: %w", d, err)
+		}
+		fmt.Printf("pruned uncommitted %s\n", d)
+	}
 	ivs, err := snapshot.Intervals(ref)
 	if err != nil {
 		return err
 	}
-	if len(ivs) <= keep {
-		fmt.Printf("nothing to prune (%d intervals, keeping %d)\n", len(ivs), keep)
+	// The kept intervals are the ones a later restart will depend on, so
+	// select them by verification, not recency: a committed interval whose
+	// checksums no longer match must not crowd a restartable one out of
+	// the keep window.
+	var valid, corrupt []int
+	for _, iv := range ivs {
+		if _, err := snapshot.VerifyInterval(ref, iv); err != nil {
+			corrupt = append(corrupt, iv)
+		} else {
+			valid = append(valid, iv)
+		}
+	}
+	if len(valid) == 0 && len(corrupt) > 0 {
+		// Nothing restartable would remain; leave the damaged data for
+		// manual inspection rather than deleting the only copies.
+		fmt.Printf("no interval passes verification; keeping %d damaged interval(s)\n", len(corrupt))
 		return nil
 	}
-	for _, iv := range ivs[:len(ivs)-keep] {
+	for _, iv := range corrupt {
+		if err := ref.FS.Remove(ref.IntervalDir(iv)); err != nil {
+			return fmt.Errorf("prune interval %d: %w", iv, err)
+		}
+		fmt.Printf("pruned corrupt interval %d\n", iv)
+	}
+	if len(valid) <= keep {
+		fmt.Printf("nothing else to prune (%d valid intervals, keeping %d)\n", len(valid), keep)
+		return nil
+	}
+	for _, iv := range valid[:len(valid)-keep] {
 		if err := ref.FS.Remove(ref.IntervalDir(iv)); err != nil {
 			return fmt.Errorf("prune interval %d: %w", iv, err)
 		}

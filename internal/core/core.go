@@ -14,9 +14,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sync"
+	"time"
 
 	"repro/internal/core/snapshot"
+	"repro/internal/faultsim"
 	"repro/internal/mca"
 	"repro/internal/netsim"
 	"repro/internal/ompi"
@@ -49,6 +53,9 @@ type Options struct {
 	// Uplink/Ingress override modeled link speeds; optional.
 	Uplink  *netsim.Link
 	Ingress *netsim.Link
+	// Faults optionally installs a deterministic fault-injection plan
+	// (the "fault_plan" MCA parameter is the stringly equivalent).
+	Faults *faultsim.Injector
 }
 
 // System is a running simulated cluster plus its runtime services.
@@ -102,6 +109,7 @@ func NewSystem(opts Options) (*System, error) {
 		Log:     opts.Log,
 		Uplink:  opts.Uplink,
 		Ingress: opts.Ingress,
+		Faults:  opts.Faults,
 	})
 	if err != nil {
 		return nil, err
@@ -166,4 +174,124 @@ func (s *System) OpenGlobalSnapshot(dir string) (snapshot.GlobalRef, error) {
 		return snapshot.GlobalRef{}, fmt.Errorf("core: %q is not a global snapshot reference: %w", dir, err)
 	}
 	return ref, nil
+}
+
+// --- Supervision: periodic checkpoints + automatic restart -------------------
+
+// SuperviseOptions configure Supervise.
+type SuperviseOptions struct {
+	// AutoRestart is the number of restarts Supervise may attempt after
+	// a job failure (a lost node, a dead rank). 0 disables self-healing:
+	// the first failure is final.
+	AutoRestart int
+	// CheckpointEvery, when > 0, takes periodic global checkpoints of
+	// the supervised job. Failed checkpoint attempts are counted and
+	// logged but never abort the run — an aborted interval leaves the
+	// job unwedged by design.
+	CheckpointEvery time.Duration
+	// Progress, when non-nil, is called after every committed checkpoint.
+	Progress func(CheckpointResult)
+}
+
+// SuperviseReport summarizes a supervised run.
+type SuperviseReport struct {
+	Restarts          int  // restarts performed
+	Checkpoints       int  // committed global checkpoints
+	FailedCheckpoints int  // aborted checkpoint attempts
+	Recovered         bool // the job failed at least once and was restarted
+}
+
+// Supervise runs a job to completion, checkpointing it periodically and —
+// when it fails with restarts remaining — relaunching it from the newest
+// valid global snapshot onto the surviving nodes. This is the paper's
+// recovery loop driven from the tool layer: detection comes from the
+// HNP's heartbeat monitor (the failed job's surviving ranks abort), and
+// restart reuses the standard ompi-restart path, so only snapshots that
+// pass full validation are ever used.
+//
+// appFactory must build the same application the job runs; it is handed
+// to every restarted incarnation.
+func (s *System) Supervise(job *Job, appFactory func(rank int) ompi.App, opts SuperviseOptions) (SuperviseReport, error) {
+	var rep SuperviseReport
+	var mu sync.Mutex
+	// Snapshot lineage: the original job's global reference plus one per
+	// restarted incarnation, newest last.
+	dirs := []string{snapshot.GlobalDirName(int(job.JobID()))}
+	current := job
+	for {
+		stop := make(chan struct{})
+		var tickers sync.WaitGroup
+		if opts.CheckpointEvery > 0 {
+			tickers.Add(1)
+			go func(j *Job) {
+				defer tickers.Done()
+				t := time.NewTicker(opts.CheckpointEvery)
+				defer t.Stop()
+				for {
+					select {
+					case <-stop:
+						return
+					case <-t.C:
+					}
+					if j.Done() {
+						return
+					}
+					res, err := s.Checkpoint(j.JobID(), false)
+					mu.Lock()
+					if err != nil {
+						rep.FailedCheckpoints++
+					} else {
+						rep.Checkpoints++
+					}
+					mu.Unlock()
+					if err != nil {
+						s.log.Emit("core", "supervise.ckpt-failed", "job %d: %v", j.JobID(), err)
+						continue
+					}
+					if opts.Progress != nil {
+						opts.Progress(res)
+					}
+				}
+			}(current)
+		}
+		err := current.Wait()
+		close(stop)
+		tickers.Wait()
+		if err == nil {
+			return rep, nil
+		}
+		if rep.Restarts >= opts.AutoRestart {
+			return rep, err
+		}
+		ref, interval, verr := s.newestValid(dirs)
+		if verr != nil {
+			return rep, errors.Join(err, fmt.Errorf("core: no valid snapshot to restart from: %w", verr))
+		}
+		next, rerr := s.Restart(ref, interval, appFactory)
+		if rerr != nil {
+			return rep, errors.Join(err, fmt.Errorf("core: auto-restart: %w", rerr))
+		}
+		rep.Restarts++
+		rep.Recovered = true
+		s.log.Emit("core", "supervise.restart", "job %d failed (%v); restarted as job %d from %s interval %d",
+			current.JobID(), err, next.JobID(), ref.Dir, interval)
+		dirs = append(dirs, snapshot.GlobalDirName(int(next.JobID())))
+		current = next
+	}
+}
+
+// newestValid scans the snapshot lineage newest-incarnation-first and
+// returns the first fully-validated (committed, checksums intact)
+// interval found.
+func (s *System) newestValid(dirs []string) (snapshot.GlobalRef, int, error) {
+	lastErr := fmt.Errorf("core: no snapshots were taken")
+	for i := len(dirs) - 1; i >= 0; i-- {
+		ref := snapshot.GlobalRef{FS: s.cluster.Stable(), Dir: dirs[i]}
+		iv, _, err := snapshot.LatestValidInterval(ref)
+		if err == nil {
+			return ref, iv, nil
+		}
+		lastErr = err
+	}
+	return snapshot.GlobalRef{}, 0, lastErr
 }

@@ -14,9 +14,13 @@
 package snapshot
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"path"
+	"strings"
 	"time"
 
 	"repro/internal/vfs"
@@ -28,9 +32,25 @@ const (
 	GlobalMetaFile = "global_snapshot_meta.json"
 	// LocalMetaFile is the metadata file inside a local snapshot dir.
 	LocalMetaFile = "snapshot_meta.json"
+	// CommittedFile marks an interval directory as atomically committed.
+	// It holds the hex sha256 of the global metadata file, so a torn or
+	// tampered commit is detectable. Restart trusts nothing without it.
+	CommittedFile = "COMMITTED"
+	// stagePrefix names in-progress interval directories. The dot keeps
+	// them out of the numeric interval scan until the commit rename.
+	stagePrefix = ".stage_"
 	// FormatVersion guards against metadata from incompatible builds.
-	FormatVersion = 1
+	FormatVersion = 2
 )
+
+// ErrUncommitted reports a global snapshot interval that was never
+// atomically committed (crash mid-gather, aborted checkpoint): restart
+// must refuse it.
+var ErrUncommitted = errors.New("snapshot: interval is not committed")
+
+// ErrCorrupt reports a committed interval whose contents fail
+// validation against the recorded checksums.
+var ErrCorrupt = errors.New("snapshot: snapshot data is corrupt")
 
 // GlobalDirName returns the directory name for a job's global snapshots,
 // e.g. "ompi_global_snapshot_7.ckpt".
@@ -147,6 +167,10 @@ type GlobalMeta struct {
 	MCAParams map[string]string `json:"mca_params,omitempty"`
 	Nodes     []string          `json:"nodes"` // node list the job ran on
 	Procs     []ProcEntry       `json:"procs"`
+	// Checksums maps each payload file (path relative to the interval
+	// directory) to its hex sha256, computed at commit time. Verification
+	// and restart use them to refuse truncated or corrupted snapshots.
+	Checksums map[string]string `json:"checksums,omitempty"`
 }
 
 // Validate rejects structurally impossible global metadata.
@@ -191,10 +215,58 @@ func (r GlobalRef) IntervalDir(interval int) string {
 	return path.Join(r.Dir, IntervalDirName(interval))
 }
 
-// WriteGlobal writes the global metadata into the interval subdirectory
-// of ref. Local snapshots are placed there by the FILEM gather.
+// StageDir returns the staging directory where an interval is assembled
+// before the atomic commit rename. Its dot-prefixed name keeps it out of
+// Intervals until commit.
+func (r GlobalRef) StageDir(interval int) string {
+	return path.Join(r.Dir, stagePrefix+IntervalDirName(interval))
+}
+
+func checksum(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// treeChecksums hashes every file under root, keyed by path relative to
+// root, excluding the metadata and marker files themselves.
+func treeChecksums(fsys vfs.FS, root string) (map[string]string, error) {
+	out := make(map[string]string)
+	err := vfs.Walk(fsys, root, func(name string, _ vfs.FileInfo) error {
+		rel := strings.TrimPrefix(name, root+"/")
+		if rel == GlobalMetaFile || rel == CommittedFile {
+			return nil
+		}
+		data, err := fsys.ReadFile(name)
+		if err != nil {
+			return err
+		}
+		out[rel] = checksum(data)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: checksum %q: %w", root, err)
+	}
+	return out, nil
+}
+
+// WriteGlobal commits one interval of a global snapshot atomically. The
+// FILEM gather assembles the payload in StageDir(interval); WriteGlobal
+// checksums the staged tree, writes the metadata beside it, renames the
+// stage into the interval directory in one step and finally drops the
+// COMMITTED marker. A crash at any earlier point leaves either a stage
+// directory (ignored by Intervals) or an unmarked interval directory
+// (refused by ReadGlobal) — never a trusted-but-torn snapshot.
 func WriteGlobal(ref GlobalRef, meta GlobalMeta) error {
 	meta.Version = FormatVersion
+	stage := ref.StageDir(meta.Interval)
+	if err := ref.FS.MkdirAll(stage); err != nil {
+		return err
+	}
+	sums, err := treeChecksums(ref.FS, stage)
+	if err != nil {
+		return err
+	}
+	meta.Checksums = sums
 	if err := meta.Validate(); err != nil {
 		return err
 	}
@@ -202,18 +274,38 @@ func WriteGlobal(ref GlobalRef, meta GlobalMeta) error {
 	if err != nil {
 		return fmt.Errorf("snapshot: marshal global metadata: %w", err)
 	}
-	dir := ref.IntervalDir(meta.Interval)
-	if err := ref.FS.MkdirAll(dir); err != nil {
+	if err := ref.FS.WriteFile(path.Join(stage, GlobalMetaFile), data); err != nil {
 		return err
 	}
-	return ref.FS.WriteFile(path.Join(dir, GlobalMetaFile), data)
+	dir := ref.IntervalDir(meta.Interval)
+	if vfs.Exists(ref.FS, path.Join(dir, CommittedFile)) {
+		return fmt.Errorf("snapshot: interval %d of %q is already committed", meta.Interval, ref.Dir)
+	}
+	if err := ref.FS.Rename(stage, dir); err != nil {
+		return fmt.Errorf("snapshot: commit interval %d: %w", meta.Interval, err)
+	}
+	if err := ref.FS.WriteFile(path.Join(dir, CommittedFile), []byte(checksum(data)+"\n")); err != nil {
+		return fmt.Errorf("snapshot: write commit marker: %w", err)
+	}
+	return nil
 }
 
-// ReadGlobal loads and validates the metadata of the given interval.
+// ReadGlobal loads and validates the metadata of the given interval,
+// refusing intervals without a valid COMMITTED marker.
 func ReadGlobal(ref GlobalRef, interval int) (GlobalMeta, error) {
-	data, err := ref.FS.ReadFile(path.Join(ref.IntervalDir(interval), GlobalMetaFile))
+	ivDir := ref.IntervalDir(interval)
+	marker, err := ref.FS.ReadFile(path.Join(ivDir, CommittedFile))
+	if err != nil {
+		return GlobalMeta{}, fmt.Errorf("%w: interval %d of %q has no COMMITTED marker (crash or aborted checkpoint): %v",
+			ErrUncommitted, interval, ref.Dir, err)
+	}
+	data, err := ref.FS.ReadFile(path.Join(ivDir, GlobalMetaFile))
 	if err != nil {
 		return GlobalMeta{}, fmt.Errorf("snapshot: read global metadata: %w", err)
+	}
+	if got, want := checksum(data), strings.TrimSpace(string(marker)); got != want {
+		return GlobalMeta{}, fmt.Errorf("%w: interval %d of %q: global metadata hash %s does not match COMMITTED marker %s",
+			ErrCorrupt, interval, ref.Dir, got[:12], truncate(want, 12))
 	}
 	var meta GlobalMeta
 	if err := json.Unmarshal(data, &meta); err != nil {
@@ -225,8 +317,17 @@ func ReadGlobal(ref GlobalRef, interval int) (GlobalMeta, error) {
 	return meta, nil
 }
 
-// Intervals lists the checkpoint intervals present in a global snapshot,
-// in ascending order.
+func truncate(s string, n int) string {
+	if len(s) > n {
+		return s[:n]
+	}
+	return s
+}
+
+// Intervals lists the committed checkpoint intervals present in a
+// global snapshot, in ascending order. Uncommitted interval directories
+// and stage leftovers are skipped: callers only ever see snapshots that
+// finished their atomic commit.
 func Intervals(ref GlobalRef) ([]int, error) {
 	entries, err := ref.FS.ReadDir(ref.Dir)
 	if err != nil {
@@ -239,6 +340,9 @@ func Intervals(ref GlobalRef) ([]int, error) {
 		}
 		var n int
 		if _, err := fmt.Sscanf(e.Name, "%d", &n); err == nil && fmt.Sprintf("%d", n) == e.Name && n >= 0 {
+			if !vfs.Exists(ref.FS, path.Join(ref.Dir, e.Name, CommittedFile)) {
+				continue
+			}
 			out = append(out, n)
 		}
 	}
@@ -249,6 +353,83 @@ func Intervals(ref GlobalRef) ([]int, error) {
 		}
 	}
 	return out, nil
+}
+
+// Uncommitted lists the debris a crash or aborted checkpoint can leave
+// in a global snapshot directory: stage directories and numeric interval
+// directories without a COMMITTED marker. `ompi-snapshot prune` removes
+// them.
+func Uncommitted(ref GlobalRef) ([]string, error) {
+	entries, err := ref.FS.ReadDir(ref.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: list %q: %w", ref.Dir, err)
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir {
+			continue
+		}
+		if strings.HasPrefix(e.Name, stagePrefix) {
+			out = append(out, e.Name)
+			continue
+		}
+		var n int
+		if _, err := fmt.Sscanf(e.Name, "%d", &n); err == nil && fmt.Sprintf("%d", n) == e.Name && n >= 0 {
+			if !vfs.Exists(ref.FS, path.Join(ref.Dir, e.Name, CommittedFile)) {
+				out = append(out, e.Name)
+			}
+		}
+	}
+	return out, nil
+}
+
+// VerifyInterval fully validates one committed interval: the COMMITTED
+// marker, the metadata, and every recorded checksum against the bytes on
+// stable storage. It returns the metadata on success.
+func VerifyInterval(ref GlobalRef, interval int) (GlobalMeta, error) {
+	meta, err := ReadGlobal(ref, interval)
+	if err != nil {
+		return GlobalMeta{}, err
+	}
+	ivDir := ref.IntervalDir(interval)
+	for rel, want := range meta.Checksums {
+		data, err := ref.FS.ReadFile(path.Join(ivDir, rel))
+		if err != nil {
+			return GlobalMeta{}, fmt.Errorf("%w: interval %d: missing payload %s: %v", ErrCorrupt, interval, rel, err)
+		}
+		if got := checksum(data); got != want {
+			return GlobalMeta{}, fmt.Errorf("%w: interval %d: payload %s checksum mismatch", ErrCorrupt, interval, rel)
+		}
+	}
+	// Every proc entry's local snapshot must be covered by the manifest.
+	for _, pe := range meta.Procs {
+		if !vfs.Exists(ref.FS, path.Join(ivDir, pe.LocalDir, LocalMetaFile)) {
+			return GlobalMeta{}, fmt.Errorf("%w: interval %d: rank %d local snapshot missing", ErrCorrupt, interval, pe.Vpid)
+		}
+	}
+	return meta, nil
+}
+
+// LatestValidInterval returns the newest interval in ref that passes
+// full verification, scanning downward past corrupt or uncommitted
+// newer ones. This is what automatic recovery restarts from.
+func LatestValidInterval(ref GlobalRef) (int, GlobalMeta, error) {
+	ivs, err := Intervals(ref)
+	if err != nil {
+		return 0, GlobalMeta{}, err
+	}
+	var lastErr error
+	for i := len(ivs) - 1; i >= 0; i-- {
+		meta, err := VerifyInterval(ref, ivs[i])
+		if err == nil {
+			return ivs[i], meta, nil
+		}
+		lastErr = err
+	}
+	if lastErr != nil {
+		return 0, GlobalMeta{}, fmt.Errorf("snapshot: %q has no valid interval: %w", ref.Dir, lastErr)
+	}
+	return 0, GlobalMeta{}, fmt.Errorf("snapshot: %q contains no committed checkpoint intervals", ref.Dir)
 }
 
 // LatestInterval returns the highest interval present in ref, or an

@@ -1,0 +1,254 @@
+// Package faultsim is the deterministic fault-injection subsystem the
+// robustness work rides on (DESIGN.md §6, and the argument of Skjellum &
+// Schafer that C/R libraries themselves must survive faults, not merely
+// enable recovery from them).
+//
+// An Injector holds a seeded plan of named injection points. Production
+// code fires points at well-defined seams — vfs reads/writes, netsim
+// link transfers, RML delivery, FILEM copies, orted liveness — and the
+// injector decides, reproducibly, whether that operation fails. Every
+// decision comes from one seeded PRNG plus per-rule operation counters,
+// so a given plan string replays the exact same fault schedule on every
+// run: tests pin a seed and assert hard outcomes.
+//
+// Plans are written as MCA parameter values, e.g.
+//
+//	--mca fault_plan "seed=42;filem.transfer=p0.25;node.kill:node1=after3,once"
+//
+// Rule points match qualified fire points by prefix: a rule on
+// "filem.transfer" matches "filem.transfer:node1>#stable", while a rule
+// on "node.kill:node1" matches only that node.
+package faultsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// ErrInjected is the sentinel wrapped by every injected failure, so
+// callers (and tests) can tell a synthetic fault from a real one.
+var ErrInjected = errors.New("faultsim: injected fault")
+
+// Rule arms one injection point. Triggers combine:
+//
+//   - Prob > 0: each matching operation fails with that probability.
+//   - After > 0: the first After matching operations always pass; the
+//     next one fails deterministically (then Prob, if set, governs any
+//     further failures — with Prob unset the rule keeps firing).
+//   - Times > 0: the rule fires at most Times times, then disarms.
+type Rule struct {
+	Point string  // injection point, possibly qualified ("vfs.write:stable")
+	Prob  float64 // per-operation failure probability
+	After int     // operations to let pass before the first forced failure
+	Times int     // maximum number of failures; 0 = unlimited
+}
+
+func (r Rule) String() string {
+	var trig []string
+	if r.Prob > 0 {
+		trig = append(trig, fmt.Sprintf("p%g", r.Prob))
+	}
+	if r.After > 0 {
+		trig = append(trig, fmt.Sprintf("after%d", r.After))
+	}
+	if r.Times > 0 {
+		trig = append(trig, fmt.Sprintf("times%d", r.Times))
+	}
+	if len(trig) == 0 {
+		trig = append(trig, "p0")
+	}
+	return r.Point + "=" + strings.Join(trig, ",")
+}
+
+// matches reports whether the rule arms the (possibly qualified) fire
+// point: exact match, or the rule point is an unqualified prefix.
+func (r Rule) matches(point string) bool {
+	return point == r.Point || strings.HasPrefix(point, r.Point+":") ||
+		strings.HasPrefix(point, r.Point+">")
+}
+
+type ruleState struct {
+	Rule
+	ops   int // matching operations observed
+	fired int // failures injected
+}
+
+// Injector evaluates a fault plan. The zero value and a nil *Injector
+// are inert: Fire always returns nil, so wiring code need not
+// special-case "no faults configured".
+type Injector struct {
+	mu    sync.Mutex
+	seed  int64
+	rng   *rand.Rand
+	rules []*ruleState
+	log   *trace.Log
+}
+
+// New builds an injector from a seed and explicit rules.
+func New(seed int64, rules ...Rule) *Injector {
+	in := &Injector{seed: seed, rng: rand.New(rand.NewSource(seed))}
+	for _, r := range rules {
+		in.rules = append(in.rules, &ruleState{Rule: r})
+	}
+	return in
+}
+
+// Parse builds an injector from a plan string: semicolon-separated
+// entries, each either "seed=N" or "point=trigger[,trigger...]" with
+// triggers pFLOAT, afterN, timesN and once (= times1).
+func Parse(spec string) (*Injector, error) {
+	var seed int64 = 1
+	var rules []Rule
+	for _, item := range strings.Split(spec, ";") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(item, "=")
+		if !ok {
+			return nil, fmt.Errorf("faultsim: plan entry %q: want point=triggers", item)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		if key == "seed" {
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faultsim: bad seed %q: %v", val, err)
+			}
+			seed = n
+			continue
+		}
+		r := Rule{Point: key}
+		for _, trig := range strings.Split(val, ",") {
+			trig = strings.TrimSpace(trig)
+			switch {
+			case trig == "once":
+				r.Times = 1
+			case strings.HasPrefix(trig, "p"):
+				f, err := strconv.ParseFloat(trig[1:], 64)
+				if err != nil || f < 0 || f > 1 {
+					return nil, fmt.Errorf("faultsim: rule %q: bad probability %q", key, trig)
+				}
+				r.Prob = f
+			case strings.HasPrefix(trig, "after"):
+				n, err := strconv.Atoi(trig[len("after"):])
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("faultsim: rule %q: bad trigger %q", key, trig)
+				}
+				r.After = n
+			case strings.HasPrefix(trig, "times"):
+				n, err := strconv.Atoi(trig[len("times"):])
+				if err != nil || n < 1 {
+					return nil, fmt.Errorf("faultsim: rule %q: bad trigger %q", key, trig)
+				}
+				r.Times = n
+			default:
+				return nil, fmt.Errorf("faultsim: rule %q: unknown trigger %q", key, trig)
+			}
+		}
+		if r.Prob == 0 && r.After == 0 && r.Times == 0 {
+			return nil, fmt.Errorf("faultsim: rule %q has no trigger", key)
+		}
+		rules = append(rules, r)
+	}
+	return New(seed, rules...), nil
+}
+
+// SetLog routes faultsim.injected trace events to l.
+func (in *Injector) SetLog(l *trace.Log) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.log = l
+	in.mu.Unlock()
+}
+
+// Seed returns the plan's PRNG seed.
+func (in *Injector) Seed() int64 {
+	if in == nil {
+		return 0
+	}
+	return in.seed
+}
+
+// Fire evaluates one operation at the named point. It returns a non-nil
+// error (wrapping ErrInjected) when the plan says this operation fails.
+// Safe on a nil receiver.
+func (in *Injector) Fire(point string) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, rs := range in.rules {
+		if !rs.matches(point) {
+			continue
+		}
+		rs.ops++
+		if rs.Times > 0 && rs.fired >= rs.Times {
+			continue
+		}
+		fire := false
+		switch {
+		case rs.After > 0 && rs.ops <= rs.After:
+			// still inside the warmup window
+		case rs.After > 0 && rs.fired == 0:
+			fire = true // the forced first failure
+		case rs.Prob > 0:
+			fire = in.rng.Float64() < rs.Prob
+		case rs.After > 0:
+			fire = true // afterN with no probability keeps firing
+		}
+		if fire {
+			rs.fired++
+			in.log.Emit("faultsim", "faultsim.injected", "%s (rule %s, op %d, fire %d)",
+				point, rs.Point, rs.ops, rs.fired)
+			return fmt.Errorf("%w: %s", ErrInjected, point)
+		}
+	}
+	return nil
+}
+
+// Fired returns how many failures have been injected at rules whose
+// point equals or is prefixed by pointPrefix. Tests use it to assert a
+// plan actually exercised the path under test.
+func (in *Injector) Fired(pointPrefix string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := 0
+	for _, rs := range in.rules {
+		if rs.Point == pointPrefix || strings.HasPrefix(rs.Point, pointPrefix+":") ||
+			strings.HasPrefix(rs.Point, pointPrefix+">") {
+			n += rs.fired
+		}
+	}
+	return n
+}
+
+// Ops returns how many operations have been observed by rules matching
+// pointPrefix (same matching as Fired).
+func (in *Injector) Ops(pointPrefix string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := 0
+	for _, rs := range in.rules {
+		if rs.Point == pointPrefix || strings.HasPrefix(rs.Point, pointPrefix+":") ||
+			strings.HasPrefix(rs.Point, pointPrefix+">") {
+			n += rs.ops
+		}
+	}
+	return n
+}

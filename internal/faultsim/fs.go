@@ -1,0 +1,64 @@
+package faultsim
+
+import (
+	"fmt"
+
+	"repro/internal/vfs"
+)
+
+// faultyFS wraps a vfs.FS so that writes, reads and renames consult the
+// injector first. The label qualifies the fire points: a stable-storage
+// wrapper fires "vfs.write:stable", node node3's disk "vfs.write:node3".
+type faultyFS struct {
+	inner vfs.FS
+	inj   *Injector
+	label string
+}
+
+// WrapFS returns fsys with injection points "vfs.write:<label>",
+// "vfs.read:<label>" and "vfs.rename:<label>" armed on the respective
+// operations. A nil injector returns fsys unchanged.
+func WrapFS(fsys vfs.FS, inj *Injector, label string) vfs.FS {
+	if inj == nil {
+		return fsys
+	}
+	return &faultyFS{inner: fsys, inj: inj, label: label}
+}
+
+// WriteFile implements vfs.FS.
+func (f *faultyFS) WriteFile(name string, data []byte) error {
+	if err := f.inj.Fire("vfs.write:" + f.label); err != nil {
+		return fmt.Errorf("vfs: write %q: %w", name, err)
+	}
+	return f.inner.WriteFile(name, data)
+}
+
+// ReadFile implements vfs.FS.
+func (f *faultyFS) ReadFile(name string) ([]byte, error) {
+	if err := f.inj.Fire("vfs.read:" + f.label); err != nil {
+		return nil, fmt.Errorf("vfs: read %q: %w", name, err)
+	}
+	return f.inner.ReadFile(name)
+}
+
+// Rename implements vfs.FS.
+func (f *faultyFS) Rename(oldName, newName string) error {
+	if err := f.inj.Fire("vfs.rename:" + f.label); err != nil {
+		return fmt.Errorf("vfs: rename %q: %w", oldName, err)
+	}
+	return f.inner.Rename(oldName, newName)
+}
+
+// Remove implements vfs.FS.
+func (f *faultyFS) Remove(name string) error { return f.inner.Remove(name) }
+
+// MkdirAll implements vfs.FS.
+func (f *faultyFS) MkdirAll(name string) error { return f.inner.MkdirAll(name) }
+
+// ReadDir implements vfs.FS.
+func (f *faultyFS) ReadDir(name string) ([]vfs.FileInfo, error) { return f.inner.ReadDir(name) }
+
+// Stat implements vfs.FS.
+func (f *faultyFS) Stat(name string) (vfs.FileInfo, error) { return f.inner.Stat(name) }
+
+var _ vfs.FS = (*faultyFS)(nil)

@@ -39,6 +39,30 @@ type Topology struct {
 	mu      sync.RWMutex
 	uplinks map[string]Link // node name -> uplink
 	ingress Link            // shared stable-storage ingress
+	inject  func(point string) error
+}
+
+// SetInject installs a fault-injection hook fired at "netsim.link:<node>"
+// whenever a transfer would traverse that node's uplink. A firing hook
+// fails the transfer, modeling a flapping or dead link.
+func (t *Topology) SetInject(fn func(point string) error) {
+	t.mu.Lock()
+	t.inject = fn
+	t.mu.Unlock()
+}
+
+// fireLink consults the inject hook for one node's uplink.
+func (t *Topology) fireLink(node string) error {
+	t.mu.RLock()
+	fn := t.inject
+	t.mu.RUnlock()
+	if fn == nil {
+		return nil
+	}
+	if err := fn("netsim.link:" + node); err != nil {
+		return fmt.Errorf("netsim: link %s: %w", node, err)
+	}
+	return nil
 }
 
 // DefaultUplink approximates gigabit ethernet: 50µs latency, 125 MB/s.
@@ -82,6 +106,9 @@ func (t *Topology) Ingress() Link {
 // storage with no competing traffic: the slower of its uplink and the
 // storage ingress governs the stream.
 func (t *Topology) NodeToStorage(node string, n int64) (time.Duration, error) {
+	if err := t.fireLink(node); err != nil {
+		return 0, err
+	}
 	up, err := t.Uplink(node)
 	if err != nil {
 		return 0, err
@@ -101,6 +128,12 @@ func (t *Topology) NodeToNode(src, dst string, n int64) (time.Duration, error) {
 	if src == dst {
 		// Same-node copy: memory-speed, negligible latency.
 		return time.Duration(float64(n)/8e9*float64(time.Second)) + time.Microsecond, nil
+	}
+	if err := t.fireLink(src); err != nil {
+		return 0, err
+	}
+	if err := t.fireLink(dst); err != nil {
+		return 0, err
 	}
 	a, err := t.Uplink(src)
 	if err != nil {

@@ -732,6 +732,8 @@ func TestStateExclusionHints(t *testing.T) {
 	type st struct{ V int }
 	kept := &st{}
 	scratch := &st{}
+	stepped := make(chan struct{})
+	var once sync.Once
 	apps := []App{FuncApp{
 		SetupFn: func(p *Proc) error {
 			if err := p.RegisterState("kept", kept); err != nil {
@@ -742,6 +744,7 @@ func TestStateExclusionHints(t *testing.T) {
 		StepFn: func(p *Proc) (bool, error) {
 			kept.V++
 			scratch.V += 100
+			once.Do(func() { close(stepped) })
 			return false, nil
 		},
 	}}
@@ -750,6 +753,9 @@ func TestStateExclusionHints(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
+		// Let the app run at least one step first, so the checkpointed
+		// image is guaranteed to hold nonzero state.
+		<-stepped
 		results = deliverCheckpoint(procs, disks, 0, true)
 	}()
 	errs := runWorld(t, procs, apps, nil)

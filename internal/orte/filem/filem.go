@@ -40,6 +40,30 @@ const StableNode = "#stable"
 // resolve.
 var ErrUnknownNode = errors.New("filem: unknown node")
 
+// ErrRequestTimeout reports a transfer whose modeled duration exceeded
+// the per-request timeout: the coordinator treats the request as failed
+// rather than waiting out an unbounded stall.
+var ErrRequestTimeout = errors.New("filem: request timed out")
+
+// RetryPolicy bounds how FILEM reacts to transfer failures: up to Max
+// retries after the first attempt, waiting Backoff before the first
+// retry and growing it by Multiplier each time (exponential backoff,
+// charged to the simulated clock), with Timeout capping each request's
+// modeled transfer duration.
+type RetryPolicy struct {
+	Max        int           // retries after the first attempt (0 = fail fast)
+	Backoff    time.Duration // delay before the first retry
+	Multiplier float64       // backoff growth factor; <1 means the default 2
+	Timeout    time.Duration // per-request modeled-duration bound (0 = none)
+}
+
+func (p RetryPolicy) multiplier() float64 {
+	if p.Multiplier < 1 {
+		return 2
+	}
+	return p.Multiplier
+}
+
 // Env supplies a component with the cluster's filesystems and network.
 type Env struct {
 	// Resolve returns the filesystem of the named node (or StableNode).
@@ -50,6 +74,19 @@ type Env struct {
 	Clock *netsim.Clock
 	// Log receives filem.* trace events. Optional.
 	Log *trace.Log
+	// Retry bounds per-request failure handling. The zero value fails
+	// fast with no timeout (the pre-robustness behavior).
+	Retry RetryPolicy
+	// Inject is the fault-injection hook ("filem.transfer:<src>><dst>",
+	// "filem.remove:<node>"). Optional.
+	Inject func(point string) error
+}
+
+func (e *Env) inject(point string) error {
+	if e.Inject == nil {
+		return nil
+	}
+	return e.Inject(point)
 }
 
 func (e *Env) fs(node string) (vfs.FS, error) {
@@ -147,6 +184,9 @@ func Broadcast(c Component, env *Env, srcNode, srcPath string, dstNodes []string
 // its stats. Shared by both components; they differ only in scheduling
 // and cost accounting.
 func copyOne(env *Env, r Request) (Stats, error) {
+	if err := env.inject(fmt.Sprintf("filem.transfer:%s>%s", r.SrcNode, r.DstNode)); err != nil {
+		return Stats{}, fmt.Errorf("filem: move %s:%s -> %s:%s: %w", r.SrcNode, r.SrcPath, r.DstNode, r.DstPath, err)
+	}
 	srcFS, err := env.fs(r.SrcNode)
 	if err != nil {
 		return Stats{}, err
@@ -163,19 +203,104 @@ func copyOne(env *Env, r Request) (Stats, error) {
 	if err != nil {
 		return Stats{}, err
 	}
+	if t := env.Retry.Timeout; t > 0 && cost > t {
+		return Stats{}, fmt.Errorf("filem: move %s:%s -> %s:%s: modeled transfer %v exceeds request timeout %v: %w",
+			r.SrcNode, r.SrcPath, r.DstNode, r.DstPath, cost, t, ErrRequestTimeout)
+	}
 	env.Log.Emit("filem", "filem.copy", "%s:%s -> %s:%s (%d bytes, %v)", r.SrcNode, r.SrcPath, r.DstNode, r.DstPath, n, cost)
 	return Stats{Bytes: n, Simulated: cost, Transfers: 1}, nil
 }
 
-// removeOn removes paths on one node's filesystem.
+// cleanupPartial removes whatever a failed copy left at the destination
+// so a retry (or the caller's rollback) starts from a clean slate.
+// Best-effort: a missing destination is the common, silent case.
+func cleanupPartial(env *Env, r Request) {
+	dstFS, err := env.fs(r.DstNode)
+	if err != nil {
+		return
+	}
+	if err := dstFS.Remove(r.DstPath); err == nil {
+		env.Log.Emit("filem", "filem.cleanup", "removed partial %s:%s", r.DstNode, r.DstPath)
+	}
+}
+
+// copyWithRetry runs one request under the environment's retry policy:
+// failed attempts clean up their partial destination and back off
+// exponentially (charged to the simulated clock, like the transfers
+// themselves). Deterministic failures — a request that would exceed its
+// modeled timeout on every attempt — are not retried.
+func copyWithRetry(env *Env, r Request) (Stats, error) {
+	pol := env.Retry
+	backoff := pol.Backoff
+	var lastErr error
+	for attempt := 0; attempt <= pol.Max; attempt++ {
+		if attempt > 0 {
+			env.charge(backoff)
+			env.Log.Emit("filem", "filem.retry", "attempt %d/%d %s:%s -> %s:%s (backoff %v): %v",
+				attempt+1, pol.Max+1, r.SrcNode, r.SrcPath, r.DstNode, r.DstPath, backoff, lastErr)
+			backoff = time.Duration(float64(backoff) * pol.multiplier())
+		}
+		st, err := copyOne(env, r)
+		if err == nil {
+			return st, nil
+		}
+		lastErr = err
+		cleanupPartial(env, r)
+		if errors.Is(err, ErrRequestTimeout) {
+			break // the modeled cost will not change; retrying is futile
+		}
+	}
+	return Stats{}, fmt.Errorf("filem: giving up on %s:%s -> %s:%s after %d attempt(s): %w",
+		r.SrcNode, r.SrcPath, r.DstNode, r.DstPath, env.Retry.Max+1, lastErr)
+}
+
+// rollback removes the destinations of already-completed requests after
+// a grouped Move failed partway: a failed gather must leave stable
+// storage (and any other destination) as clean as if it never started.
+func rollback(env *Env, done []Request) {
+	for _, r := range done {
+		dstFS, err := env.fs(r.DstNode)
+		if err != nil {
+			continue
+		}
+		if err := dstFS.Remove(r.DstPath); err == nil {
+			env.Log.Emit("filem", "filem.rollback", "removed %s:%s", r.DstNode, r.DstPath)
+		}
+	}
+}
+
+// removeOn removes paths on one node's filesystem, retrying transient
+// failures under the environment's policy. A nonexistent path fails
+// immediately (matching `rm` without -f): retrying cannot create it.
 func removeOn(env *Env, node string, paths []string) error {
 	fsys, err := env.fs(node)
 	if err != nil {
 		return err
 	}
+	pol := env.Retry
 	for _, p := range paths {
-		if err := fsys.Remove(p); err != nil {
-			return fmt.Errorf("filem: remove %s:%s: %w", node, p, err)
+		backoff := pol.Backoff
+		var lastErr error
+		for attempt := 0; attempt <= pol.Max; attempt++ {
+			if attempt > 0 {
+				env.charge(backoff)
+				backoff = time.Duration(float64(backoff) * pol.multiplier())
+			}
+			err := env.inject("filem.remove:" + node)
+			if err == nil {
+				err = fsys.Remove(p)
+			}
+			if err == nil {
+				lastErr = nil
+				break
+			}
+			if errors.Is(err, vfs.ErrNotExist) {
+				return fmt.Errorf("filem: remove %s:%s: %w", node, p, err)
+			}
+			lastErr = err
+		}
+		if lastErr != nil {
+			return fmt.Errorf("filem: remove %s:%s: %w", node, p, lastErr)
 		}
 		env.Log.Emit("filem", "filem.remove", "%s:%s", node, p)
 	}
@@ -193,14 +318,19 @@ func (*RSH) Name() string { return "rsh" }
 // Priority implements mca.Component; rsh is the paper's default.
 func (*RSH) Priority() int { return 20 }
 
-// Move implements Component with strictly sequential transfers.
+// Move implements Component with strictly sequential transfers. A
+// failure (after retries) rolls back the requests that already landed,
+// so a partially-failed grouped move leaves no half-gathered debris.
 func (*RSH) Move(env *Env, reqs []Request) (Stats, error) {
 	var total Stats
+	var done []Request
 	for _, r := range reqs {
-		st, err := copyOne(env, r)
+		st, err := copyWithRetry(env, r)
 		if err != nil {
+			rollback(env, done)
 			return total, err
 		}
+		done = append(done, r)
 		total = total.add(st)
 	}
 	env.charge(total.Simulated)
@@ -226,7 +356,9 @@ func (*Raw) Name() string { return "raw" }
 // Priority implements mca.Component.
 func (*Raw) Priority() int { return 10 }
 
-// Move implements Component with overlapped transfers.
+// Move implements Component with overlapped transfers. If any stream
+// fails (after retries), the streams that completed are rolled back so
+// the grouped move is all-or-nothing.
 func (*Raw) Move(env *Env, reqs []Request) (Stats, error) {
 	var (
 		mu       sync.Mutex
@@ -235,11 +367,12 @@ func (*Raw) Move(env *Env, reqs []Request) (Stats, error) {
 		wg       sync.WaitGroup
 	)
 	perStream := make([]time.Duration, len(reqs))
+	completed := make([]bool, len(reqs))
 	for i, r := range reqs {
 		wg.Add(1)
 		go func(i int, r Request) {
 			defer wg.Done()
-			st, err := copyOne(env, r)
+			st, err := copyWithRetry(env, r)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -248,6 +381,7 @@ func (*Raw) Move(env *Env, reqs []Request) (Stats, error) {
 				}
 				return
 			}
+			completed[i] = true
 			perStream[i] = st.Simulated
 			total.Bytes += st.Bytes
 			total.Transfers += st.Transfers
@@ -255,6 +389,13 @@ func (*Raw) Move(env *Env, reqs []Request) (Stats, error) {
 	}
 	wg.Wait()
 	if firstErr != nil {
+		var done []Request
+		for i, ok := range completed {
+			if ok {
+				done = append(done, reqs[i])
+			}
+		}
+		rollback(env, done)
 		return total, firstErr
 	}
 	total.Simulated = groupedCost(env, reqs, perStream, total.Bytes)

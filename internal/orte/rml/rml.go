@@ -34,6 +34,7 @@ const (
 	TagFilemAck                    // file movement complete
 	TagJobCtl                      // job control (launch, terminate)
 	TagCRCP                        // checkpoint coordination control traffic
+	TagHeartbeat                   // orted -> HNP: liveness beacon
 	TagUser                        // free for tests and tools
 )
 
@@ -59,6 +60,16 @@ type Router struct {
 	mu     sync.Mutex
 	boxes  map[names.Name]*Endpoint
 	closed bool
+	inject func(point string) error
+}
+
+// SetInject installs a fault-injection hook consulted on every Send at
+// point "rml.deliver:<to>". A firing hook drops the message silently —
+// the lost-datagram failure mode the coordinator deadlines exist for.
+func (r *Router) SetInject(fn func(point string) error) {
+	r.mu.Lock()
+	r.inject = fn
+	r.mu.Unlock()
 }
 
 // NewRouter returns an empty router.
@@ -155,6 +166,14 @@ func (e *Endpoint) Send(to names.Name, tag Tag, data []byte) error {
 	dst, err := e.router.lookup(to)
 	if err != nil {
 		return err
+	}
+	e.router.mu.Lock()
+	inject := e.router.inject
+	e.router.mu.Unlock()
+	if inject != nil {
+		if err := inject(fmt.Sprintf("rml.deliver:%v", to)); err != nil {
+			return nil // silently dropped in flight, like a lost datagram
+		}
 	}
 	msg := Message{From: e.name, Tag: tag, Data: data}
 	dst.mu.Lock()

@@ -1,0 +1,135 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/mca"
+	"repro/internal/trace"
+)
+
+func TestKillNodeAbortsJobAndShrinksCluster(t *testing.T) {
+	c := fourNodeCluster(t, nil)
+	factory, _ := newStencilFactory(0, 0) // runs until terminated
+	job, err := c.Launch(JobSpec{Name: "stencil", NP: 8, AppFactory: factory})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if err := c.KillNode("n2"); err != nil {
+		t.Fatalf("KillNode: %v", err)
+	}
+	// The job had ranks on n2, so it aborts rather than hanging.
+	if err := job.Wait(); err == nil {
+		t.Error("job survived losing a node that held its ranks")
+	}
+	if c.Alive("n2") {
+		t.Error("n2 still reported alive")
+	}
+	alive := c.AliveNodes()
+	if len(alive) != 3 {
+		t.Errorf("AliveNodes = %v, want 3 survivors", alive)
+	}
+	for _, n := range alive {
+		if n == "n2" {
+			t.Error("dead node listed among the living")
+		}
+	}
+	// Restart-capable bookkeeping: specs only cover survivors, so a
+	// relaunch lands on live nodes.
+	for _, spec := range c.NodeSpecs() {
+		if spec.Name == "n2" {
+			t.Error("NodeSpecs includes the dead node")
+		}
+	}
+	if _, err := c.nodeFS("n2"); err == nil {
+		t.Error("filesystem of a dead node still resolvable")
+	}
+	// Killing it again is a harmless no-op; killing a stranger is not.
+	if err := c.KillNode("n2"); err != nil {
+		t.Errorf("second KillNode: %v", err)
+	}
+	if err := c.KillNode("ghost"); err == nil {
+		t.Error("KillNode accepted an unknown node")
+	}
+}
+
+func TestLaunchRefusesDeadNodePlacement(t *testing.T) {
+	c := fourNodeCluster(t, nil)
+	if err := c.KillNode("n1"); err != nil {
+		t.Fatal(err)
+	}
+	factory, _ := newStencilFactory(2, 0)
+	// 8 ranks need all four nodes' slots; with n1 dead only 6 remain.
+	_, err := c.Launch(JobSpec{Name: "stencil", NP: 8, AppFactory: factory})
+	if err == nil {
+		t.Fatal("Launch oversubscribed a cluster missing a node")
+	}
+	// A job that fits the survivors launches and completes.
+	job, err := c.Launch(JobSpec{Name: "stencil", NP: 6, AppFactory: factory})
+	if err != nil {
+		t.Fatalf("Launch on survivors: %v", err)
+	}
+	if err := job.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	for _, n := range job.Nodes() {
+		if n == "n1" {
+			t.Error("rank placed on the dead node")
+		}
+	}
+}
+
+// waitForEvent polls the trace log until an event of the given kind
+// appears or the deadline passes.
+func waitForEvent(t *testing.T, log *trace.Log, kind string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if log.Count(kind) > 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("no %q event within %v (kinds: %v)", kind, timeout, log.Kinds(""))
+}
+
+func TestInjectedNodeKillIsDetectedByHeartbeatMonitor(t *testing.T) {
+	params := mca.NewParams()
+	params.Set("orted_heartbeat_interval", "2ms")
+	params.Set("orted_heartbeat_miss", "4")
+	// The fault plan kills n3 at its 3rd heartbeat tick; the HNP's
+	// monitor must then declare it lost from silence alone.
+	params.Set("fault_plan", "seed=5; node.kill:n3=after2,once")
+	c := fourNodeCluster(t, params)
+	log := c.Log()
+
+	factory, _ := newStencilFactory(0, 0) // runs until terminated
+	job, err := c.Launch(JobSpec{Name: "stencil", NP: 8, AppFactory: factory})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	waitForEvent(t, log, "node.kill", time.Second)
+	waitForEvent(t, log, "node.down", time.Second)
+	waitForEvent(t, log, "node.lost", 2*time.Second)
+	if err := job.Wait(); err == nil {
+		t.Error("job survived the injected node kill")
+	}
+	if c.Alive("n3") {
+		t.Error("n3 still alive after injected kill")
+	}
+	if c.Faults() == nil || c.Faults().Fired("node.kill") != 1 {
+		t.Error("injector did not record the node.kill firing")
+	}
+	// The kill event names the node it took down.
+	found := false
+	for _, e := range log.Events() {
+		if e.Kind == "node.lost" && strings.Contains(e.Detail, "n3") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("node.lost event does not name n3")
+	}
+}

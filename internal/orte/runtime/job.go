@@ -9,6 +9,7 @@ import (
 	"repro/internal/core/snapshot"
 	"repro/internal/mca"
 	"repro/internal/ompi"
+	"repro/internal/ompi/btl"
 	"repro/internal/opal/crs"
 	"repro/internal/orte/filem"
 	"repro/internal/orte/names"
@@ -57,6 +58,7 @@ type Job struct {
 	nodes     []string       // distinct nodes, stable order
 	procs     []*ompi.Proc
 	apps      []ompi.App
+	fabric    btl.JobFabric // job transport; Close aborts the job
 
 	mu             sync.Mutex
 	checkpointable []ckptState
@@ -141,6 +143,9 @@ func (c *Cluster) launch(spec JobSpec, placementOverride map[int]string, restore
 		if _, ok := c.nodes[node]; !ok {
 			return nil, fmt.Errorf("runtime: rank %d placed on unknown node %q", r, node)
 		}
+		if !c.Alive(node) {
+			return nil, fmt.Errorf("runtime: rank %d placed on dead node %q", r, node)
+		}
 		if !seen[node] {
 			seen[node] = true
 			j.nodes = append(j.nodes, node)
@@ -151,6 +156,7 @@ func (c *Cluster) launch(spec JobSpec, placementOverride map[int]string, restore
 	if err != nil {
 		return nil, fmt.Errorf("runtime: job fabric: %w", err)
 	}
+	j.fabric = fabric
 	j.procs = make([]*ompi.Proc, spec.NP)
 	j.apps = make([]ompi.App, spec.NP)
 	for r := 0; r < spec.NP; r++ {
@@ -183,6 +189,15 @@ func (c *Cluster) launch(spec JobSpec, placementOverride map[int]string, restore
 		}
 		j.procs[r] = proc
 		j.apps[r] = spec.AppFactory(r)
+	}
+
+	// Job ids restart with each HNP, so a fresh cluster sharing stable
+	// storage with an earlier run can collide with its global snapshot
+	// directory. Committed intervals are never overwritten: continue the
+	// interval sequence past whatever is already there.
+	ref := snapshot.GlobalRef{FS: c.stable, Dir: snapshot.GlobalDirName(int(j.id))}
+	if iv, err := snapshot.LatestInterval(ref); err == nil {
+		j.nextInterval = iv + 1
 	}
 
 	c.mu.Lock()
@@ -243,6 +258,16 @@ func (j *Job) Done() bool {
 
 // App returns the rank-local application instance (examples inspect it).
 func (j *Job) App(rank int) ompi.App { return j.apps[rank] }
+
+// hasRanksOn reports whether any rank of the job runs on node.
+func (j *Job) hasRanksOn(node string) bool {
+	for _, n := range j.nodes {
+		if n == node {
+			return true
+		}
+	}
+	return false
+}
 
 // Proc returns the rank's process object.
 func (j *Job) Proc(rank int) *ompi.Proc { return j.procs[rank] }

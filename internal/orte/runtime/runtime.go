@@ -8,9 +8,12 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"repro/internal/faultsim"
 	"repro/internal/mca"
 	"repro/internal/netsim"
 	"repro/internal/ompi/btl"
@@ -29,8 +32,16 @@ import (
 type Node struct {
 	Name  string
 	Slots int
-	FS    *vfs.Mem // node-local disk
+	FS    *vfs.Mem // node-local disk (raw store)
+
+	fs     vfs.FS        // runtime view of FS, fault-wrapped when a plan is installed
+	alive  bool          // guarded by Cluster.mu
+	stopHB chan struct{} // closed when the node dies or the cluster stops
+	hbOnce sync.Once
 }
+
+// stopHeartbeat silences the node's liveness beacon (idempotent).
+func (n *Node) stopHeartbeat() { n.hbOnce.Do(func() { close(n.stopHB) }) }
 
 // Config assembles a Cluster.
 type Config struct {
@@ -47,6 +58,10 @@ type Config struct {
 	// Uplink and Ingress override the modeled link characteristics.
 	Uplink  *netsim.Link
 	Ingress *netsim.Link
+	// Faults optionally installs a deterministic fault-injection plan.
+	// When nil, the "fault_plan" MCA parameter is consulted (see
+	// faultsim.Parse for the grammar).
+	Faults *faultsim.Injector
 }
 
 // Cluster is the running simulated machine room plus its runtime.
@@ -60,6 +75,7 @@ type Cluster struct {
 	topo   *netsim.Topology
 	clock  *netsim.Clock
 	stable vfs.FS
+	faults *faultsim.Injector
 
 	router *rml.Router
 	hnpEP  *rml.Endpoint
@@ -95,12 +111,26 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Stable == nil {
 		cfg.Stable = vfs.NewMem()
 	}
+	// Fault plan: explicit injector wins, else the MCA parameter.
+	inj := cfg.Faults
+	if inj == nil {
+		if spec := cfg.Params.String("fault_plan", ""); spec != "" {
+			var err error
+			if inj, err = faultsim.Parse(spec); err != nil {
+				return nil, fmt.Errorf("runtime: fault_plan: %w", err)
+			}
+		}
+	}
+	if inj != nil {
+		inj.SetLog(cfg.Log)
+	}
 	c := &Cluster{
 		cfg:    cfg,
 		log:    cfg.Log,
 		params: cfg.Params,
 		nodes:  make(map[string]*Node),
-		stable: cfg.Stable,
+		stable: faultsim.WrapFS(cfg.Stable, inj, "stable"),
+		faults: inj,
 		router: rml.NewRouter(),
 		ns:     names.NewService(),
 		clock:  &netsim.Clock{},
@@ -124,9 +154,16 @@ func New(cfg Config) (*Cluster, error) {
 		if _, dup := c.nodes[spec.Name]; dup {
 			return nil, fmt.Errorf("runtime: duplicate node %q", spec.Name)
 		}
-		c.nodes[spec.Name] = &Node{Name: spec.Name, Slots: spec.Slots, FS: vfs.NewMem()}
+		n := &Node{Name: spec.Name, Slots: spec.Slots, FS: vfs.NewMem(),
+			alive: true, stopHB: make(chan struct{})}
+		n.fs = faultsim.WrapFS(n.FS, inj, spec.Name)
+		c.nodes[spec.Name] = n
 		c.order = append(c.order, spec.Name)
 		c.topo.AddNode(spec.Name, uplink)
+	}
+	if inj != nil {
+		c.topo.SetInject(inj.Fire)
+		c.router.SetInject(inj.Fire)
 	}
 
 	// Framework selection (the MCA machinery the whole design rides on).
@@ -144,25 +181,37 @@ func New(cfg Config) (*Cluster, error) {
 	c.crcpFw = crcp.NewFramework()
 	c.btlFw = btl.NewFramework()
 
-	// FILEM/SNAPC environments.
+	// FILEM/SNAPC environments. Retry/timeout knobs are MCA parameters so
+	// experiments can sweep them without code changes.
 	c.filemEnv = &filem.Env{
 		Resolve: c.resolveFS,
 		Topo:    c.topo,
 		Clock:   c.clock,
 		Log:     c.log,
+		Retry: filem.RetryPolicy{
+			Max:     cfg.Params.Int("filem_retry_max", 3),
+			Backoff: cfg.Params.Duration("filem_retry_backoff", 2*time.Millisecond),
+			Timeout: cfg.Params.Duration("filem_request_timeout", 0),
+		},
+	}
+	if inj != nil {
+		c.filemEnv.Inject = inj.Fire
 	}
 	c.snapcEnv = &snapc.Env{
-		Filem:    c.filemComp,
-		FilemEnv: c.filemEnv,
-		Stable:   c.stable,
-		NodeFS:   c.nodeFS,
-		Log:      c.log,
+		Filem:      c.filemComp,
+		FilemEnv:   c.filemEnv,
+		Stable:     c.stable,
+		NodeFS:     c.nodeFS,
+		Log:        c.log,
+		AckTimeout: cfg.Params.Duration("snapc_ack_timeout", 0),
 	}
 
 	// Runtime entities: HNP plus one orted (local coordinator) per node.
 	if c.hnpEP, err = c.router.Register(names.HNP); err != nil {
 		return nil, err
 	}
+	hbInterval := cfg.Params.Duration("orted_heartbeat_interval", 15*time.Millisecond)
+	hbMiss := cfg.Params.Int("orted_heartbeat_miss", 20)
 	c.daemons = make(map[string]names.Name, len(c.order))
 	for i, nodeName := range c.order {
 		dn := names.Daemon(i)
@@ -171,17 +220,160 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 		c.daemons[nodeName] = dn
-		c.wg.Add(1)
+		c.wg.Add(2)
 		go func(nodeName string, ep *rml.Endpoint) {
 			defer c.wg.Done()
 			if err := c.snapcComp.ServeLocal(c.snapcEnv, nodeName, ep, c.resolveJob); err != nil {
 				c.log.Emit("orted["+nodeName+"]", "orted.error", "%v", err)
 			}
 		}(nodeName, ep)
+		go c.heartbeatLoop(nodeName, ep, hbInterval, c.nodes[nodeName].stopHB)
 	}
+	c.wg.Add(1)
+	go c.monitorLoop(hbInterval, hbMiss)
 	c.log.Emit("hnp", "cluster.up", "%d nodes", len(c.order))
 	return c, nil
 }
+
+// heartbeat is the orted liveness beacon sent to the HNP.
+type heartbeat struct {
+	Node string `json:"node"`
+	Seq  int    `json:"seq"`
+}
+
+// heartbeatLoop is the orted's liveness beacon: a periodic message to the
+// HNP over the RML, the out-of-band channel ORTE daemons really keep
+// open. A "node.kill:<node>" fault firing here kills the node abruptly —
+// mid-checkpoint, mid-step, wherever the run happens to be.
+func (c *Cluster) heartbeatLoop(node string, ep *rml.Endpoint, interval time.Duration, stop chan struct{}) {
+	defer c.wg.Done()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for seq := 1; ; seq++ {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		if err := c.faults.Fire("node.kill:" + node); err != nil {
+			c.log.Emit("orted["+node+"]", "node.kill", "injected: %v", err)
+			_ = c.KillNode(node)
+			return
+		}
+		if err := ep.SendJSON(names.HNP, rml.TagHeartbeat, heartbeat{Node: node, Seq: seq}); err != nil {
+			return // router shut down
+		}
+	}
+}
+
+// monitorLoop is the HNP's failure detector: it consumes heartbeats and
+// declares a node lost once it misses `miss` consecutive intervals. The
+// declaration is what the rest of the runtime keys off — the HNP never
+// hears about a death directly, exactly like a real mpirun watching its
+// orted connections go quiet.
+func (c *Cluster) monitorLoop(interval time.Duration, miss int) {
+	defer c.wg.Done()
+	if miss <= 0 {
+		miss = 1
+	}
+	lastSeen := make(map[string]time.Time, len(c.order))
+	declared := make(map[string]bool, len(c.order))
+	start := time.Now()
+	for _, n := range c.order {
+		lastSeen[n] = start
+	}
+	lastScan := start
+	for {
+		var hb heartbeat
+		_, err := c.hnpEP.RecvJSONTimeout(rml.TagHeartbeat, &hb, interval)
+		now := time.Now()
+		switch {
+		case err == nil:
+			lastSeen[hb.Node] = now
+		case errors.Is(err, rml.ErrTimeout):
+			// quiet interval; fall through to the scan
+		default:
+			return // endpoint closed: cluster is shutting down
+		}
+		// If the detector itself stalled (descheduled, GC pause), it could
+		// not have observed beacons sent meanwhile; charging that silence
+		// to the nodes would declare healthy nodes dead. Credit every node
+		// with the unobservable window instead.
+		if pause := now.Sub(lastScan) - interval; pause > interval {
+			for n, ts := range lastSeen {
+				lastSeen[n] = ts.Add(pause)
+			}
+		}
+		lastScan = now
+		cutoff := now.Add(-time.Duration(miss) * interval)
+		for _, n := range c.order {
+			if declared[n] || !lastSeen[n].Before(cutoff) {
+				continue
+			}
+			declared[n] = true
+			c.log.Emit("hnp", "node.lost", "node %q missed %d heartbeats, declaring it down", n, miss)
+			_ = c.KillNode(n)
+		}
+	}
+}
+
+// KillNode simulates abrupt node death: the orted vanishes from the RML,
+// heartbeats stop, and every running job with ranks on the node aborts
+// (its surviving ranks fail in communication, as when mpirun reaps a
+// parallel job after losing a process). Idempotent; the node stays dead
+// and is excluded from subsequent placements.
+func (c *Cluster) KillNode(node string) error {
+	c.mu.Lock()
+	n, ok := c.nodes[node]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("runtime: unknown node %q", node)
+	}
+	if !n.alive {
+		c.mu.Unlock()
+		return nil
+	}
+	n.alive = false
+	var victims []*Job
+	for _, j := range c.jobs {
+		if !j.Done() && j.hasRanksOn(node) {
+			victims = append(victims, j)
+		}
+	}
+	c.mu.Unlock()
+	n.stopHeartbeat()
+	c.router.Deregister(c.daemons[node])
+	c.log.Emit("runtime", "node.down", "node %q is dead", node)
+	for _, j := range victims {
+		c.log.Emit("runtime", "job.abort", "job %d lost node %q", j.id, node)
+		j.fabric.Close()
+	}
+	return nil
+}
+
+// Alive reports whether the named node is still up.
+func (c *Cluster) Alive(node string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.nodes[node]
+	return ok && n.alive
+}
+
+// AliveNodes returns the surviving node names in declaration order.
+func (c *Cluster) AliveNodes() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.order))
+	for _, name := range c.order {
+		if c.nodes[name].alive {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Faults returns the installed fault injector (nil without a plan).
+func (c *Cluster) Faults() *faultsim.Injector { return c.faults }
 
 // Close shuts the cluster down: daemons stop, endpoints close.
 func (c *Cluster) Close() {
@@ -192,6 +384,9 @@ func (c *Cluster) Close() {
 	}
 	c.stopped = true
 	c.mu.Unlock()
+	for _, n := range c.nodes {
+		n.stopHeartbeat()
+	}
 	c.router.Close()
 	c.wg.Wait()
 }
@@ -203,10 +398,17 @@ func (c *Cluster) Nodes() []string {
 	return out
 }
 
-// NodeSpecs returns the launch specs of the cluster's nodes.
+// NodeSpecs returns the launch specs of the surviving nodes: dead nodes
+// are excluded, so placement (including restart re-placement) only ever
+// targets live machines.
 func (c *Cluster) NodeSpecs() []plm.NodeSpec {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make([]plm.NodeSpec, 0, len(c.order))
 	for _, n := range c.order {
+		if !c.nodes[n].alive {
+			continue
+		}
 		out = append(out, plm.NodeSpec{Name: n, Slots: c.nodes[n].Slots})
 	}
 	return out
@@ -229,11 +431,16 @@ func (c *Cluster) resolveFS(node string) (vfs.FS, error) {
 }
 
 func (c *Cluster) nodeFS(node string) (vfs.FS, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	n, ok := c.nodes[node]
 	if !ok {
 		return nil, fmt.Errorf("runtime: unknown node %q", node)
 	}
-	return n.FS, nil
+	if !n.alive {
+		return nil, fmt.Errorf("runtime: node %q is down", node)
+	}
+	return n.fs, nil
 }
 
 func (c *Cluster) resolveJob(id names.JobID) (snapc.JobView, error) {

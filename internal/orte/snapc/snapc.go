@@ -215,34 +215,85 @@ func (f *Full) Checkpoint(env *Env, job JobView, hnp *rml.Endpoint, daemons map[
 		}
 	}
 
-	// Monitor progress: one ack per involved node (Fig. 1-E).
-	timeout := env.AckTimeout
-	if timeout == 0 {
-		timeout = DefaultAckTimeout
-	}
+	// Monitor progress: one ack per involved node (Fig. 1-E), all
+	// within one overall request deadline so a hung or silenced local
+	// coordinator cannot wedge the job — the interval is aborted
+	// atomically instead.
+	deadline := time.Now().Add(ackTimeout(env))
 	results := make(map[int]procResult)
-	for range byNode {
+	seen := make(map[string]bool, len(byNode))
+	for len(seen) < len(byNode) {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			abortInterval(env, job, byNode, globalDir, interval,
+				fmt.Errorf("deadline exceeded with %d of %d node acks", len(seen), len(byNode)))
+			return Result{}, fmt.Errorf("snapc: checkpoint interval %d: %w deadline exceeded (%d of %d node acks)",
+				interval, errAborted, len(seen), len(byNode))
+		}
 		var ack localAck
-		if _, err := hnp.RecvJSONTimeout(rml.TagSnapcAck, &ack, timeout); err != nil {
+		if _, err := hnp.RecvJSONTimeout(rml.TagSnapcAck, &ack, remaining); err != nil {
+			abortInterval(env, job, byNode, globalDir, interval, err)
 			return Result{}, fmt.Errorf("snapc: waiting for local coordinators: %w", err)
 		}
+		// Discard stale acks from earlier (aborted or timed-out)
+		// intervals: without this match, a late ack would be
+		// misattributed to the current checkpoint.
+		if ack.Job != int(job.JobID()) || ack.Interval != interval {
+			log.Emit("snapc.global", "ckpt.stale-ack", "discarding ack for job %d interval %d (running interval %d)",
+				ack.Job, ack.Interval, interval)
+			continue
+		}
 		if ack.Err != "" {
+			abortInterval(env, job, byNode, globalDir, interval, errors.New(ack.Err))
 			return Result{}, fmt.Errorf("snapc: node %q: %s", ack.Node, ack.Err)
 		}
 		for _, pr := range ack.Results {
 			if pr.Err != "" {
+				abortInterval(env, job, byNode, globalDir, interval, errors.New(pr.Err))
 				return Result{}, fmt.Errorf("snapc: rank %d on %q: %s", pr.Vpid, ack.Node, pr.Err)
 			}
 			results[pr.Vpid] = pr
 		}
+		seen[ack.Node] = true
 		log.Emit("snapc.global", "ckpt.node-done", "node %s (%d procs)", ack.Node, len(ack.Results))
 	}
 	if len(results) != job.NumProcs() {
+		abortInterval(env, job, byNode, globalDir, interval,
+			fmt.Errorf("%d of %d local snapshots reported", len(results), job.NumProcs()))
 		return Result{}, fmt.Errorf("snapc: %d of %d local snapshots reported", len(results), job.NumProcs())
 	}
 
 	// Aggregate to stable storage and write metadata (Fig. 1-F).
 	return finishGlobal(env, job, globalDir, interval, opts, byNode, results)
+}
+
+// errAborted tags checkpoint failures that aborted the interval.
+var errAborted = errors.New("snapc: interval aborted:")
+
+func ackTimeout(env *Env) time.Duration {
+	if env.AckTimeout > 0 {
+		return env.AckTimeout
+	}
+	return DefaultAckTimeout
+}
+
+// abortInterval fails one checkpoint interval atomically: best-effort
+// removal of the node-local snapshot temporaries and of anything staged
+// on stable storage, so the failed interval leaves no debris and is
+// never mistakable for a restartable snapshot. The job itself keeps
+// running — a failed checkpoint is a logged event, not a job failure.
+func abortInterval(env *Env, job JobView, byNode map[string][]int, globalDir string, interval int, cause error) {
+	ref := snapshot.GlobalRef{FS: env.Stable, Dir: globalDir}
+	if stage := ref.StageDir(interval); vfs.Exists(env.Stable, stage) {
+		_ = env.Stable.Remove(stage)
+	}
+	base := localBaseDir(job.JobID(), interval)
+	for node := range byNode {
+		if fsys, err := env.NodeFS(node); err == nil && vfs.Exists(fsys, base) {
+			_ = env.Filem.Remove(env.FilemEnv, node, []string{base})
+		}
+	}
+	env.Log.Emit("snapc.global", "ckpt.aborted", "job %d interval %d: %v", job.JobID(), interval, cause)
 }
 
 // finishGlobal is the back half of a global checkpoint, shared by every
@@ -254,17 +305,22 @@ func finishGlobal(env *Env, job JobView, globalDir string, interval int, opts Op
 	byNode map[string][]int, results map[int]procResult) (Result, error) {
 	log := env.Log
 	ref := snapshot.GlobalRef{FS: env.Stable, Dir: globalDir}
-	ivDir := ref.IntervalDir(interval)
+	// Gather into the stage directory, not the interval directory: the
+	// interval only appears on stable storage via WriteGlobal's atomic
+	// commit rename, so a crash or failure mid-gather can never leave a
+	// half-written snapshot that restart would trust.
+	stage := ref.StageDir(interval)
 	var reqs []filem.Request
 	for v := 0; v < job.NumProcs(); v++ {
 		pr := results[v]
 		reqs = append(reqs, filem.Request{
 			SrcNode: job.NodeOf(v), SrcPath: pr.Dir,
-			DstNode: filem.StableNode, DstPath: path.Join(ivDir, snapshot.LocalDirName(v)),
+			DstNode: filem.StableNode, DstPath: path.Join(stage, snapshot.LocalDirName(v)),
 		})
 	}
 	stats, err := env.Filem.Move(env.FilemEnv, reqs)
 	if err != nil {
+		abortInterval(env, job, byNode, globalDir, interval, err)
 		return Result{}, fmt.Errorf("snapc: gather to stable storage: %w", err)
 	}
 	log.Emit("snapc.global", "ckpt.gathered", "%d transfers, %d bytes, %v modeled", stats.Transfers, stats.Bytes, stats.Simulated)
@@ -288,15 +344,19 @@ func finishGlobal(env *Env, job JobView, globalDir string, interval int, opts Op
 		})
 	}
 	if err := snapshot.WriteGlobal(ref, meta); err != nil {
-		return Result{}, fmt.Errorf("snapc: write global metadata: %w", err)
+		abortInterval(env, job, byNode, globalDir, interval, err)
+		return Result{}, fmt.Errorf("snapc: commit global snapshot: %w", err)
 	}
 
-	// FILEM remove: clean temporary node-local snapshot data.
+	// FILEM remove: clean temporary node-local snapshot data. The
+	// snapshot is already committed, so a cleanup failure degrades to a
+	// warning — stale temporaries are garbage, not corruption, and must
+	// not fail an otherwise-good checkpoint.
 	if !opts.KeepLocal {
 		base := localBaseDir(job.JobID(), interval)
 		for node := range byNode {
 			if err := env.Filem.Remove(env.FilemEnv, node, []string{base}); err != nil {
-				return Result{}, fmt.Errorf("snapc: cleanup on %q: %w", node, err)
+				log.Emit("snapc.global", "ckpt.cleanup-failed", "node %q: %v", node, err)
 			}
 		}
 	}

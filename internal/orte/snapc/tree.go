@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/orte/names"
 	"repro/internal/orte/rml"
@@ -98,26 +99,44 @@ func (t *Tree) Checkpoint(env *Env, job JobView, hnp *rml.Endpoint, daemons map[
 	if err := hnp.SendJSON(rootDaemon, rml.TagSnapcRequest, req); err != nil {
 		return Result{}, fmt.Errorf("snapc tree: order root %q: %w", nodes[0], err)
 	}
-	// ...and one aggregated ack back up.
-	timeout := env.AckTimeout
-	if timeout == 0 {
-		timeout = DefaultAckTimeout
-	}
+	// ...and one aggregated ack back up, within the request deadline.
+	// Acks are matched on (job, interval) so stale reports from aborted
+	// intervals are discarded, and any failure aborts the interval
+	// atomically (local temporaries and staged data removed).
+	deadline := time.Now().Add(ackTimeout(env))
 	var ack localAck
-	if _, err := hnp.RecvJSONTimeout(rml.TagSnapcAck, &ack, timeout); err != nil {
-		return Result{}, fmt.Errorf("snapc tree: waiting for aggregated ack: %w", err)
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			abortInterval(env, job, byNode, globalDir, interval, fmt.Errorf("deadline exceeded"))
+			return Result{}, fmt.Errorf("snapc tree: checkpoint interval %d: %w deadline exceeded", interval, errAborted)
+		}
+		if _, err := hnp.RecvJSONTimeout(rml.TagSnapcAck, &ack, remaining); err != nil {
+			abortInterval(env, job, byNode, globalDir, interval, err)
+			return Result{}, fmt.Errorf("snapc tree: waiting for aggregated ack: %w", err)
+		}
+		if ack.Job != int(job.JobID()) || ack.Interval != interval {
+			log.Emit("snapc.global", "ckpt.stale-ack", "discarding ack for job %d interval %d (running interval %d)",
+				ack.Job, ack.Interval, interval)
+			continue
+		}
+		break
 	}
 	if ack.Err != "" {
+		abortInterval(env, job, byNode, globalDir, interval, errors.New(ack.Err))
 		return Result{}, fmt.Errorf("snapc tree: %s", ack.Err)
 	}
 	results := make(map[int]procResult, job.NumProcs())
 	for _, pr := range ack.Results {
 		if pr.Err != "" {
+			abortInterval(env, job, byNode, globalDir, interval, errors.New(pr.Err))
 			return Result{}, fmt.Errorf("snapc tree: rank %d: %s", pr.Vpid, pr.Err)
 		}
 		results[pr.Vpid] = pr
 	}
 	if len(results) != job.NumProcs() {
+		abortInterval(env, job, byNode, globalDir, interval,
+			fmt.Errorf("%d of %d local snapshots reported", len(results), job.NumProcs()))
 		return Result{}, fmt.Errorf("snapc tree: %d of %d local snapshots reported", len(results), job.NumProcs())
 	}
 	log.Emit("snapc.global", "ckpt.node-done", "aggregated ack covers %d procs (tree)", len(results))

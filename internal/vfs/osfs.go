@@ -6,6 +6,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
 )
 
 // OS is an FS backed by a real directory on the host filesystem. It is
@@ -100,6 +101,48 @@ func (o *OS) Remove(name string) error {
 		return mapOSError("remove", name, err)
 	}
 	return mapOSError("remove", name, os.RemoveAll(hp))
+}
+
+// Rename implements FS.
+func (o *OS) Rename(oldName, newName string) error {
+	op, err := Clean(oldName)
+	if err != nil {
+		return err
+	}
+	np, err := Clean(newName)
+	if err != nil {
+		return err
+	}
+	if op == "." || np == "." || np == op || strings.HasPrefix(np, op+"/") {
+		return fmt.Errorf("vfs: rename %q -> %q: %w", oldName, newName, ErrInvalid)
+	}
+	oldHP, err := o.hostPath(oldName)
+	if err != nil {
+		return err
+	}
+	newHP, err := o.hostPath(newName)
+	if err != nil {
+		return err
+	}
+	srcInfo, err := os.Stat(oldHP)
+	if err != nil {
+		return mapOSError("rename", oldName, err)
+	}
+	if err := os.MkdirAll(filepath.Dir(newHP), 0o755); err != nil {
+		return mapOSError("rename", newName, err)
+	}
+	// rename(2) refuses to replace a non-empty directory; match Mem's
+	// replace semantics by clearing any existing destination first. A
+	// plain file never silently replaces a directory, also like Mem.
+	if dstInfo, err := os.Stat(newHP); err == nil {
+		if dstInfo.IsDir() && !srcInfo.IsDir() {
+			return fmt.Errorf("vfs: rename %q -> %q: %w", oldName, newName, ErrIsDir)
+		}
+		if err := os.RemoveAll(newHP); err != nil {
+			return mapOSError("rename", newName, err)
+		}
+	}
+	return mapOSError("rename", oldName, os.Rename(oldHP, newHP))
 }
 
 // MkdirAll implements FS.

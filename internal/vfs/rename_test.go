@@ -1,0 +1,179 @@
+package vfs
+
+import (
+	"errors"
+	"testing"
+)
+
+// The Rename conformance suite runs against every FS implementation: the
+// atomic-commit protocol in the snapshot layer depends on both behaving
+// identically.
+
+func TestRenameFile(t *testing.T) {
+	for name, fs := range implementations(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := fs.WriteFile("a/x", []byte("payload")); err != nil {
+				t.Fatal(err)
+			}
+			if err := fs.Rename("a/x", "b/c/y"); err != nil {
+				t.Fatal(err)
+			}
+			if Exists(fs, "a/x") {
+				t.Error("source still exists after rename")
+			}
+			data, err := fs.ReadFile("b/c/y")
+			if err != nil || string(data) != "payload" {
+				t.Fatalf("destination: %q, %v", data, err)
+			}
+		})
+	}
+}
+
+func TestRenameFileReplacesDestination(t *testing.T) {
+	for name, fs := range implementations(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := fs.WriteFile("src", []byte("new")); err != nil {
+				t.Fatal(err)
+			}
+			if err := fs.WriteFile("dst", []byte("old")); err != nil {
+				t.Fatal(err)
+			}
+			if err := fs.Rename("src", "dst"); err != nil {
+				t.Fatal(err)
+			}
+			data, err := fs.ReadFile("dst")
+			if err != nil || string(data) != "new" {
+				t.Fatalf("destination: %q, %v", data, err)
+			}
+		})
+	}
+}
+
+func TestRenameDirectoryTree(t *testing.T) {
+	for name, fs := range implementations(t) {
+		t.Run(name, func(t *testing.T) {
+			files := map[string]string{
+				"stage/meta.json":    "m",
+				"stage/r0/image":     "i0",
+				"stage/r0/sub/deep":  "d",
+				"stage/r1/image":     "i1",
+				"unrelated/survivor": "s",
+			}
+			for p, c := range files {
+				if err := fs.WriteFile(p, []byte(c)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := fs.Rename("stage", "final/0"); err != nil {
+				t.Fatal(err)
+			}
+			if Exists(fs, "stage") {
+				t.Error("source dir still exists")
+			}
+			for _, p := range []string{"final/0/meta.json", "final/0/r0/image", "final/0/r0/sub/deep", "final/0/r1/image"} {
+				if !Exists(fs, p) {
+					t.Errorf("missing %s after dir rename", p)
+				}
+			}
+			if data, _ := fs.ReadFile("unrelated/survivor"); string(data) != "s" {
+				t.Error("rename disturbed an unrelated tree")
+			}
+		})
+	}
+}
+
+func TestRenameDirectoryReplacesDestinationTree(t *testing.T) {
+	for name, fs := range implementations(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := fs.WriteFile("src/fresh", []byte("new")); err != nil {
+				t.Fatal(err)
+			}
+			// Destination holds stale garbage (e.g. an interrupted commit).
+			if err := fs.WriteFile("dst/stale", []byte("old")); err != nil {
+				t.Fatal(err)
+			}
+			if err := fs.Rename("src", "dst"); err != nil {
+				t.Fatal(err)
+			}
+			if Exists(fs, "dst/stale") {
+				t.Error("stale destination content survived the rename")
+			}
+			if data, _ := fs.ReadFile("dst/fresh"); string(data) != "new" {
+				t.Error("renamed content missing")
+			}
+		})
+	}
+}
+
+func TestRenameErrors(t *testing.T) {
+	for name, fs := range implementations(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := fs.Rename("missing", "x"); !errors.Is(err, ErrNotExist) {
+				t.Errorf("rename of missing source: %v, want ErrNotExist", err)
+			}
+			if err := fs.WriteFile("d/f", nil); err != nil {
+				t.Fatal(err)
+			}
+			// Self and self-nesting moves are invalid.
+			if err := fs.Rename("d", "d"); err == nil {
+				t.Error("rename onto itself succeeded")
+			}
+			if err := fs.Rename("d", "d/sub"); err == nil {
+				t.Error("rename into own subtree succeeded")
+			}
+			// Escaping paths are rejected.
+			if err := fs.Rename("../x", "y"); err == nil {
+				t.Error("escaping source accepted")
+			}
+			if err := fs.Rename("d", "../y"); err == nil {
+				t.Error("escaping destination accepted")
+			}
+			// A file cannot replace an existing directory.
+			if err := fs.WriteFile("plain", nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := fs.Rename("plain", "d"); err == nil {
+				t.Error("file replaced a directory")
+			}
+		})
+	}
+}
+
+func TestRenameMemMatchesOS(t *testing.T) {
+	// One combined sequence applied to both implementations must leave an
+	// identical tree (same walk, same contents).
+	run := func(fs FS) map[string]string {
+		must := func(err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		must(fs.WriteFile("g/.stage_0/meta", []byte("m0")))
+		must(fs.WriteFile("g/.stage_0/r0/img", []byte("a")))
+		must(fs.Rename("g/.stage_0", "g/0"))
+		must(fs.WriteFile("g/.stage_1/meta", []byte("m1")))
+		must(fs.Rename("g/.stage_1", "g/1"))
+		must(fs.Rename("g/1", "g/2"))
+		out := map[string]string{}
+		_ = Walk(fs, "g", func(p string, _ FileInfo) error {
+			data, err := fs.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[p] = string(data)
+			return nil
+		})
+		return out
+	}
+	impls := implementations(t)
+	mem := run(impls["mem"])
+	osr := run(impls["os"])
+	if len(mem) != len(osr) {
+		t.Fatalf("tree mismatch: mem=%v os=%v", mem, osr)
+	}
+	for p, c := range mem {
+		if osr[p] != c {
+			t.Errorf("path %s: mem=%q os=%q", p, c, osr[p])
+		}
+	}
+}

@@ -56,6 +56,11 @@ type FS interface {
 	// Remove removes the named file or (recursively) directory.
 	// Removing a nonexistent name is an error.
 	Remove(name string) error
+	// Rename atomically moves a file or directory tree to a new name,
+	// creating the destination's parents as needed and replacing any
+	// existing destination. The atomic commit step of snapshot writes
+	// depends on this (stage, then rename into place).
+	Rename(oldName, newName string) error
 	// MkdirAll creates the named directory along with any parents.
 	// It succeeds if the directory already exists.
 	MkdirAll(name string) error
@@ -296,6 +301,96 @@ func (m *Mem) Remove(name string) error {
 			delete(m.mtime, d)
 		}
 	}
+	return nil
+}
+
+// Rename implements FS. The whole move happens under one lock, so
+// concurrent readers observe either the old tree or the new one — the
+// in-memory equivalent of an atomic rename(2).
+func (m *Mem) Rename(oldName, newName string) error {
+	op, err := Clean(oldName)
+	if err != nil {
+		return err
+	}
+	np, err := Clean(newName)
+	if err != nil {
+		return err
+	}
+	if op == "." || np == "." {
+		return fmt.Errorf("vfs: rename %q -> %q: %w", oldName, newName, ErrInvalid)
+	}
+	if np == op || strings.HasPrefix(np, op+"/") {
+		return fmt.Errorf("vfs: rename %q -> %q: %w", oldName, newName, ErrInvalid)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if data, ok := m.files[op]; ok {
+		if m.dirs[np] {
+			return fmt.Errorf("vfs: rename %q -> %q: %w", oldName, newName, ErrIsDir)
+		}
+		if err := m.mkdirAllLocked(path.Dir(np)); err != nil {
+			return err
+		}
+		m.files[np] = data
+		m.mtime[np] = m.now()
+		delete(m.files, op)
+		delete(m.mtime, op)
+		return nil
+	}
+	if !m.dirs[op] {
+		return fmt.Errorf("vfs: rename %q: %w", oldName, ErrNotExist)
+	}
+	if _, isFile := m.files[np]; isFile {
+		return fmt.Errorf("vfs: rename %q -> %q: %w", oldName, newName, ErrNotDir)
+	}
+	if err := m.mkdirAllLocked(path.Dir(np)); err != nil {
+		return err
+	}
+	// Replace any existing destination tree, like rename(2) over an
+	// empty dir / our recursive Remove semantics.
+	prefix := np + "/"
+	for f := range m.files {
+		if strings.HasPrefix(f, prefix) {
+			delete(m.files, f)
+			delete(m.mtime, f)
+		}
+	}
+	for d := range m.dirs {
+		if d != np && strings.HasPrefix(d, prefix) {
+			delete(m.dirs, d)
+			delete(m.mtime, d)
+		}
+	}
+	// Re-key the source tree.
+	oldPrefix := op + "/"
+	moved := make(map[string][]byte)
+	for f, data := range m.files {
+		if strings.HasPrefix(f, oldPrefix) {
+			moved[np+"/"+f[len(oldPrefix):]] = data
+			delete(m.files, f)
+			delete(m.mtime, f)
+		}
+	}
+	for f, data := range moved {
+		m.files[f] = data
+		m.mtime[f] = m.now()
+	}
+	movedDirs := []string{}
+	for d := range m.dirs {
+		if strings.HasPrefix(d, oldPrefix) {
+			movedDirs = append(movedDirs, d)
+		}
+	}
+	for _, d := range movedDirs {
+		m.dirs[np+"/"+d[len(oldPrefix):]] = true
+		m.mtime[np+"/"+d[len(oldPrefix):]] = m.now()
+		delete(m.dirs, d)
+		delete(m.mtime, d)
+	}
+	delete(m.dirs, op)
+	delete(m.mtime, op)
+	m.dirs[np] = true
+	m.mtime[np] = m.now()
 	return nil
 }
 
