@@ -9,8 +9,14 @@
 //	A5     BenchmarkEagerRendezvousCrossover
 //	A6     BenchmarkSnapcTopology
 //	A7     BenchmarkFaultRetryAblation
+//	A8     BenchmarkIncrementalGather
 //
 // Run with: go test -bench=. -benchmem
+//
+// A1/A6/A7 pin filem_dedup=0: their ring workload has static rank state,
+// so the content-addressed gather path would dedup nearly every byte
+// after the first interval and the full-gather costs under study would
+// vanish. A8 measures that dedup path explicitly.
 package repro
 
 import (
@@ -158,7 +164,9 @@ func BenchmarkNetpipeBandwidth(b *testing.B) {
 func BenchmarkCheckpointScale(b *testing.B) {
 	for _, np := range []int{2, 4, 8, 16, 32} {
 		b.Run(fmt.Sprintf("np=%d", np), func(b *testing.B) {
-			sys, err := core.NewSystem(core.Options{Nodes: 4, SlotsPerNode: (np + 3) / 4, Log: &trace.Log{}})
+			params := mca.NewParams()
+			params.Set("filem_dedup", "0") // measure full gathers (see header)
+			sys, err := core.NewSystem(core.Options{Nodes: 4, SlotsPerNode: (np + 3) / 4, Params: params, Log: &trace.Log{}})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -404,6 +412,7 @@ func BenchmarkSnapcTopology(b *testing.B) {
 		b.Run(comp, func(b *testing.B) {
 			params := mca.NewParams()
 			params.Set("snapc", comp)
+			params.Set("filem_dedup", "0") // measure full gathers (see header)
 			sys, err := core.NewSystem(core.Options{Nodes: 8, SlotsPerNode: 2, Params: params, Log: &trace.Log{}})
 			if err != nil {
 				b.Fatal(err)
@@ -453,6 +462,7 @@ func BenchmarkFaultRetryAblation(b *testing.B) {
 				}
 				params.Set("filem_retry_max", fmt.Sprintf("%d", retries))
 				params.Set("filem_retry_backoff", "1ms")
+				params.Set("filem_dedup", "0") // measure full gathers (see header)
 				sys, err := core.NewSystem(core.Options{Nodes: 4, SlotsPerNode: 2, Params: params, Log: &trace.Log{}})
 				if err != nil {
 					b.Fatal(err)
@@ -498,6 +508,105 @@ func BenchmarkFaultRetryAblation(b *testing.B) {
 				if err := job.Wait(); err != nil {
 					b.Fatal(err)
 				}
+			})
+		}
+	}
+}
+
+// --- A8: incremental content-addressed gathers ---------------------------------
+
+// BenchmarkIncrementalGather compares a full gather against the
+// content-addressed incremental path while a fraction of each node's
+// checkpoint files mutates between intervals. 8 nodes each stage 16
+// files of 256 KiB; the incremental mode dedups against a committed
+// previous interval already on stable storage. Reported metrics:
+// modeled gather time and uplink bytes actually moved. The claim under
+// test: at low mutation rates the incremental gather moves a small
+// fraction of the bytes and a correspondingly small fraction of the
+// modeled time, while producing a byte-identical interval.
+func BenchmarkIncrementalGather(b *testing.B) {
+	const (
+		nodes        = 8
+		filesPerNode = 16
+		fileSize     = 256 << 10
+	)
+	// Deterministic, per-file content; v distinguishes mutated versions.
+	// A unique header keeps any two (node, file, version) bodies distinct
+	// so the dedup index never aliases them.
+	body := func(node, f, v int) []byte {
+		data := make([]byte, fileSize)
+		copy(data, fmt.Sprintf("node=%d file=%d version=%d|", node, f, v))
+		for i := range data {
+			data[i] += byte(i % 251)
+		}
+		return data
+	}
+	for _, mode := range []string{"full", "incremental"} {
+		for _, mutate := range []float64{0, 0.10, 0.50, 1.0} {
+			b.Run(fmt.Sprintf("%s/mutate=%.0f%%", mode, mutate*100), func(b *testing.B) {
+				mutN := int(mutate*filesPerNode + 0.5)
+				stable := vfs.NewMem()
+				stores := map[string]*vfs.Mem{filem.StableNode: stable}
+				topo := netsim.NewTopology(netsim.DefaultIngress)
+				byHash := make(map[string]string)
+				var reqs []filem.Request
+				for i := 0; i < nodes; i++ {
+					name := fmt.Sprintf("n%d", i)
+					stores[name] = vfs.NewMem()
+					topo.AddNode(name, netsim.DefaultUplink)
+					for f := 0; f < filesPerNode; f++ {
+						base := body(i, f, 0)
+						rel := fmt.Sprintf("n%d/f%03d.bin", i, f)
+						// The committed previous interval on stable storage
+						// and its manifest, as SNAPC would hand them over.
+						if err := stable.WriteFile("g/0/"+rel, base); err != nil {
+							b.Fatal(err)
+						}
+						byHash[vfs.HashBytes(base)] = rel
+						// The node's staged state for the next interval: the
+						// first mutN files changed, the rest untouched.
+						v := 0
+						if f < mutN {
+							v = 1
+						}
+						if err := stores[name].WriteFile(fmt.Sprintf("snap/f%03d.bin", f), body(i, f, v)); err != nil {
+							b.Fatal(err)
+						}
+					}
+					req := filem.Request{
+						SrcNode: name, SrcPath: "snap",
+						DstNode: filem.StableNode, DstPath: fmt.Sprintf("g/1/n%d", i),
+					}
+					if mode == "incremental" {
+						req.Baseline = &filem.Baseline{Dir: "g/0", ByHash: byHash}
+					}
+					reqs = append(reqs, req)
+				}
+				clock := &netsim.Clock{}
+				env := &filem.Env{
+					Resolve: func(node string) (vfs.FS, error) {
+						fs, ok := stores[node]
+						if !ok {
+							return nil, fmt.Errorf("unknown node")
+						}
+						return fs, nil
+					},
+					Topo: topo, Clock: clock,
+				}
+				comp := &filem.Raw{}
+				var moved int64
+				b.SetBytes(int64(nodes * filesPerNode * fileSize))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					st, err := comp.Move(env, reqs)
+					if err != nil {
+						b.Fatal(err)
+					}
+					moved += st.BytesMoved
+				}
+				b.StopTimer()
+				b.ReportMetric(clock.Elapsed().Seconds()*1e3/float64(b.N), "sim-ms/gather")
+				b.ReportMetric(float64(moved)/float64(b.N)/(1<<20), "moved-MB/gather")
 			})
 		}
 	}

@@ -191,6 +191,74 @@ func TestLatestValidIntervalSkipsDamagedNewest(t *testing.T) {
 	}
 }
 
+func TestCommitOverCrashDebris(t *testing.T) {
+	// Re-checkpointing interval N after a crash left an unmarked interval
+	// directory of the same number must succeed identically on both vfs
+	// backends. Before the fix the OS backend failed the commit rename
+	// (ENOTEMPTY) while Mem silently replaced the tree.
+	backends := map[string]func(t *testing.T) vfs.FS{
+		"mem": func(t *testing.T) vfs.FS { return vfs.NewMem() },
+		"os": func(t *testing.T) vfs.FS {
+			fsys, err := vfs.NewOS(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return fsys
+		},
+	}
+	for name, mk := range backends {
+		t.Run(name, func(t *testing.T) {
+			fsys := mk(t)
+			ref := GlobalRef{FS: fsys, Dir: "g"}
+			// Crash debris: interval 0 renamed into place but the marker
+			// write never happened, plus a stale partial payload.
+			if err := fsys.WriteFile(path.Join(ref.IntervalDir(0), GlobalMetaFile), []byte("{}")); err != nil {
+				t.Fatal(err)
+			}
+			if err := fsys.WriteFile(path.Join(ref.IntervalDir(0), LocalDirName(0), "image.bin"), []byte("stale")); err != nil {
+				t.Fatal(err)
+			}
+			stageInterval(t, ref, 0, 2)
+			meta, err := VerifyInterval(ref, 0)
+			if err != nil {
+				t.Fatalf("VerifyInterval after commit over debris: %v", err)
+			}
+			if meta.Interval != 0 {
+				t.Errorf("interval = %d, want 0", meta.Interval)
+			}
+			// The stale payload must be gone, replaced by the fresh stage.
+			data, err := fsys.ReadFile(path.Join(ref.IntervalDir(0), LocalDirName(0), "image.bin"))
+			if err != nil || string(data) == "stale" {
+				t.Errorf("debris payload survived the commit: %q, %v", data, err)
+			}
+		})
+	}
+}
+
+func TestByChecksumInvertsManifest(t *testing.T) {
+	fsys := vfs.NewMem()
+	ref := GlobalRef{FS: fsys, Dir: "g"}
+	stageInterval(t, ref, 0, 2)
+	meta, err := ReadGlobal(ref, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := meta.ByChecksum()
+	if len(idx) == 0 {
+		t.Fatal("ByChecksum returned an empty index")
+	}
+	for sum, rel := range idx {
+		if meta.Checksums[rel] != sum {
+			t.Errorf("index maps %s -> %s but manifest says %s", sum[:8], rel, meta.Checksums[rel][:8])
+		}
+	}
+	// Identical content under two paths maps to one (deterministic) path.
+	var empty GlobalMeta
+	if empty.ByChecksum() != nil {
+		t.Error("empty manifest should invert to nil")
+	}
+}
+
 func TestWriteGlobalRefusesRecommit(t *testing.T) {
 	fsys := vfs.NewMem()
 	ref := GlobalRef{FS: fsys, Dir: "g"}

@@ -14,8 +14,6 @@
 package snapshot
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -169,8 +167,40 @@ type GlobalMeta struct {
 	Procs     []ProcEntry       `json:"procs"`
 	// Checksums maps each payload file (path relative to the interval
 	// directory) to its hex sha256, computed at commit time. Verification
-	// and restart use them to refuse truncated or corrupted snapshots.
+	// and restart use them to refuse truncated or corrupted snapshots,
+	// and the next interval's FILEM gather uses them as a dedup index.
 	Checksums map[string]string `json:"checksums,omitempty"`
+	// Gather records how the interval's payload reached stable storage
+	// (full transfer vs content-addressed dedup). Informational only:
+	// `ompi-snapshot stats` reports it.
+	Gather *GatherRecord `json:"gather,omitempty"`
+}
+
+// GatherRecord summarizes the FILEM gather that assembled one interval.
+type GatherRecord struct {
+	Bytes        int64 `json:"bytes"`         // total payload bytes gathered
+	BytesMoved   int64 `json:"bytes_moved"`   // bytes that crossed the network
+	BytesDeduped int64 `json:"bytes_deduped"` // bytes materialized by local copy
+	BytesHashed  int64 `json:"bytes_hashed"`  // bytes hashed for dedup lookups
+	Transfers    int   `json:"transfers"`     // FILEM requests served
+	SimulatedNS  int64 `json:"simulated_ns"`  // modeled gather time
+	Dedup        bool  `json:"dedup"`         // content-addressed gather enabled
+}
+
+// ByChecksum inverts the checksum manifest into a hash → relative-path
+// index. When several paths share a hash any one of them is kept — the
+// bytes are identical by construction, which is all a dedup source needs.
+func (m *GlobalMeta) ByChecksum() map[string]string {
+	if len(m.Checksums) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(m.Checksums))
+	for rel, sum := range m.Checksums {
+		if prev, ok := out[sum]; !ok || rel < prev {
+			out[sum] = rel
+		}
+	}
+	return out
 }
 
 // Validate rejects structurally impossible global metadata.
@@ -222,9 +252,11 @@ func (r GlobalRef) StageDir(interval int) string {
 	return path.Join(r.Dir, stagePrefix+IntervalDirName(interval))
 }
 
+// checksum is the manifest hash. It must stay identical to the hash the
+// FILEM gather computes on source nodes (vfs.HashBytes): the dedup index
+// compares the two directly.
 func checksum(data []byte) string {
-	sum := sha256.Sum256(data)
-	return hex.EncodeToString(sum[:])
+	return vfs.HashBytes(data)
 }
 
 // treeChecksums hashes every file under root, keyed by path relative to
@@ -280,6 +312,15 @@ func WriteGlobal(ref GlobalRef, meta GlobalMeta) error {
 	dir := ref.IntervalDir(meta.Interval)
 	if vfs.Exists(ref.FS, path.Join(dir, CommittedFile)) {
 		return fmt.Errorf("snapshot: interval %d of %q is already committed", meta.Interval, ref.Dir)
+	}
+	// An unmarked interval directory of the same number is crash debris
+	// (rename landed, marker write didn't — or an earlier abort). The
+	// commit rename refuses non-empty destinations on every backend, so
+	// clear the debris explicitly before renaming over it.
+	if vfs.Exists(ref.FS, dir) {
+		if err := ref.FS.Remove(dir); err != nil {
+			return fmt.Errorf("snapshot: clear debris of interval %d: %w", meta.Interval, err)
+		}
 	}
 	if err := ref.FS.Rename(stage, dir); err != nil {
 		return fmt.Errorf("snapshot: commit interval %d: %w", meta.Interval, err)

@@ -36,10 +36,12 @@ func (l Link) TransferTime(n int64) time.Duration {
 // This mirrors the common HPC deployment the paper assumes (node-local
 // disks plus a shared RAID filesystem).
 type Topology struct {
-	mu      sync.RWMutex
-	uplinks map[string]Link // node name -> uplink
-	ingress Link            // shared stable-storage ingress
-	inject  func(point string) error
+	mu           sync.RWMutex
+	uplinks      map[string]Link // node name -> uplink
+	ingress      Link            // shared stable-storage ingress
+	storageLocal Link            // copies within stable storage
+	localScan    Link            // node-local read+hash for dedup lookups
+	inject       func(point string) error
 }
 
 // SetInject installs a fault-injection hook fired at "netsim.link:<node>"
@@ -71,10 +73,26 @@ var DefaultUplink = Link{Latency: 50 * time.Microsecond, Bandwidth: 125e6}
 // DefaultIngress approximates a RAID head node: 100µs latency, 250 MB/s.
 var DefaultIngress = Link{Latency: 100 * time.Microsecond, Bandwidth: 250e6}
 
+// DefaultStorageLocal approximates a copy that stays inside the stable
+// storage array (RAID-internal read+write): 20µs latency, 1 GB/s. This is
+// the cost an incremental gather pays to materialize a deduplicated file
+// from the previous interval instead of shipping it over the network.
+var DefaultStorageLocal = Link{Latency: 20 * time.Microsecond, Bandwidth: 1e9}
+
+// DefaultLocalScan approximates reading and hashing node-local snapshot
+// data from local disk/page cache: 10µs latency, 2 GB/s. Incremental
+// gathers pay it per byte hashed for the dedup lookup.
+var DefaultLocalScan = Link{Latency: 10 * time.Microsecond, Bandwidth: 2e9}
+
 // NewTopology returns a topology with the given stable-storage ingress
-// link and no nodes.
+// link, the default storage-local and scan links, and no nodes.
 func NewTopology(ingress Link) *Topology {
-	return &Topology{uplinks: make(map[string]Link), ingress: ingress}
+	return &Topology{
+		uplinks:      make(map[string]Link),
+		ingress:      ingress,
+		storageLocal: DefaultStorageLocal,
+		localScan:    DefaultLocalScan,
+	}
 }
 
 // AddNode registers a node with the given uplink.
@@ -102,13 +120,53 @@ func (t *Topology) Ingress() Link {
 	return t.ingress
 }
 
-// NodeToStorage returns the time for one node to push n bytes to stable
-// storage with no competing traffic: the slower of its uplink and the
-// storage ingress governs the stream.
-func (t *Topology) NodeToStorage(node string, n int64) (time.Duration, error) {
-	if err := t.fireLink(node); err != nil {
-		return 0, err
-	}
+// SetStorageLocal overrides the storage-internal copy link.
+func (t *Topology) SetStorageLocal(l Link) {
+	t.mu.Lock()
+	t.storageLocal = l
+	t.mu.Unlock()
+}
+
+// StorageLocal returns the storage-internal copy link.
+func (t *Topology) StorageLocal() Link {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.storageLocal
+}
+
+// SetLocalScan overrides the node-local scan (read+hash) link.
+func (t *Topology) SetLocalScan(l Link) {
+	t.mu.Lock()
+	t.localScan = l
+	t.mu.Unlock()
+}
+
+// LocalScan returns the node-local scan (read+hash) link.
+func (t *Topology) LocalScan() Link {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.localScan
+}
+
+// StorageLocalTime returns the modeled time to copy n bytes within stable
+// storage (dedup materialization). No network link is traversed, so no
+// fault-injection point fires.
+func (t *Topology) StorageLocalTime(n int64) time.Duration {
+	return t.StorageLocal().TransferTime(n)
+}
+
+// ScanTime returns the modeled time to read and hash n bytes on a node's
+// local disk for the dedup lookup.
+func (t *Topology) ScanTime(n int64) time.Duration {
+	return t.LocalScan().TransferTime(n)
+}
+
+// StorageTime returns the pure cost for one node to push n bytes to
+// stable storage with no competing traffic: the slower of its uplink and
+// the storage ingress governs the stream. It never consults the
+// fault-injection hook, so accounting paths (retry-overhead quotes,
+// what-if costing) cannot perturb a deterministic fault schedule.
+func (t *Topology) StorageTime(node string, n int64) (time.Duration, error) {
 	up, err := t.Uplink(node)
 	if err != nil {
 		return 0, err
@@ -122,18 +180,22 @@ func (t *Topology) NodeToStorage(node string, n int64) (time.Duration, error) {
 	return eff.TransferTime(n), nil
 }
 
-// NodeToNode returns the time to move n bytes between two nodes through
-// the core switch (both uplinks traversed; the slower governs).
-func (t *Topology) NodeToNode(src, dst string, n int64) (time.Duration, error) {
+// NodeToStorage is StorageTime plus the uplink fault-injection point:
+// transfers that actually traverse the network call this.
+func (t *Topology) NodeToStorage(node string, n int64) (time.Duration, error) {
+	if err := t.fireLink(node); err != nil {
+		return 0, err
+	}
+	return t.StorageTime(node, n)
+}
+
+// PathTime returns the pure cost to move n bytes between two nodes
+// through the core switch (both uplinks traversed; the slower governs).
+// Like StorageTime it never fires injection hooks.
+func (t *Topology) PathTime(src, dst string, n int64) (time.Duration, error) {
 	if src == dst {
 		// Same-node copy: memory-speed, negligible latency.
 		return time.Duration(float64(n)/8e9*float64(time.Second)) + time.Microsecond, nil
-	}
-	if err := t.fireLink(src); err != nil {
-		return 0, err
-	}
-	if err := t.fireLink(dst); err != nil {
-		return 0, err
 	}
 	a, err := t.Uplink(src)
 	if err != nil {
@@ -149,6 +211,20 @@ func (t *Topology) NodeToNode(src, dst string, n int64) (time.Duration, error) {
 	}
 	eff := Link{Latency: a.Latency + b.Latency, Bandwidth: bw}
 	return eff.TransferTime(n), nil
+}
+
+// NodeToNode is PathTime plus both endpoints' fault-injection points.
+func (t *Topology) NodeToNode(src, dst string, n int64) (time.Duration, error) {
+	if src == dst {
+		return t.PathTime(src, dst, n)
+	}
+	if err := t.fireLink(src); err != nil {
+		return 0, err
+	}
+	if err := t.fireLink(dst); err != nil {
+		return 0, err
+	}
+	return t.PathTime(src, dst, n)
 }
 
 // GatherTransfer describes one node's contribution to a gather.

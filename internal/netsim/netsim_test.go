@@ -123,6 +123,57 @@ func TestGroupedBoundedByIngress(t *testing.T) {
 	}
 }
 
+func TestPureCostsDoNotFireInjection(t *testing.T) {
+	topo := testTopology()
+	fired := 0
+	topo.SetInject(func(point string) error {
+		fired++
+		return nil
+	})
+	if _, err := topo.StorageTime("n0", 1e6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.PathTime("n0", "n1", 1e6); err != nil {
+		t.Fatal(err)
+	}
+	_ = topo.StorageLocalTime(1e6)
+	_ = topo.ScanTime(1e6)
+	if fired != 0 {
+		t.Errorf("pure cost methods fired the inject hook %d times", fired)
+	}
+	// The inject-firing variants agree on the cost and do fire.
+	d1, err := topo.NodeToStorage("n0", 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := topo.StorageTime("n0", 1e6)
+	if d1 != d2 {
+		t.Errorf("NodeToStorage = %v, StorageTime = %v; costs must agree", d1, d2)
+	}
+	if fired != 1 {
+		t.Errorf("NodeToStorage fired the inject hook %d times, want 1", fired)
+	}
+}
+
+func TestStorageLocalCheaperThanUplink(t *testing.T) {
+	// The dedup optimization only makes sense if materializing a file
+	// within stable storage is cheaper than shipping it over the network.
+	topo := testTopology()
+	const n = 4 << 20
+	net, err := topo.StorageTime("n0", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := topo.StorageLocalTime(n)
+	scan := topo.ScanTime(n)
+	if local >= net {
+		t.Errorf("storage-local copy %v not cheaper than network %v", local, net)
+	}
+	if scan+local >= net {
+		t.Errorf("scan %v + local copy %v not cheaper than network %v", scan, local, net)
+	}
+}
+
 func TestClockAccumulates(t *testing.T) {
 	var c Clock
 	c.Advance(time.Second)

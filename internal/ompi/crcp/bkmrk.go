@@ -146,6 +146,11 @@ func (p *bkmrkProto) FTEvent(s inc.State) error {
 // success the engine holds a consistent cut: every message a peer sent
 // before its marker has fully arrived, nothing past the cut has been
 // processed, and no rendezvous is half-complete in either direction.
+//
+// A failed quiesce (drain timeout, marker send failure, bookmark
+// mismatch) releases the engine itself before returning: relying on the
+// INC to deliver StateError would leave the engine draining — and every
+// later send/recv wedged — if that delivery never comes.
 func (p *bkmrkProto) quiesce() error {
 	if p.quiescing {
 		return fmt.Errorf("crcp bkmrk: quiesce already in progress")
@@ -155,8 +160,24 @@ func (p *bkmrkProto) quiesce() error {
 		p.markerFrom = make(map[int]uint64)
 	}
 	if err := p.eng.SetDraining(true); err != nil {
+		p.quiescing = false
+		p.markerFrom = nil
 		return fmt.Errorf("crcp bkmrk: enter drain: %w", err)
 	}
+	if err := p.drainToCut(); err != nil {
+		if rerr := p.release(); rerr != nil {
+			p.log.Emit(p.source(), "crcp.release-failed", "self-release after failed quiesce: %v", rerr)
+		}
+		return err
+	}
+	p.log.Emit(p.source(), "crcp.quiesce.done", "channels quiesced, %d frags held back", p.eng.HeldBack())
+	return nil
+}
+
+// drainToCut is the body of a quiesce after the engine entered drain
+// mode: announce bookmarks, wait for the channels to empty, verify the
+// accounting. Split out so quiesce can self-release on any error path.
+func (p *bkmrkProto) drainToCut() error {
 	// Announce bookmarks to every peer.
 	self := p.eng.Rank()
 	for peer := 0; peer < p.eng.Size(); peer++ {
@@ -193,7 +214,6 @@ func (p *bkmrkProto) quiesce() error {
 			return fmt.Errorf("crcp bkmrk: bookmark mismatch with rank %d: announced %d, received %d", peer, announced, got)
 		}
 	}
-	p.log.Emit(p.source(), "crcp.quiesce.done", "channels quiesced, %d frags held back", p.eng.HeldBack())
 	return nil
 }
 
@@ -212,6 +232,10 @@ func (p *bkmrkProto) drainedAll() bool {
 // protocol machine and normal operation resumes.
 func (p *bkmrkProto) release() error {
 	if !p.quiescing {
+		// Not quiescing, but a peer's aborted quiesce may have left stale
+		// markers behind; drop them so they cannot be double-counted as
+		// duplicates by the next exchange.
+		p.markerFrom = nil
 		return nil
 	}
 	p.quiescing = false

@@ -389,6 +389,67 @@ func TestDrainTimeoutWhenPeerSilent(t *testing.T) {
 	}
 }
 
+func TestDrainTimeoutSelfReleases(t *testing.T) {
+	// A failed quiesce must release the engine itself: before the fix it
+	// stayed draining (and quiescing) until the INC delivered StateError,
+	// wedging every later send/recv if that delivery never came.
+	params := mca.NewParams()
+	params.Set("crcp_bkmrk_timeout", "50ms")
+	engines, protos := mkWorld(t, 2, "bkmrk", params)
+	// Only rank 0 checkpoints; rank 1 never sends its marker.
+	if err := protos[0].FTEvent(inc.StateCheckpoint); !errors.Is(err, pml.ErrTimeout) {
+		t.Fatalf("quiesce with silent peer = %v, want wrapped pml.ErrTimeout", err)
+	}
+	// Post-timeout traffic flows in both directions with no StateError
+	// ever delivered.
+	parallel(t, 2, func(rank int) error {
+		if rank == 0 {
+			if err := engines[0].Send(1, 7, []byte("after timeout 0>1")); err != nil {
+				return err
+			}
+			data, _, err := engines[0].Recv(1, 8)
+			if err != nil || string(data) != "after timeout 1>0" {
+				return fmt.Errorf("recv on rank 0: %q, %v", data, err)
+			}
+			return nil
+		}
+		if err := engines[1].Send(0, 8, []byte("after timeout 1>0")); err != nil {
+			return err
+		}
+		data, _, err := engines[1].Recv(0, 7)
+		if err != nil || string(data) != "after timeout 0>1" {
+			return fmt.Errorf("recv on rank 1: %q, %v", data, err)
+		}
+		return nil
+	})
+	// The INC reports the failed checkpoint as a continue; rank 1 drops
+	// the stale marker it received from the aborted quiesce, so the next
+	// full checkpoint succeeds on both ranks.
+	parallel(t, 2, func(rank int) error {
+		return protos[rank].FTEvent(inc.StateContinue)
+	})
+	parallel(t, 2, func(rank int) error {
+		return protos[rank].FTEvent(inc.StateCheckpoint)
+	})
+	parallel(t, 2, func(rank int) error {
+		return protos[rank].FTEvent(inc.StateContinue)
+	})
+}
+
+func TestQuiesceTimeoutCanBeRetried(t *testing.T) {
+	// A second attempt after a drain timeout fails with another timeout —
+	// not "quiesce already in progress", which is what the leaked
+	// quiescing flag produced before the fix.
+	params := mca.NewParams()
+	params.Set("crcp_bkmrk_timeout", "50ms")
+	_, protos := mkWorld(t, 2, "bkmrk", params)
+	for attempt := 0; attempt < 2; attempt++ {
+		if err := protos[0].FTEvent(inc.StateCheckpoint); !errors.Is(err, pml.ErrTimeout) {
+			t.Fatalf("attempt %d = %v, want wrapped pml.ErrTimeout", attempt, err)
+		}
+	}
+}
+
 func TestDoubleQuiesceRejected(t *testing.T) {
 	engines, protos := mkWorld(t, 2, "bkmrk", nil)
 	parallel(t, 2, func(rank int) error {

@@ -118,10 +118,49 @@ func (e *Env) transferCost(src, dst string, n int64) (time.Duration, error) {
 	}
 }
 
+// quoteCost returns the modeled duration of moving n bytes without
+// firing any fault-injection hook: the pure what-if cost used to account
+// for failed attempts. Unknown nodes quote as free — the error surfaces
+// through the transfer itself.
+func (e *Env) quoteCost(src, dst string, n int64) time.Duration {
+	if e.Topo == nil {
+		return 0
+	}
+	var (
+		d   time.Duration
+		err error
+	)
+	switch {
+	case src == StableNode && dst == StableNode:
+		return 0
+	case dst == StableNode:
+		d, err = e.Topo.StorageTime(src, n)
+	case src == StableNode:
+		d, err = e.Topo.StorageTime(dst, n)
+	default:
+		d, err = e.Topo.PathTime(src, dst, n)
+	}
+	if err != nil {
+		return 0
+	}
+	return d
+}
+
 func (e *Env) charge(d time.Duration) {
 	if e.Clock != nil {
 		e.Clock.Advance(d)
 	}
+}
+
+// Baseline is a content-addressed dedup index over a previously gathered
+// interval: Dir is that interval's directory on the destination
+// filesystem, ByHash maps payload sha256 → path relative to Dir. A Move
+// request carrying a baseline hashes each source file and, on an index
+// hit, materializes the file by local copy from Dir instead of shipping
+// it over the network.
+type Baseline struct {
+	Dir    string
+	ByHash map[string]string
 }
 
 // Request names one tree movement from a source node to a destination.
@@ -130,18 +169,35 @@ type Request struct {
 	SrcPath string
 	DstNode string
 	DstPath string
+	// Baseline, when non-nil, enables the content-addressed incremental
+	// path for this request. Purely a transfer optimization: the
+	// destination tree is byte-identical either way.
+	Baseline *Baseline
 }
 
-// Stats reports what a FILEM operation did: real bytes moved and the
-// modeled network time charged for them.
+// Stats reports what a FILEM operation did: real bytes handled and the
+// modeled time charged for them. Bytes is the total payload; BytesMoved
+// is the subset that crossed the network, BytesDeduped the subset
+// materialized by storage-local copy from a baseline, BytesHashed the
+// bytes read and hashed on source nodes for dedup lookups.
 type Stats struct {
-	Bytes     int64
-	Simulated time.Duration
-	Transfers int
+	Bytes        int64
+	BytesMoved   int64
+	BytesDeduped int64
+	BytesHashed  int64
+	Simulated    time.Duration
+	Transfers    int
 }
 
 func (s Stats) add(o Stats) Stats {
-	return Stats{Bytes: s.Bytes + o.Bytes, Simulated: s.Simulated + o.Simulated, Transfers: s.Transfers + o.Transfers}
+	return Stats{
+		Bytes:        s.Bytes + o.Bytes,
+		BytesMoved:   s.BytesMoved + o.BytesMoved,
+		BytesDeduped: s.BytesDeduped + o.BytesDeduped,
+		BytesHashed:  s.BytesHashed + o.BytesHashed,
+		Simulated:    s.Simulated + o.Simulated,
+		Transfers:    s.Transfers + o.Transfers,
+	}
 }
 
 // Component is a FILEM implementation. Move executes a grouped request
@@ -182,11 +238,10 @@ func Broadcast(c Component, env *Env, srcNode, srcPath string, dstNodes []string
 
 // copyOne performs the real data movement for one request and returns
 // its stats. Shared by both components; they differ only in scheduling
-// and cost accounting.
+// and cost accounting. On failure the returned Stats.Simulated carries
+// the modeled time the failed attempt still consumed (partial transfer,
+// or the timeout it waited out) so callers can account for it.
 func copyOne(env *Env, r Request) (Stats, error) {
-	if err := env.inject(fmt.Sprintf("filem.transfer:%s>%s", r.SrcNode, r.DstNode)); err != nil {
-		return Stats{}, fmt.Errorf("filem: move %s:%s -> %s:%s: %w", r.SrcNode, r.SrcPath, r.DstNode, r.DstPath, err)
-	}
 	srcFS, err := env.fs(r.SrcNode)
 	if err != nil {
 		return Stats{}, err
@@ -195,20 +250,135 @@ func copyOne(env *Env, r Request) (Stats, error) {
 	if err != nil {
 		return Stats{}, err
 	}
+	if r.Baseline != nil && len(r.Baseline.ByHash) > 0 {
+		return dedupCopy(env, r, srcFS, dstFS)
+	}
+	if err := env.inject(fmt.Sprintf("filem.transfer:%s>%s", r.SrcNode, r.DstNode)); err != nil {
+		return Stats{}, fmt.Errorf("filem: move %s:%s -> %s:%s: %w", r.SrcNode, r.SrcPath, r.DstNode, r.DstPath, err)
+	}
 	n, err := vfs.CopyTree(srcFS, r.SrcPath, dstFS, r.DstPath)
 	if err != nil {
-		return Stats{}, fmt.Errorf("filem: move %s:%s -> %s:%s: %w", r.SrcNode, r.SrcPath, r.DstNode, r.DstPath, err)
+		return Stats{Simulated: env.quoteCost(r.SrcNode, r.DstNode, n)},
+			fmt.Errorf("filem: move %s:%s -> %s:%s: %w", r.SrcNode, r.SrcPath, r.DstNode, r.DstPath, err)
 	}
 	cost, err := env.transferCost(r.SrcNode, r.DstNode, n)
 	if err != nil {
-		return Stats{}, err
+		return Stats{Simulated: env.quoteCost(r.SrcNode, r.DstNode, n)}, err
 	}
 	if t := env.Retry.Timeout; t > 0 && cost > t {
-		return Stats{}, fmt.Errorf("filem: move %s:%s -> %s:%s: modeled transfer %v exceeds request timeout %v: %w",
+		return Stats{Simulated: t}, fmt.Errorf("filem: move %s:%s -> %s:%s: modeled transfer %v exceeds request timeout %v: %w",
 			r.SrcNode, r.SrcPath, r.DstNode, r.DstPath, cost, t, ErrRequestTimeout)
 	}
 	env.Log.Emit("filem", "filem.copy", "%s:%s -> %s:%s (%d bytes, %v)", r.SrcNode, r.SrcPath, r.DstNode, r.DstPath, n, cost)
-	return Stats{Bytes: n, Simulated: cost, Transfers: 1}, nil
+	return Stats{Bytes: n, BytesMoved: n, Simulated: cost, Transfers: 1}, nil
+}
+
+// dedupCopy is the content-addressed incremental path: every source file
+// is hashed on the source node; baseline hits are materialized by local
+// copy inside the destination filesystem at storage-local cost, misses
+// are transferred and charged at network cost. The resulting tree is
+// byte-identical to a full copy.
+func dedupCopy(env *Env, r Request, srcFS, dstFS vfs.FS) (Stats, error) {
+	var st Stats
+	injected := false
+	if err := copyTreeDedup(env, r, srcFS, dstFS, r.SrcPath, r.DstPath, &st, &injected); err != nil {
+		return Stats{Simulated: dedupQuote(env, r, st)},
+			fmt.Errorf("filem: move %s:%s -> %s:%s: %w", r.SrcNode, r.SrcPath, r.DstNode, r.DstPath, err)
+	}
+	cost := dedupQuote(env, r, st)
+	if st.BytesMoved > 0 {
+		// Replace the network quote with the real transfer cost: this is
+		// where link fault injection fires for the bytes that actually
+		// crossed the network.
+		cost -= env.quoteCost(r.SrcNode, r.DstNode, st.BytesMoved)
+		net, err := env.transferCost(r.SrcNode, r.DstNode, st.BytesMoved)
+		if err != nil {
+			return Stats{Simulated: dedupQuote(env, r, st)}, err
+		}
+		cost += net
+	}
+	if t := env.Retry.Timeout; t > 0 && cost > t {
+		return Stats{Simulated: t}, fmt.Errorf("filem: move %s:%s -> %s:%s: modeled transfer %v exceeds request timeout %v: %w",
+			r.SrcNode, r.SrcPath, r.DstNode, r.DstPath, cost, t, ErrRequestTimeout)
+	}
+	st.Simulated = cost
+	st.Transfers = 1
+	env.Log.Emit("filem", "filem.copy", "%s:%s -> %s:%s (%d bytes: %d moved, %d deduped, %v)",
+		r.SrcNode, r.SrcPath, r.DstNode, r.DstPath, st.Bytes, st.BytesMoved, st.BytesDeduped, cost)
+	return st, nil
+}
+
+// dedupQuote is the pure modeled cost of an incremental copy's progress
+// so far: scan time for the hashed bytes, storage-local time for the
+// deduplicated bytes, network time for the moved bytes. No injection
+// hooks fire.
+func dedupQuote(env *Env, r Request, st Stats) time.Duration {
+	var cost time.Duration
+	if env.Topo != nil {
+		if st.BytesHashed > 0 {
+			cost += env.Topo.ScanTime(st.BytesHashed)
+		}
+		if st.BytesDeduped > 0 {
+			cost += env.Topo.StorageLocalTime(st.BytesDeduped)
+		}
+	}
+	if st.BytesMoved > 0 {
+		cost += env.quoteCost(r.SrcNode, r.DstNode, st.BytesMoved)
+	}
+	return cost
+}
+
+// copyTreeDedup walks the source tree, deciding per file between a
+// baseline materialization and a network transfer. The filem.transfer
+// injection point fires once, before the first byte that would cross the
+// network — a fully deduplicated request touches no link at all.
+func copyTreeDedup(env *Env, r Request, srcFS, dstFS vfs.FS, src, dst string, st *Stats, injected *bool) error {
+	info, err := srcFS.Stat(src)
+	if err != nil {
+		return err
+	}
+	if info.IsDir {
+		if err := dstFS.MkdirAll(dst); err != nil {
+			return err
+		}
+		entries, err := srcFS.ReadDir(src)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if err := copyTreeDedup(env, r, srcFS, dstFS, path.Join(src, e.Name), path.Join(dst, e.Name), st, injected); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	data, err := srcFS.ReadFile(src)
+	if err != nil {
+		return err
+	}
+	n := int64(len(data))
+	st.Bytes += n
+	st.BytesHashed += n
+	if prev, ok := r.Baseline.ByHash[vfs.HashBytes(data)]; ok {
+		if err := vfs.CopyFile(dstFS, path.Join(r.Baseline.Dir, prev), dstFS, dst); err == nil {
+			st.BytesDeduped += n
+			env.Log.Emit("filem", "filem.dedup.hit", "%s:%s (%d bytes from %s)", r.SrcNode, src, n, prev)
+			return nil
+		}
+		// Baseline unreadable (pruned, damaged): fall back to a transfer.
+	}
+	if !*injected {
+		if err := env.inject(fmt.Sprintf("filem.transfer:%s>%s", r.SrcNode, r.DstNode)); err != nil {
+			return err
+		}
+		*injected = true
+	}
+	if err := dstFS.WriteFile(dst, data); err != nil {
+		return err
+	}
+	st.BytesMoved += n
+	env.Log.Emit("filem", "filem.dedup.miss", "%s:%s (%d bytes)", r.SrcNode, src, n)
+	return nil
 }
 
 // cleanupPartial removes whatever a failed copy left at the destination
@@ -226,31 +396,38 @@ func cleanupPartial(env *Env, r Request) {
 
 // copyWithRetry runs one request under the environment's retry policy:
 // failed attempts clean up their partial destination and back off
-// exponentially (charged to the simulated clock, like the transfers
-// themselves). Deterministic failures — a request that would exceed its
-// modeled timeout on every attempt — are not retried.
+// exponentially. All retry overhead — backoffs plus the modeled time the
+// failed attempts consumed — is folded into the returned Stats.Simulated
+// (also on failure) instead of being charged to the shared clock here:
+// the component's Move owns the charge, so overlapped streams' backoffs
+// are not serialized onto the clock. Deterministic failures — a request
+// that would exceed its modeled timeout on every attempt — are not
+// retried.
 func copyWithRetry(env *Env, r Request) (Stats, error) {
 	pol := env.Retry
 	backoff := pol.Backoff
+	var overhead time.Duration
 	var lastErr error
 	for attempt := 0; attempt <= pol.Max; attempt++ {
 		if attempt > 0 {
-			env.charge(backoff)
+			overhead += backoff
 			env.Log.Emit("filem", "filem.retry", "attempt %d/%d %s:%s -> %s:%s (backoff %v): %v",
 				attempt+1, pol.Max+1, r.SrcNode, r.SrcPath, r.DstNode, r.DstPath, backoff, lastErr)
 			backoff = time.Duration(float64(backoff) * pol.multiplier())
 		}
 		st, err := copyOne(env, r)
 		if err == nil {
+			st.Simulated += overhead
 			return st, nil
 		}
+		overhead += st.Simulated // time the failed attempt still consumed
 		lastErr = err
 		cleanupPartial(env, r)
 		if errors.Is(err, ErrRequestTimeout) {
 			break // the modeled cost will not change; retrying is futile
 		}
 	}
-	return Stats{}, fmt.Errorf("filem: giving up on %s:%s -> %s:%s after %d attempt(s): %w",
+	return Stats{Simulated: overhead}, fmt.Errorf("filem: giving up on %s:%s -> %s:%s after %d attempt(s): %w",
 		r.SrcNode, r.SrcPath, r.DstNode, r.DstPath, env.Retry.Max+1, lastErr)
 }
 
@@ -320,13 +497,17 @@ func (*RSH) Priority() int { return 20 }
 
 // Move implements Component with strictly sequential transfers. A
 // failure (after retries) rolls back the requests that already landed,
-// so a partially-failed grouped move leaves no half-gathered debris.
+// so a partially-failed grouped move leaves no half-gathered debris. The
+// clock is charged once, for the whole schedule — on failure that is the
+// completed requests plus the time the failed one consumed before giving
+// up.
 func (*RSH) Move(env *Env, reqs []Request) (Stats, error) {
 	var total Stats
 	var done []Request
 	for _, r := range reqs {
 		st, err := copyWithRetry(env, r)
 		if err != nil {
+			env.charge(total.Simulated + st.Simulated)
 			rollback(env, done)
 			return total, err
 		}
@@ -358,7 +539,11 @@ func (*Raw) Priority() int { return 10 }
 
 // Move implements Component with overlapped transfers. If any stream
 // fails (after retries), the streams that completed are rolled back so
-// the grouped move is all-or-nothing.
+// the grouped move is all-or-nothing. Each stream's retry backoffs and
+// failed-attempt time stay inside its own perStream duration: overlapped
+// backoffs overlap, exactly like the transfers themselves, and the clock
+// is charged once with the grouped cost of the whole schedule (also on
+// failure, for the time the attempt consumed).
 func (*Raw) Move(env *Env, reqs []Request) (Stats, error) {
 	var (
 		mu       sync.Mutex
@@ -375,6 +560,7 @@ func (*Raw) Move(env *Env, reqs []Request) (Stats, error) {
 			st, err := copyWithRetry(env, r)
 			mu.Lock()
 			defer mu.Unlock()
+			perStream[i] = st.Simulated
 			if err != nil {
 				if firstErr == nil {
 					firstErr = err
@@ -382,13 +568,16 @@ func (*Raw) Move(env *Env, reqs []Request) (Stats, error) {
 				return
 			}
 			completed[i] = true
-			perStream[i] = st.Simulated
 			total.Bytes += st.Bytes
+			total.BytesMoved += st.BytesMoved
+			total.BytesDeduped += st.BytesDeduped
+			total.BytesHashed += st.BytesHashed
 			total.Transfers += st.Transfers
 		}(i, r)
 	}
 	wg.Wait()
 	if firstErr != nil {
+		env.charge(groupedCost(env, reqs, perStream, total.BytesMoved))
 		var done []Request
 		for i, ok := range completed {
 			if ok {
@@ -398,15 +587,17 @@ func (*Raw) Move(env *Env, reqs []Request) (Stats, error) {
 		rollback(env, done)
 		return total, firstErr
 	}
-	total.Simulated = groupedCost(env, reqs, perStream, total.Bytes)
+	total.Simulated = groupedCost(env, reqs, perStream, total.BytesMoved)
 	env.charge(total.Simulated)
 	return total, nil
 }
 
 // groupedCost computes the modeled duration of the overlapped schedule:
 // the slowest individual stream, floored by the stable-storage ingress
-// serialization bound when storage is involved.
-func groupedCost(env *Env, reqs []Request, perStream []time.Duration, totalBytes int64) time.Duration {
+// serialization bound when storage is involved. Only bytes that actually
+// crossed the network (movedBytes) contend on the ingress link —
+// deduplicated bytes never leave stable storage.
+func groupedCost(env *Env, reqs []Request, perStream []time.Duration, movedBytes int64) time.Duration {
 	var max time.Duration
 	for _, d := range perStream {
 		if d > max {
@@ -424,7 +615,7 @@ func groupedCost(env *Env, reqs []Request, perStream []time.Duration, totalBytes
 		}
 	}
 	if touchesStorage {
-		if bound := env.Topo.Ingress().TransferTime(totalBytes); bound > max {
+		if bound := env.Topo.Ingress().TransferTime(movedBytes); bound > max {
 			return bound
 		}
 	}

@@ -41,10 +41,14 @@ func TestTransferRetriesThenSucceeds(t *testing.T) {
 			if n := env.Log.Count("filem.retry"); n != 2 {
 				t.Errorf("filem.retry events = %d, want 2", n)
 			}
-			// Exponential backoff (1ms + 2ms) is charged to the clock on
-			// top of the transfer itself.
-			if wait := env.Clock.Elapsed() - before - st.Simulated; wait < 3*time.Millisecond {
-				t.Errorf("charged backoff = %v, want >= 3ms", wait)
+			// Exponential backoff (1ms + 2ms) is folded into the stream's
+			// reported time, and the clock is charged exactly once with it —
+			// not separately per retry.
+			if st.Simulated < 3*time.Millisecond {
+				t.Errorf("Simulated = %v, want >= 3ms of folded backoff", st.Simulated)
+			}
+			if charged := env.Clock.Elapsed() - before; charged != st.Simulated {
+				t.Errorf("clock charged %v, want exactly Stats.Simulated %v", charged, st.Simulated)
 			}
 			if inj.Fired("filem.transfer") != 2 {
 				t.Errorf("injector fired %d times, want 2", inj.Fired("filem.transfer"))

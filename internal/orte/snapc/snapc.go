@@ -296,6 +296,42 @@ func abortInterval(env *Env, job JobView, byNode map[string][]int, globalDir str
 	env.Log.Emit("snapc.global", "ckpt.aborted", "job %d interval %d: %v", job.JobID(), interval, cause)
 }
 
+// gatherBaseline builds the content-addressed dedup index for one
+// gather: the checksum manifest of the newest interval committed before
+// this one, inverted to hash → path. Returns nil (a full gather) when
+// dedup is disabled, no earlier interval exists, or the previous
+// metadata cannot be read — the optimization must never fail a
+// checkpoint.
+func gatherBaseline(env *Env, ref snapshot.GlobalRef, interval int, enabled bool) *filem.Baseline {
+	if !enabled {
+		return nil
+	}
+	ivs, err := snapshot.Intervals(ref)
+	if err != nil {
+		return nil
+	}
+	prev := -1
+	for _, iv := range ivs {
+		if iv < interval && iv > prev {
+			prev = iv
+		}
+	}
+	if prev < 0 {
+		return nil
+	}
+	meta, err := snapshot.ReadGlobal(ref, prev)
+	if err != nil {
+		return nil
+	}
+	idx := meta.ByChecksum()
+	if len(idx) == 0 {
+		return nil
+	}
+	env.Log.Emit("snapc.global", "ckpt.dedup-baseline", "interval %d dedups against interval %d (%d entries)",
+		interval, prev, len(idx))
+	return &filem.Baseline{Dir: ref.IntervalDir(prev), ByHash: idx}
+}
+
 // finishGlobal is the back half of a global checkpoint, shared by every
 // coordination topology: FILEM-gather the local snapshots into the
 // global snapshot directory on stable storage while the processes have
@@ -310,12 +346,23 @@ func finishGlobal(env *Env, job JobView, globalDir string, interval int, opts Op
 	// commit rename, so a crash or failure mid-gather can never leave a
 	// half-written snapshot that restart would trust.
 	stage := ref.StageDir(interval)
+	// A stale stage of the same number (abandoned by a crash) would mix
+	// old payloads into this gather; start from a clean slate.
+	if vfs.Exists(env.Stable, stage) {
+		if err := env.Stable.Remove(stage); err != nil {
+			abortInterval(env, job, byNode, globalDir, interval, err)
+			return Result{}, fmt.Errorf("snapc: clear stale stage for interval %d: %w", interval, err)
+		}
+	}
+	dedup := job.Params().Bool("filem_dedup", true)
+	baseline := gatherBaseline(env, ref, interval, dedup)
 	var reqs []filem.Request
 	for v := 0; v < job.NumProcs(); v++ {
 		pr := results[v]
 		reqs = append(reqs, filem.Request{
 			SrcNode: job.NodeOf(v), SrcPath: pr.Dir,
 			DstNode: filem.StableNode, DstPath: path.Join(stage, snapshot.LocalDirName(v)),
+			Baseline: baseline,
 		})
 	}
 	stats, err := env.Filem.Move(env.FilemEnv, reqs)
@@ -323,7 +370,8 @@ func finishGlobal(env *Env, job JobView, globalDir string, interval int, opts Op
 		abortInterval(env, job, byNode, globalDir, interval, err)
 		return Result{}, fmt.Errorf("snapc: gather to stable storage: %w", err)
 	}
-	log.Emit("snapc.global", "ckpt.gathered", "%d transfers, %d bytes, %v modeled", stats.Transfers, stats.Bytes, stats.Simulated)
+	log.Emit("snapc.global", "ckpt.gathered", "%d transfers, %d bytes (%d moved, %d deduped), %v modeled",
+		stats.Transfers, stats.Bytes, stats.BytesMoved, stats.BytesDeduped, stats.Simulated)
 
 	// Write the global metadata: everything restart needs.
 	meta := snapshot.GlobalMeta{
@@ -335,6 +383,15 @@ func finishGlobal(env *Env, job JobView, globalDir string, interval int, opts Op
 		AppArgs:   job.AppArgs(),
 		MCAParams: job.Params().Map(),
 		Nodes:     job.Nodes(),
+		Gather: &snapshot.GatherRecord{
+			Bytes:        stats.Bytes,
+			BytesMoved:   stats.BytesMoved,
+			BytesDeduped: stats.BytesDeduped,
+			BytesHashed:  stats.BytesHashed,
+			Transfers:    stats.Transfers,
+			SimulatedNS:  int64(stats.Simulated),
+			Dedup:        baseline != nil,
+		},
 	}
 	for v := 0; v < job.NumProcs(); v++ {
 		meta.Procs = append(meta.Procs, snapshot.ProcEntry{

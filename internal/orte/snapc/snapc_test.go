@@ -30,6 +30,8 @@ type fakeJob struct {
 	ckptable  []bool
 	failRank  int // rank whose participation fails; -1 = none
 	delivered []int
+	imageBody func(v, interval int) []byte // nil = default per-interval body
+	params    map[string]string            // extra MCA params
 	mu        sync.Mutex
 }
 
@@ -38,7 +40,14 @@ func (j *fakeJob) AppName() string     { return "fake" }
 func (j *fakeJob) AppArgs() []string   { return []string{"-x", "1"} }
 func (j *fakeJob) NumProcs() int       { return j.np }
 func (j *fakeJob) NodeOf(v int) string { return j.placement[v] }
-func (j *fakeJob) Params() *mca.Params { p := mca.NewParams(); p.Set("crcp", "bkmrk"); return p }
+func (j *fakeJob) Params() *mca.Params {
+	p := mca.NewParams()
+	p.Set("crcp", "bkmrk")
+	for k, v := range j.params {
+		p.Set(k, v)
+	}
+	return p
+}
 func (j *fakeJob) Checkpointable(v int) bool {
 	return j.ckptable[v]
 }
@@ -65,6 +74,9 @@ func (j *fakeJob) Deliver(v int, d *ompi.Directive) {
 			res.Err = errors.New("injected participation failure")
 		} else {
 			body := []byte(fmt.Sprintf("image of rank %d at interval %d", v, d.Interval))
+			if j.imageBody != nil {
+				body = j.imageBody(v, d.Interval)
+			}
 			if err := d.FS.WriteFile(path.Join(d.Dir, "process_image.bin"), body); err != nil {
 				res.Err = err
 			} else {

@@ -90,6 +90,19 @@ func (l *Log) Count(kind string) int {
 	return n
 }
 
+// CountPrefix returns how many recorded events have a kind beginning
+// with the given prefix, e.g. CountPrefix("filem.dedup.") counts hits
+// and misses together.
+func (l *Log) CountPrefix(prefix string) int {
+	n := 0
+	for _, e := range l.Events() {
+		if strings.HasPrefix(e.Kind, prefix) {
+			n++
+		}
+	}
+	return n
+}
+
 // Reset discards all recorded events.
 func (l *Log) Reset() {
 	if l == nil {

@@ -79,3 +79,21 @@ func TestConcurrentEmit(t *testing.T) {
 		t.Errorf("Count(tick) = %d, want 800", got)
 	}
 }
+
+func TestCountPrefix(t *testing.T) {
+	var l Log
+	l.Emit("filem", "filem.dedup.hit", "")
+	l.Emit("filem", "filem.dedup.hit", "")
+	l.Emit("filem", "filem.dedup.miss", "")
+	l.Emit("filem", "filem.copy", "")
+	if got := l.CountPrefix("filem.dedup."); got != 3 {
+		t.Errorf("CountPrefix(filem.dedup.) = %d, want 3", got)
+	}
+	if got := l.CountPrefix("nope."); got != 0 {
+		t.Errorf("CountPrefix(nope.) = %d, want 0", got)
+	}
+	var nilLog *Log
+	if got := nilLog.CountPrefix("x"); got != 0 {
+		t.Errorf("nil CountPrefix = %d, want 0", got)
+	}
+}

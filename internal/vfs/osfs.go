@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 )
 
 // OS is an FS backed by a real directory on the host filesystem. It is
@@ -131,18 +132,47 @@ func (o *OS) Rename(oldName, newName string) error {
 	if err := os.MkdirAll(filepath.Dir(newHP), 0o755); err != nil {
 		return mapOSError("rename", newName, err)
 	}
-	// rename(2) refuses to replace a non-empty directory; match Mem's
-	// replace semantics by clearing any existing destination first. A
-	// plain file never silently replaces a directory, also like Mem.
-	if dstInfo, err := os.Stat(newHP); err == nil {
-		if dstInfo.IsDir() && !srcInfo.IsDir() {
+	// Enforce rename(2) destination semantics explicitly rather than
+	// trusting the backing filesystem's errnos (overlayfs reports EEXIST
+	// for every directory destination, even an empty one POSIX would
+	// replace): a file never replaces a directory, a directory never
+	// replaces a file, and a non-empty directory destination is refused —
+	// the caller must clear it first. Clearing it here instead would break
+	// the atomicity the snapshot commit protocol depends on.
+	if dstInfo, serr := os.Stat(newHP); serr == nil {
+		switch {
+		case !srcInfo.IsDir() && dstInfo.IsDir():
 			return fmt.Errorf("vfs: rename %q -> %q: %w", oldName, newName, ErrIsDir)
-		}
-		if err := os.RemoveAll(newHP); err != nil {
-			return mapOSError("rename", newName, err)
+		case srcInfo.IsDir() && !dstInfo.IsDir():
+			return fmt.Errorf("vfs: rename %q -> %q: %w", oldName, newName, ErrNotDir)
+		case srcInfo.IsDir() && dstInfo.IsDir():
+			entries, rerr := os.ReadDir(newHP)
+			if rerr != nil {
+				return mapOSError("rename", newName, rerr)
+			}
+			if len(entries) > 0 {
+				return fmt.Errorf("vfs: rename %q -> %q: %w", oldName, newName, ErrNotEmpty)
+			}
+			// POSIX replaces an empty directory destination; overlayfs
+			// refuses, so drop the empty directory before the rename.
+			if rerr := os.Remove(newHP); rerr != nil {
+				return mapOSError("rename", newName, rerr)
+			}
 		}
 	}
-	return mapOSError("rename", oldName, os.Rename(oldHP, newHP))
+	err = os.Rename(oldHP, newHP)
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, syscall.ENOTEMPTY) || errors.Is(err, syscall.EEXIST):
+		return fmt.Errorf("vfs: rename %q -> %q: %w", oldName, newName, ErrNotEmpty)
+	case errors.Is(err, syscall.EISDIR):
+		return fmt.Errorf("vfs: rename %q -> %q: %w", oldName, newName, ErrIsDir)
+	case errors.Is(err, syscall.ENOTDIR):
+		return fmt.Errorf("vfs: rename %q -> %q: %w", oldName, newName, ErrNotDir)
+	default:
+		return mapOSError("rename", oldName, err)
+	}
 }
 
 // MkdirAll implements FS.

@@ -82,7 +82,11 @@ func TestRenameDirectoryTree(t *testing.T) {
 	}
 }
 
-func TestRenameDirectoryReplacesDestinationTree(t *testing.T) {
+func TestRenameRefusesNonEmptyDestinationDir(t *testing.T) {
+	// rename(2) semantics on both backends: a non-empty destination
+	// directory is never silently replaced. The snapshot layer removes
+	// commit debris explicitly before its commit rename — relying on the
+	// rename to clear it was non-atomic on the OS backend.
 	for name, fs := range implementations(t) {
 		t.Run(name, func(t *testing.T) {
 			if err := fs.WriteFile("src/fresh", []byte("new")); err != nil {
@@ -92,14 +96,44 @@ func TestRenameDirectoryReplacesDestinationTree(t *testing.T) {
 			if err := fs.WriteFile("dst/stale", []byte("old")); err != nil {
 				t.Fatal(err)
 			}
+			if err := fs.Rename("src", "dst"); !errors.Is(err, ErrNotEmpty) {
+				t.Fatalf("rename onto non-empty dir = %v, want ErrNotEmpty", err)
+			}
+			if data, _ := fs.ReadFile("dst/stale"); string(data) != "old" {
+				t.Error("refused rename still disturbed the destination")
+			}
+			// After the caller clears the debris, the same rename lands.
+			if err := fs.Remove("dst"); err != nil {
+				t.Fatal(err)
+			}
 			if err := fs.Rename("src", "dst"); err != nil {
 				t.Fatal(err)
 			}
-			if Exists(fs, "dst/stale") {
-				t.Error("stale destination content survived the rename")
+			if data, _ := fs.ReadFile("dst/fresh"); string(data) != "new" {
+				t.Error("renamed content missing")
+			}
+		})
+	}
+}
+
+func TestRenameOntoEmptyDirectory(t *testing.T) {
+	// rename(2) allows a directory to replace an existing empty one.
+	for name, fs := range implementations(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := fs.WriteFile("src/fresh", []byte("new")); err != nil {
+				t.Fatal(err)
+			}
+			if err := fs.MkdirAll("dst"); err != nil {
+				t.Fatal(err)
+			}
+			if err := fs.Rename("src", "dst"); err != nil {
+				t.Fatalf("rename onto empty dir: %v", err)
 			}
 			if data, _ := fs.ReadFile("dst/fresh"); string(data) != "new" {
 				t.Error("renamed content missing")
+			}
+			if Exists(fs, "src") {
+				t.Error("source survived the rename")
 			}
 		})
 	}

@@ -11,6 +11,8 @@
 package vfs
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io/fs"
@@ -34,6 +36,10 @@ var (
 	ErrNotDir = errors.New("vfs: not a directory")
 	// ErrInvalid reports a malformed path.
 	ErrInvalid = errors.New("vfs: invalid path")
+	// ErrNotEmpty reports a rename onto a non-empty directory, which
+	// rename(2) refuses (ENOTEMPTY). Callers that really mean to replace
+	// a directory tree must remove it first.
+	ErrNotEmpty = errors.New("vfs: directory not empty")
 )
 
 // FileInfo describes a file or directory in a virtual filesystem.
@@ -57,9 +63,11 @@ type FS interface {
 	// Removing a nonexistent name is an error.
 	Remove(name string) error
 	// Rename atomically moves a file or directory tree to a new name,
-	// creating the destination's parents as needed and replacing any
-	// existing destination. The atomic commit step of snapshot writes
-	// depends on this (stage, then rename into place).
+	// creating the destination's parents as needed. Like rename(2): an
+	// existing destination file is replaced, an existing destination
+	// directory is replaced only if empty (ErrNotEmpty otherwise). The
+	// atomic commit step of snapshot writes depends on this (stage, then
+	// rename into place).
 	Rename(oldName, newName string) error
 	// MkdirAll creates the named directory along with any parents.
 	// It succeeds if the directory already exists.
@@ -89,6 +97,25 @@ func Clean(name string) (string, error) {
 func Exists(fsys FS, name string) bool {
 	_, err := fsys.Stat(name)
 	return err == nil
+}
+
+// HashBytes returns the hex-encoded sha256 of data. This is the one
+// content hash shared by the snapshot commit manifest and FILEM's
+// gather-time dedup decisions: a hash computed on a source node is
+// directly comparable against commit-time checksums on stable storage.
+func HashBytes(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// HashFile returns the hex sha256 of the named file's contents along
+// with its size.
+func HashFile(fsys FS, name string) (string, int64, error) {
+	data, err := fsys.ReadFile(name)
+	if err != nil {
+		return "", 0, err
+	}
+	return HashBytes(data), int64(len(data)), nil
 }
 
 // CopyFile copies a single file from src on srcFS to dst on dstFS.
@@ -346,19 +373,20 @@ func (m *Mem) Rename(oldName, newName string) error {
 	if err := m.mkdirAllLocked(path.Dir(np)); err != nil {
 		return err
 	}
-	// Replace any existing destination tree, like rename(2) over an
-	// empty dir / our recursive Remove semantics.
-	prefix := np + "/"
-	for f := range m.files {
-		if strings.HasPrefix(f, prefix) {
-			delete(m.files, f)
-			delete(m.mtime, f)
+	// rename(2) semantics: an existing destination directory may only be
+	// replaced if it is empty. Silently swallowing a non-empty tree here
+	// once masked commit-over-debris bugs the OS backend then exposed.
+	if m.dirs[np] {
+		prefix := np + "/"
+		for f := range m.files {
+			if strings.HasPrefix(f, prefix) {
+				return fmt.Errorf("vfs: rename %q -> %q: %w", oldName, newName, ErrNotEmpty)
+			}
 		}
-	}
-	for d := range m.dirs {
-		if d != np && strings.HasPrefix(d, prefix) {
-			delete(m.dirs, d)
-			delete(m.mtime, d)
+		for d := range m.dirs {
+			if d != np && strings.HasPrefix(d, prefix) {
+				return fmt.Errorf("vfs: rename %q -> %q: %w", oldName, newName, ErrNotEmpty)
+			}
 		}
 	}
 	// Re-key the source tree.
