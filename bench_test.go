@@ -10,6 +10,7 @@
 //	A6     BenchmarkSnapcTopology
 //	A7     BenchmarkFaultRetryAblation
 //	A8     BenchmarkIncrementalGather
+//	A9     BenchmarkReplicationOverhead
 //
 // Run with: go test -bench=. -benchmem
 //
@@ -21,12 +22,14 @@ package repro
 
 import (
 	"fmt"
+	"path"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/core/snapshot"
 	"repro/internal/mca"
 	"repro/internal/netsim"
 	"repro/internal/ompi"
@@ -609,5 +612,144 @@ func BenchmarkIncrementalGather(b *testing.B) {
 				b.ReportMetric(float64(moved)/float64(b.N)/(1<<20), "moved-MB/gather")
 			})
 		}
+	}
+}
+
+// --- A9: k-way replication overhead --------------------------------------------
+
+// BenchmarkReplicationOverhead measures the durability layer's replica
+// push at the A8 workload (8 ranks × 16 files × 256 KiB, ~10% of each
+// rank's files mutated between intervals) against the replication
+// factor k. A two-interval committed lineage is built once on stable
+// storage; per iteration, interval 0 is seeded cold onto every holder
+// outside the timer and the measured cost is the steady-state push of
+// interval 1, which — exactly like SNAPC's post-commit push — dedups
+// against the holder's previous replica and verifies every landed copy.
+// Reported metrics: modeled push time and replica bytes moved per
+// checkpoint. The claim under test: steady-state k-way durability costs
+// k times the mutated bytes, not k times the checkpoint.
+func BenchmarkReplicationOverhead(b *testing.B) {
+	const (
+		ranks        = 8
+		filesPerRank = 16
+		fileSize     = 256 << 10
+		mutPerRank   = 2 // ~10% of each rank's files mutate between intervals
+	)
+	body := func(rank, f, v int) []byte {
+		data := make([]byte, fileSize)
+		copy(data, fmt.Sprintf("rank=%d file=%d version=%d|", rank, f, v))
+		for i := range data {
+			data[i] += byte(i % 251)
+		}
+		return data
+	}
+	// The committed lineage every push reads from, built once.
+	stable := vfs.NewMem()
+	ref := snapshot.GlobalRef{FS: stable, Dir: snapshot.GlobalDirName(1)}
+	var rankNodes []string
+	for r := 0; r < ranks; r++ {
+		rankNodes = append(rankNodes, fmt.Sprintf("n%d", r))
+	}
+	for iv := 0; iv < 2; iv++ {
+		meta := snapshot.GlobalMeta{
+			JobID: 1, Interval: iv, Taken: time.Now(),
+			NumProcs: ranks, AppName: "bench", Nodes: rankNodes,
+		}
+		stage := ref.StageDir(iv)
+		for r := 0; r < ranks; r++ {
+			ldir := snapshot.LocalDirName(r)
+			var files []string
+			for f := 0; f < filesPerRank; f++ {
+				files = append(files, fmt.Sprintf("f%03d.bin", f))
+			}
+			lm := snapshot.LocalMeta{
+				Component: "simcr", JobID: 1, Vpid: r, Interval: iv,
+				Node: rankNodes[r], Files: files, Taken: time.Now(),
+			}
+			if _, err := snapshot.WriteLocal(stable, path.Join(stage, ldir), lm); err != nil {
+				b.Fatal(err)
+			}
+			for f := 0; f < filesPerRank; f++ {
+				v := 0
+				if iv == 1 && f < mutPerRank {
+					v = 1
+				}
+				if err := stable.WriteFile(path.Join(stage, ldir, files[f]), body(r, f, v)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			meta.Procs = append(meta.Procs, snapshot.ProcEntry{
+				Vpid: r, Node: rankNodes[r], Component: "simcr", LocalDir: ldir,
+			})
+		}
+		if err := snapshot.WriteGlobal(ref, meta); err != nil {
+			b.Fatal(err)
+		}
+	}
+	meta0, err := snapshot.ReadGlobal(ref, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prevIdx := meta0.ByChecksum()
+
+	for _, k := range []int{0, 1, 2, 3} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			comp := &filem.Raw{}
+			var moved int64
+			var sim time.Duration
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				stores := map[string]*vfs.Mem{filem.StableNode: stable}
+				topo := netsim.NewTopology(netsim.DefaultIngress)
+				var holders []string
+				for h := 0; h < k; h++ {
+					name := fmt.Sprintf("r%d", h)
+					stores[name] = vfs.NewMem()
+					topo.AddNode(name, netsim.DefaultUplink)
+					holders = append(holders, name)
+				}
+				clock := &netsim.Clock{}
+				env := &filem.Env{
+					Resolve: func(node string) (vfs.FS, error) {
+						fs, ok := stores[node]
+						if !ok {
+							return nil, fmt.Errorf("unknown node")
+						}
+						return fs, nil
+					},
+					Topo: topo, Clock: clock,
+				}
+				push := func(iv int, baseline *filem.Baseline) filem.Stats {
+					var total filem.Stats
+					for _, name := range holders {
+						st, err := comp.Move(env, []filem.Request{{
+							SrcNode: filem.StableNode, SrcPath: ref.IntervalDir(iv),
+							DstNode: name, DstPath: snapshot.ReplicaDir(ref.Dir, iv),
+							Baseline: baseline,
+						}})
+						if err != nil {
+							b.Fatal(err)
+						}
+						// The production push verifies every copy it places.
+						if _, err := snapshot.VerifyDir(stores[name], snapshot.ReplicaDir(ref.Dir, iv)); err != nil {
+							b.Fatal(err)
+						}
+						total.BytesMoved += st.BytesMoved
+						total.BytesDeduped += st.BytesDeduped
+					}
+					return total
+				}
+				// Cold seed: interval 0 lands in full on every holder.
+				push(0, nil)
+				start := clock.Elapsed()
+				b.StartTimer()
+				st := push(1, &filem.Baseline{Dir: snapshot.ReplicaDir(ref.Dir, 0), ByHash: prevIdx})
+				b.StopTimer()
+				sim += clock.Elapsed() - start
+				moved += st.BytesMoved
+			}
+			b.ReportMetric(sim.Seconds()*1e3/float64(b.N), "sim-ms/ckpt")
+			b.ReportMetric(float64(moved)/float64(b.N)/(1<<20), "replica-MB/ckpt")
+		})
 	}
 }

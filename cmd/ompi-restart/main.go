@@ -58,15 +58,27 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// Replica-aware resolution: verify the primary copy first, fall back
+	// to any intact replica on a live node, and repair the primary from
+	// it before the relaunch — the restart path always reads a verified
+	// primary.
+	res := sys.Resolver(refDir)
 	iv := *interval
+	var meta snapshot.GlobalMeta
+	var cp snapshot.Copy
 	if iv < 0 {
-		if iv, err = snapshot.LatestInterval(ref); err != nil {
-			return err
-		}
+		iv, meta, cp, err = res.LatestValid()
+	} else {
+		meta, cp, err = res.Resolve(iv)
 	}
-	meta, err := snapshot.ReadGlobal(ref, iv)
 	if err != nil {
 		return err
+	}
+	if !cp.Primary() {
+		fmt.Printf("ompi-restart: primary copy of interval %d unusable; repairing from %s\n", iv, cp)
+		if err := res.Repair(iv, cp); err != nil {
+			return err
+		}
 	}
 	factory, err := apps.Lookup(meta.AppName, meta.AppArgs)
 	if err != nil {

@@ -118,6 +118,19 @@ func run() error {
 	}
 	if rep.Restarts > 0 {
 		fmt.Printf("ompi-run: recovered from %d failure(s) via auto-restart\n", rep.Restarts)
+		// Which interval — and which copy of it — each restart used:
+		// a replica source means the restart survived primary loss.
+		for i, src := range rep.Sources {
+			state := "intact primary"
+			if src.Repaired {
+				state = "primary repaired from " + src.Copy
+			}
+			fmt.Printf("ompi-run: restart %d used %s interval %d (%s, %s)\n",
+				i+1, src.Dir, src.Interval, src.Copy, state)
+		}
+	}
+	if rep.Scrubs > 0 {
+		fmt.Printf("ompi-run: %d periodic scrub pass(es) completed\n", rep.Scrubs)
 	}
 	if err != nil {
 		return err

@@ -8,7 +8,13 @@
 //	ompi-snapshot show   --stable DIR REF              # intervals + per-rank detail
 //	ompi-snapshot stats  --stable DIR REF              # gather cost + dedup savings
 //	ompi-snapshot verify --stable DIR REF              # validate metadata + images
-//	ompi-snapshot prune  --stable DIR REF --keep N     # drop old intervals
+//	ompi-snapshot scrub  --stable DIR REF --replicas K # re-hash copies, repair, re-replicate
+//	ompi-snapshot prune  --stable DIR REF --keep N     # drop old intervals + excess replicas
+//
+// scrub and prune are replica-aware: inside a running cluster they also
+// reach the node-local replica trees (core.Supervise runs the same scrub
+// engine periodically); from this standalone tool they operate on the
+// copies reachable through stable storage.
 package main
 
 import (
@@ -38,6 +44,7 @@ func run() error {
 	fs := flag.NewFlagSet("ompi-snapshot "+sub, flag.ContinueOnError)
 	stable := fs.String("stable", "./ompi_stable", "stable storage directory")
 	keep := fs.Int("keep", 1, "prune: newest intervals to keep")
+	replicas := fs.Int("replicas", -1, "desired replicas per interval (scrub: heal to K; prune: reclaim beyond K; -1 leaves counts alone)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		return err
 	}
@@ -48,7 +55,7 @@ func run() error {
 	switch sub {
 	case "list":
 		return list(fsys)
-	case "show", "stats", "verify", "prune":
+	case "show", "stats", "verify", "scrub", "prune":
 		if fs.NArg() != 1 {
 			return fmt.Errorf("%s needs a global snapshot reference", sub)
 		}
@@ -60,8 +67,10 @@ func run() error {
 			return stats(ref)
 		case "verify":
 			return verify(ref)
+		case "scrub":
+			return scrub(ref, *replicas)
 		default:
-			return prune(ref, *keep)
+			return prune(ref, *keep, *replicas)
 		}
 	default:
 		usage()
@@ -70,7 +79,7 @@ func run() error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: ompi-snapshot <list|show|stats|verify|prune> [--stable DIR] [REF] [--keep N]`)
+	fmt.Fprintln(os.Stderr, `usage: ompi-snapshot <list|show|stats|verify|scrub|prune> [--stable DIR] [REF] [--keep N] [--replicas K]`)
 }
 
 func list(fsys vfs.FS) error {
@@ -246,59 +255,63 @@ func verify(ref snapshot.GlobalRef) error {
 	return nil
 }
 
-func prune(ref snapshot.GlobalRef, keep int) error {
+// scrub re-hashes every reachable copy of every interval against its
+// manifest and prints the per-interval health ledger. With --replicas K
+// it also heals: a damaged primary is rebuilt from any intact replica,
+// and intervals below K intact replicas are re-replicated.
+func scrub(ref snapshot.GlobalRef, replicas int) error {
+	res := &snapshot.Resolver{Ref: ref}
+	k := replicas
+	if k < 0 {
+		k = 0 // report-only: verify what exists, create nothing
+	}
+	rep := res.Scrub(k)
+	if len(rep.Intervals) == 0 {
+		return fmt.Errorf("no interval copies found")
+	}
+	for _, h := range rep.Intervals {
+		fmt.Printf("interval %d: %d/%d copies intact\n", h.Interval, h.Intact, h.Desired)
+		for _, c := range h.Copies {
+			state := "ok"
+			if !c.OK {
+				state = "BAD: " + c.Err
+			} else if c.Repaired {
+				state = "repaired"
+			}
+			fmt.Printf("  %-16s %s\n", c.Copy, state)
+		}
+		for _, a := range h.Actions {
+			fmt.Printf("  action: %s\n", a)
+		}
+	}
+	fmt.Printf("scrub: %d primaries repaired, %d copies re-replicated, %d intervals below target\n",
+		rep.Repaired, rep.Rereplicated, rep.Unhealthy)
+	if rep.Unhealthy > 0 {
+		return fmt.Errorf("%d interval(s) remain below the desired copy count", rep.Unhealthy)
+	}
+	return nil
+}
+
+// prune is replica-aware: excess replicas are reclaimed first, old
+// intervals (primary and replicas) go next, and the last intact copy of
+// the newest restartable interval is never dropped — even when the
+// primary is already corrupt.
+func prune(ref snapshot.GlobalRef, keep, replicas int) error {
 	if keep < 1 {
 		return fmt.Errorf("--keep must be at least 1")
 	}
-	// Uncommitted leftovers (aborted or interrupted checkpoints) are
-	// always deleted: no tool will ever restart from them.
-	leftovers, err := snapshot.Uncommitted(ref)
+	res := &snapshot.Resolver{Ref: ref}
+	rep, err := res.Prune(keep, replicas)
+	for _, r := range rep.Removed {
+		fmt.Printf("pruned %s\n", r)
+	}
 	if err != nil {
 		return err
 	}
-	for _, d := range leftovers {
-		if err := ref.FS.Remove(path.Join(ref.Dir, d)); err != nil {
-			return fmt.Errorf("prune uncommitted %s: %w", d, err)
-		}
-		fmt.Printf("pruned uncommitted %s\n", d)
-	}
-	ivs, err := snapshot.Intervals(ref)
-	if err != nil {
-		return err
-	}
-	// The kept intervals are the ones a later restart will depend on, so
-	// select them by verification, not recency: a committed interval whose
-	// checksums no longer match must not crowd a restartable one out of
-	// the keep window.
-	var valid, corrupt []int
-	for _, iv := range ivs {
-		if _, err := snapshot.VerifyInterval(ref, iv); err != nil {
-			corrupt = append(corrupt, iv)
-		} else {
-			valid = append(valid, iv)
-		}
-	}
-	if len(valid) == 0 && len(corrupt) > 0 {
-		// Nothing restartable would remain; leave the damaged data for
-		// manual inspection rather than deleting the only copies.
-		fmt.Printf("no interval passes verification; keeping %d damaged interval(s)\n", len(corrupt))
+	if rep.DamagedKept > 0 {
+		fmt.Printf("no interval passes verification; keeping %d damaged interval(s)\n", rep.DamagedKept)
 		return nil
 	}
-	for _, iv := range corrupt {
-		if err := ref.FS.Remove(ref.IntervalDir(iv)); err != nil {
-			return fmt.Errorf("prune interval %d: %w", iv, err)
-		}
-		fmt.Printf("pruned corrupt interval %d\n", iv)
-	}
-	if len(valid) <= keep {
-		fmt.Printf("nothing else to prune (%d valid intervals, keeping %d)\n", len(valid), keep)
-		return nil
-	}
-	for _, iv := range valid[:len(valid)-keep] {
-		if err := ref.FS.Remove(ref.IntervalDir(iv)); err != nil {
-			return fmt.Errorf("prune interval %d: %w", iv, err)
-		}
-		fmt.Printf("pruned interval %d\n", iv)
-	}
+	fmt.Printf("keeping %d restartable interval(s)\n", len(rep.Kept))
 	return nil
 }

@@ -176,6 +176,32 @@ func (s *System) OpenGlobalSnapshot(dir string) (snapshot.GlobalRef, error) {
 	return ref, nil
 }
 
+// Resolver builds a replica-aware snapshot resolver over this system's
+// stable storage and surviving nodes: the quorum-restart view of one
+// global snapshot lineage directory.
+func (s *System) Resolver(dir string) *snapshot.Resolver {
+	return &snapshot.Resolver{
+		Ref:    snapshot.GlobalRef{FS: s.cluster.Stable(), Dir: dir},
+		Nodes:  s.cluster.AliveNodes(),
+		NodeFS: s.cluster.NodeFS,
+		Log:    s.log,
+	}
+}
+
+// Scrub runs one scrub/repair pass over a global snapshot directory:
+// every copy of every interval is re-hashed against its manifest, a
+// damaged primary is rebuilt from any intact replica, and intervals
+// below k intact replicas are re-replicated onto surviving nodes. The
+// pass is serialized against global checkpoints so it never interleaves
+// with a commit or its replica pushes.
+func (s *System) Scrub(dir string, k int) snapshot.ScrubReport {
+	var rep snapshot.ScrubReport
+	s.cluster.WithCheckpointLock(func() {
+		rep = s.Resolver(dir).Scrub(k)
+	})
+	return rep
+}
+
 // --- Supervision: periodic checkpoints + automatic restart -------------------
 
 // SuperviseOptions configure Supervise.
@@ -193,21 +219,40 @@ type SuperviseOptions struct {
 	Progress func(CheckpointResult)
 }
 
+// RestartSource records which interval — and which copy of it — one
+// auto-restart used, so operators can see degraded restarts.
+type RestartSource struct {
+	Dir      string // global snapshot lineage directory
+	Interval int
+	Copy     string // "primary" or "replica:<node>"
+	Repaired bool   // the primary was rebuilt from that replica before relaunch
+}
+
 // SuperviseReport summarizes a supervised run.
 type SuperviseReport struct {
 	Restarts          int  // restarts performed
 	Checkpoints       int  // committed global checkpoints
 	FailedCheckpoints int  // aborted checkpoint attempts
 	Recovered         bool // the job failed at least once and was restarted
+	Scrubs            int  // completed periodic scrub passes
+	// Sources records, per restart, the snapshot copy it used.
+	Sources []RestartSource
 }
 
 // Supervise runs a job to completion, checkpointing it periodically and —
 // when it fails with restarts remaining — relaunching it from the newest
-// valid global snapshot onto the surviving nodes. This is the paper's
-// recovery loop driven from the tool layer: detection comes from the
-// HNP's heartbeat monitor (the failed job's surviving ranks abort), and
-// restart reuses the standard ompi-restart path, so only snapshots that
-// pass full validation are ever used.
+// restartable global snapshot onto the surviving nodes. This is the
+// paper's recovery loop driven from the tool layer: detection comes from
+// the HNP's heartbeat monitor (the failed job's surviving ranks abort),
+// and restart reuses the standard ompi-restart path, so only snapshot
+// copies that pass full validation are ever used. Resolution is
+// replica-aware: when the primary copy is missing, corrupt or on a dead
+// node, any intact replica restarts the job — the primary is repaired
+// from it first, and the report records which copy was used.
+//
+// When the job's scrub_interval MCA parameter is set, Supervise also
+// runs periodic scrub passes over the snapshot lineage, healing bitrot
+// and re-replicating intervals that fell below filem_replicas.
 //
 // appFactory must build the same application the job runs; it is handed
 // to every restarted incarnation.
@@ -218,9 +263,37 @@ func (s *System) Supervise(job *Job, appFactory func(rank int) ompi.App, opts Su
 	// restarted incarnation, newest last.
 	dirs := []string{snapshot.GlobalDirName(int(job.JobID()))}
 	current := job
+	scrubEvery := job.Params().Duration("scrub_interval", 0)
+	replicas := job.Params().Int("filem_replicas", 0)
 	for {
 		stop := make(chan struct{})
 		var tickers sync.WaitGroup
+		if scrubEvery > 0 {
+			tickers.Add(1)
+			lineage := append([]string(nil), dirs...)
+			go func() {
+				defer tickers.Done()
+				t := time.NewTicker(scrubEvery)
+				defer t.Stop()
+				for {
+					select {
+					case <-stop:
+						return
+					case <-t.C:
+					}
+					for _, dir := range lineage {
+						sr := s.Scrub(dir, replicas)
+						if sr.Repaired > 0 || sr.Rereplicated > 0 {
+							s.log.Emit("core", "supervise.scrubbed", "%s: repaired %d primaries, re-replicated %d copies",
+								dir, sr.Repaired, sr.Rereplicated)
+						}
+					}
+					mu.Lock()
+					rep.Scrubs++
+					mu.Unlock()
+				}
+			}()
+		}
 		if opts.CheckpointEvery > 0 {
 			tickers.Add(1)
 			go func(j *Job) {
@@ -263,35 +336,45 @@ func (s *System) Supervise(job *Job, appFactory func(rank int) ompi.App, opts Su
 		if rep.Restarts >= opts.AutoRestart {
 			return rep, err
 		}
-		ref, interval, verr := s.newestValid(dirs)
+		res, interval, cp, verr := s.newestValid(dirs)
 		if verr != nil {
 			return rep, errors.Join(err, fmt.Errorf("core: no valid snapshot to restart from: %w", verr))
 		}
-		next, rerr := s.Restart(ref, interval, appFactory)
+		// Quorum restart: a replica copy repairs the primary before the
+		// relaunch, so the restart path always reads a verified primary.
+		if !cp.Primary() {
+			if perr := res.Repair(interval, cp); perr != nil {
+				return rep, errors.Join(err, fmt.Errorf("core: repair primary from %s: %w", cp, perr))
+			}
+		}
+		next, rerr := s.Restart(res.Ref, interval, appFactory)
 		if rerr != nil {
 			return rep, errors.Join(err, fmt.Errorf("core: auto-restart: %w", rerr))
 		}
 		rep.Restarts++
 		rep.Recovered = true
-		s.log.Emit("core", "supervise.restart", "job %d failed (%v); restarted as job %d from %s interval %d",
-			current.JobID(), err, next.JobID(), ref.Dir, interval)
+		rep.Sources = append(rep.Sources, RestartSource{
+			Dir: res.Ref.Dir, Interval: interval, Copy: cp.String(), Repaired: !cp.Primary(),
+		})
+		s.log.Emit("core", "supervise.restart", "job %d failed (%v); restarted as job %d from %s interval %d (%s)",
+			current.JobID(), err, next.JobID(), res.Ref.Dir, interval, cp)
 		dirs = append(dirs, snapshot.GlobalDirName(int(next.JobID())))
 		current = next
 	}
 }
 
 // newestValid scans the snapshot lineage newest-incarnation-first and
-// returns the first fully-validated (committed, checksums intact)
-// interval found.
-func (s *System) newestValid(dirs []string) (snapshot.GlobalRef, int, error) {
+// returns the first interval with an intact copy anywhere — the primary
+// on stable storage or a replica on a surviving node.
+func (s *System) newestValid(dirs []string) (*snapshot.Resolver, int, snapshot.Copy, error) {
 	lastErr := fmt.Errorf("core: no snapshots were taken")
 	for i := len(dirs) - 1; i >= 0; i-- {
-		ref := snapshot.GlobalRef{FS: s.cluster.Stable(), Dir: dirs[i]}
-		iv, _, err := snapshot.LatestValidInterval(ref)
+		res := s.Resolver(dirs[i])
+		iv, _, cp, err := res.LatestValid()
 		if err == nil {
-			return ref, iv, nil
+			return res, iv, cp, nil
 		}
 		lastErr = err
 	}
-	return snapshot.GlobalRef{}, 0, lastErr
+	return nil, 0, snapshot.Copy{}, lastErr
 }

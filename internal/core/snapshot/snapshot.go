@@ -174,6 +174,23 @@ type GlobalMeta struct {
 	// (full transfer vs content-addressed dedup). Informational only:
 	// `ompi-snapshot stats` reports it.
 	Gather *GatherRecord `json:"gather,omitempty"`
+	// Replicas records where the durability layer intended to place
+	// byte-identical copies of this interval at commit time. Discovery
+	// and verification never trust these records — replicas live at the
+	// convention path ReplicaDir on each node and carry their own
+	// metadata and commit marker — but they let tools report the
+	// commit-time placement, and scrub compares it to reality.
+	Replicas []ReplicaRecord `json:"replicas,omitempty"`
+}
+
+// ReplicaRecord names one intended replica of a committed interval: the
+// node holding it, the directory on that node's local store, and the
+// manifest hash (ManifestHash over the interval's checksum manifest)
+// the copy must reproduce to count as intact.
+type ReplicaRecord struct {
+	Node     string `json:"node"`
+	Path     string `json:"path"`
+	Manifest string `json:"manifest"`
 }
 
 // GatherRecord summarizes the FILEM gather that assembled one interval.
@@ -299,6 +316,12 @@ func WriteGlobal(ref GlobalRef, meta GlobalMeta) error {
 		return err
 	}
 	meta.Checksums = sums
+	// Replica records are placement intents decided before commit; stamp
+	// each with the manifest hash its copy must reproduce, now that the
+	// staged payload is hashed.
+	for i := range meta.Replicas {
+		meta.Replicas[i].Manifest = ManifestHash(sums)
+	}
 	if err := meta.Validate(); err != nil {
 		return err
 	}
@@ -334,26 +357,33 @@ func WriteGlobal(ref GlobalRef, meta GlobalMeta) error {
 // ReadGlobal loads and validates the metadata of the given interval,
 // refusing intervals without a valid COMMITTED marker.
 func ReadGlobal(ref GlobalRef, interval int) (GlobalMeta, error) {
-	ivDir := ref.IntervalDir(interval)
-	marker, err := ref.FS.ReadFile(path.Join(ivDir, CommittedFile))
+	return ReadGlobalDir(ref.FS, ref.IntervalDir(interval))
+}
+
+// ReadGlobalDir loads and validates the metadata of one interval-copy
+// directory — the primary interval directory on stable storage or a
+// byte-identical replica on a node-local store. Every copy carries its
+// own metadata and COMMITTED marker, so it validates standalone.
+func ReadGlobalDir(fsys vfs.FS, dir string) (GlobalMeta, error) {
+	marker, err := fsys.ReadFile(path.Join(dir, CommittedFile))
 	if err != nil {
-		return GlobalMeta{}, fmt.Errorf("%w: interval %d of %q has no COMMITTED marker (crash or aborted checkpoint): %v",
-			ErrUncommitted, interval, ref.Dir, err)
+		return GlobalMeta{}, fmt.Errorf("%w: %q has no COMMITTED marker (crash or aborted checkpoint): %v",
+			ErrUncommitted, dir, err)
 	}
-	data, err := ref.FS.ReadFile(path.Join(ivDir, GlobalMetaFile))
+	data, err := fsys.ReadFile(path.Join(dir, GlobalMetaFile))
 	if err != nil {
 		return GlobalMeta{}, fmt.Errorf("snapshot: read global metadata: %w", err)
 	}
 	if got, want := checksum(data), strings.TrimSpace(string(marker)); got != want {
-		return GlobalMeta{}, fmt.Errorf("%w: interval %d of %q: global metadata hash %s does not match COMMITTED marker %s",
-			ErrCorrupt, interval, ref.Dir, got[:12], truncate(want, 12))
+		return GlobalMeta{}, fmt.Errorf("%w: %q: global metadata hash %s does not match COMMITTED marker %s",
+			ErrCorrupt, dir, got[:12], truncate(want, 12))
 	}
 	var meta GlobalMeta
 	if err := json.Unmarshal(data, &meta); err != nil {
-		return GlobalMeta{}, fmt.Errorf("snapshot: corrupt global metadata in %q: %w", ref.Dir, err)
+		return GlobalMeta{}, fmt.Errorf("snapshot: corrupt global metadata in %q: %w", dir, err)
 	}
 	if err := meta.Validate(); err != nil {
-		return GlobalMeta{}, fmt.Errorf("snapshot: %q: %w", ref.Dir, err)
+		return GlobalMeta{}, fmt.Errorf("snapshot: %q: %w", dir, err)
 	}
 	return meta, nil
 }
@@ -428,24 +458,32 @@ func Uncommitted(ref GlobalRef) ([]string, error) {
 // marker, the metadata, and every recorded checksum against the bytes on
 // stable storage. It returns the metadata on success.
 func VerifyInterval(ref GlobalRef, interval int) (GlobalMeta, error) {
-	meta, err := ReadGlobal(ref, interval)
+	return VerifyDir(ref.FS, ref.IntervalDir(interval))
+}
+
+// VerifyDir fully validates one interval-copy directory: the COMMITTED
+// marker, the metadata, and every recorded checksum against the bytes
+// actually present. It works identically on the primary interval
+// directory and on replicas, which is what makes every copy
+// independently trustworthy.
+func VerifyDir(fsys vfs.FS, dir string) (GlobalMeta, error) {
+	meta, err := ReadGlobalDir(fsys, dir)
 	if err != nil {
 		return GlobalMeta{}, err
 	}
-	ivDir := ref.IntervalDir(interval)
 	for rel, want := range meta.Checksums {
-		data, err := ref.FS.ReadFile(path.Join(ivDir, rel))
+		data, err := fsys.ReadFile(path.Join(dir, rel))
 		if err != nil {
-			return GlobalMeta{}, fmt.Errorf("%w: interval %d: missing payload %s: %v", ErrCorrupt, interval, rel, err)
+			return GlobalMeta{}, fmt.Errorf("%w: %q: missing payload %s: %v", ErrCorrupt, dir, rel, err)
 		}
 		if got := checksum(data); got != want {
-			return GlobalMeta{}, fmt.Errorf("%w: interval %d: payload %s checksum mismatch", ErrCorrupt, interval, rel)
+			return GlobalMeta{}, fmt.Errorf("%w: %q: payload %s checksum mismatch", ErrCorrupt, dir, rel)
 		}
 	}
 	// Every proc entry's local snapshot must be covered by the manifest.
 	for _, pe := range meta.Procs {
-		if !vfs.Exists(ref.FS, path.Join(ivDir, pe.LocalDir, LocalMetaFile)) {
-			return GlobalMeta{}, fmt.Errorf("%w: interval %d: rank %d local snapshot missing", ErrCorrupt, interval, pe.Vpid)
+		if !vfs.Exists(fsys, path.Join(dir, pe.LocalDir, LocalMetaFile)) {
+			return GlobalMeta{}, fmt.Errorf("%w: %q: rank %d local snapshot missing", ErrCorrupt, dir, pe.Vpid)
 		}
 	}
 	return meta, nil

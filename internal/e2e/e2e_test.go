@@ -204,4 +204,15 @@ func TestToolsEndToEnd(t *testing.T) {
 	if !strings.Contains(verifyOut, "restartable") {
 		t.Fatalf("verify after prune:\n%s", verifyOut)
 	}
+
+	// 8. ompi-snapshot scrub re-hashes every surviving copy and reports
+	// a clean health ledger (no cluster attached, so the primary is the
+	// only reachable copy of each interval).
+	scrubOut := runTool(t, bin, "ompi-snapshot", "scrub", "--stable", stable, refDir)
+	if !strings.Contains(scrubOut, "copies intact") || !strings.Contains(scrubOut, "primary") {
+		t.Fatalf("ompi-snapshot scrub:\n%s", scrubOut)
+	}
+	if !strings.Contains(scrubOut, "0 primaries repaired, 0 copies re-replicated, 0 intervals below target") {
+		t.Fatalf("scrub of a healthy lineage took actions:\n%s", scrubOut)
+	}
 }

@@ -17,7 +17,14 @@
 //
 // Rule points match qualified fire points by prefix: a rule on
 // "filem.transfer" matches "filem.transfer:node1>#stable", while a rule
-// on "node.kill:node1" matches only that node.
+// on "node.kill:node1" matches only that node. Path-qualified points
+// extend the same way across "/" boundaries: "fs.bitrot:node2:ckpt"
+// arms every file under node2's ckpt tree.
+//
+// Storage fault classes (see WrapFS): "fs.bitrot:<label>:<path>" flips
+// one seeded byte of a file at read time and persists the damage;
+// "node.storage-loss:<label>" wipes a store in place so its old tree
+// returns ErrNotExist while new writes succeed.
 package faultsim
 
 import (
@@ -42,6 +49,9 @@ var ErrInjected = errors.New("faultsim: injected fault")
 //     next one fails deterministically (then Prob, if set, governs any
 //     further failures — with Prob unset the rule keeps firing).
 //   - Times > 0: the rule fires at most Times times, then disarms.
+//     With neither Prob nor After set, the rule fires on the first
+//     Times matching operations — the natural shape for rules armed
+//     mid-run via AddRule ("the next matching operation fails").
 type Rule struct {
 	Point string  // injection point, possibly qualified ("vfs.write:stable")
 	Prob  float64 // per-operation failure probability
@@ -66,11 +76,20 @@ func (r Rule) String() string {
 	return r.Point + "=" + strings.Join(trig, ",")
 }
 
+// matchesPrefix reports whether point equals prefix or extends it at a
+// qualifier boundary: ":" separates qualifiers ("vfs.write:stable"),
+// ">" separates transfer endpoints ("filem.transfer:n0>#stable"), and
+// "/" separates path components, so a rule on "fs.bitrot:n0:dir" arms
+// every file under dir.
+func matchesPrefix(point, prefix string) bool {
+	return point == prefix || strings.HasPrefix(point, prefix+":") ||
+		strings.HasPrefix(point, prefix+">") || strings.HasPrefix(point, prefix+"/")
+}
+
 // matches reports whether the rule arms the (possibly qualified) fire
 // point: exact match, or the rule point is an unqualified prefix.
 func (r Rule) matches(point string) bool {
-	return point == r.Point || strings.HasPrefix(point, r.Point+":") ||
-		strings.HasPrefix(point, r.Point+">")
+	return matchesPrefix(point, r.Point)
 }
 
 type ruleState struct {
@@ -160,6 +179,20 @@ func Parse(spec string) (*Injector, error) {
 	return New(seed, rules...), nil
 }
 
+// AddRule arms an additional rule on a live injector. Tests use it to
+// schedule faults relative to observed progress ("after the first
+// commit, the next stable-storage operation loses the store") — a
+// relation plan strings cannot express, since their counters start at
+// cluster boot.
+func (in *Injector) AddRule(r Rule) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.rules = append(in.rules, &ruleState{Rule: r})
+	in.mu.Unlock()
+}
+
 // SetLog routes faultsim.injected trace events to l.
 func (in *Injector) SetLog(l *trace.Log) {
 	if in == nil {
@@ -205,6 +238,8 @@ func (in *Injector) Fire(point string) error {
 			fire = in.rng.Float64() < rs.Prob
 		case rs.After > 0:
 			fire = true // afterN with no probability keeps firing
+		case rs.Times > 0:
+			fire = true // timesN alone: fail the first N matching operations
 		}
 		if fire {
 			rs.fired++
@@ -227,8 +262,7 @@ func (in *Injector) Fired(pointPrefix string) int {
 	defer in.mu.Unlock()
 	n := 0
 	for _, rs := range in.rules {
-		if rs.Point == pointPrefix || strings.HasPrefix(rs.Point, pointPrefix+":") ||
-			strings.HasPrefix(rs.Point, pointPrefix+">") {
+		if matchesPrefix(rs.Point, pointPrefix) {
 			n += rs.fired
 		}
 	}
@@ -245,8 +279,7 @@ func (in *Injector) Ops(pointPrefix string) int {
 	defer in.mu.Unlock()
 	n := 0
 	for _, rs := range in.rules {
-		if rs.Point == pointPrefix || strings.HasPrefix(rs.Point, pointPrefix+":") ||
-			strings.HasPrefix(rs.Point, pointPrefix+">") {
+		if matchesPrefix(rs.Point, pointPrefix) {
 			n += rs.ops
 		}
 	}

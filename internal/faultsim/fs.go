@@ -2,6 +2,7 @@ package faultsim
 
 import (
 	"fmt"
+	"hash/fnv"
 
 	"repro/internal/vfs"
 )
@@ -9,6 +10,20 @@ import (
 // faultyFS wraps a vfs.FS so that writes, reads and renames consult the
 // injector first. The label qualifies the fire points: a stable-storage
 // wrapper fires "vfs.write:stable", node node3's disk "vfs.write:node3".
+//
+// Beyond failing individual operations, the wrapper implements two
+// storage fault classes the durability layer is tested against:
+//
+//   - "node.storage-loss:<label>": when the rule fires, the entire
+//     store is wiped in place — every subsequent read of the old tree
+//     returns ErrNotExist, while new writes still succeed (the disk was
+//     replaced, not the machine). Checked on every operation.
+//   - "fs.bitrot:<label>:<path>": when the rule fires on a read, one
+//     byte of the file is flipped and the corruption is written back,
+//     so it persists: every later read — and every copy made from the
+//     file — sees the same damaged bytes, like real silent media decay.
+//     The flipped position derives from the plan seed and the path, so
+//     a given plan corrupts identically on every run.
 type faultyFS struct {
 	inner vfs.FS
 	inj   *Injector
@@ -16,8 +31,9 @@ type faultyFS struct {
 }
 
 // WrapFS returns fsys with injection points "vfs.write:<label>",
-// "vfs.read:<label>" and "vfs.rename:<label>" armed on the respective
-// operations. A nil injector returns fsys unchanged.
+// "vfs.read:<label>", "vfs.rename:<label>", "fs.bitrot:<label>:<path>"
+// and "node.storage-loss:<label>" armed on the respective operations.
+// A nil injector returns fsys unchanged.
 func WrapFS(fsys vfs.FS, inj *Injector, label string) vfs.FS {
 	if inj == nil {
 		return fsys
@@ -25,8 +41,34 @@ func WrapFS(fsys vfs.FS, inj *Injector, label string) vfs.FS {
 	return &faultyFS{inner: fsys, inj: inj, label: label}
 }
 
+// maybeLose evaluates the storage-loss point and, when it fires, wipes
+// the inner store: the data is gone, the device still accepts writes.
+func (f *faultyFS) maybeLose() {
+	if f.inj.Fire("node.storage-loss:"+f.label) == nil {
+		return
+	}
+	entries, err := f.inner.ReadDir(".")
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		_ = f.inner.Remove(e.Name)
+	}
+}
+
+// flipByte corrupts one deterministically-chosen byte of data in place.
+func (f *faultyFS) flipByte(name string, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s", f.inj.Seed(), f.label, name)
+	data[h.Sum64()%uint64(len(data))] ^= 0xFF
+}
+
 // WriteFile implements vfs.FS.
 func (f *faultyFS) WriteFile(name string, data []byte) error {
+	f.maybeLose()
 	if err := f.inj.Fire("vfs.write:" + f.label); err != nil {
 		return fmt.Errorf("vfs: write %q: %w", name, err)
 	}
@@ -35,14 +77,25 @@ func (f *faultyFS) WriteFile(name string, data []byte) error {
 
 // ReadFile implements vfs.FS.
 func (f *faultyFS) ReadFile(name string) ([]byte, error) {
+	f.maybeLose()
 	if err := f.inj.Fire("vfs.read:" + f.label); err != nil {
 		return nil, fmt.Errorf("vfs: read %q: %w", name, err)
 	}
-	return f.inner.ReadFile(name)
+	data, err := f.inner.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	if f.inj.Fire("fs.bitrot:"+f.label+":"+name) != nil {
+		f.flipByte(name, data)
+		// Persist the decay: bitrot damages the medium, not one read.
+		_ = f.inner.WriteFile(name, data)
+	}
+	return data, nil
 }
 
 // Rename implements vfs.FS.
 func (f *faultyFS) Rename(oldName, newName string) error {
+	f.maybeLose()
 	if err := f.inj.Fire("vfs.rename:" + f.label); err != nil {
 		return fmt.Errorf("vfs: rename %q: %w", oldName, err)
 	}
@@ -50,15 +103,27 @@ func (f *faultyFS) Rename(oldName, newName string) error {
 }
 
 // Remove implements vfs.FS.
-func (f *faultyFS) Remove(name string) error { return f.inner.Remove(name) }
+func (f *faultyFS) Remove(name string) error {
+	f.maybeLose()
+	return f.inner.Remove(name)
+}
 
 // MkdirAll implements vfs.FS.
-func (f *faultyFS) MkdirAll(name string) error { return f.inner.MkdirAll(name) }
+func (f *faultyFS) MkdirAll(name string) error {
+	f.maybeLose()
+	return f.inner.MkdirAll(name)
+}
 
 // ReadDir implements vfs.FS.
-func (f *faultyFS) ReadDir(name string) ([]vfs.FileInfo, error) { return f.inner.ReadDir(name) }
+func (f *faultyFS) ReadDir(name string) ([]vfs.FileInfo, error) {
+	f.maybeLose()
+	return f.inner.ReadDir(name)
+}
 
 // Stat implements vfs.FS.
-func (f *faultyFS) Stat(name string) (vfs.FileInfo, error) { return f.inner.Stat(name) }
+func (f *faultyFS) Stat(name string) (vfs.FileInfo, error) {
+	f.maybeLose()
+	return f.inner.Stat(name)
+}
 
 var _ vfs.FS = (*faultyFS)(nil)

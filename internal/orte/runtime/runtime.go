@@ -202,6 +202,7 @@ func New(cfg Config) (*Cluster, error) {
 		FilemEnv:   c.filemEnv,
 		Stable:     c.stable,
 		NodeFS:     c.nodeFS,
+		Nodes:      c.AliveNodes,
 		Log:        c.log,
 		AckTimeout: cfg.Params.Duration("snapc_ack_timeout", 0),
 	}
@@ -417,6 +418,15 @@ func (c *Cluster) NodeSpecs() []plm.NodeSpec {
 // Stable returns the stable-storage filesystem.
 func (c *Cluster) Stable() vfs.FS { return c.stable }
 
+// WithCheckpointLock runs fn while holding the global-checkpoint mutex,
+// so maintenance passes that rewrite snapshot directories (scrub,
+// repair) never interleave with a commit or its replica pushes.
+func (c *Cluster) WithCheckpointLock(fn func()) {
+	c.ckptMu.Lock()
+	defer c.ckptMu.Unlock()
+	fn()
+}
+
 // Clock returns the simulated-network clock.
 func (c *Cluster) Clock() *netsim.Clock { return c.clock }
 
@@ -429,6 +439,11 @@ func (c *Cluster) resolveFS(node string) (vfs.FS, error) {
 	}
 	return c.nodeFS(node)
 }
+
+// NodeFS resolves a live node's local filesystem (fault-wrapped when a
+// plan is installed). Dead nodes resolve to an error, which is exactly
+// what the replica resolver needs: a copy on a dead node is unreadable.
+func (c *Cluster) NodeFS(node string) (vfs.FS, error) { return c.nodeFS(node) }
 
 func (c *Cluster) nodeFS(node string) (vfs.FS, error) {
 	c.mu.Lock()

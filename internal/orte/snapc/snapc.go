@@ -83,6 +83,10 @@ type Env struct {
 	Stable vfs.FS
 	// NodeFS resolves a node's local filesystem.
 	NodeFS func(node string) (vfs.FS, error)
+	// Nodes lists the candidate replica holders (the cluster's surviving
+	// nodes, in placement-preference order). Nil disables replication
+	// regardless of filem_replicas.
+	Nodes func() []string
 	// Log receives snapc.* trace events. Optional.
 	Log *trace.Log
 	// AckTimeout bounds how long the global coordinator waits for a
@@ -113,6 +117,13 @@ type Result struct {
 	Interval int
 	// GatherStats reports the FILEM aggregation work.
 	GatherStats filem.Stats
+	// ReplicaStats reports the FILEM work of pushing interval replicas
+	// (zero when filem_replicas is unset).
+	ReplicaStats filem.Stats
+	// ReplicasPlaced counts the replicas that were pushed and verified
+	// intact; fewer than filem_replicas means a degraded (but still
+	// committed) checkpoint.
+	ReplicasPlaced int
 }
 
 // Component is a SNAPC implementation.
@@ -400,10 +411,37 @@ func finishGlobal(env *Env, job JobView, globalDir string, interval int, opts Op
 			LocalDir:  snapshot.LocalDirName(v),
 		})
 	}
+	// Durability: decide replica placement before the commit so the
+	// records land inside the sealed metadata. Holders avoid the job's
+	// own nodes when the cluster allows it — losing such a node then
+	// costs either ranks or a copy, never both.
+	k := job.Params().Int("filem_replicas", 0)
+	var holders []string
+	if k > 0 && env.Nodes != nil {
+		holders = snapshot.PlaceReplicas(k, job.Nodes(), env.Nodes())
+		if len(holders) < k {
+			log.Emit("snapc.global", "ckpt.replica-degraded",
+				"interval %d: only %d of %d replica holders available", interval, len(holders), k)
+		}
+		for _, node := range holders {
+			meta.Replicas = append(meta.Replicas, snapshot.ReplicaRecord{
+				Node: node, Path: snapshot.ReplicaDir(globalDir, interval),
+			})
+		}
+	}
 	if err := snapshot.WriteGlobal(ref, meta); err != nil {
 		abortInterval(env, job, byNode, globalDir, interval, err)
 		return Result{}, fmt.Errorf("snapc: commit global snapshot: %w", err)
 	}
+	// Report the committed metadata (checksums and stamped replica
+	// records included), not the pre-commit draft.
+	if committed, err := snapshot.ReadGlobal(ref, interval); err == nil {
+		meta = committed
+	}
+	// Push the replicas after the commit: the interval is already
+	// durable on the primary, so a failed push degrades durability and
+	// is logged — it never fails the checkpoint. Scrub re-replicates.
+	repStats, placed := replicateInterval(env, ref, globalDir, interval, meta, dedup)
 
 	// FILEM remove: clean temporary node-local snapshot data. The
 	// snapshot is already committed, so a cleanup failure degrades to a
@@ -418,7 +456,83 @@ func finishGlobal(env *Env, job JobView, globalDir string, interval int, opts Op
 		}
 	}
 	log.Emit("snapc.global", "ckpt.done", "global snapshot %s interval %d", globalDir, interval)
-	return Result{Ref: ref, Meta: meta, Interval: interval, GatherStats: stats}, nil
+	return Result{Ref: ref, Meta: meta, Interval: interval,
+		GatherStats: stats, ReplicaStats: repStats, ReplicasPlaced: placed}, nil
+}
+
+// replicateInterval pushes byte-identical copies of a committed
+// interval onto the holders recorded in meta.Replicas. Each push is an
+// independent FILEM move — one holder failing must not roll back the
+// others — with the holder's previous-interval replica as the dedup
+// baseline, so k-way placement re-ships only what changed. Every
+// pushed copy is verified standalone before it counts.
+func replicateInterval(env *Env, ref snapshot.GlobalRef, globalDir string, interval int,
+	meta snapshot.GlobalMeta, dedup bool) (filem.Stats, int) {
+	var total filem.Stats
+	placed := 0
+	if len(meta.Replicas) == 0 {
+		return total, 0
+	}
+	// Baseline index: the previous interval's manifest, shared across
+	// holders (the payload bytes are the same everywhere).
+	var prevIdx map[string]string
+	prev := -1
+	if dedup {
+		if ivs, err := snapshot.Intervals(ref); err == nil {
+			for _, iv := range ivs {
+				if iv < interval && iv > prev {
+					prev = iv
+				}
+			}
+		}
+		if prev >= 0 {
+			if prevMeta, err := snapshot.ReadGlobal(ref, prev); err == nil {
+				prevIdx = prevMeta.ByChecksum()
+			}
+		}
+	}
+	for _, rec := range meta.Replicas {
+		var baseline *filem.Baseline
+		if len(prevIdx) > 0 {
+			prevDir := snapshot.ReplicaDir(globalDir, prev)
+			if fsys, err := env.NodeFS(rec.Node); err == nil && vfs.Exists(fsys, path.Join(prevDir, snapshot.CommittedFile)) {
+				baseline = &filem.Baseline{Dir: prevDir, ByHash: prevIdx}
+			}
+		}
+		req := filem.Request{
+			SrcNode: filem.StableNode, SrcPath: ref.IntervalDir(interval),
+			DstNode: rec.Node, DstPath: rec.Path, Baseline: baseline,
+		}
+		stats, err := env.Filem.Move(env.FilemEnv, []filem.Request{req})
+		total.Bytes += stats.Bytes
+		total.BytesMoved += stats.BytesMoved
+		total.BytesDeduped += stats.BytesDeduped
+		total.BytesHashed += stats.BytesHashed
+		total.Simulated += stats.Simulated
+		total.Transfers += stats.Transfers
+		if err == nil {
+			if fsys, verr := env.NodeFS(rec.Node); verr == nil {
+				if _, verr = snapshot.VerifyDir(fsys, rec.Path); verr != nil {
+					err = verr
+				}
+			} else {
+				err = verr
+			}
+		}
+		if err != nil {
+			// Degraded, not fatal: drop the partial copy so nothing
+			// half-written can ever masquerade as a replica.
+			if fsys, ferr := env.NodeFS(rec.Node); ferr == nil && vfs.Exists(fsys, rec.Path) {
+				_ = env.Filem.Remove(env.FilemEnv, rec.Node, []string{rec.Path})
+			}
+			env.Log.Emit("snapc.global", "ckpt.replica-failed", "interval %d -> %s: %v", interval, rec.Node, err)
+			continue
+		}
+		placed++
+		env.Log.Emit("snapc.global", "ckpt.replicated", "interval %d -> %s (%d bytes, %d moved, %d deduped)",
+			interval, rec.Node, stats.Bytes, stats.BytesMoved, stats.BytesDeduped)
+	}
+	return total, placed
 }
 
 // ServeLocal implements Component: the local coordinator loop for one
