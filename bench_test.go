@@ -43,6 +43,19 @@ import (
 	"repro/internal/vfs"
 )
 
+// reportPhases emits a committed checkpoint's per-phase wall times as
+// custom benchmark metrics, so the JSON bench artifacts carry the same
+// breakdown `ompi-snapshot stats` shows: where each checkpoint's time
+// went (quiesce, CRS capture, FILEM gather, metadata commit).
+func reportPhases(b *testing.B, p *snapshot.PhaseBreakdown) {
+	b.Helper()
+	ms := func(ns int64) float64 { return float64(ns) / 1e6 / float64(b.N) }
+	b.ReportMetric(ms(p.QuiesceWallNS), "quiesce-ms/ckpt")
+	b.ReportMetric(ms(p.CaptureWallNS), "capture-ms/ckpt")
+	b.ReportMetric(ms(p.GatherNS), "gather-ms/ckpt")
+	b.ReportMetric(ms(p.CommitNS), "commit-ms/ckpt")
+}
+
 // --- R1 / R2: NetPIPE latency and bandwidth --------------------------------
 
 // pingpongWorld builds the two-rank fixture for one CRCP mode.
@@ -63,12 +76,12 @@ func pingpongWorld(b *testing.B, mode string) [2]*pml.Engine {
 	case "crcp-none":
 		comp := &crcp.NoneComponent{}
 		for r := 0; r < 2; r++ {
-			engines[r].SetHooks(comp.Wrap(engines[r], nil))
+			engines[r].SetHooks(comp.Wrap(engines[r], nil, nil))
 		}
 	case "crcp-bkmrk":
 		comp := &crcp.BkmrkComponent{}
 		for r := 0; r < 2; r++ {
-			engines[r].SetHooks(comp.Wrap(engines[r], nil))
+			engines[r].SetHooks(comp.Wrap(engines[r], nil, nil))
 		}
 	default:
 		b.Fatalf("unknown mode %q", mode)
@@ -169,7 +182,7 @@ func BenchmarkCheckpointScale(b *testing.B) {
 		b.Run(fmt.Sprintf("np=%d", np), func(b *testing.B) {
 			params := mca.NewParams()
 			params.Set("filem_dedup", "0") // measure full gathers (see header)
-			sys, err := core.NewSystem(core.Options{Nodes: 4, SlotsPerNode: (np + 3) / 4, Params: params, Log: &trace.Log{}})
+			sys, err := core.NewSystem(core.Options{Nodes: 4, SlotsPerNode: (np + 3) / 4, Params: params, Ins: trace.New()})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -184,14 +197,18 @@ func BenchmarkCheckpointScale(b *testing.B) {
 			}
 			clock := sys.Cluster().Clock()
 			clock.Reset()
+			var phases snapshot.PhaseBreakdown
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := sys.Checkpoint(job.JobID(), false); err != nil {
+				res, err := sys.Checkpoint(job.JobID(), false)
+				if err != nil {
 					b.Fatal(err)
 				}
+				phases.Accumulate(res.Meta.Phases)
 			}
 			b.StopTimer()
 			b.ReportMetric(clock.Elapsed().Seconds()*1e3/float64(b.N), "sim-ms/ckpt")
+			reportPhases(b, &phases)
 			if _, err := sys.Checkpoint(job.JobID(), true); err != nil {
 				b.Fatal(err)
 			}
@@ -220,7 +237,7 @@ func BenchmarkBookmarkDrain(b *testing.B) {
 					b.Fatal(err)
 				}
 				engines[r] = pml.New(pml.Config{Rank: r, Size: 2, Endpoint: ep})
-				protos[r] = comp.Wrap(engines[r], nil)
+				protos[r] = comp.Wrap(engines[r], nil, nil)
 				engines[r].SetHooks(protos[r])
 			}
 			payload := make([]byte, 64)
@@ -416,7 +433,7 @@ func BenchmarkSnapcTopology(b *testing.B) {
 			params := mca.NewParams()
 			params.Set("snapc", comp)
 			params.Set("filem_dedup", "0") // measure full gathers (see header)
-			sys, err := core.NewSystem(core.Options{Nodes: 8, SlotsPerNode: 2, Params: params, Log: &trace.Log{}})
+			sys, err := core.NewSystem(core.Options{Nodes: 8, SlotsPerNode: 2, Params: params, Ins: trace.New()})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -429,13 +446,17 @@ func BenchmarkSnapcTopology(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			var phases snapshot.PhaseBreakdown
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := sys.Checkpoint(job.JobID(), false); err != nil {
+				res, err := sys.Checkpoint(job.JobID(), false)
+				if err != nil {
 					b.Fatal(err)
 				}
+				phases.Accumulate(res.Meta.Phases)
 			}
 			b.StopTimer()
+			reportPhases(b, &phases)
 			if _, err := sys.Checkpoint(job.JobID(), true); err != nil {
 				b.Fatal(err)
 			}
@@ -466,7 +487,7 @@ func BenchmarkFaultRetryAblation(b *testing.B) {
 				params.Set("filem_retry_max", fmt.Sprintf("%d", retries))
 				params.Set("filem_retry_backoff", "1ms")
 				params.Set("filem_dedup", "0") // measure full gathers (see header)
-				sys, err := core.NewSystem(core.Options{Nodes: 4, SlotsPerNode: 2, Params: params, Log: &trace.Log{}})
+				sys, err := core.NewSystem(core.Options{Nodes: 4, SlotsPerNode: 2, Params: params, Ins: trace.New()})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -482,15 +503,18 @@ func BenchmarkFaultRetryAblation(b *testing.B) {
 				clock := sys.Cluster().Clock()
 				clock.Reset()
 				committed := 0
+				var phases snapshot.PhaseBreakdown
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, err := sys.Checkpoint(job.JobID(), false); err == nil {
+					if res, err := sys.Checkpoint(job.JobID(), false); err == nil {
 						committed++
+						phases.Accumulate(res.Meta.Phases)
 					}
 				}
 				b.StopTimer()
 				b.ReportMetric(float64(committed)*100/float64(b.N), "ok-%")
 				b.ReportMetric(clock.Elapsed().Seconds()*1e3/float64(b.N), "sim-ms/attempt")
+				reportPhases(b, &phases)
 				// End the job. A terminating checkpoint stops the ranks even
 				// when its gather aborts, so stop retrying once the job is
 				// down regardless of whether the final interval committed.

@@ -3,14 +3,23 @@
 // system-administrator view the paper's tool set provides.
 //
 //	ompi-ps PID_OF_OMPI_RUN
+//	ompi-ps --watch --interval 2s PID_OF_OMPI_RUN
+//
+// With --watch the listing refreshes periodically and is followed by
+// the HNP's live checkpoint counters (committed/aborted intervals,
+// bytes gathered/deduped, retries), fetched through the control
+// channel's "metrics" op. --metrics dumps the full Prometheus text
+// once and exits.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/orte/runtime"
 )
@@ -25,8 +34,11 @@ func main() {
 func run() error {
 	fs := flag.NewFlagSet("ompi-ps", flag.ContinueOnError)
 	addr := fs.String("addr", "", "control address (overrides PID lookup)")
+	watch := fs.Bool("watch", false, "refresh the listing periodically with live checkpoint counters")
+	interval := fs.Duration("interval", time.Second, "refresh period for --watch")
+	metrics := fs.Bool("metrics", false, "dump the full Prometheus metrics text and exit")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: ompi-ps PID_OF_OMPI_RUN")
+		fmt.Fprintln(os.Stderr, "usage: ompi-ps [--watch] PID_OF_OMPI_RUN")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -47,6 +59,32 @@ func run() error {
 			return err
 		}
 	}
+	if *metrics {
+		resp, err := runtime.ControlDial(target, runtime.ControlRequest{Op: "metrics"})
+		if err != nil {
+			return err
+		}
+		if !resp.OK {
+			return fmt.Errorf("%s", resp.Err)
+		}
+		fmt.Print(resp.Metrics)
+		return nil
+	}
+	if !*watch {
+		return listOnce(target, false)
+	}
+	for {
+		fmt.Printf("--- ompi-ps %s ---\n", time.Now().Format("15:04:05"))
+		if err := listOnce(target, true); err != nil {
+			return err
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// listOnce prints the job table; withCounters appends the live
+// checkpoint counters parsed out of the metrics rendering.
+func listOnce(target string, withCounters bool) error {
 	resp, err := runtime.ControlDial(target, runtime.ControlRequest{Op: "ps"})
 	if err != nil {
 		return err
@@ -62,5 +100,42 @@ func run() error {
 		}
 		fmt.Printf("%4d %-12s %4d %6s %6d  %s\n", j.Job, j.App, j.NP, state, j.Ckpts, strings.Join(j.Nodes, ","))
 	}
+	if !withCounters {
+		return nil
+	}
+	mresp, err := runtime.ControlDial(target, runtime.ControlRequest{Op: "metrics"})
+	if err != nil || !mresp.OK {
+		return nil // counters are best-effort decoration on the listing
+	}
+	counters := parseCounters(mresp.Metrics)
+	if len(counters) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(counters))
+	for n := range counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  %-40s %s\n", n, counters[n])
+	}
 	return nil
+}
+
+// parseCounters pulls the single-valued sample lines (counters and
+// gauges) out of a Prometheus text rendering; histogram series are
+// skipped to keep the watch display one line per metric.
+func parseCounters(text string) map[string]string {
+	out := make(map[string]string)
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") || strings.Contains(line, "{") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok || strings.HasSuffix(name, "_sum") || strings.HasSuffix(name, "_count") {
+			continue
+		}
+		out[name] = val
+	}
+	return out
 }

@@ -44,10 +44,10 @@ func run() error {
 	}
 	refDir := fs.Arg(0)
 
-	log := &trace.Log{}
+	ins := trace.New()
 	sys, err := core.NewSystem(core.Options{
 		Nodes: *nodes, SlotsPerNode: *slots,
-		StableDir: *stable, Log: log,
+		StableDir: *stable, Ins: ins,
 	})
 	if err != nil {
 		return err
@@ -101,7 +101,7 @@ func run() error {
 	}
 	err = job.Wait()
 	if *verbose {
-		fmt.Println("trace:", log.Summary())
+		fmt.Println("trace:", ins.Log.Summary())
 	}
 	if err != nil {
 		return err

@@ -73,10 +73,10 @@ func run() error {
 		return err
 	}
 
-	log := &trace.Log{}
+	ins := trace.New()
 	sys, err := core.NewSystem(core.Options{
 		Nodes: *nodes, SlotsPerNode: *slots,
-		StableDir: *stable, Params: params, Log: log,
+		StableDir: *stable, Params: params, Ins: ins,
 	})
 	if err != nil {
 		return err
@@ -111,7 +111,7 @@ func run() error {
 		},
 	})
 	if *verbose {
-		fmt.Println("trace:", log.Summary())
+		fmt.Println("trace:", ins.Log.Summary())
 	}
 	if rep.FailedCheckpoints > 0 {
 		fmt.Fprintf(os.Stderr, "ompi-run: %d checkpoint attempt(s) aborted\n", rep.FailedCheckpoints)

@@ -143,7 +143,9 @@ func show(ref snapshot.GlobalRef) error {
 // the modeled gather time. Snapshots written before gather records
 // existed are estimated from the checksum manifests instead: the bytes
 // whose hashes already appear in the previous interval are the ones an
-// incremental gather would have skipped.
+// incremental gather would have skipped. Intervals committed with a
+// phase breakdown get a second table decomposing the checkpoint's wall
+// time into the paper's cost phases.
 func stats(ref snapshot.GlobalRef) error {
 	ivs, err := snapshot.Intervals(ref)
 	if err != nil {
@@ -155,12 +157,16 @@ func stats(ref snapshot.GlobalRef) error {
 	fmt.Printf("%-8s %12s %12s %12s %7s %10s %9s\n",
 		"INTERVAL", "PAYLOAD", "MOVED", "DEDUPED", "DEDUP%", "SIM-MS", "TRANSFERS")
 	var prev *snapshot.GlobalMeta
+	phased := make(map[int]*snapshot.PhaseBreakdown, len(ivs))
 	for _, iv := range ivs {
 		meta, err := snapshot.ReadGlobal(ref, iv)
 		if err != nil {
 			fmt.Printf("%-8d CORRUPT: %v\n", iv, err)
 			prev = nil
 			continue
+		}
+		if meta.Phases != nil {
+			phased[iv] = meta.Phases
 		}
 		if g := meta.Gather; g != nil {
 			pct := 0.0
@@ -180,6 +186,21 @@ func stats(ref snapshot.GlobalRef) error {
 				iv, total, total-shared, shared, pct, "-", "-")
 		}
 		prev = &meta
+	}
+	if len(phased) > 0 {
+		ms := func(ns int64) float64 { return float64(ns) / 1e6 }
+		fmt.Printf("\nphases (wall ms; quiesce/capture are the slowest rank):\n")
+		fmt.Printf("%-8s %10s %10s %10s %10s %10s\n",
+			"INTERVAL", "QUIESCE", "CAPTURE", "GATHER", "COMMIT", "TOTAL")
+		for _, iv := range ivs {
+			pb, ok := phased[iv]
+			if !ok {
+				continue
+			}
+			fmt.Printf("%-8d %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+				iv, ms(pb.QuiesceWallNS), ms(pb.CaptureWallNS),
+				ms(pb.GatherNS), ms(pb.CommitNS), ms(pb.TotalNS))
+		}
 	}
 	return nil
 }

@@ -67,7 +67,7 @@ func TestIncrementalCheckpointAndRestart(t *testing.T) {
 	log := &trace.Log{}
 	params := mca.NewParams()
 	params.Set("crs", "self")
-	sys, err := core.NewSystem(core.Options{Nodes: 2, SlotsPerNode: 2, Params: params, Log: log})
+	sys, err := core.NewSystem(core.Options{Nodes: 2, SlotsPerNode: 2, Params: params, Ins: trace.WithLogOnly(log)})
 	if err != nil {
 		t.Fatal(err)
 	}

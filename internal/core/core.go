@@ -48,8 +48,8 @@ type Options struct {
 	StableDir string
 	// MCA parameters ("crs=self", "crcp=none", "filem=raw", ...).
 	Params *mca.Params
-	// Log captures trace events; optional.
-	Log *trace.Log
+	// Ins captures trace events, metrics and spans; optional.
+	Ins *trace.Instrumentation
 	// Uplink/Ingress override modeled link speeds; optional.
 	Uplink  *netsim.Link
 	Ingress *netsim.Link
@@ -61,7 +61,7 @@ type Options struct {
 // System is a running simulated cluster plus its runtime services.
 type System struct {
 	cluster *runtime.Cluster
-	log     *trace.Log
+	ins     *trace.Instrumentation
 }
 
 // JobSpec re-exports the runtime job description.
@@ -106,7 +106,7 @@ func NewSystem(opts Options) (*System, error) {
 		Nodes:   specs,
 		Stable:  stable,
 		Params:  opts.Params,
-		Log:     opts.Log,
+		Ins:     opts.Ins,
 		Uplink:  opts.Uplink,
 		Ingress: opts.Ingress,
 		Faults:  opts.Faults,
@@ -114,8 +114,11 @@ func NewSystem(opts Options) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{cluster: cluster, log: opts.Log}, nil
+	return &System{cluster: cluster, ins: opts.Ins}, nil
 }
+
+// Ins returns the system instrumentation (may be nil).
+func (s *System) Ins() *trace.Instrumentation { return s.ins }
 
 // Close shuts the cluster down.
 func (s *System) Close() { s.cluster.Close() }
@@ -184,7 +187,7 @@ func (s *System) Resolver(dir string) *snapshot.Resolver {
 		Ref:    snapshot.GlobalRef{FS: s.cluster.Stable(), Dir: dir},
 		Nodes:  s.cluster.AliveNodes(),
 		NodeFS: s.cluster.NodeFS,
-		Log:    s.log,
+		Ins:    s.ins,
 	}
 }
 
@@ -235,6 +238,9 @@ type SuperviseReport struct {
 	FailedCheckpoints int  // aborted checkpoint attempts
 	Recovered         bool // the job failed at least once and was restarted
 	Scrubs            int  // completed periodic scrub passes
+	// Phases accumulates every committed interval's PhaseBreakdown:
+	// total time and bytes spent per checkpoint phase over the run.
+	Phases snapshot.PhaseBreakdown
 	// Sources records, per restart, the snapshot copy it used.
 	Sources []RestartSource
 }
@@ -284,7 +290,7 @@ func (s *System) Supervise(job *Job, appFactory func(rank int) ompi.App, opts Su
 					for _, dir := range lineage {
 						sr := s.Scrub(dir, replicas)
 						if sr.Repaired > 0 || sr.Rereplicated > 0 {
-							s.log.Emit("core", "supervise.scrubbed", "%s: repaired %d primaries, re-replicated %d copies",
+							s.ins.Emit("core", "supervise.scrubbed", "%s: repaired %d primaries, re-replicated %d copies",
 								dir, sr.Repaired, sr.Rereplicated)
 						}
 					}
@@ -315,10 +321,11 @@ func (s *System) Supervise(job *Job, appFactory func(rank int) ompi.App, opts Su
 						rep.FailedCheckpoints++
 					} else {
 						rep.Checkpoints++
+						rep.Phases.Accumulate(res.Meta.Phases)
 					}
 					mu.Unlock()
 					if err != nil {
-						s.log.Emit("core", "supervise.ckpt-failed", "job %d: %v", j.JobID(), err)
+						s.ins.Emit("core", "supervise.ckpt-failed", "job %d: %v", j.JobID(), err)
 						continue
 					}
 					if opts.Progress != nil {
@@ -353,10 +360,11 @@ func (s *System) Supervise(job *Job, appFactory func(rank int) ompi.App, opts Su
 		}
 		rep.Restarts++
 		rep.Recovered = true
+		s.ins.Counter("ompi_supervise_restarts_total").Inc()
 		rep.Sources = append(rep.Sources, RestartSource{
 			Dir: res.Ref.Dir, Interval: interval, Copy: cp.String(), Repaired: !cp.Primary(),
 		})
-		s.log.Emit("core", "supervise.restart", "job %d failed (%v); restarted as job %d from %s interval %d (%s)",
+		s.ins.Emit("core", "supervise.restart", "job %d failed (%v); restarted as job %d from %s interval %d (%s)",
 			current.JobID(), err, next.JobID(), res.Ref.Dir, interval, cp)
 		dirs = append(dirs, snapshot.GlobalDirName(int(next.JobID())))
 		current = next

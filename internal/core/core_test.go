@@ -67,7 +67,7 @@ func TestNewSystemValidation(t *testing.T) {
 }
 
 func TestLaunchCheckpointRestartFacade(t *testing.T) {
-	sys, err := NewSystem(Options{Nodes: 2, SlotsPerNode: 2, Log: &trace.Log{}})
+	sys, err := NewSystem(Options{Nodes: 2, SlotsPerNode: 2, Ins: trace.New()})
 	if err != nil {
 		t.Fatal(err)
 	}

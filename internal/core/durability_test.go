@@ -32,7 +32,7 @@ func TestSuperviseRestartsFromReplicaWhenStableStoreDies(t *testing.T) {
 	inj := faultsim.New(11) // rules armed mid-run, relative to observed commits
 	sys, err := NewSystem(Options{
 		Nodes: 4, SlotsPerNode: 2,
-		Params: durabilityParams("2"), Log: log, Faults: inj,
+		Params: durabilityParams("2"), Ins: trace.WithLogOnly(log), Faults: inj,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -108,7 +108,7 @@ func TestDurabilityFaultStorm(t *testing.T) {
 	inj := faultsim.New(4242)
 	sys, err := NewSystem(Options{
 		Nodes: 4, SlotsPerNode: 2,
-		Params: durabilityParams("2"), Log: log, Faults: inj,
+		Params: durabilityParams("2"), Ins: trace.WithLogOnly(log), Faults: inj,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -207,7 +207,7 @@ func TestSupervisePeriodicScrubHealsBitrot(t *testing.T) {
 	params.Set("scrub_interval", "10ms")
 	sys, err := NewSystem(Options{
 		Nodes: 3, SlotsPerNode: 2,
-		Params: params, Log: log, Faults: inj,
+		Params: params, Ins: trace.WithLogOnly(log), Faults: inj,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -130,8 +130,9 @@ type Resolver struct {
 	// NodeFS resolves a node's local filesystem; an error (dead node)
 	// skips that node.
 	NodeFS func(node string) (vfs.FS, error)
-	// Log receives snapshot.* trace events. Optional.
-	Log *trace.Log
+	// Ins observes resolution, repair and scrub: snapshot.* trace
+	// events, restart.resolve spans, scrub counters. Optional.
+	Ins *trace.Instrumentation
 }
 
 // nodeFS resolves one replica holder, tolerating a nil NodeFS.
@@ -203,7 +204,7 @@ func (r *Resolver) Resolve(interval int) (GlobalMeta, Copy, error) {
 		}
 		meta, err := VerifyDir(fsys, dir)
 		if err != nil {
-			r.Log.Emit("snapshot", "replica.corrupt", "interval %d replica on %s failed verification: %v", interval, node, err)
+			r.Ins.Emit("snapshot", "replica.corrupt", "interval %d replica on %s failed verification: %v", interval, node, err)
 			lastErr = err
 			continue
 		}
@@ -212,7 +213,7 @@ func (r *Resolver) Resolve(interval int) (GlobalMeta, Copy, error) {
 				ErrCorrupt, dir, node, meta.Interval, interval)
 			continue
 		}
-		r.Log.Emit("snapshot", "replica.fallback", "interval %d: primary unusable (%v); using replica on %s", interval, perr, node)
+		r.Ins.Emit("snapshot", "replica.fallback", "interval %d: primary unusable (%v); using replica on %s", interval, perr, node)
 		return meta, Copy{Node: node, FS: fsys, Dir: dir}, nil
 	}
 	return GlobalMeta{}, Copy{}, fmt.Errorf("snapshot: interval %d has no intact copy: %w", interval, lastErr)
@@ -223,15 +224,18 @@ func (r *Resolver) Resolve(interval int) (GlobalMeta, Copy, error) {
 // restart succeeds as long as one intact copy of some committed
 // interval exists anywhere.
 func (r *Resolver) LatestValid() (int, GlobalMeta, Copy, error) {
+	sp := r.Ins.Span("restart.resolve", trace.WithSource("snapshot"))
 	cands := r.Candidates()
 	var lastErr error
 	for i := len(cands) - 1; i >= 0; i-- {
 		meta, cp, err := r.Resolve(cands[i])
 		if err == nil {
+			sp.End(nil)
 			return cands[i], meta, cp, nil
 		}
 		lastErr = err
 	}
+	sp.End(lastErr)
 	if lastErr != nil {
 		return 0, GlobalMeta{}, Copy{}, fmt.Errorf("snapshot: %q has no valid interval copy: %w", r.Ref.Dir, lastErr)
 	}
@@ -267,7 +271,7 @@ func (r *Resolver) Repair(interval int, from Copy) error {
 	if _, err := VerifyInterval(r.Ref, interval); err != nil {
 		return fmt.Errorf("snapshot: repaired interval %d failed verification: %w", interval, err)
 	}
-	r.Log.Emit("snapshot", "replica.repair", "interval %d primary rebuilt from %s", interval, from)
+	r.Ins.Emit("snapshot", "replica.repair", "interval %d primary rebuilt from %s", interval, from)
 	return nil
 }
 
@@ -311,7 +315,7 @@ func (r *Resolver) Scrub(k int) ScrubReport {
 			rep.Unhealthy++
 		}
 		rep.Intervals = append(rep.Intervals, h)
-		r.Log.Emit("snapshot", "scrub.interval", "interval %d: %d/%d copies intact", iv, h.Intact, h.Desired)
+		r.Ins.Emit("snapshot", "scrub.interval", "interval %d: %d/%d copies intact", iv, h.Intact, h.Desired)
 	}
 	return rep
 }
@@ -323,7 +327,7 @@ func (r *Resolver) scrubInterval(iv, k int, rep *ScrubReport) IntervalHealth {
 	primary := CopyHealth{Copy: "primary", OK: perr == nil}
 	if perr != nil {
 		primary.Err = perr.Error()
-		r.Log.Emit("snapshot", "scrub.corrupt", "interval %d primary: %v", iv, perr)
+		r.Ins.Emit("snapshot", "scrub.corrupt", "interval %d primary: %v", iv, perr)
 	}
 
 	// Survey the replicas before any healing, so the ledger records what
@@ -350,7 +354,7 @@ func (r *Resolver) scrubInterval(iv, k int, rep *ScrubReport) IntervalHealth {
 			err = fmt.Errorf("%w: replica claims interval %d, want %d", ErrCorrupt, rm.Interval, iv)
 		}
 		if err != nil {
-			r.Log.Emit("snapshot", "scrub.corrupt", "interval %d replica on %s: %v", iv, node, err)
+			r.Ins.Emit("snapshot", "scrub.corrupt", "interval %d replica on %s: %v", iv, node, err)
 		}
 		found = append(found, replica{node: node, fsys: fsys, dir: dir, meta: rm, err: err})
 	}
@@ -362,12 +366,13 @@ func (r *Resolver) scrubInterval(iv, k int, rep *ScrubReport) IntervalHealth {
 				continue
 			}
 			if err := r.Repair(iv, Copy{Node: rc.node, FS: rc.fsys, Dir: rc.dir}); err != nil {
-				r.Log.Emit("snapshot", "scrub.repair-failed", "interval %d: %v", iv, err)
+				r.Ins.Emit("snapshot", "scrub.repair-failed", "interval %d: %v", iv, err)
 				continue
 			}
 			meta, perr = rc.meta, nil
 			primary.OK, primary.Repaired = true, true
 			rep.Repaired++
+			r.Ins.Counter("ompi_scrub_repairs_total").Inc()
 			h.Actions = append(h.Actions, fmt.Sprintf("primary rebuilt from replica:%s", rc.node))
 			break
 		}
@@ -404,13 +409,14 @@ func (r *Resolver) scrubInterval(iv, k int, rep *ScrubReport) IntervalHealth {
 				continue
 			}
 			if err := r.replicateTo(src, fsys, iv); err != nil {
-				r.Log.Emit("snapshot", "scrub.rereplicate-failed", "interval %d -> %s: %v", iv, node, err)
+				r.Ins.Emit("snapshot", "scrub.rereplicate-failed", "interval %d -> %s: %v", iv, node, err)
 				continue
 			}
 			intactNodes[node] = true
 			rep.Rereplicated++
+			r.Ins.Counter("ompi_scrub_rereplicated_total").Inc()
 			h.Actions = append(h.Actions, "re-replicated to "+node)
-			r.Log.Emit("snapshot", "scrub.rereplicate", "interval %d re-replicated to %s", iv, node)
+			r.Ins.Emit("snapshot", "scrub.rereplicate", "interval %d re-replicated to %s", iv, node)
 			if ch, ok := health[node]; ok {
 				ch.OK, ch.Repaired = true, true
 				ch.Err = ""

@@ -135,7 +135,7 @@ func TestResolverFallbackAndRepair(t *testing.T) {
 		Ref:    ref,
 		Nodes:  []string{"n2"},
 		NodeFS: func(string) (vfs.FS, error) { return node, nil },
-		Log:    log,
+		Ins:    trace.WithLogOnly(log),
 	}
 	got, cp, err := res.Resolve(0)
 	if err != nil {
@@ -216,7 +216,7 @@ func TestScrubHealsToK(t *testing.T) {
 		Ref:    ref,
 		Nodes:  []string{"n2", "n3"},
 		NodeFS: func(n string) (vfs.FS, error) { return nodes[n], nil },
-		Log:    log,
+		Ins:    trace.WithLogOnly(log),
 	}
 
 	// Interval 0: primary intact, replica on n2 bit-rotten, none on n3.

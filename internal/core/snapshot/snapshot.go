@@ -181,6 +181,57 @@ type GlobalMeta struct {
 	// metadata and commit marker — but they let tools report the
 	// commit-time placement, and scrub compares it to reality.
 	Replicas []ReplicaRecord `json:"replicas,omitempty"`
+	// Phases is the per-phase cost decomposition of the checkpoint that
+	// produced this interval (paper §6's measurement axes). Informational
+	// only: `ompi-snapshot stats` and the bench harness report it.
+	Phases *PhaseBreakdown `json:"phases,omitempty"`
+}
+
+// PhaseBreakdown decomposes one committed checkpoint interval into the
+// paper's cost phases: CRCP quiesce/bookmark drain, CRS capture, FILEM
+// gather, and snapshot commit, plus the post-commit replica pushes.
+// Wall times for the rank-local phases are the maximum across ranks
+// (the critical path); the Sum variants total every rank's share.
+type PhaseBreakdown struct {
+	QuiesceWallNS int64 `json:"quiesce_wall_ns"` // slowest rank's preparation+drain
+	QuiesceSumNS  int64 `json:"quiesce_sum_ns"`  // all ranks' preparation+drain
+	CaptureWallNS int64 `json:"capture_wall_ns"` // slowest rank's CRS capture
+	CaptureSumNS  int64 `json:"capture_sum_ns"`  // all ranks' CRS capture
+	GatherNS      int64 `json:"gather_ns"`       // FILEM aggregation to stable storage
+	CommitNS      int64 `json:"commit_ns"`       // checksum + metadata + atomic rename
+	// ReplicaNS covers the post-commit replica pushes. It cannot appear
+	// in the persisted copy of the interval that the pushes replicate —
+	// the metadata is sealed before they run — so it is populated on the
+	// in-memory Result/SuperviseReport path only.
+	ReplicaNS int64 `json:"replica_ns,omitempty"`
+	// TotalNS is the global coordinator's wall time from checkpoint
+	// request to sealed metadata.
+	TotalNS int64 `json:"total_ns"`
+	// Byte movement of the gather (mirrors GatherRecord for the phase
+	// table's benefit).
+	BytesGathered int64 `json:"bytes_gathered"`
+	BytesMoved    int64 `json:"bytes_moved"`
+	BytesDeduped  int64 `json:"bytes_deduped"`
+}
+
+// Accumulate folds another interval's breakdown into this one. All
+// fields add, wall times included: across intervals the accumulated
+// value reads as total time spent in each phase over the run.
+func (p *PhaseBreakdown) Accumulate(o *PhaseBreakdown) {
+	if o == nil {
+		return
+	}
+	p.QuiesceWallNS += o.QuiesceWallNS
+	p.QuiesceSumNS += o.QuiesceSumNS
+	p.CaptureWallNS += o.CaptureWallNS
+	p.CaptureSumNS += o.CaptureSumNS
+	p.GatherNS += o.GatherNS
+	p.CommitNS += o.CommitNS
+	p.ReplicaNS += o.ReplicaNS
+	p.TotalNS += o.TotalNS
+	p.BytesGathered += o.BytesGathered
+	p.BytesMoved += o.BytesMoved
+	p.BytesDeduped += o.BytesDeduped
 }
 
 // ReplicaRecord names one intended replica of a committed interval: the
@@ -306,6 +357,7 @@ func treeChecksums(fsys vfs.FS, root string) (map[string]string, error) {
 // directory (ignored by Intervals) or an unmarked interval directory
 // (refused by ReadGlobal) — never a trusted-but-torn snapshot.
 func WriteGlobal(ref GlobalRef, meta GlobalMeta) error {
+	commitStart := time.Now()
 	meta.Version = FormatVersion
 	stage := ref.StageDir(meta.Interval)
 	if err := ref.FS.MkdirAll(stage); err != nil {
@@ -316,6 +368,14 @@ func WriteGlobal(ref GlobalRef, meta GlobalMeta) error {
 		return err
 	}
 	meta.Checksums = sums
+	// Stamp the commit phase into the breakdown before the metadata is
+	// sealed. Checksumming the staged tree dominates commit cost; the
+	// rename/marker tail that follows serialization is added to the
+	// caller's in-memory copy below but cannot be in the persisted file.
+	if meta.Phases != nil {
+		meta.Phases.CommitNS = int64(time.Since(commitStart))
+		meta.Phases.TotalNS += meta.Phases.CommitNS
+	}
 	// Replica records are placement intents decided before commit; stamp
 	// each with the manifest hash its copy must reproduce, now that the
 	// staged payload is hashed.
@@ -350,6 +410,13 @@ func WriteGlobal(ref GlobalRef, meta GlobalMeta) error {
 	}
 	if err := ref.FS.WriteFile(path.Join(dir, CommittedFile), []byte(checksum(data)+"\n")); err != nil {
 		return fmt.Errorf("snapshot: write commit marker: %w", err)
+	}
+	if meta.Phases != nil {
+		// Fold the rename/marker tail into the caller's view of commit
+		// cost (the shared *PhaseBreakdown), keeping TotalNS consistent.
+		tail := int64(time.Since(commitStart)) - meta.Phases.CommitNS
+		meta.Phases.CommitNS += tail
+		meta.Phases.TotalNS += tail
 	}
 	return nil
 }

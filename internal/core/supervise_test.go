@@ -79,7 +79,7 @@ func TestSuperviseAutoRestartAfterNodeLoss(t *testing.T) {
 	want := referenceIters(t, 3, 2, np, limit)
 
 	log := &trace.Log{}
-	sys, err := NewSystem(Options{Nodes: 3, SlotsPerNode: 2, Log: log})
+	sys, err := NewSystem(Options{Nodes: 3, SlotsPerNode: 2, Ins: trace.WithLogOnly(log)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,6 +112,10 @@ func TestSuperviseAutoRestartAfterNodeLoss(t *testing.T) {
 	if rep.Checkpoints == 0 {
 		t.Error("no checkpoints committed before the failure")
 	}
+	// Every committed interval folded its phase breakdown into the report.
+	if rep.Phases.TotalNS <= 0 || rep.Phases.CommitNS <= 0 {
+		t.Errorf("report phases not accumulated: %+v", rep.Phases)
+	}
 	if log.Count("supervise.restart") != 1 {
 		t.Errorf("supervise.restart events = %d, want 1", log.Count("supervise.restart"))
 	}
@@ -137,7 +141,7 @@ func TestCheckpointRetriesTransientFilemFaults(t *testing.T) {
 	params.Set("fault_plan", "seed=7; filem.transfer=p1,times3")
 	params.Set("filem_retry_max", "5")
 	log := &trace.Log{}
-	sys, err := NewSystem(Options{Nodes: 2, SlotsPerNode: 2, Params: params, Log: log})
+	sys, err := NewSystem(Options{Nodes: 2, SlotsPerNode: 2, Params: params, Ins: trace.WithLogOnly(log)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +177,7 @@ func TestCheckpointAbortsAtomicallyWhenRetriesExhausted(t *testing.T) {
 	params.Set("fault_plan", "seed=7; filem.transfer=p1,times2")
 	params.Set("filem_retry_max", "1")
 	log := &trace.Log{}
-	sys, err := NewSystem(Options{Nodes: 2, SlotsPerNode: 2, Params: params, Log: log})
+	sys, err := NewSystem(Options{Nodes: 2, SlotsPerNode: 2, Params: params, Ins: trace.WithLogOnly(log)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +307,7 @@ func TestSeededFaultStormMatchesFaultFree(t *testing.T) {
 	params.Set("orted_heartbeat_interval", "10ms")
 	params.Set("orted_heartbeat_miss", "8")
 	log := &trace.Log{}
-	sys, err := NewSystem(Options{Nodes: 5, SlotsPerNode: 4, Params: params, Log: log})
+	sys, err := NewSystem(Options{Nodes: 5, SlotsPerNode: 4, Params: params, Ins: trace.WithLogOnly(log)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -106,7 +106,7 @@ type Injector struct {
 	seed  int64
 	rng   *rand.Rand
 	rules []*ruleState
-	log   *trace.Log
+	ins   *trace.Instrumentation
 }
 
 // New builds an injector from a seed and explicit rules.
@@ -193,13 +193,14 @@ func (in *Injector) AddRule(r Rule) {
 	in.mu.Unlock()
 }
 
-// SetLog routes faultsim.injected trace events to l.
-func (in *Injector) SetLog(l *trace.Log) {
+// SetInstr routes faultsim.injected trace events and the injected-fault
+// counter to ins.
+func (in *Injector) SetInstr(ins *trace.Instrumentation) {
 	if in == nil {
 		return
 	}
 	in.mu.Lock()
-	in.log = l
+	in.ins = ins
 	in.mu.Unlock()
 }
 
@@ -243,7 +244,8 @@ func (in *Injector) Fire(point string) error {
 		}
 		if fire {
 			rs.fired++
-			in.log.Emit("faultsim", "faultsim.injected", "%s (rule %s, op %d, fire %d)",
+			in.ins.Counter("ompi_faultsim_injected_total").Inc()
+			in.ins.Emit("faultsim", "faultsim.injected", "%s (rule %s, op %d, fire %d)",
 				point, rs.Point, rs.ops, rs.fired)
 			return fmt.Errorf("%w: %s", ErrInjected, point)
 		}

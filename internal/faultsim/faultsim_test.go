@@ -115,7 +115,7 @@ func TestNilInjectorIsInert(t *testing.T) {
 	if in.Fired("x") != 0 || in.Ops("x") != 0 || in.Seed() != 0 {
 		t.Error("nil injector counters should be zero")
 	}
-	in.SetLog(nil) // must not panic
+	in.SetInstr(nil) // must not panic
 }
 
 func TestParse(t *testing.T) {

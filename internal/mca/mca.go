@@ -127,6 +127,49 @@ func (p *Params) Duration(key string, def time.Duration) time.Duration {
 	return d
 }
 
+// Bytes returns the byte-size value for key, or def if unset or
+// malformed. Values accept a plain integer or a human-readable size
+// suffix, case-insensitive: B, KB/KiB, MB/MiB, GB/GiB (all binary,
+// matching Open MPI's convention of power-of-two tuning knobs), so
+// `--mca pml_eager_limit 4KB` reads as 4096.
+func (p *Params) Bytes(key string, def int64) int64 {
+	v, ok := p.Lookup(key)
+	if !ok {
+		return def
+	}
+	n, err := ParseBytes(v)
+	if err != nil {
+		return def
+	}
+	return n
+}
+
+// ParseBytes parses a human-readable byte size: "4096", "4KB", "4KiB",
+// "1mb", "2GiB", "512B". Suffixes are binary multiples.
+func ParseBytes(s string) (int64, error) {
+	t := strings.TrimSpace(strings.ToLower(s))
+	t = strings.TrimSuffix(t, "ib")
+	t = strings.TrimSuffix(t, "b")
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(t, "k"):
+		mult = 1 << 10
+	case strings.HasSuffix(t, "m"):
+		mult = 1 << 20
+	case strings.HasSuffix(t, "g"):
+		mult = 1 << 30
+	}
+	t = strings.TrimSpace(strings.TrimRight(t, "kmg"))
+	n, err := strconv.ParseInt(t, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("mca: bad byte size %q: %w", s, err)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("mca: negative byte size %q", s)
+	}
+	return n * mult, nil
+}
+
 // Keys returns all parameter keys in sorted order.
 func (p *Params) Keys() []string {
 	if p == nil {

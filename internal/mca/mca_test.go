@@ -64,6 +64,52 @@ func TestTypedAccessors(t *testing.T) {
 	}
 }
 
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		err  bool
+	}{
+		{"4096", 4096, false},
+		{"512B", 512, false},
+		{"4KB", 4 << 10, false},
+		{"4KiB", 4 << 10, false},
+		{"4k", 4 << 10, false},
+		{"1mb", 1 << 20, false},
+		{"2GiB", 2 << 30, false},
+		{" 8 K ", 8 << 10, false},
+		{"0", 0, false},
+		{"-1", 0, true},
+		{"xyz", 0, true},
+		{"", 0, true},
+	}
+	for _, tc := range cases {
+		got, err := ParseBytes(tc.in)
+		if (err != nil) != tc.err {
+			t.Errorf("ParseBytes(%q) err = %v, want err=%v", tc.in, err, tc.err)
+			continue
+		}
+		if !tc.err && got != tc.want {
+			t.Errorf("ParseBytes(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestBytesAccessor(t *testing.T) {
+	p := NewParams()
+	p.Set("limit", "4KiB")
+	p.Set("bad", "much")
+	if got := p.Bytes("limit", 1); got != 4<<10 {
+		t.Errorf("Bytes(limit) = %d", got)
+	}
+	if got := p.Bytes("bad", 99); got != 99 {
+		t.Errorf("Bytes(bad) = %d, want default", got)
+	}
+	if got := p.Bytes("missing", 123); got != 123 {
+		t.Errorf("Bytes(missing) = %d, want default", got)
+	}
+}
+
 func TestNilParamsSafe(t *testing.T) {
 	var p *Params
 	if _, ok := p.Lookup("x"); ok {

@@ -137,12 +137,12 @@ func world(cfg Config) ([2]*pml.Engine, error) {
 	case ModeNone:
 		comp := &crcp.NoneComponent{}
 		for r := 0; r < 2; r++ {
-			engines[r].SetHooks(comp.Wrap(engines[r], mca.NewParams()))
+			engines[r].SetHooks(comp.Wrap(engines[r], mca.NewParams(), nil))
 		}
 	case ModeBkmrk:
 		comp := &crcp.BkmrkComponent{}
 		for r := 0; r < 2; r++ {
-			engines[r].SetHooks(comp.Wrap(engines[r], mca.NewParams()))
+			engines[r].SetHooks(comp.Wrap(engines[r], mca.NewParams(), nil))
 		}
 	default:
 		return engines, fmt.Errorf("netpipe: unknown mode %v", cfg.Mode)

@@ -29,21 +29,14 @@ func (*BkmrkComponent) Name() string { return "bkmrk" }
 func (*BkmrkComponent) Priority() int { return 20 }
 
 // Wrap implements Component.
-func (*BkmrkComponent) Wrap(eng *pml.Engine, params *mca.Params) Protocol {
+func (*BkmrkComponent) Wrap(eng *pml.Engine, params *mca.Params, ins *trace.Instrumentation) Protocol {
 	return &bkmrkProto{
 		eng:     eng,
 		timeout: params.Duration("crcp_bkmrk_timeout", DefaultDrainTimeout),
+		ins:     ins,
 		sent:    make(map[int]uint64),
 		recvd:   make(map[int]uint64),
 	}
-}
-
-// WrapWithLog is Wrap plus a trace log, used by the runtime and tests to
-// observe protocol events.
-func (c *BkmrkComponent) WrapWithLog(eng *pml.Engine, params *mca.Params, log *trace.Log) Protocol {
-	p := c.Wrap(eng, params).(*bkmrkProto)
-	p.log = log
-	return p
 }
 
 var _ Component = (*BkmrkComponent)(nil)
@@ -67,7 +60,7 @@ type bkmrkState struct {
 type bkmrkProto struct {
 	eng     *pml.Engine
 	timeout time.Duration
-	log     *trace.Log
+	ins     *trace.Instrumentation
 
 	sent  map[int]uint64 // whole messages sent, per peer
 	recvd map[int]uint64 // whole messages fully received, per peer
@@ -99,7 +92,7 @@ func (p *bkmrkProto) CtrlFrag(fr btl.Frag) error {
 		return fmt.Errorf("crcp bkmrk: duplicate marker from rank %d", fr.Src)
 	}
 	p.markerFrom[fr.Src] = m.Count
-	p.log.Emit(p.source(), "crcp.marker", "from %d count %d", fr.Src, m.Count)
+	p.ins.Emit(p.source(), "crcp.marker", "from %d count %d", fr.Src, m.Count)
 	return nil
 }
 
@@ -135,7 +128,7 @@ func (p *bkmrkProto) FTEvent(s inc.State) error {
 		p.recvd = make(map[int]uint64)
 		p.quiescing = false
 		p.markerFrom = nil
-		p.log.Emit(p.source(), "crcp.restart", "protocol counters reset at restored cut")
+		p.ins.Emit(p.source(), "crcp.restart", "protocol counters reset at restored cut")
 		return nil
 	default:
 		return fmt.Errorf("crcp bkmrk: unknown ft_event state %v", s)
@@ -155,6 +148,10 @@ func (p *bkmrkProto) quiesce() error {
 	if p.quiescing {
 		return fmt.Errorf("crcp bkmrk: quiesce already in progress")
 	}
+	// The quiesce span is the paper's §6.3 "coordination" share of
+	// checkpoint latency: everything from entering drain mode to a
+	// verified consistent cut is quiesce stall time.
+	sp := p.ins.Span("ckpt.quiesce", trace.WithRank(p.eng.Rank()), trace.WithSource(p.source()))
 	p.quiescing = true
 	if p.markerFrom == nil {
 		p.markerFrom = make(map[int]uint64)
@@ -162,15 +159,22 @@ func (p *bkmrkProto) quiesce() error {
 	if err := p.eng.SetDraining(true); err != nil {
 		p.quiescing = false
 		p.markerFrom = nil
+		sp.End(err)
+		p.ins.Counter("ompi_crcp_quiesce_failed_total").Inc()
 		return fmt.Errorf("crcp bkmrk: enter drain: %w", err)
 	}
 	if err := p.drainToCut(); err != nil {
 		if rerr := p.release(); rerr != nil {
-			p.log.Emit(p.source(), "crcp.release-failed", "self-release after failed quiesce: %v", rerr)
+			p.ins.Emit(p.source(), "crcp.release-failed", "self-release after failed quiesce: %v", rerr)
 		}
+		sp.End(err)
+		p.ins.Counter("ompi_crcp_quiesce_failed_total").Inc()
 		return err
 	}
-	p.log.Emit(p.source(), "crcp.quiesce.done", "channels quiesced, %d frags held back", p.eng.HeldBack())
+	stall := sp.End(nil)
+	p.ins.Counter("ompi_crcp_quiesce_total").Inc()
+	p.ins.ObserveSeconds("ompi_crcp_quiesce_stall_seconds", stall)
+	p.ins.Emit(p.source(), "crcp.quiesce.done", "channels quiesced, %d frags held back", p.eng.HeldBack())
 	return nil
 }
 
@@ -192,7 +196,7 @@ func (p *bkmrkProto) drainToCut() error {
 			return fmt.Errorf("crcp bkmrk: send marker to %d: %w", peer, err)
 		}
 	}
-	p.log.Emit(p.source(), "crcp.quiesce.begin", "markers sent to %d peers", p.eng.Size()-1)
+	p.ins.Emit(p.source(), "crcp.quiesce.begin", "markers sent to %d peers", p.eng.Size()-1)
 
 	// Drain: markers from all peers, all pre-cut traffic fully arrived,
 	// all our own announced sends fully delivered.
@@ -243,7 +247,7 @@ func (p *bkmrkProto) release() error {
 	if err := p.eng.SetDraining(false); err != nil {
 		return fmt.Errorf("crcp bkmrk: leave drain: %w", err)
 	}
-	p.log.Emit(p.source(), "crcp.release", "quiesce window closed")
+	p.ins.Emit(p.source(), "crcp.release", "quiesce window closed")
 	return nil
 }
 

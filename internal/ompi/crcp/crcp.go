@@ -27,6 +27,7 @@ import (
 	"repro/internal/ompi/btl"
 	"repro/internal/ompi/pml"
 	"repro/internal/opal/inc"
+	"repro/internal/trace"
 )
 
 // FrameworkName is the MCA selection parameter for this framework.
@@ -53,8 +54,10 @@ type Protocol interface {
 // protocol instances.
 type Component interface {
 	mca.Component
-	// Wrap binds a protocol instance to eng, configured by params.
-	Wrap(eng *pml.Engine, params *mca.Params) Protocol
+	// Wrap binds a protocol instance to eng, configured by params and
+	// observed through ins (trace events, quiesce spans, drain metrics).
+	// ins may be nil: protocols run silent without it.
+	Wrap(eng *pml.Engine, params *mca.Params, ins *trace.Instrumentation) Protocol
 }
 
 // NewFramework returns the CRCP framework with the built-in components:
@@ -76,7 +79,7 @@ func (*NoneComponent) Name() string { return "none" }
 func (*NoneComponent) Priority() int { return 10 }
 
 // Wrap implements Component.
-func (*NoneComponent) Wrap(eng *pml.Engine, params *mca.Params) Protocol {
+func (*NoneComponent) Wrap(eng *pml.Engine, params *mca.Params, ins *trace.Instrumentation) Protocol {
 	return &noneProto{}
 }
 

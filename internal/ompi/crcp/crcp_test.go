@@ -35,7 +35,7 @@ func mkWorld(t *testing.T, n int, component string, params *mca.Params) ([]*pml.
 			t.Fatalf("Attach(%d): %v", r, err)
 		}
 		engines[r] = pml.New(pml.Config{Rank: r, Size: n, Endpoint: ep})
-		protos[r] = comp.Wrap(engines[r], params)
+		protos[r] = comp.Wrap(engines[r], params, nil)
 		engines[r].SetHooks(protos[r])
 	}
 	return engines, protos
@@ -343,7 +343,7 @@ func TestSaveRestoreCounters(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Save: %v", err)
 	}
-	fresh := (&BkmrkComponent{}).Wrap(engines[1], nil).(*bkmrkProto)
+	fresh := (&BkmrkComponent{}).Wrap(engines[1], nil, nil).(*bkmrkProto)
 	if err := fresh.Restore(blob); err != nil {
 		t.Fatalf("Restore: %v", err)
 	}
@@ -509,7 +509,7 @@ func TestQuickQuiesceConsistency(t *testing.T) {
 				return false
 			}
 			engines[r] = pml.New(pml.Config{Rank: r, Size: n, Endpoint: ep})
-			protos[r] = comp.Wrap(engines[r], nil)
+			protos[r] = comp.Wrap(engines[r], nil, nil)
 			engines[r].SetHooks(protos[r])
 		}
 		inflight := 0

@@ -32,7 +32,7 @@ func testWorld(t *testing.T, n int, params *mca.Params, crsComp crs.Component) (
 			JobID: 1, Rank: r, Size: n,
 			Node: fmt.Sprintf("n%d", r), PID: 100 + r,
 			Fabric: fabric, Params: params,
-			CRS: crsComp, Log: &trace.Log{},
+			CRS: crsComp, Ins: trace.New(),
 		})
 		if err != nil {
 			t.Fatalf("NewProc(%d): %v", r, err)
@@ -704,7 +704,7 @@ func TestCRCPNoneSelectedByParam(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := NewProc(Config{Rank: 0, Size: 1, Fabric: fabric, Params: params, CRCP: comp, Log: &trace.Log{}})
+	p, err := NewProc(Config{Rank: 0, Size: 1, Fabric: fabric, Params: params, CRCP: comp, Ins: trace.New()})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -96,12 +96,12 @@ func TestDedupMoveIsByteIdenticalToFull(t *testing.T) {
 			if stIncr.BytesHashed != total {
 				t.Errorf("incremental BytesHashed = %d, want %d", stIncr.BytesHashed, total)
 			}
-			if envB.Log.Count("filem.dedup.hit") != 2 || envB.Log.Count("filem.dedup.miss") != 1 {
+			if envB.Ins.Log.Count("filem.dedup.hit") != 2 || envB.Ins.Log.Count("filem.dedup.miss") != 1 {
 				t.Errorf("dedup events: %d hits, %d misses, want 2/1",
-					envB.Log.Count("filem.dedup.hit"), envB.Log.Count("filem.dedup.miss"))
+					envB.Ins.Log.Count("filem.dedup.hit"), envB.Ins.Log.Count("filem.dedup.miss"))
 			}
-			if envB.Log.CountPrefix("filem.dedup.") != 3 {
-				t.Errorf("CountPrefix(filem.dedup.) = %d, want 3", envB.Log.CountPrefix("filem.dedup."))
+			if envB.Ins.Log.CountPrefix("filem.dedup.") != 3 {
+				t.Errorf("CountPrefix(filem.dedup.) = %d, want 3", envB.Ins.Log.CountPrefix("filem.dedup."))
 			}
 			if stIncr.Simulated >= stFull.Simulated {
 				t.Errorf("incremental cost %v not below full cost %v", stIncr.Simulated, stFull.Simulated)
@@ -246,7 +246,7 @@ func TestDedupRequestStillTimesOut(t *testing.T) {
 	if err == nil {
 		t.Fatal("over-budget dedup request succeeded")
 	}
-	if n := env.Log.Count("filem.retry"); n != 0 {
+	if n := env.Ins.Log.Count("filem.retry"); n != 0 {
 		t.Errorf("timed-out dedup request was retried %d times", n)
 	}
 	if vfs.Exists(stores[StableNode], "g/1") {

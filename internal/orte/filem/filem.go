@@ -72,8 +72,8 @@ type Env struct {
 	Topo *netsim.Topology
 	// Clock accrues simulated transfer time. Optional.
 	Clock *netsim.Clock
-	// Log receives filem.* trace events. Optional.
-	Log *trace.Log
+	// Ins receives filem.* trace events and byte/retry metrics. Optional.
+	Ins *trace.Instrumentation
 	// Retry bounds per-request failure handling. The zero value fails
 	// fast with no timeout (the pre-robustness behavior).
 	Retry RetryPolicy
@@ -269,7 +269,9 @@ func copyOne(env *Env, r Request) (Stats, error) {
 		return Stats{Simulated: t}, fmt.Errorf("filem: move %s:%s -> %s:%s: modeled transfer %v exceeds request timeout %v: %w",
 			r.SrcNode, r.SrcPath, r.DstNode, r.DstPath, cost, t, ErrRequestTimeout)
 	}
-	env.Log.Emit("filem", "filem.copy", "%s:%s -> %s:%s (%d bytes, %v)", r.SrcNode, r.SrcPath, r.DstNode, r.DstPath, n, cost)
+	env.Ins.Emit("filem", "filem.copy", "%s:%s -> %s:%s (%d bytes, %v)", r.SrcNode, r.SrcPath, r.DstNode, r.DstPath, n, cost)
+	env.Ins.Counter("ompi_filem_bytes_gathered_total").Add(n)
+	env.Ins.Counter("ompi_filem_bytes_moved_total").Add(n)
 	return Stats{Bytes: n, BytesMoved: n, Simulated: cost, Transfers: 1}, nil
 }
 
@@ -303,8 +305,11 @@ func dedupCopy(env *Env, r Request, srcFS, dstFS vfs.FS) (Stats, error) {
 	}
 	st.Simulated = cost
 	st.Transfers = 1
-	env.Log.Emit("filem", "filem.copy", "%s:%s -> %s:%s (%d bytes: %d moved, %d deduped, %v)",
+	env.Ins.Emit("filem", "filem.copy", "%s:%s -> %s:%s (%d bytes: %d moved, %d deduped, %v)",
 		r.SrcNode, r.SrcPath, r.DstNode, r.DstPath, st.Bytes, st.BytesMoved, st.BytesDeduped, cost)
+	env.Ins.Counter("ompi_filem_bytes_gathered_total").Add(st.Bytes)
+	env.Ins.Counter("ompi_filem_bytes_moved_total").Add(st.BytesMoved)
+	env.Ins.Counter("ompi_filem_bytes_deduped_total").Add(st.BytesDeduped)
 	return st, nil
 }
 
@@ -362,7 +367,7 @@ func copyTreeDedup(env *Env, r Request, srcFS, dstFS vfs.FS, src, dst string, st
 	if prev, ok := r.Baseline.ByHash[vfs.HashBytes(data)]; ok {
 		if err := vfs.CopyFile(dstFS, path.Join(r.Baseline.Dir, prev), dstFS, dst); err == nil {
 			st.BytesDeduped += n
-			env.Log.Emit("filem", "filem.dedup.hit", "%s:%s (%d bytes from %s)", r.SrcNode, src, n, prev)
+			env.Ins.Emit("filem", "filem.dedup.hit", "%s:%s (%d bytes from %s)", r.SrcNode, src, n, prev)
 			return nil
 		}
 		// Baseline unreadable (pruned, damaged): fall back to a transfer.
@@ -377,7 +382,7 @@ func copyTreeDedup(env *Env, r Request, srcFS, dstFS vfs.FS, src, dst string, st
 		return err
 	}
 	st.BytesMoved += n
-	env.Log.Emit("filem", "filem.dedup.miss", "%s:%s (%d bytes)", r.SrcNode, src, n)
+	env.Ins.Emit("filem", "filem.dedup.miss", "%s:%s (%d bytes)", r.SrcNode, src, n)
 	return nil
 }
 
@@ -390,7 +395,7 @@ func cleanupPartial(env *Env, r Request) {
 		return
 	}
 	if err := dstFS.Remove(r.DstPath); err == nil {
-		env.Log.Emit("filem", "filem.cleanup", "removed partial %s:%s", r.DstNode, r.DstPath)
+		env.Ins.Emit("filem", "filem.cleanup", "removed partial %s:%s", r.DstNode, r.DstPath)
 	}
 }
 
@@ -411,7 +416,8 @@ func copyWithRetry(env *Env, r Request) (Stats, error) {
 	for attempt := 0; attempt <= pol.Max; attempt++ {
 		if attempt > 0 {
 			overhead += backoff
-			env.Log.Emit("filem", "filem.retry", "attempt %d/%d %s:%s -> %s:%s (backoff %v): %v",
+			env.Ins.Counter("ompi_filem_retries_total").Inc()
+			env.Ins.Emit("filem", "filem.retry", "attempt %d/%d %s:%s -> %s:%s (backoff %v): %v",
 				attempt+1, pol.Max+1, r.SrcNode, r.SrcPath, r.DstNode, r.DstPath, backoff, lastErr)
 			backoff = time.Duration(float64(backoff) * pol.multiplier())
 		}
@@ -441,7 +447,7 @@ func rollback(env *Env, done []Request) {
 			continue
 		}
 		if err := dstFS.Remove(r.DstPath); err == nil {
-			env.Log.Emit("filem", "filem.rollback", "removed %s:%s", r.DstNode, r.DstPath)
+			env.Ins.Emit("filem", "filem.rollback", "removed %s:%s", r.DstNode, r.DstPath)
 		}
 	}
 }
@@ -479,7 +485,7 @@ func removeOn(env *Env, node string, paths []string) error {
 		if lastErr != nil {
 			return fmt.Errorf("filem: remove %s:%s: %w", node, p, lastErr)
 		}
-		env.Log.Emit("filem", "filem.remove", "%s:%s", node, p)
+		env.Ins.Emit("filem", "filem.remove", "%s:%s", node, p)
 	}
 	return nil
 }

@@ -32,7 +32,7 @@ func testEnv(n int) (*Env, map[string]*vfs.Mem) {
 		},
 		Topo:  topo,
 		Clock: &netsim.Clock{},
-		Log:   &trace.Log{},
+		Ins:   trace.New(),
 	}
 	return env, stores
 }
@@ -243,7 +243,7 @@ func TestTraceEventsEmitted(t *testing.T) {
 	if _, err := (&RSH{}).Move(env, []Request{{SrcNode: "n0", SrcPath: "f", DstNode: StableNode, DstPath: "f"}}); err != nil {
 		t.Fatal(err)
 	}
-	if env.Log.Count("filem.copy") != 1 {
-		t.Errorf("filem.copy events = %d, want 1", env.Log.Count("filem.copy"))
+	if env.Ins.Log.Count("filem.copy") != 1 {
+		t.Errorf("filem.copy events = %d, want 1", env.Ins.Log.Count("filem.copy"))
 	}
 }

@@ -38,7 +38,7 @@ func TestTransferRetriesThenSucceeds(t *testing.T) {
 			if got, _ := stores[StableNode].ReadFile("g/snap/img"); string(got) != "payload" {
 				t.Errorf("stable content = %q", got)
 			}
-			if n := env.Log.Count("filem.retry"); n != 2 {
+			if n := env.Ins.Log.Count("filem.retry"); n != 2 {
 				t.Errorf("filem.retry events = %d, want 2", n)
 			}
 			// Exponential backoff (1ms + 2ms) is folded into the stream's
@@ -107,8 +107,8 @@ func TestPartialCopyIsCleanedBeforeRetry(t *testing.T) {
 	if st.Transfers != 1 {
 		t.Errorf("Transfers = %d, want 1", st.Transfers)
 	}
-	if env.Log.Count("filem.cleanup") != 1 {
-		t.Errorf("filem.cleanup events = %d, want 1", env.Log.Count("filem.cleanup"))
+	if env.Ins.Log.Count("filem.cleanup") != 1 {
+		t.Errorf("filem.cleanup events = %d, want 1", env.Ins.Log.Count("filem.cleanup"))
 	}
 	for _, f := range []string{"g/snap/a", "g/snap/b", "g/snap/c"} {
 		if !vfs.Exists(stores[StableNode], f) {
@@ -159,7 +159,7 @@ func TestRequestTimeoutIsNotRetried(t *testing.T) {
 	if !errors.Is(err, ErrRequestTimeout) {
 		t.Fatalf("Move = %v, want ErrRequestTimeout", err)
 	}
-	if n := env.Log.Count("filem.retry"); n != 0 {
+	if n := env.Ins.Log.Count("filem.retry"); n != 0 {
 		t.Errorf("timed-out request was retried %d times", n)
 	}
 	if vfs.Exists(stores[StableNode], "g/snap") {

@@ -24,8 +24,8 @@ import (
 // per-user session directory keyed by its OS pid, so the tools address
 // the job exactly as the paper's tools do.
 
-// ControlRequest is one tool command. Op is "checkpoint", "ps" or
-// "ping".
+// ControlRequest is one tool command. Op is "checkpoint", "ps",
+// "metrics" or "ping".
 type ControlRequest struct {
 	Op        string `json:"op"`
 	Job       int    `json:"job,omitempty"` // 0 = the only/first job
@@ -49,6 +49,10 @@ type ControlResponse struct {
 	GlobalRef string           `json:"global_ref,omitempty"`
 	Interval  int              `json:"interval,omitempty"`
 	Jobs      []ControlJobInfo `json:"jobs,omitempty"`
+	// Metrics is the Prometheus-text rendering of the cluster's metrics
+	// registry (the "metrics" op): the HNP's /metrics endpoint, served
+	// over the control channel instead of HTTP.
+	Metrics string `json:"metrics,omitempty"`
 }
 
 // ControlServer accepts tool connections for a cluster.
@@ -95,7 +99,7 @@ func (c *Cluster) ServeControl(addr string, register bool) (*ControlServer, erro
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
-	c.log.Emit("hnp", "control.up", "%s", ln.Addr())
+	c.ins.Emit("hnp", "control.up", "%s", ln.Addr())
 	return s, nil
 }
 
@@ -159,6 +163,8 @@ func (s *ControlServer) handle(req ControlRequest) ControlResponse {
 			})
 		}
 		return ControlResponse{OK: true, Jobs: out}
+	case "metrics":
+		return ControlResponse{OK: true, Metrics: s.cluster.ins.RenderMetrics()}
 	case "checkpoint":
 		id, err := s.resolveJobID(req.Job)
 		if err != nil {

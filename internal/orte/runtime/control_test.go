@@ -14,7 +14,7 @@ func controlFixture(t *testing.T) (*Cluster, *ControlServer, *Job) {
 	t.Helper()
 	c, err := New(Config{
 		Nodes: []plm.NodeSpec{{Name: "n0", Slots: 4}, {Name: "n1", Slots: 4}},
-		Log:   &trace.Log{},
+		Ins:   trace.New(),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -124,7 +124,7 @@ func TestControlCheckpointExplicitJob(t *testing.T) {
 func TestControlSessionRegistration(t *testing.T) {
 	c, err := New(Config{
 		Nodes: []plm.NodeSpec{{Name: "n0", Slots: 2}},
-		Log:   &trace.Log{},
+		Ins:   trace.New(),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -169,7 +169,7 @@ func (c *Cluster) launch(spec JobSpec, placementOverride map[int]string, restore
 			JobID: int(j.id), Rank: r, Size: spec.NP,
 			Node: placement[r], PID: 1000*int(j.id) + r,
 			Fabric: fabric, Params: params,
-			CRS: crsComp, CRCP: crcpComp, Log: c.log,
+			CRS: crsComp, CRCP: crcpComp, Ins: c.ins,
 			SyncCheckpoint: func() error {
 				// The requesting rank participates in the checkpoint it
 				// triggers, so the global request must run concurrently:
@@ -177,7 +177,7 @@ func (c *Cluster) launch(spec JobSpec, placementOverride map[int]string, restore
 				// the caller's own participation.
 				go func() {
 					if _, err := c.CheckpointJob(j.id, snapc.Options{}); err != nil {
-						c.log.Emit("hnp", "ckpt.sync-error", "job %d: %v", j.id, err)
+						c.ins.Emit("hnp", "ckpt.sync-error", "job %d: %v", j.id, err)
 					}
 				}()
 				return nil
@@ -203,7 +203,7 @@ func (c *Cluster) launch(spec JobSpec, placementOverride map[int]string, restore
 	c.mu.Lock()
 	c.jobs[j.id] = j
 	c.mu.Unlock()
-	c.log.Emit("hnp", "job.launch", "job %d np=%d app=%s", j.id, spec.NP, spec.Name)
+	c.ins.Emit("hnp", "job.launch", "job %d np=%d app=%s", j.id, spec.NP, spec.Name)
 
 	var wg sync.WaitGroup
 	for r := 0; r < spec.NP; r++ {
@@ -228,7 +228,7 @@ func (c *Cluster) launch(spec JobSpec, placementOverride map[int]string, restore
 		wg.Wait()
 		fabric.Close() // release transport resources (TCP connections)
 		close(j.done)
-		c.log.Emit("hnp", "job.done", "job %d", j.id)
+		c.ins.Emit("hnp", "job.done", "job %d", j.id)
 	}()
 	return j, nil
 }
@@ -435,6 +435,6 @@ func (c *Cluster) Restart(ref snapshot.GlobalRef, interval int, appFactory func(
 		Params:     params,
 		CRSByRank:  func(rank int) string { return crsNames[rank] },
 	}
-	c.log.Emit("hnp", "job.restart", "from %s interval %d np=%d", ref.Dir, interval, meta.NumProcs)
+	c.ins.Emit("hnp", "job.restart", "from %s interval %d np=%d", ref.Dir, interval, meta.NumProcs)
 	return c.launch(spec, placement, restores)
 }

@@ -53,8 +53,9 @@ type Config struct {
 	Stable vfs.FS
 	// Params are cluster-default MCA parameters.
 	Params *mca.Params
-	// Log receives runtime trace events. Optional.
-	Log *trace.Log
+	// Ins is the cluster's instrumentation: trace events, metrics and
+	// spans from every layer flow into it. Optional.
+	Ins *trace.Instrumentation
 	// Uplink and Ingress override the modeled link characteristics.
 	Uplink  *netsim.Link
 	Ingress *netsim.Link
@@ -67,7 +68,7 @@ type Config struct {
 // Cluster is the running simulated machine room plus its runtime.
 type Cluster struct {
 	cfg    Config
-	log    *trace.Log
+	ins    *trace.Instrumentation
 	params *mca.Params
 
 	nodes  map[string]*Node
@@ -111,6 +112,17 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Stable == nil {
 		cfg.Stable = vfs.NewMem()
 	}
+	// Ring-buffer bounds: only an explicitly-set parameter overrides
+	// whatever caps the caller's instrumentation already carries
+	// (<= 0 means unbounded).
+	if cfg.Ins != nil {
+		if s := cfg.Params.String("trace_max_events", ""); s != "" {
+			cfg.Ins.TraceLog().SetMaxEvents(cfg.Params.Int("trace_max_events", trace.DefaultMaxEvents))
+		}
+		if s := cfg.Params.String("trace_max_spans", ""); s != "" {
+			cfg.Ins.Spans.SetMaxSpans(cfg.Params.Int("trace_max_spans", trace.DefaultMaxSpans))
+		}
+	}
 	// Fault plan: explicit injector wins, else the MCA parameter.
 	inj := cfg.Faults
 	if inj == nil {
@@ -122,11 +134,11 @@ func New(cfg Config) (*Cluster, error) {
 		}
 	}
 	if inj != nil {
-		inj.SetLog(cfg.Log)
+		inj.SetInstr(cfg.Ins)
 	}
 	c := &Cluster{
 		cfg:    cfg,
-		log:    cfg.Log,
+		ins:    cfg.Ins,
 		params: cfg.Params,
 		nodes:  make(map[string]*Node),
 		stable: faultsim.WrapFS(cfg.Stable, inj, "stable"),
@@ -187,7 +199,7 @@ func New(cfg Config) (*Cluster, error) {
 		Resolve: c.resolveFS,
 		Topo:    c.topo,
 		Clock:   c.clock,
-		Log:     c.log,
+		Ins:     c.ins,
 		Retry: filem.RetryPolicy{
 			Max:     cfg.Params.Int("filem_retry_max", 3),
 			Backoff: cfg.Params.Duration("filem_retry_backoff", 2*time.Millisecond),
@@ -203,7 +215,7 @@ func New(cfg Config) (*Cluster, error) {
 		Stable:     c.stable,
 		NodeFS:     c.nodeFS,
 		Nodes:      c.AliveNodes,
-		Log:        c.log,
+		Ins:        c.ins,
 		AckTimeout: cfg.Params.Duration("snapc_ack_timeout", 0),
 	}
 
@@ -225,14 +237,14 @@ func New(cfg Config) (*Cluster, error) {
 		go func(nodeName string, ep *rml.Endpoint) {
 			defer c.wg.Done()
 			if err := c.snapcComp.ServeLocal(c.snapcEnv, nodeName, ep, c.resolveJob); err != nil {
-				c.log.Emit("orted["+nodeName+"]", "orted.error", "%v", err)
+				c.ins.Emit("orted["+nodeName+"]", "orted.error", "%v", err)
 			}
 		}(nodeName, ep)
 		go c.heartbeatLoop(nodeName, ep, hbInterval, c.nodes[nodeName].stopHB)
 	}
 	c.wg.Add(1)
 	go c.monitorLoop(hbInterval, hbMiss)
-	c.log.Emit("hnp", "cluster.up", "%d nodes", len(c.order))
+	c.ins.Emit("hnp", "cluster.up", "%d nodes", len(c.order))
 	return c, nil
 }
 
@@ -257,7 +269,7 @@ func (c *Cluster) heartbeatLoop(node string, ep *rml.Endpoint, interval time.Dur
 		case <-tick.C:
 		}
 		if err := c.faults.Fire("node.kill:" + node); err != nil {
-			c.log.Emit("orted["+node+"]", "node.kill", "injected: %v", err)
+			c.ins.Emit("orted["+node+"]", "node.kill", "injected: %v", err)
 			_ = c.KillNode(node)
 			return
 		}
@@ -312,7 +324,7 @@ func (c *Cluster) monitorLoop(interval time.Duration, miss int) {
 				continue
 			}
 			declared[n] = true
-			c.log.Emit("hnp", "node.lost", "node %q missed %d heartbeats, declaring it down", n, miss)
+			c.ins.Emit("hnp", "node.lost", "node %q missed %d heartbeats, declaring it down", n, miss)
 			_ = c.KillNode(n)
 		}
 	}
@@ -344,9 +356,9 @@ func (c *Cluster) KillNode(node string) error {
 	c.mu.Unlock()
 	n.stopHeartbeat()
 	c.router.Deregister(c.daemons[node])
-	c.log.Emit("runtime", "node.down", "node %q is dead", node)
+	c.ins.Emit("runtime", "node.down", "node %q is dead", node)
 	for _, j := range victims {
-		c.log.Emit("runtime", "job.abort", "job %d lost node %q", j.id, node)
+		c.ins.Emit("runtime", "job.abort", "job %d lost node %q", j.id, node)
 		j.fabric.Close()
 	}
 	return nil
@@ -430,8 +442,11 @@ func (c *Cluster) WithCheckpointLock(fn func()) {
 // Clock returns the simulated-network clock.
 func (c *Cluster) Clock() *netsim.Clock { return c.clock }
 
-// Log returns the cluster trace log (may be nil).
-func (c *Cluster) Log() *trace.Log { return c.log }
+// Log returns the cluster trace event log (may be nil).
+func (c *Cluster) Log() *trace.Log { return c.ins.TraceLog() }
+
+// Ins returns the cluster instrumentation (may be nil).
+func (c *Cluster) Ins() *trace.Instrumentation { return c.ins }
 
 func (c *Cluster) resolveFS(node string) (vfs.FS, error) {
 	if node == filem.StableNode {

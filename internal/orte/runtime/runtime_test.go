@@ -24,7 +24,7 @@ func fourNodeCluster(t *testing.T, params *mca.Params) *Cluster {
 			{Name: "n2", Slots: 2}, {Name: "n3", Slots: 2},
 		},
 		Params: params,
-		Log:    &trace.Log{},
+		Ins:    trace.New(),
 	})
 	if err != nil {
 		t.Fatalf("New: %v", err)
@@ -349,7 +349,7 @@ func TestRestartOntoDifferentTopology(t *testing.T) {
 		Nodes:  []plm.NodeSpec{{Name: "m0", Slots: 2}, {Name: "m1", Slots: 2}},
 		Params: params,
 		Stable: res.Ref.FS, // shared stable storage between clusters
-		Log:    &trace.Log{},
+		Ins:    trace.New(),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -442,7 +442,7 @@ func TestRestartFromOSBackedStableStorage(t *testing.T) {
 	c1, err := New(Config{
 		Nodes:  []plm.NodeSpec{{Name: "n0", Slots: 4}},
 		Stable: stable,
-		Log:    &trace.Log{},
+		Ins:    trace.New(),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -469,7 +469,7 @@ func TestRestartFromOSBackedStableStorage(t *testing.T) {
 	c2, err := New(Config{
 		Nodes:  []plm.NodeSpec{{Name: "x0", Slots: 4}},
 		Stable: stable2,
-		Log:    &trace.Log{},
+		Ins:    trace.New(),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -532,7 +532,7 @@ func TestTraceEventsCoverFigureOne(t *testing.T) {
 	log := &trace.Log{}
 	c, err := New(Config{
 		Nodes: []plm.NodeSpec{{Name: "n0", Slots: 2}, {Name: "n1", Slots: 2}},
-		Log:   log,
+		Ins:   trace.WithLogOnly(log),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -20,7 +20,7 @@ func TestCheckpointRestartOverTCPTransport(t *testing.T) {
 	c, err := New(Config{
 		Nodes:  []plm.NodeSpec{{Name: "n0", Slots: 2}, {Name: "n1", Slots: 2}},
 		Params: params,
-		Log:    &trace.Log{},
+		Ins:    trace.New(),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -62,7 +62,7 @@ func TestBadTransportRejected(t *testing.T) {
 	c, err := New(Config{
 		Nodes:  []plm.NodeSpec{{Name: "n0", Slots: 4}},
 		Params: params,
-		Log:    &trace.Log{},
+		Ins:    trace.New(),
 	})
 	if err != nil {
 		t.Fatal(err) // cluster creation succeeds; selection happens at launch
@@ -87,7 +87,7 @@ func TestTreeCoordinatorEndToEnd(t *testing.T) {
 			{Name: "n2", Slots: 2}, {Name: "n3", Slots: 2},
 		},
 		Params: params,
-		Log:    &trace.Log{},
+		Ins:    trace.New(),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -87,8 +87,9 @@ type Env struct {
 	// nodes, in placement-preference order). Nil disables replication
 	// regardless of filem_replicas.
 	Nodes func() []string
-	// Log receives snapc.* trace events. Optional.
-	Log *trace.Log
+	// Ins receives snapc.* trace events, interval spans, and the
+	// committed/aborted counters. Optional.
+	Ins *trace.Instrumentation
 	// AckTimeout bounds how long the global coordinator waits for a
 	// local coordinator. Zero means DefaultAckTimeout.
 	AckTimeout time.Duration
@@ -158,12 +159,17 @@ type localRequest struct {
 	Terminate bool   `json:"terminate"`
 }
 
-// procResult is one process's outcome inside a localAck.
+// procResult is one process's outcome inside a localAck. QuiesceNS and
+// CaptureNS carry the rank's phase timing (channel quiesce, CRS capture)
+// up to the global coordinator so the committed interval's PhaseBreakdown
+// can attribute time per phase across ranks.
 type procResult struct {
 	Vpid      int      `json:"vpid"`
 	Component string   `json:"crs_component"`
 	Files     []string `json:"files"`
 	Dir       string   `json:"dir"` // node-local snapshot dir
+	QuiesceNS int64    `json:"quiesce_ns,omitempty"`
+	CaptureNS int64    `json:"capture_ns,omitempty"`
 	Err       string   `json:"err,omitempty"`
 }
 
@@ -194,7 +200,8 @@ func localBaseDir(job names.JobID, interval int) string {
 // Checkpoint implements Component. It is the global coordinator.
 func (f *Full) Checkpoint(env *Env, job JobView, hnp *rml.Endpoint, daemons map[string]names.Name,
 	globalDir string, interval int, opts Options) (Result, error) {
-	log := env.Log
+	began := time.Now()
+	log := env.Ins
 	log.Emit("snapc.global", "ckpt.request", "job %d interval %d terminate=%v", job.JobID(), interval, opts.Terminate)
 
 	// §5.1: verify every target is checkpointable before touching any.
@@ -275,7 +282,7 @@ func (f *Full) Checkpoint(env *Env, job JobView, hnp *rml.Endpoint, daemons map[
 	}
 
 	// Aggregate to stable storage and write metadata (Fig. 1-F).
-	return finishGlobal(env, job, globalDir, interval, opts, byNode, results)
+	return finishGlobal(env, job, globalDir, interval, opts, byNode, results, began)
 }
 
 // errAborted tags checkpoint failures that aborted the interval.
@@ -304,7 +311,8 @@ func abortInterval(env *Env, job JobView, byNode map[string][]int, globalDir str
 			_ = env.Filem.Remove(env.FilemEnv, node, []string{base})
 		}
 	}
-	env.Log.Emit("snapc.global", "ckpt.aborted", "job %d interval %d: %v", job.JobID(), interval, cause)
+	env.Ins.Counter("ompi_snapc_intervals_aborted_total").Inc()
+	env.Ins.Emit("snapc.global", "ckpt.aborted", "job %d interval %d: %v", job.JobID(), interval, cause)
 }
 
 // gatherBaseline builds the content-addressed dedup index for one
@@ -338,7 +346,7 @@ func gatherBaseline(env *Env, ref snapshot.GlobalRef, interval int, enabled bool
 	if len(idx) == 0 {
 		return nil
 	}
-	env.Log.Emit("snapc.global", "ckpt.dedup-baseline", "interval %d dedups against interval %d (%d entries)",
+	env.Ins.Emit("snapc.global", "ckpt.dedup-baseline", "interval %d dedups against interval %d (%d entries)",
 		interval, prev, len(idx))
 	return &filem.Baseline{Dir: ref.IntervalDir(prev), ByHash: idx}
 }
@@ -349,8 +357,23 @@ func gatherBaseline(env *Env, ref snapshot.GlobalRef, interval int, enabled bool
 // already resumed normal operation, write the global metadata, and
 // clean the node-local temporaries.
 func finishGlobal(env *Env, job JobView, globalDir string, interval int, opts Options,
-	byNode map[string][]int, results map[int]procResult) (Result, error) {
-	log := env.Log
+	byNode map[string][]int, results map[int]procResult, began time.Time) (Result, error) {
+	log := env.Ins
+	root := env.Ins.Span("snapc.interval", trace.WithInterval(interval), trace.WithSource("snapc.global"))
+	// Per-phase attribution starts from what the ranks reported: quiesce
+	// and capture happen rank-parallel, so the wall share is the slowest
+	// rank and the sum is the aggregate work.
+	pb := &snapshot.PhaseBreakdown{}
+	for _, pr := range results {
+		pb.QuiesceSumNS += pr.QuiesceNS
+		pb.CaptureSumNS += pr.CaptureNS
+		if pr.QuiesceNS > pb.QuiesceWallNS {
+			pb.QuiesceWallNS = pr.QuiesceNS
+		}
+		if pr.CaptureNS > pb.CaptureWallNS {
+			pb.CaptureWallNS = pr.CaptureNS
+		}
+	}
 	ref := snapshot.GlobalRef{FS: env.Stable, Dir: globalDir}
 	// Gather into the stage directory, not the interval directory: the
 	// interval only appears on stable storage via WriteGlobal's atomic
@@ -362,6 +385,7 @@ func finishGlobal(env *Env, job JobView, globalDir string, interval int, opts Op
 	if vfs.Exists(env.Stable, stage) {
 		if err := env.Stable.Remove(stage); err != nil {
 			abortInterval(env, job, byNode, globalDir, interval, err)
+			root.End(err)
 			return Result{}, fmt.Errorf("snapc: clear stale stage for interval %d: %w", interval, err)
 		}
 	}
@@ -376,11 +400,20 @@ func finishGlobal(env *Env, job JobView, globalDir string, interval int, opts Op
 			Baseline: baseline,
 		})
 	}
+	gsp := root.Child("filem.gather")
+	gatherStart := time.Now()
 	stats, err := env.Filem.Move(env.FilemEnv, reqs)
+	pb.GatherNS = int64(time.Since(gatherStart))
+	gsp.AddBytes(stats.Bytes)
+	gsp.End(err)
 	if err != nil {
 		abortInterval(env, job, byNode, globalDir, interval, err)
+		root.End(err)
 		return Result{}, fmt.Errorf("snapc: gather to stable storage: %w", err)
 	}
+	pb.BytesGathered = stats.Bytes
+	pb.BytesMoved = stats.BytesMoved
+	pb.BytesDeduped = stats.BytesDeduped
 	log.Emit("snapc.global", "ckpt.gathered", "%d transfers, %d bytes (%d moved, %d deduped), %v modeled",
 		stats.Transfers, stats.Bytes, stats.BytesMoved, stats.BytesDeduped, stats.Simulated)
 
@@ -429,19 +462,42 @@ func finishGlobal(env *Env, job JobView, globalDir string, interval int, opts Op
 			})
 		}
 	}
+	// Stamp the breakdown into the metadata being committed. TotalNS so
+	// far covers quiesce through gather; WriteGlobal folds its own commit
+	// cost in (checksums before the marshal, rename tail after, into the
+	// shared pb).
+	pb.TotalNS = int64(time.Since(began))
+	meta.Phases = pb
+	csp := root.Child("snapshot.commit")
 	if err := snapshot.WriteGlobal(ref, meta); err != nil {
+		csp.End(err)
 		abortInterval(env, job, byNode, globalDir, interval, err)
+		root.End(err)
 		return Result{}, fmt.Errorf("snapc: commit global snapshot: %w", err)
 	}
+	csp.End(nil)
 	// Report the committed metadata (checksums and stamped replica
-	// records included), not the pre-commit draft.
+	// records included), not the pre-commit draft. Re-attach the shared
+	// breakdown: it carries the commit tail (and, below, the replica
+	// time) that post-date the persisted copy.
 	if committed, err := snapshot.ReadGlobal(ref, interval); err == nil {
 		meta = committed
+		meta.Phases = pb
 	}
 	// Push the replicas after the commit: the interval is already
 	// durable on the primary, so a failed push degrades durability and
 	// is logged — it never fails the checkpoint. Scrub re-replicates.
+	var rsp *trace.SpanHandle
+	if len(meta.Replicas) > 0 {
+		rsp = root.Child("replica.push")
+	}
+	repStart := time.Now()
 	repStats, placed := replicateInterval(env, ref, globalDir, interval, meta, dedup)
+	if len(meta.Replicas) > 0 {
+		pb.ReplicaNS = int64(time.Since(repStart))
+	}
+	rsp.AddBytes(repStats.Bytes)
+	rsp.End(nil)
 
 	// FILEM remove: clean temporary node-local snapshot data. The
 	// snapshot is already committed, so a cleanup failure degrades to a
@@ -455,6 +511,8 @@ func finishGlobal(env *Env, job JobView, globalDir string, interval int, opts Op
 			}
 		}
 	}
+	env.Ins.Counter("ompi_snapc_intervals_committed_total").Inc()
+	root.End(nil)
 	log.Emit("snapc.global", "ckpt.done", "global snapshot %s interval %d", globalDir, interval)
 	return Result{Ref: ref, Meta: meta, Interval: interval,
 		GatherStats: stats, ReplicaStats: repStats, ReplicasPlaced: placed}, nil
@@ -525,11 +583,11 @@ func replicateInterval(env *Env, ref snapshot.GlobalRef, globalDir string, inter
 			if fsys, ferr := env.NodeFS(rec.Node); ferr == nil && vfs.Exists(fsys, rec.Path) {
 				_ = env.Filem.Remove(env.FilemEnv, rec.Node, []string{rec.Path})
 			}
-			env.Log.Emit("snapc.global", "ckpt.replica-failed", "interval %d -> %s: %v", interval, rec.Node, err)
+			env.Ins.Emit("snapc.global", "ckpt.replica-failed", "interval %d -> %s: %v", interval, rec.Node, err)
 			continue
 		}
 		placed++
-		env.Log.Emit("snapc.global", "ckpt.replicated", "interval %d -> %s (%d bytes, %d moved, %d deduped)",
+		env.Ins.Emit("snapc.global", "ckpt.replicated", "interval %d -> %s (%d bytes, %d moved, %d deduped)",
 			interval, rec.Node, stats.Bytes, stats.BytesMoved, stats.BytesDeduped)
 	}
 	return total, placed
@@ -559,7 +617,7 @@ func (f *Full) ServeLocal(env *Env, node string, ep *rml.Endpoint, resolve func(
 // each local snapshot's metadata beside its payload files.
 func (f *Full) handleLocal(env *Env, node string, req localRequest, resolve func(names.JobID) (JobView, error)) localAck {
 	ack := localAck{Job: req.Job, Interval: req.Interval, Node: node}
-	log := env.Log
+	log := env.Ins
 	job, err := resolve(names.JobID(req.Job))
 	if err != nil {
 		ack.Err = err.Error()
@@ -585,7 +643,8 @@ func (f *Full) handleLocal(env *Env, node string, req localRequest, resolve func
 	}
 	for range req.Vpids {
 		res := <-results
-		pr := procResult{Vpid: res.Rank, Component: res.Component, Files: res.Files, Dir: dirs[res.Rank]}
+		pr := procResult{Vpid: res.Rank, Component: res.Component, Files: res.Files, Dir: dirs[res.Rank],
+			QuiesceNS: res.QuiesceNS, CaptureNS: res.CaptureNS}
 		if res.Err != nil {
 			pr.Err = res.Err.Error()
 			ack.Results = append(ack.Results, pr)

@@ -135,7 +135,7 @@ func newHarnessNodes(t *testing.T, np, nnodes int, comp Component) *harness {
 			},
 			Topo:  topo,
 			Clock: &netsim.Clock{},
-			Log:   log,
+			Ins:   trace.WithLogOnly(log),
 		},
 		Stable: stable,
 		NodeFS: func(node string) (vfs.FS, error) {
@@ -145,7 +145,7 @@ func newHarnessNodes(t *testing.T, np, nnodes int, comp Component) *harness {
 			}
 			return fs, nil
 		},
-		Log:        log,
+		Ins:        trace.WithLogOnly(log),
 		AckTimeout: 5 * time.Second,
 	}
 	placement := make(map[int]string, np)
@@ -252,6 +252,18 @@ func TestGlobalCheckpointEndToEnd(t *testing.T) {
 	}
 	if res.GatherStats.Transfers != 4 || res.GatherStats.Bytes <= 0 {
 		t.Errorf("gather stats = %+v", res.GatherStats)
+	}
+	// The committed interval carries its phase breakdown, both in the
+	// returned metadata and re-read from stable storage (where the
+	// in-memory copy additionally folds in the commit's rename tail).
+	if res.Meta.Phases == nil || res.Meta.Phases.TotalNS <= 0 || res.Meta.Phases.CommitNS <= 0 {
+		t.Fatalf("returned meta phases = %+v", res.Meta.Phases)
+	}
+	if res.Meta.Phases.BytesGathered != res.GatherStats.Bytes {
+		t.Errorf("phase bytes = %d, want %d", res.Meta.Phases.BytesGathered, res.GatherStats.Bytes)
+	}
+	if meta.Phases == nil || meta.Phases.CommitNS <= 0 {
+		t.Errorf("persisted meta phases = %+v", meta.Phases)
 	}
 }
 

@@ -59,7 +59,8 @@ func (r *treeRequest) daemonName(node string) (names.Name, bool) {
 // Checkpoint implements Component: the global coordinator, tree flavor.
 func (t *Tree) Checkpoint(env *Env, job JobView, hnp *rml.Endpoint, daemons map[string]names.Name,
 	globalDir string, interval int, opts Options) (Result, error) {
-	log := env.Log
+	began := time.Now()
+	log := env.Ins
 	log.Emit("snapc.global", "ckpt.request", "job %d interval %d terminate=%v (tree)", job.JobID(), interval, opts.Terminate)
 
 	// §5.1 atomic checkpointability check, same as full.
@@ -142,7 +143,7 @@ func (t *Tree) Checkpoint(env *Env, job JobView, hnp *rml.Endpoint, daemons map[
 	log.Emit("snapc.global", "ckpt.node-done", "aggregated ack covers %d procs (tree)", len(results))
 
 	// Aggregation to stable storage and metadata: shared with full.
-	return finishGlobal(env, job, globalDir, interval, opts, byNode, results)
+	return finishGlobal(env, job, globalDir, interval, opts, byNode, results, began)
 }
 
 // ServeLocal implements Component: relay down, handle locally, aggregate
@@ -196,7 +197,7 @@ func (t *Tree) handleSubtree(env *Env, node string, ep *rml.Endpoint, req treeRe
 		}
 		children = append(children, dn)
 	}
-	env.Log.Emit("snapc.local["+node+"]", "ckpt.tree-relay", "vertex %d, %d children", i, len(children))
+	env.Ins.Emit("snapc.local["+node+"]", "ckpt.tree-relay", "vertex %d, %d children", i, len(children))
 
 	// Local checkpoints of this node's ranks (reusing full's core).
 	local := full.handleLocal(env, node, localRequest{

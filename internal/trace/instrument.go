@@ -1,0 +1,106 @@
+package trace
+
+import "time"
+
+// Instrumentation is the single options struct every framework accepts:
+// a trace sink, a metrics registry, and a span log, each optional. The
+// whole struct is nil-safe — a nil *Instrumentation (or any nil field)
+// turns the corresponding telemetry into no-ops — so constructors take
+// exactly one instrumentation parameter and call sites never build
+// "WithLog" variants.
+type Instrumentation struct {
+	// Log receives structured trace events.
+	Log *Log
+	// Metrics is the counter/gauge/histogram registry.
+	Metrics *Registry
+	// Spans records completed timed regions.
+	Spans *SpanLog
+}
+
+// New returns an Instrumentation with all three sinks live: an
+// event log capped at DefaultMaxEvents, a fresh registry, and a span
+// ring capped at DefaultMaxSpans.
+func New() *Instrumentation {
+	l := &Log{}
+	l.SetMaxEvents(DefaultMaxEvents)
+	return &Instrumentation{Log: l, Metrics: NewRegistry(), Spans: NewSpanLog()}
+}
+
+// WithLogOnly wraps an existing event log with no metrics or spans:
+// the migration shim for call sites that only ever observed events.
+func WithLogOnly(l *Log) *Instrumentation {
+	if l == nil {
+		return nil
+	}
+	return &Instrumentation{Log: l}
+}
+
+// Emit forwards to the event log.
+func (in *Instrumentation) Emit(source, kind, format string, args ...any) {
+	if in == nil {
+		return
+	}
+	in.Log.Emit(source, kind, format, args...)
+}
+
+// TraceLog returns the event log (possibly nil).
+func (in *Instrumentation) TraceLog() *Log {
+	if in == nil {
+		return nil
+	}
+	return in.Log
+}
+
+// Counter returns the named counter from the registry (nil-safe).
+func (in *Instrumentation) Counter(name string) *Counter {
+	if in == nil {
+		return nil
+	}
+	return in.Metrics.Counter(name)
+}
+
+// Gauge returns the named gauge from the registry (nil-safe).
+func (in *Instrumentation) Gauge(name string) *Gauge {
+	if in == nil {
+		return nil
+	}
+	return in.Metrics.Gauge(name)
+}
+
+// Histogram returns the named histogram from the registry (nil-safe;
+// nil bounds = DefBuckets).
+func (in *Instrumentation) Histogram(name string, bounds []float64) *Histogram {
+	if in == nil {
+		return nil
+	}
+	return in.Metrics.Histogram(name, bounds)
+}
+
+// ObserveSeconds records a duration into the named histogram.
+func (in *Instrumentation) ObserveSeconds(name string, d time.Duration) {
+	in.Histogram(name, nil).Observe(d.Seconds())
+}
+
+// Span opens a timed region. End the returned handle to record it.
+func (in *Instrumentation) Span(name string, opts ...SpanOption) *SpanHandle {
+	if in == nil {
+		return nil
+	}
+	h := &SpanHandle{ins: in, s: Span{
+		Name: name, Rank: -1, Interval: -1, Start: time.Now(),
+		ID: in.Spans.allocID(),
+	}}
+	for _, o := range opts {
+		o(&h.s)
+	}
+	return h
+}
+
+// RenderMetrics renders the registry in the Prometheus text format
+// ("" when no registry is attached).
+func (in *Instrumentation) RenderMetrics() string {
+	if in == nil {
+		return ""
+	}
+	return in.Metrics.Render()
+}

@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInstrumentationSafe(t *testing.T) {
+	var in *Instrumentation
+	in.Emit("src", "kind", "detail")
+	in.Counter("c").Inc()
+	in.Gauge("g").Set(1)
+	in.Histogram("h", nil).Observe(1)
+	in.ObserveSeconds("h2", time.Second)
+	sp := in.Span("root", WithRank(3))
+	child := sp.Child("leaf")
+	child.AddBytes(10)
+	if d := child.End(nil); d != 0 {
+		t.Fatalf("nil child span duration = %v, want 0", d)
+	}
+	sp.End(nil)
+	if got := in.RenderMetrics(); got != "" {
+		t.Fatalf("nil instrumentation rendered %q", got)
+	}
+	if in.TraceLog() != nil {
+		t.Fatal("nil instrumentation returned a log")
+	}
+}
+
+func TestSpanNestingAndAttribution(t *testing.T) {
+	in := New()
+	root := in.Span("snapc.interval", WithInterval(7), WithSource("snapc.global"))
+	gather := root.Child("filem.gather")
+	gather.AddBytes(4096)
+	gather.End(nil)
+	commit := root.Child("snapshot.commit", WithRank(2))
+	commit.End(fmt.Errorf("disk full"))
+	root.End(nil)
+
+	spans := in.Spans.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("recorded %d spans, want 3", len(spans))
+	}
+	byName := make(map[string]Span)
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	r := byName["snapc.interval"]
+	if r.Parent != 0 || r.Interval != 7 || r.Rank != -1 || r.Source != "snapc.global" {
+		t.Fatalf("root span attribution wrong: %+v", r)
+	}
+	g := byName["filem.gather"]
+	if g.Parent != r.ID {
+		t.Fatalf("gather parent = %d, want root id %d", g.Parent, r.ID)
+	}
+	if g.Interval != 7 {
+		t.Fatalf("child did not inherit interval: %+v", g)
+	}
+	if g.Bytes != 4096 {
+		t.Fatalf("gather bytes = %d, want 4096", g.Bytes)
+	}
+	c := byName["snapshot.commit"]
+	if c.Rank != 2 {
+		t.Fatalf("commit rank override lost: %+v", c)
+	}
+	if c.Err != "disk full" {
+		t.Fatalf("commit error not recorded: %+v", c)
+	}
+	// Each completed span feeds its auto histogram and emits an event.
+	if n := in.Histogram("ompi_span_filem_gather_seconds", nil).Count(); n != 1 {
+		t.Fatalf("gather span histogram count = %d, want 1", n)
+	}
+	if n := in.Log.Count("span.snapc.interval"); n != 1 {
+		t.Fatalf("root span event count = %d, want 1", n)
+	}
+}
+
+func TestLogRingCapAndDropped(t *testing.T) {
+	l := &Log{}
+	l.SetMaxEvents(4)
+	for i := 0; i < 10; i++ {
+		l.Emit("src", fmt.Sprintf("k%d", i), "")
+	}
+	evs := l.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := fmt.Sprintf("k%d", 6+i); e.Kind != want {
+			t.Fatalf("event %d kind = %q, want %q (oldest must drop first)", i, e.Kind, want)
+		}
+	}
+	if d := l.Dropped(); d != 6 {
+		t.Fatalf("dropped = %d, want 6", d)
+	}
+	// Shrinking the cap drops the excess oldest and counts them too.
+	l.SetMaxEvents(2)
+	evs = l.Events()
+	if len(evs) != 2 || evs[0].Kind != "k8" || evs[1].Kind != "k9" {
+		t.Fatalf("after shrink: %v", evs)
+	}
+	if d := l.Dropped(); d != 8 {
+		t.Fatalf("dropped after shrink = %d, want 8", d)
+	}
+}
+
+func TestSpanLogRingCap(t *testing.T) {
+	in := New()
+	in.Spans.SetMaxSpans(3)
+	for i := 0; i < 5; i++ {
+		in.Span(fmt.Sprintf("s%d", i)).End(nil)
+	}
+	spans := in.Spans.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("span ring holds %d, want 3", len(spans))
+	}
+	if spans[0].Name != "s2" || spans[2].Name != "s4" {
+		t.Fatalf("span ring order wrong: %v", spans)
+	}
+	if d := in.Spans.Dropped(); d != 2 {
+		t.Fatalf("span dropped = %d, want 2", d)
+	}
+}
+
+// TestPrometheusRenderGolden pins the text exposition format byte for
+// byte: counters, then gauges, then histograms, each sorted by name.
+func TestPrometheusRenderGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ompi_snapc_intervals_committed_total").Add(3)
+	r.Counter("ompi_filem_retries_total").Add(1)
+	r.Gauge("ompi_job_ranks").Set(16)
+	h := r.Histogram("ompi_crcp_quiesce_stall_seconds", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0004)
+	h.Observe(0.05)
+	h.Observe(2)
+
+	got := r.Render()
+	golden := filepath.Join("testdata", "metrics.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden file: %v (set UPDATE_GOLDEN=1 to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("render mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestConcurrentSpansAndMetrics hammers one Instrumentation from 16
+// goroutines mixing span open/close, counter increments and histogram
+// observations — the pattern 16 ranks produce mid-checkpoint. Run under
+// -race this is the data-race proof for the whole subsystem.
+func TestConcurrentSpansAndMetrics(t *testing.T) {
+	in := New()
+	in.Log.SetMaxEvents(64) // force ring wraparound under contention
+	in.Spans.SetMaxSpans(64)
+	const ranks, iters = 16, 50
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				root := in.Span("ckpt.participate", WithRank(rank), WithInterval(i))
+				child := root.Child("crs.capture")
+				in.Counter("ompi_inc_ft_events_total").Inc()
+				in.ObserveSeconds("ompi_crcp_quiesce_stall_seconds", time.Microsecond)
+				in.Emit(fmt.Sprintf("rank[%d]", rank), "ckpt.tick", "i=%d", i)
+				child.AddBytes(1)
+				child.End(nil)
+				root.End(nil)
+			}
+		}(r)
+	}
+	wg.Wait()
+	if got := in.Counter("ompi_inc_ft_events_total").Value(); got != ranks*iters {
+		t.Fatalf("counter = %d, want %d", got, ranks*iters)
+	}
+	if got := in.Histogram("ompi_crcp_quiesce_stall_seconds", nil).Count(); got != ranks*iters {
+		t.Fatalf("histogram count = %d, want %d", got, ranks*iters)
+	}
+	// 2 spans and 3 events per iteration; the rings kept the newest 64
+	// and counted the remainder dropped.
+	if got := len(in.Spans.Spans()); got != 64 {
+		t.Fatalf("span ring holds %d, want 64", got)
+	}
+	if got, want := in.Spans.Dropped(), uint64(2*ranks*iters-64); got != want {
+		t.Fatalf("span dropped = %d, want %d", got, want)
+	}
+	if got := len(in.Log.Events()); got != 64 {
+		t.Fatalf("event ring holds %d, want 64", got)
+	}
+	if got, want := in.Log.Dropped(), uint64(3*ranks*iters-64); got != want {
+		t.Fatalf("event dropped = %d, want %d", got, want)
+	}
+}

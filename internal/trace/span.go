@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one completed timed region: a checkpoint phase such as
+// "ckpt.quiesce" or "filem.gather", attributed to the rank and interval
+// it served and linked to its parent region. Spans nest: the SNAPC
+// global coordinator opens a root span per interval and the gather,
+// commit, and replica pushes hang off it.
+type Span struct {
+	ID     int64
+	Parent int64 // 0 = root
+	Name   string
+	Source string
+	Rank   int // -1 when not rank-attributed
+	// Interval is the checkpoint interval the span served, -1 when not
+	// interval-attributed.
+	Interval int
+	Start    time.Time
+	End      time.Time
+	Bytes    int64  // payload bytes the region handled, when meaningful
+	Err      string // non-empty when the region failed
+}
+
+// Duration is the span's elapsed wall time.
+func (s Span) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// DefaultMaxSpans bounds the span ring unless overridden via
+// SetMaxSpans (the trace_max_spans MCA parameter).
+const DefaultMaxSpans = 16384
+
+// SpanLog stores completed spans in a bounded ring, newest-wins. The
+// zero value is ready to use (unbounded); NewSpanLog applies
+// DefaultMaxSpans. A nil *SpanLog discards spans.
+type SpanLog struct {
+	mu      sync.Mutex
+	spans   []Span
+	head    int
+	max     int // 0 = unbounded
+	nextID  int64
+	dropped uint64
+}
+
+// NewSpanLog returns a span ring capped at DefaultMaxSpans.
+func NewSpanLog() *SpanLog { return &SpanLog{max: DefaultMaxSpans} }
+
+// allocID hands out a process-unique span ID; 0 on a nil log, so
+// unrecorded spans parent to the root.
+func (sl *SpanLog) allocID() int64 {
+	if sl == nil {
+		return 0
+	}
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	sl.nextID++
+	return sl.nextID
+}
+
+// record appends one completed span, dropping the oldest at capacity.
+func (sl *SpanLog) record(s Span) {
+	if sl == nil {
+		return
+	}
+	sl.mu.Lock()
+	if sl.max > 0 && len(sl.spans) == sl.max {
+		sl.spans[sl.head] = s
+		sl.head = (sl.head + 1) % sl.max
+		sl.dropped++
+	} else {
+		sl.spans = append(sl.spans, s)
+	}
+	sl.mu.Unlock()
+}
+
+// SetMaxSpans caps the ring at n spans (n <= 0 removes the cap),
+// dropping the oldest on shrink.
+func (sl *SpanLog) SetMaxSpans(n int) {
+	if sl == nil {
+		return
+	}
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	ordered := sl.orderedLocked()
+	if n > 0 && len(ordered) > n {
+		sl.dropped += uint64(len(ordered) - n)
+		ordered = ordered[len(ordered)-n:]
+	}
+	sl.spans = ordered
+	sl.head = 0
+	sl.max = n
+}
+
+// Dropped reports how many spans the ring cap discarded.
+func (sl *SpanLog) Dropped() uint64 {
+	if sl == nil {
+		return 0
+	}
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return sl.dropped
+}
+
+func (sl *SpanLog) orderedLocked() []Span {
+	out := make([]Span, 0, len(sl.spans))
+	out = append(out, sl.spans[sl.head:]...)
+	out = append(out, sl.spans[:sl.head]...)
+	return out
+}
+
+// Spans returns a copy of the recorded spans in completion order.
+func (sl *SpanLog) Spans() []Span {
+	if sl == nil {
+		return nil
+	}
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return sl.orderedLocked()
+}
+
+// ByName returns the completed spans with the given name, in completion
+// order.
+func (sl *SpanLog) ByName(name string) []Span {
+	var out []Span
+	for _, s := range sl.Spans() {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// SpanOption attributes a span at start time.
+type SpanOption func(*Span)
+
+// WithRank attributes the span to one rank.
+func WithRank(rank int) SpanOption { return func(s *Span) { s.Rank = rank } }
+
+// WithInterval attributes the span to one checkpoint interval.
+func WithInterval(iv int) SpanOption { return func(s *Span) { s.Interval = iv } }
+
+// WithSource names the emitting entity, e.g. "snapc.global".
+func WithSource(src string) SpanOption { return func(s *Span) { s.Source = src } }
+
+// SpanHandle is an open span. End completes and records it. All methods
+// are nil-safe, so instrumented code runs unchanged with no
+// Instrumentation attached.
+type SpanHandle struct {
+	ins *Instrumentation
+	s   Span
+}
+
+// Child opens a nested span linked to h. Rank and interval attribution
+// are inherited unless overridden.
+func (h *SpanHandle) Child(name string, opts ...SpanOption) *SpanHandle {
+	if h == nil {
+		return nil
+	}
+	c := h.ins.Span(name, opts...)
+	if c != nil {
+		c.s.Parent = h.s.ID
+		if c.s.Rank < 0 {
+			c.s.Rank = h.s.Rank
+		}
+		if c.s.Interval < 0 {
+			c.s.Interval = h.s.Interval
+		}
+	}
+	return c
+}
+
+// AddBytes accumulates payload bytes onto the span.
+func (h *SpanHandle) AddBytes(n int64) {
+	if h == nil {
+		return
+	}
+	h.s.Bytes += n
+}
+
+// End completes the span: it is recorded in the span log, its duration
+// feeds the per-phase histogram ompi_span_<name>_seconds, and a
+// span.<name> trace event is emitted. Returns the elapsed wall time
+// (zero on a nil handle).
+func (h *SpanHandle) End(err error) time.Duration {
+	if h == nil {
+		return 0
+	}
+	h.s.End = time.Now()
+	if err != nil {
+		h.s.Err = err.Error()
+	}
+	d := h.s.Duration()
+	h.ins.Spans.record(h.s)
+	h.ins.Histogram("ompi_span_"+PromName(h.s.Name)+"_seconds", nil).Observe(d.Seconds())
+	src := h.s.Source
+	if src == "" {
+		src = "span"
+	}
+	h.ins.Emit(src, "span."+h.s.Name, "rank=%d interval=%d %v bytes=%d err=%q",
+		h.s.Rank, h.s.Interval, d, h.s.Bytes, h.s.Err)
+	return d
+}

@@ -1,8 +1,12 @@
-// Package trace is a lightweight structured event log. The runtime and
-// frameworks emit events (checkpoint requested, bookmark exchanged, file
-// gathered, ...) that integration tests assert on and the benchmark
-// harness summarizes. It deliberately avoids any external dependency and
-// any global state: a Log is plumbed explicitly to whoever needs one.
+// Package trace is the runtime's observability layer: a structured
+// event log, nestable timed spans, and a metrics registry with a
+// Prometheus text renderer, bundled behind one Instrumentation options
+// struct. The runtime and frameworks emit events (checkpoint requested,
+// bookmark exchanged, file gathered, ...) that integration tests assert
+// on and the benchmark harness summarizes. It deliberately avoids any
+// external dependency and any global state: an Instrumentation is
+// plumbed explicitly to whoever needs one, and every type is nil-safe
+// so components never guard their telemetry calls.
 package trace
 
 import (
@@ -29,12 +33,22 @@ func (e Event) String() string {
 	return fmt.Sprintf("%s %s %s", e.Source, e.Kind, e.Detail)
 }
 
-// Log collects events. The zero value is ready to use and safe for
-// concurrent use. A nil *Log discards events, so components can accept
-// an optional log without nil checks at every call site.
+// DefaultMaxEvents is the ring capacity the runtime applies to its log
+// unless the trace_max_events MCA parameter overrides it. Long Supervise
+// runs emit events forever; an unbounded log is a memory leak.
+const DefaultMaxEvents = 65536
+
+// Log collects events in a bounded ring. The zero value is ready to use
+// (unbounded until SetMaxEvents) and safe for concurrent use. A nil *Log
+// discards events, so components can accept an optional log without nil
+// checks at every call site. When the ring is full the oldest event is
+// dropped and counted; Dropped reports how many were lost.
 type Log struct {
-	mu     sync.Mutex
-	events []Event
+	mu      sync.Mutex
+	events  []Event // ring storage when max > 0, plain append otherwise
+	head    int     // index of the oldest event once the ring wrapped
+	max     int     // 0 = unbounded
+	dropped uint64
 }
 
 // Emit records an event with the current time. Emit on a nil log is a
@@ -50,8 +64,54 @@ func (l *Log) Emit(source, kind, format string, args ...any) {
 		Detail: fmt.Sprintf(format, args...),
 	}
 	l.mu.Lock()
-	l.events = append(l.events, e)
+	if l.max > 0 && len(l.events) == l.max {
+		// Ring is full: overwrite the oldest slot.
+		l.events[l.head] = e
+		l.head = (l.head + 1) % l.max
+		l.dropped++
+	} else {
+		l.events = append(l.events, e)
+	}
 	l.mu.Unlock()
+}
+
+// SetMaxEvents caps the log at n events, dropping the oldest on
+// overflow (the trace_max_events MCA parameter). n <= 0 removes the cap.
+// Shrinking below the current length drops the excess oldest events.
+func (l *Log) SetMaxEvents(n int) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// Normalize the ring to emission order so the append/overwrite paths
+	// can assume head-at-zero until the new capacity wraps.
+	ordered := l.orderedLocked()
+	if n > 0 && len(ordered) > n {
+		l.dropped += uint64(len(ordered) - n)
+		ordered = ordered[len(ordered)-n:]
+	}
+	l.events = ordered
+	l.head = 0
+	l.max = n
+}
+
+// Dropped reports how many events were discarded by the ring cap.
+func (l *Log) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// orderedLocked returns the events in emission order. Callers hold l.mu.
+func (l *Log) orderedLocked() []Event {
+	out := make([]Event, 0, len(l.events))
+	out = append(out, l.events[l.head:]...)
+	out = append(out, l.events[:l.head]...)
+	return out
 }
 
 // Events returns a copy of all recorded events in emission order.
@@ -61,9 +121,7 @@ func (l *Log) Events() []Event {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	out := make([]Event, len(l.events))
-	copy(out, l.events)
-	return out
+	return l.orderedLocked()
 }
 
 // Kinds returns the ordered sequence of event kinds, optionally filtered
@@ -103,13 +161,16 @@ func (l *Log) CountPrefix(prefix string) int {
 	return n
 }
 
-// Reset discards all recorded events.
+// Reset discards all recorded events and the dropped count; the cap is
+// kept.
 func (l *Log) Reset() {
 	if l == nil {
 		return
 	}
 	l.mu.Lock()
 	l.events = nil
+	l.head = 0
+	l.dropped = 0
 	l.mu.Unlock()
 }
 
