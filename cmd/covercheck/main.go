@@ -1,0 +1,139 @@
+// Command covercheck enforces per-package coverage floors from a Go
+// cover profile. CI runs the full test suite with
+// -coverprofile/-coverpkg, then gates the build on the packages whose
+// coverage this repo treats as load-bearing (the checkpoint lifecycle:
+// SNAPC and the snapshot store).
+//
+//	go test -coverprofile=cover.out -coverpkg=./... ./...
+//	covercheck -profile cover.out -floor 80 repro/internal/orte/snapc ...
+//
+// The profile may contain the same block several times (once per test
+// binary that imported the package); blocks are merged by taking the
+// maximum observed count, matching `go tool cover` semantics.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// block is one profile line's identity (file + extent + statement
+// count); the value tracked per block is the max execution count.
+type block struct {
+	file string
+	pos  string // "start,end" extent, verbatim
+	stmt int
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "covercheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fs := flag.NewFlagSet("covercheck", flag.ContinueOnError)
+	profile := fs.String("profile", "cover.out", "cover profile written by go test -coverprofile")
+	floor := fs.Float64("floor", 80, "minimum statement coverage percent for the named packages")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: covercheck [-profile cover.out] [-floor 80] [package...]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return err
+	}
+	gated := fs.Args()
+
+	f, err := os.Open(*profile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	counts := map[block]int{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "mode:") {
+			continue
+		}
+		// file.go:SL.SC,EL.EC numStmts count
+		colon := strings.LastIndex(line, ":")
+		if colon < 0 {
+			return fmt.Errorf("malformed profile line %q", line)
+		}
+		rest := strings.Fields(line[colon+1:])
+		if len(rest) != 3 {
+			return fmt.Errorf("malformed profile line %q", line)
+		}
+		stmt, err := strconv.Atoi(rest[1])
+		if err != nil {
+			return fmt.Errorf("bad statement count in %q: %w", line, err)
+		}
+		count, err := strconv.Atoi(rest[2])
+		if err != nil {
+			return fmt.Errorf("bad hit count in %q: %w", line, err)
+		}
+		b := block{file: line[:colon], pos: rest[0], stmt: stmt}
+		// Insert even when count is zero: an uncovered block must still
+		// contribute its statements to the package total.
+		if prev, seen := counts[b]; !seen || count > prev {
+			counts[b] = count
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(counts) == 0 {
+		return fmt.Errorf("profile %s holds no coverage blocks", *profile)
+	}
+
+	type tally struct{ total, covered int }
+	byPkg := map[string]*tally{}
+	for b, count := range counts {
+		pkg := path.Dir(b.file)
+		t := byPkg[pkg]
+		if t == nil {
+			t = &tally{}
+			byPkg[pkg] = t
+		}
+		t.total += b.stmt
+		if count > 0 {
+			t.covered += b.stmt
+		}
+	}
+
+	pkgs := make([]string, 0, len(byPkg))
+	for pkg := range byPkg {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+	pct := func(t *tally) float64 { return 100 * float64(t.covered) / float64(t.total) }
+	for _, pkg := range pkgs {
+		fmt.Printf("%-45s %6.1f%%  (%d/%d statements)\n", pkg, pct(byPkg[pkg]), byPkg[pkg].covered, byPkg[pkg].total)
+	}
+
+	var failed []string
+	for _, pkg := range gated {
+		t, ok := byPkg[pkg]
+		if !ok {
+			failed = append(failed, fmt.Sprintf("%s: not in profile", pkg))
+			continue
+		}
+		if p := pct(t); p < *floor {
+			failed = append(failed, fmt.Sprintf("%s: %.1f%% < floor %.0f%%", pkg, p, *floor))
+		}
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("coverage floor violations:\n  %s", strings.Join(failed, "\n  "))
+	}
+	return nil
+}

@@ -1,11 +1,17 @@
 // Command ompi-checkpoint requests a checkpoint of a running ompi-run
 // job, exactly mirroring the paper's asynchronous tool path (Fig. 1-A):
 //
-//	ompi-checkpoint [--term] [--job N] PID_OF_OMPI_RUN
+//	ompi-checkpoint [--term] [--async [--wait]] [--job N] PID_OF_OMPI_RUN
 //
 // On success it prints the global snapshot reference — the single name
 // the user preserves to later restart the job. With --term the job is
 // terminated once the checkpoint is stable (system-maintenance mode).
+// With --async the tool returns as soon as the capture phase ends (the
+// gather to stable storage drains in the background); add --wait to
+// block until the background drain commits. An aborted interval —
+// deadline exceeded, a failed rank, a failed gather — always exits
+// non-zero with the abort cause on stderr and never prints a snapshot
+// reference.
 package main
 
 import (
@@ -27,10 +33,12 @@ func main() {
 func run() error {
 	fs := flag.NewFlagSet("ompi-checkpoint", flag.ContinueOnError)
 	term := fs.Bool("term", false, "terminate the job after the checkpoint is stable")
+	async := fs.Bool("async", false, "return after the capture phase; the drain to stable storage runs in the background")
+	wait := fs.Bool("wait", false, "with --async: block until the background drain commits")
 	jobID := fs.Int("job", 0, "job id (default: the only running job)")
 	addr := fs.String("addr", "", "control address (overrides PID lookup)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: ompi-checkpoint [--term] [--job N] PID_OF_OMPI_RUN")
+		fmt.Fprintln(os.Stderr, "usage: ompi-checkpoint [--term] [--async [--wait]] [--job N] PID_OF_OMPI_RUN")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -51,14 +59,29 @@ func run() error {
 			return err
 		}
 	}
+	if *wait && !*async {
+		return fmt.Errorf("--wait requires --async")
+	}
 	resp, err := runtime.ControlDial(target, runtime.ControlRequest{
 		Op: "checkpoint", Job: *jobID, Terminate: *term,
+		Async: *async, Wait: *wait,
 	})
 	if err != nil {
 		return err
 	}
+	// An aborted interval must surface its cause and a non-zero exit:
+	// never print a snapshot reference the user could mistake for a
+	// restartable checkpoint.
 	if !resp.OK {
-		return fmt.Errorf("%s", resp.Err)
+		cause := resp.Err
+		if cause == "" {
+			cause = "checkpoint failed (no cause reported)"
+		}
+		return fmt.Errorf("%s", cause)
+	}
+	if *async && !*wait {
+		fmt.Printf("Queued interval %d (capture complete; drain in background)\n", resp.Interval)
+		return nil
 	}
 	fmt.Printf("Snapshot Ref.: %d %s\n", resp.Interval, resp.GlobalRef)
 	return nil

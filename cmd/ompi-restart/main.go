@@ -58,6 +58,15 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// Undrained journal entries are unrecoverable from a standalone
+	// tool: the simulated nodes holding the local stages died with the
+	// original process. Discard them so resolution only ever considers
+	// fully drained intervals.
+	if n, err := snapshot.OpenJournal(ref).DiscardUndrained("ompi-restart: captured nodes did not survive the original process"); err != nil {
+		return fmt.Errorf("drain journal: %w", err)
+	} else if n > 0 {
+		fmt.Printf("ompi-restart: discarded %d captured-but-undrained interval(s); restarting from the newest fully drained interval\n", n)
+	}
 	// Replica-aware resolution: verify the primary copy first, fall back
 	// to any intact replica on a live node, and repair the primary from
 	// it before the relaunch — the restart path always reads a verified

@@ -46,6 +46,7 @@ func run() error {
 	slots := fs.Int("slots", 4, "process slots per node")
 	stable := fs.String("stable", "./ompi_stable", "stable storage directory (survives this process)")
 	every := fs.Duration("checkpoint-every", 0, "take a global checkpoint periodically (0 = off)")
+	asyncDrain := fs.Bool("async-drain", false, "drain periodic checkpoints in the background: the job only blocks for the capture phase")
 	autoRestart := fs.Int("auto-restart", 0, "after a failure, restart the job up to N times from the newest valid snapshot (0 = off)")
 	verbose := fs.Bool("v", false, "print trace summary at exit")
 	var mcaArgs mcaFlags
@@ -106,6 +107,7 @@ func run() error {
 	rep, err := sys.Supervise(job, factory, core.SuperviseOptions{
 		AutoRestart:     *autoRestart,
 		CheckpointEvery: *every,
+		AsyncDrain:      *asyncDrain,
 		Progress: func(ck core.CheckpointResult) {
 			fmt.Printf("ompi-run: periodic Snapshot Ref.: %d %s\n", ck.Interval, ck.Dir)
 		},
@@ -131,6 +133,10 @@ func run() error {
 	}
 	if rep.Scrubs > 0 {
 		fmt.Printf("ompi-run: %d periodic scrub pass(es) completed\n", rep.Scrubs)
+	}
+	if dr := rep.DrainRecovery; dr.FastForwarded+dr.Redrained+dr.Discarded > 0 {
+		fmt.Printf("ompi-run: drain recovery: %d fast-forwarded, %d re-drained, %d discarded\n",
+			dr.FastForwarded, dr.Redrained, dr.Discarded)
 	}
 	if err != nil {
 		return err

@@ -189,18 +189,48 @@ func stats(ref snapshot.GlobalRef) error {
 	}
 	if len(phased) > 0 {
 		ms := func(ns int64) float64 { return float64(ns) / 1e6 }
-		fmt.Printf("\nphases (wall ms; quiesce/capture are the slowest rank):\n")
-		fmt.Printf("%-8s %10s %10s %10s %10s %10s\n",
-			"INTERVAL", "QUIESCE", "CAPTURE", "GATHER", "COMMIT", "TOTAL")
+		fmt.Printf("\nphases (wall ms; quiesce/capture are the slowest rank; blocked is\napplication-stalled time, drain-wait the interval's time in the queue):\n")
+		fmt.Printf("%-8s %10s %10s %10s %10s %10s %10s %10s %10s\n",
+			"INTERVAL", "QUIESCE", "CAPTURE", "BLOCKED", "DRAIN-WAIT", "DRAIN", "GATHER", "COMMIT", "TOTAL")
 		for _, iv := range ivs {
 			pb, ok := phased[iv]
 			if !ok {
 				continue
 			}
-			fmt.Printf("%-8d %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+			fmt.Printf("%-8d %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f\n",
 				iv, ms(pb.QuiesceWallNS), ms(pb.CaptureWallNS),
+				ms(pb.BlockedNS), ms(pb.DrainWaitNS), ms(pb.DrainNS),
 				ms(pb.GatherNS), ms(pb.CommitNS), ms(pb.TotalNS))
 		}
+	}
+	return journalStats(ref)
+}
+
+// journalStats prints the drain journal, when one exists: each
+// interval's position in the two-phase lifecycle. Undrained entries
+// (CAPTURED/DRAINING) mean the interval exists only on the original
+// nodes' local stores — not restartable from this stable store.
+func journalStats(ref snapshot.GlobalRef) error {
+	entries, err := snapshot.OpenJournal(ref).Load()
+	if err != nil {
+		return fmt.Errorf("drain journal: %w", err)
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+	fmt.Printf("\ndrain journal:\n")
+	fmt.Printf("%-8s %-10s %12s %-20s %s\n", "INTERVAL", "STATE", "STAGED", "UPDATED", "CAUSE")
+	undrained := 0
+	for _, e := range entries {
+		if !e.State.Terminal() {
+			undrained++
+		}
+		fmt.Printf("%-8d %-10s %12d %-20s %s\n",
+			e.Interval, e.State, e.StagedBytes,
+			e.UpdatedAt.Format("2006-01-02 15:04:05"), e.Cause)
+	}
+	if undrained > 0 {
+		fmt.Printf("%d interval(s) captured but not drained: their payload lives only on the\noriginal nodes' local stores (ompi-restart discards them)\n", undrained)
 	}
 	return nil
 }

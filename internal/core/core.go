@@ -46,6 +46,10 @@ type Options struct {
 	// directory so snapshots survive the process (the tool path).
 	// Otherwise stable storage is in-memory.
 	StableDir string
+	// Stable, when non-nil, is used as the stable-storage filesystem
+	// directly (overriding StableDir). Benchmarks wrap a store in
+	// vfs.Throttle to model constrained stable-storage bandwidth.
+	Stable vfs.FS
 	// MCA parameters ("crs=self", "crcp=none", "filem=raw", ...).
 	Params *mca.Params
 	// Ins captures trace events, metrics and spans; optional.
@@ -94,8 +98,8 @@ func NewSystem(opts Options) (*System, error) {
 			specs = append(specs, plm.NodeSpec{Name: fmt.Sprintf("node%d", i), Slots: slots})
 		}
 	}
-	var stable vfs.FS
-	if opts.StableDir != "" {
+	stable := opts.Stable
+	if stable == nil && opts.StableDir != "" {
 		osfs, err := vfs.NewOS(opts.StableDir)
 		if err != nil {
 			return nil, fmt.Errorf("core: stable storage: %w", err)
@@ -150,6 +154,55 @@ func (s *System) Checkpoint(id names.JobID, terminate bool) (CheckpointResult, e
 		Interval: res.Interval,
 		Meta:     res.Meta,
 	}, nil
+}
+
+// PendingCheckpoint is a ticket for an interval whose capture phase
+// completed but whose drain (gather → commit → replicate) is still in
+// the background queue. Wait blocks for the drain's outcome.
+type PendingCheckpoint struct {
+	p *snapc.Pending
+}
+
+// Interval is the checkpoint interval number the ticket refers to.
+func (p *PendingCheckpoint) Interval() int { return p.p.Interval }
+
+// Done reports without blocking whether the drain has finished.
+func (p *PendingCheckpoint) Done() bool { return p.p.Done() }
+
+// Wait blocks until the background drain finishes and returns the
+// committed checkpoint (or the drain's failure).
+func (p *PendingCheckpoint) Wait() (CheckpointResult, error) {
+	res, err := p.p.Wait()
+	if err != nil {
+		return CheckpointResult{}, err
+	}
+	return CheckpointResult{
+		Ref:      res.Ref,
+		Dir:      res.Ref.Dir,
+		Interval: res.Interval,
+		Meta:     res.Meta,
+	}, nil
+}
+
+// CheckpointAsync runs only the synchronous capture phase of a global
+// checkpoint — the application blocks for quiesce + capture, then
+// resumes — and queues the interval for the background drain engine.
+// The returned ticket's Wait yields the committed snapshot reference.
+func (s *System) CheckpointAsync(id names.JobID, terminate bool) (*PendingCheckpoint, error) {
+	p, err := s.cluster.CheckpointJobAsync(id, snapc.Options{Terminate: terminate})
+	if err != nil {
+		return nil, err
+	}
+	return &PendingCheckpoint{p: p}, nil
+}
+
+// FlushDrains blocks until the background drain queue is empty.
+func (s *System) FlushDrains() { s.cluster.FlushDrains() }
+
+// RecoverDrains resolves a snapshot lineage's undrained journal
+// entries (see snapc.Recover). Flush first.
+func (s *System) RecoverDrains(dir string) (snapc.RecoverReport, error) {
+	return s.cluster.RecoverDrains(dir)
 }
 
 // Restart relaunches a job from a global snapshot reference at the
@@ -218,6 +271,13 @@ type SuperviseOptions struct {
 	// logged but never abort the run — an aborted interval leaves the
 	// job unwedged by design.
 	CheckpointEvery time.Duration
+	// AsyncDrain takes the periodic checkpoints through the background
+	// drain engine: the ticker only pays the capture phase, drains
+	// overlap the application, and on a failure Supervise flushes the
+	// queue and recovers undrained journal entries (fast-forward,
+	// re-drain from surviving local stages, or discard) before picking
+	// the restart interval.
+	AsyncDrain bool
 	// Progress, when non-nil, is called after every committed checkpoint.
 	Progress func(CheckpointResult)
 }
@@ -243,6 +303,10 @@ type SuperviseReport struct {
 	Phases snapshot.PhaseBreakdown
 	// Sources records, per restart, the snapshot copy it used.
 	Sources []RestartSource
+	// DrainRecovery accumulates what the failure-path drain recovery
+	// passes resolved (async mode): intervals fast-forwarded, re-drained
+	// from surviving local stages, or discarded.
+	DrainRecovery snapc.RecoverReport
 }
 
 // Supervise runs a job to completion, checkpointing it periodically and —
@@ -315,6 +379,40 @@ func (s *System) Supervise(job *Job, appFactory func(rank int) ompi.App, opts Su
 					if j.Done() {
 						return
 					}
+					if opts.AsyncDrain {
+						// Pay only the capture phase on the ticker; a
+						// collector goroutine (joined with the tickers)
+						// accounts for the drain when it lands.
+						p, err := s.CheckpointAsync(j.JobID(), false)
+						if err != nil {
+							mu.Lock()
+							rep.FailedCheckpoints++
+							mu.Unlock()
+							s.ins.Emit("core", "supervise.ckpt-failed", "job %d: %v", j.JobID(), err)
+							continue
+						}
+						tickers.Add(1)
+						go func() {
+							defer tickers.Done()
+							res, err := p.Wait()
+							mu.Lock()
+							if err != nil {
+								rep.FailedCheckpoints++
+							} else {
+								rep.Checkpoints++
+								rep.Phases.Accumulate(res.Meta.Phases)
+							}
+							mu.Unlock()
+							if err != nil {
+								s.ins.Emit("core", "supervise.ckpt-failed", "job %d: %v", j.JobID(), err)
+								return
+							}
+							if opts.Progress != nil {
+								opts.Progress(res)
+							}
+						}()
+						continue
+					}
 					res, err := s.Checkpoint(j.JobID(), false)
 					mu.Lock()
 					if err != nil {
@@ -342,6 +440,28 @@ func (s *System) Supervise(job *Job, appFactory func(rank int) ompi.App, opts Su
 		}
 		if rep.Restarts >= opts.AutoRestart {
 			return rep, err
+		}
+		// Resolve the drain queue before picking a restart interval: let
+		// in-flight drains land, then walk every lineage's journal —
+		// intervals that committed get their journal fast-forwarded,
+		// intervals whose captured nodes survived with sealed local
+		// stages are re-drained (and become restart candidates), the
+		// rest are discarded with their debris.
+		s.cluster.FlushDrains()
+		for _, dir := range dirs {
+			rr, rerr := s.cluster.RecoverDrains(dir)
+			if rerr != nil {
+				s.ins.Emit("core", "supervise.drain-recover-failed", "%s: %v", dir, rerr)
+				continue
+			}
+			rep.DrainRecovery.FastForwarded += rr.FastForwarded
+			rep.DrainRecovery.Redrained += rr.Redrained
+			rep.DrainRecovery.Discarded += rr.Discarded
+			if rr.FastForwarded+rr.Redrained+rr.Discarded > 0 {
+				s.ins.Emit("core", "supervise.drain-recovered",
+					"%s: %d fast-forwarded, %d re-drained, %d discarded",
+					dir, rr.FastForwarded, rr.Redrained, rr.Discarded)
+			}
 		}
 		res, interval, cp, verr := s.newestValid(dirs)
 		if verr != nil {

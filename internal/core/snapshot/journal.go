@@ -1,0 +1,324 @@
+// Drain journal: the crash-safe record of every checkpoint interval's
+// position in the two-phase lifecycle introduced by the asynchronous
+// drain engine (DESIGN.md §5c).
+//
+// The synchronous capture phase ends with the interval's payload staged
+// on the participating nodes' local stores (under a LOCAL_COMMITTED
+// marker); the asynchronous drain phase later gathers, commits and
+// replicates it onto stable storage. Between the two, the only durable
+// record that the interval exists at all is this journal, kept beside
+// the committed intervals in the global snapshot lineage directory.
+// Recovery reads it to decide, per interval: already drained (the
+// COMMITTED marker exists — fast-forward), re-drainable (every captured
+// node still alive and locally committed — drain it now), or lost
+// (discard the entry and whatever debris remains).
+//
+// The journal is rewritten atomically (temp file + rename) on every
+// transition, so a crash between any two lifecycle edges leaves either
+// the old or the new state — never a torn file.
+package snapshot
+
+import (
+	"encoding/json"
+	"fmt"
+	"path"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/vfs"
+)
+
+const (
+	// JournalFile is the drain journal's name inside a global snapshot
+	// lineage directory on stable storage.
+	JournalFile = "drain_journal.json"
+	// journalTmp is the staging name for atomic journal rewrites.
+	journalTmp = ".drain_journal.tmp"
+	// LocalCommittedFile marks a node-local interval stage as complete:
+	// every rank on the node captured successfully and wrote its local
+	// snapshot metadata. The drain phase and the restart fast path trust
+	// a local stage only under this marker.
+	LocalCommittedFile = "LOCAL_COMMITTED"
+	// maxJournalEntries bounds the journal: once every entry is terminal
+	// beyond this count, the oldest terminal entries are dropped. Keeps
+	// the file O(1) over long supervised runs.
+	maxJournalEntries = 64
+)
+
+// IntervalState is one interval's position in the capture/drain
+// lifecycle.
+type IntervalState string
+
+const (
+	// StateCaptured: every rank's local snapshot is staged node-local
+	// under a LOCAL_COMMITTED marker; nothing is on stable storage yet.
+	StateCaptured IntervalState = "CAPTURED"
+	// StateDraining: the background drain (gather → commit → replicate)
+	// has started; stable storage may hold a partial stage directory.
+	StateDraining IntervalState = "DRAINING"
+	// StateCommitted: the interval's COMMITTED marker exists on stable
+	// storage; the drain finished.
+	StateCommitted IntervalState = "COMMITTED"
+	// StateDiscarded: the interval was abandoned (drain failure, or
+	// recovery found the captured nodes gone). Terminal.
+	StateDiscarded IntervalState = "DISCARDED"
+)
+
+// Terminal reports whether the state ends the lifecycle.
+func (s IntervalState) Terminal() bool {
+	return s == StateCommitted || s == StateDiscarded
+}
+
+// ValidTransition reports whether from → to is a legal lifecycle edge.
+// The empty state is "no entry yet". Re-entering DRAINING is legal: a
+// recovery pass re-drains an interval whose first drain crashed midway.
+func ValidTransition(from, to IntervalState) bool {
+	switch from {
+	case "":
+		return to == StateCaptured
+	case StateCaptured:
+		return to == StateDraining || to == StateDiscarded
+	case StateDraining:
+		return to == StateDraining || to == StateCommitted || to == StateDiscarded
+	default: // terminal states never move
+		return false
+	}
+}
+
+// JournalProc is one rank's capture record: everything a recovery
+// re-drain needs to rebuild the gather request and the global metadata
+// without a live job.
+type JournalProc struct {
+	Vpid      int    `json:"vpid"`
+	Node      string `json:"node"`
+	Component string `json:"crs_component"`
+	Dir       string `json:"dir"` // node-local snapshot dir
+	QuiesceNS int64  `json:"quiesce_ns,omitempty"`
+	CaptureNS int64  `json:"capture_ns,omitempty"`
+}
+
+// JournalEntry records one interval's lifecycle state plus the full
+// capture context, so a drain can be replayed from the entry alone.
+type JournalEntry struct {
+	Interval int           `json:"interval"`
+	State    IntervalState `json:"state"`
+
+	JobID     int               `json:"job_id"`
+	NumProcs  int               `json:"num_procs"`
+	AppName   string            `json:"app_name,omitempty"`
+	AppArgs   []string          `json:"app_args,omitempty"`
+	MCAParams map[string]string `json:"mca_params,omitempty"`
+	Nodes     []string          `json:"nodes"`      // nodes holding local stages
+	LocalBase string            `json:"local_base"` // node-local stage base dir
+	Terminate bool              `json:"terminate,omitempty"`
+
+	Procs []JournalProc `json:"procs"`
+
+	StagedBytes int64     `json:"staged_bytes"`
+	CapturedAt  time.Time `json:"captured_at"`
+	UpdatedAt   time.Time `json:"updated_at"`
+	// Cause explains a DISCARDED entry.
+	Cause string `json:"cause,omitempty"`
+}
+
+// Journal is the drain journal of one global snapshot lineage.
+type Journal struct {
+	FS  vfs.FS
+	Dir string // the global snapshot lineage directory
+
+	mu sync.Mutex
+}
+
+// OpenJournal returns the journal handle for a global snapshot lineage.
+// No file is created until the first Record.
+func OpenJournal(ref GlobalRef) *Journal {
+	return &Journal{FS: ref.FS, Dir: ref.Dir}
+}
+
+// journalDoc is the on-disk shape.
+type journalDoc struct {
+	Version int            `json:"version"`
+	Entries []JournalEntry `json:"entries"`
+}
+
+func (j *Journal) path() string    { return path.Join(j.Dir, JournalFile) }
+func (j *Journal) tmpPath() string { return path.Join(j.Dir, journalTmp) }
+
+// Load returns every journal entry, intervals ascending. A missing
+// journal is an empty one.
+func (j *Journal) Load() ([]JournalEntry, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.load()
+}
+
+func (j *Journal) load() ([]JournalEntry, error) {
+	if !vfs.Exists(j.FS, j.path()) {
+		return nil, nil
+	}
+	data, err := j.FS.ReadFile(j.path())
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: read drain journal: %w", err)
+	}
+	var doc journalDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("snapshot: corrupt drain journal %q: %w", j.path(), err)
+	}
+	if doc.Version != FormatVersion {
+		return nil, fmt.Errorf("snapshot: drain journal version %d, want %d", doc.Version, FormatVersion)
+	}
+	sort.Slice(doc.Entries, func(a, b int) bool { return doc.Entries[a].Interval < doc.Entries[b].Interval })
+	return doc.Entries, nil
+}
+
+// store rewrites the journal atomically: marshal, write a temp file in
+// the same directory, rename over the real name (rename(2) replaces
+// files atomically on both vfs backends).
+func (j *Journal) store(entries []JournalEntry) error {
+	// Bound growth: drop the oldest terminal entries once over the cap.
+	if len(entries) > maxJournalEntries {
+		trimmed := make([]JournalEntry, 0, len(entries))
+		excess := len(entries) - maxJournalEntries
+		for _, e := range entries {
+			if excess > 0 && e.State.Terminal() {
+				excess--
+				continue
+			}
+			trimmed = append(trimmed, e)
+		}
+		entries = trimmed
+	}
+	data, err := json.MarshalIndent(&journalDoc{Version: FormatVersion, Entries: entries}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("snapshot: marshal drain journal: %w", err)
+	}
+	if err := j.FS.WriteFile(j.tmpPath(), data); err != nil {
+		return fmt.Errorf("snapshot: stage drain journal: %w", err)
+	}
+	if err := j.FS.Rename(j.tmpPath(), j.path()); err != nil {
+		return fmt.Errorf("snapshot: commit drain journal: %w", err)
+	}
+	return nil
+}
+
+// Entry returns the journal entry for one interval.
+func (j *Journal) Entry(interval int) (JournalEntry, bool, error) {
+	entries, err := j.Load()
+	if err != nil {
+		return JournalEntry{}, false, err
+	}
+	for _, e := range entries {
+		if e.Interval == interval {
+			return e, true, nil
+		}
+	}
+	return JournalEntry{}, false, nil
+}
+
+// Record appends a new CAPTURED entry. The interval must be new and —
+// for monotone journal progress — greater than every recorded interval.
+func (j *Journal) Record(e JournalEntry) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if e.State != StateCaptured {
+		return fmt.Errorf("snapshot: new journal entries start CAPTURED, got %s", e.State)
+	}
+	entries, err := j.load()
+	if err != nil {
+		return err
+	}
+	for _, old := range entries {
+		if old.Interval >= e.Interval {
+			return fmt.Errorf("snapshot: drain journal interval %d not beyond recorded interval %d (journal progress is monotone)",
+				e.Interval, old.Interval)
+		}
+	}
+	now := time.Now()
+	if e.CapturedAt.IsZero() {
+		e.CapturedAt = now
+	}
+	e.UpdatedAt = now
+	return j.store(append(entries, e))
+}
+
+// Transition moves one interval to a new state, validating the edge.
+// cause annotates DISCARDED entries. Transitioning an interval with no
+// entry is an error except to COMMITTED-from-nothing, which is also an
+// error: every interval must be Recorded first.
+func (j *Journal) Transition(interval int, to IntervalState, cause string) (JournalEntry, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	entries, err := j.load()
+	if err != nil {
+		return JournalEntry{}, err
+	}
+	for i, e := range entries {
+		if e.Interval != interval {
+			continue
+		}
+		if !ValidTransition(e.State, to) {
+			return JournalEntry{}, fmt.Errorf("snapshot: drain journal interval %d: illegal transition %s -> %s",
+				interval, e.State, to)
+		}
+		entries[i].State = to
+		entries[i].UpdatedAt = time.Now()
+		if to == StateDiscarded {
+			entries[i].Cause = cause
+		}
+		if err := j.store(entries); err != nil {
+			return JournalEntry{}, err
+		}
+		return entries[i], nil
+	}
+	return JournalEntry{}, fmt.Errorf("snapshot: drain journal has no entry for interval %d", interval)
+}
+
+// Undrained returns the entries still mid-lifecycle (CAPTURED or
+// DRAINING), intervals ascending — what a recovery pass must resolve.
+func (j *Journal) Undrained() ([]JournalEntry, error) {
+	entries, err := j.Load()
+	if err != nil {
+		return nil, err
+	}
+	var out []JournalEntry
+	for _, e := range entries {
+		if !e.State.Terminal() {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
+// DiscardUndrained marks every mid-lifecycle entry DISCARDED — the
+// standalone-tool recovery path (ompi-restart): the simulated nodes did
+// not survive the original process, so captured-but-undrained intervals
+// are unrecoverable by construction. Returns how many were discarded.
+func (j *Journal) DiscardUndrained(cause string) (int, error) {
+	und, err := j.Undrained()
+	if err != nil {
+		return 0, err
+	}
+	for _, e := range und {
+		if _, err := j.Transition(e.Interval, StateDiscarded, cause); err != nil {
+			return 0, err
+		}
+	}
+	return len(und), nil
+}
+
+// HighestCommitted returns the newest interval the journal records as
+// fully drained, and whether any exists.
+func (j *Journal) HighestCommitted() (int, bool, error) {
+	entries, err := j.Load()
+	if err != nil {
+		return 0, false, err
+	}
+	best, ok := 0, false
+	for _, e := range entries {
+		if e.State == StateCommitted && (!ok || e.Interval > best) {
+			best, ok = e.Interval, true
+		}
+	}
+	return best, ok, nil
+}

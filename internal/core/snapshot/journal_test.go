@@ -1,0 +1,331 @@
+package snapshot
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+func testJournal(t *testing.T) *Journal {
+	t.Helper()
+	return OpenJournal(GlobalRef{FS: vfs.NewMem(), Dir: "stable/ompi_global_snapshot_1.ckpt"})
+}
+
+func captured(interval int) JournalEntry {
+	return JournalEntry{
+		Interval: interval, State: StateCaptured,
+		JobID: 1, NumProcs: 2, Nodes: []string{"node0"},
+		LocalBase: "tmp/ckpt/job1/0",
+		Procs: []JournalProc{
+			{Vpid: 0, Node: "node0", Component: "self", Dir: "tmp/ckpt/job1/0/0"},
+			{Vpid: 1, Node: "node0", Component: "self", Dir: "tmp/ckpt/job1/0/1"},
+		},
+		StagedBytes: 128,
+	}
+}
+
+// The lifecycle machine, edge by edge: every (from, to) pair has a
+// defined verdict, including the re-entrant DRAINING edge recovery
+// re-drains take and the immobility of terminal states.
+func TestValidTransitionMatrix(t *testing.T) {
+	states := []IntervalState{"", StateCaptured, StateDraining, StateCommitted, StateDiscarded}
+	legal := map[[2]IntervalState]bool{
+		{"", StateCaptured}:             true,
+		{StateCaptured, StateDraining}:  true,
+		{StateCaptured, StateDiscarded}: true,
+		{StateDraining, StateDraining}:  true, // recovery re-drain
+		{StateDraining, StateCommitted}: true,
+		{StateDraining, StateDiscarded}: true,
+	}
+	for _, from := range states {
+		for _, to := range states {
+			want := legal[[2]IntervalState{from, to}]
+			if got := ValidTransition(from, to); got != want {
+				t.Errorf("ValidTransition(%q, %q) = %v, want %v", from, to, got, want)
+			}
+		}
+	}
+}
+
+func TestTerminal(t *testing.T) {
+	for s, want := range map[IntervalState]bool{
+		StateCaptured: false, StateDraining: false,
+		StateCommitted: true, StateDiscarded: true,
+	} {
+		if got := s.Terminal(); got != want {
+			t.Errorf("%s.Terminal() = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestJournalMissingIsEmpty(t *testing.T) {
+	j := testJournal(t)
+	entries, err := j.Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("missing journal loaded %d entries", len(entries))
+	}
+	und, err := j.Undrained()
+	if err != nil || len(und) != 0 {
+		t.Fatalf("Undrained on missing journal: %v, %v", und, err)
+	}
+	if _, ok, err := j.HighestCommitted(); err != nil || ok {
+		t.Fatalf("HighestCommitted on missing journal: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestRecordAndEntry(t *testing.T) {
+	j := testJournal(t)
+	if err := j.Record(captured(1)); err != nil {
+		t.Fatalf("Record: %v", err)
+	}
+	e, ok, err := j.Entry(1)
+	if err != nil || !ok {
+		t.Fatalf("Entry(1): ok=%v err=%v", ok, err)
+	}
+	if e.State != StateCaptured || e.StagedBytes != 128 || len(e.Procs) != 2 {
+		t.Fatalf("entry round-trip mangled: %+v", e)
+	}
+	if e.CapturedAt.IsZero() || e.UpdatedAt.IsZero() {
+		t.Fatalf("Record left timestamps zero: %+v", e)
+	}
+	if _, ok, _ := j.Entry(99); ok {
+		t.Fatal("Entry(99) found a phantom entry")
+	}
+}
+
+func TestRecordRejectsNonCaptured(t *testing.T) {
+	j := testJournal(t)
+	for _, s := range []IntervalState{StateDraining, StateCommitted, StateDiscarded} {
+		e := captured(1)
+		e.State = s
+		if err := j.Record(e); err == nil {
+			t.Errorf("Record accepted initial state %s", s)
+		}
+	}
+}
+
+// Journal progress is monotone: a new interval must be beyond every
+// recorded one, including terminal ones — duplicates and regressions are
+// both rejected.
+func TestRecordMonotone(t *testing.T) {
+	j := testJournal(t)
+	if err := j.Record(captured(5)); err != nil {
+		t.Fatalf("Record(5): %v", err)
+	}
+	if err := j.Record(captured(5)); err == nil {
+		t.Fatal("Record accepted duplicate interval 5")
+	}
+	if err := j.Record(captured(3)); err == nil {
+		t.Fatal("Record accepted regressed interval 3")
+	}
+	if _, err := j.Transition(5, StateDraining, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Transition(5, StateCommitted, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(captured(5)); err == nil {
+		t.Fatal("Record accepted re-capture of committed interval 5")
+	}
+	if err := j.Record(captured(6)); err != nil {
+		t.Fatalf("Record(6) after commit of 5: %v", err)
+	}
+}
+
+func TestTransitionFullLifecycle(t *testing.T) {
+	j := testJournal(t)
+	if err := j.Record(captured(1)); err != nil {
+		t.Fatal(err)
+	}
+	e, err := j.Transition(1, StateDraining, "")
+	if err != nil || e.State != StateDraining {
+		t.Fatalf("-> DRAINING: %+v, %v", e, err)
+	}
+	// Re-entering DRAINING (the recovery re-drain edge) is legal.
+	if _, err := j.Transition(1, StateDraining, ""); err != nil {
+		t.Fatalf("DRAINING -> DRAINING: %v", err)
+	}
+	e, err = j.Transition(1, StateCommitted, "")
+	if err != nil || e.State != StateCommitted {
+		t.Fatalf("-> COMMITTED: %+v, %v", e, err)
+	}
+	// Terminal: nothing moves it again.
+	for _, to := range []IntervalState{StateCaptured, StateDraining, StateCommitted, StateDiscarded} {
+		if _, err := j.Transition(1, to, ""); err == nil {
+			t.Errorf("COMMITTED moved to %s", to)
+		}
+	}
+}
+
+func TestTransitionIllegalEdges(t *testing.T) {
+	j := testJournal(t)
+	if err := j.Record(captured(1)); err != nil {
+		t.Fatal(err)
+	}
+	// CAPTURED cannot jump straight to COMMITTED: the drain must run.
+	if _, err := j.Transition(1, StateCommitted, ""); err == nil {
+		t.Fatal("CAPTURED -> COMMITTED accepted")
+	}
+	// No entry at all: every interval must be Recorded first.
+	if _, err := j.Transition(7, StateDraining, ""); err == nil {
+		t.Fatal("Transition on missing entry accepted")
+	}
+	if _, err := j.Transition(7, StateCommitted, ""); err == nil {
+		t.Fatal("COMMITTED-from-nothing accepted")
+	}
+}
+
+func TestDiscardRecordsCause(t *testing.T) {
+	j := testJournal(t)
+	if err := j.Record(captured(1)); err != nil {
+		t.Fatal(err)
+	}
+	e, err := j.Transition(1, StateDiscarded, "node0 died mid-capture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Cause != "node0 died mid-capture" {
+		t.Fatalf("Cause = %q", e.Cause)
+	}
+	got, _, _ := j.Entry(1)
+	if got.Cause != "node0 died mid-capture" {
+		t.Fatalf("persisted Cause = %q", got.Cause)
+	}
+}
+
+func TestUndrainedAndDiscardUndrained(t *testing.T) {
+	j := testJournal(t)
+	for i := 1; i <= 4; i++ {
+		if err := j.Record(captured(i)); err != nil {
+			t.Fatal(err)
+		}
+		if i <= 2 { // drain 1 and 2 fully
+			if _, err := j.Transition(i, StateDraining, ""); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := j.Transition(i, StateCommitted, ""); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := j.Transition(3, StateDraining, ""); err != nil {
+		t.Fatal(err)
+	}
+	und, err := j.Undrained()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(und) != 2 || und[0].Interval != 3 || und[1].Interval != 4 {
+		t.Fatalf("Undrained = %+v", und)
+	}
+	n, err := j.DiscardUndrained("tool recovery")
+	if err != nil || n != 2 {
+		t.Fatalf("DiscardUndrained = %d, %v", n, err)
+	}
+	und, _ = j.Undrained()
+	if len(und) != 0 {
+		t.Fatalf("entries still undrained after discard: %+v", und)
+	}
+	for _, iv := range []int{3, 4} {
+		e, _, _ := j.Entry(iv)
+		if e.State != StateDiscarded || e.Cause != "tool recovery" {
+			t.Fatalf("interval %d after discard: %+v", iv, e)
+		}
+	}
+	// Idempotent: nothing left to discard.
+	if n, err := j.DiscardUndrained("again"); err != nil || n != 0 {
+		t.Fatalf("second DiscardUndrained = %d, %v", n, err)
+	}
+}
+
+func TestHighestCommitted(t *testing.T) {
+	j := testJournal(t)
+	for i := 1; i <= 3; i++ {
+		if err := j.Record(captured(i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := j.Transition(i, StateDraining, ""); err != nil {
+			t.Fatal(err)
+		}
+		to, cause := StateCommitted, ""
+		if i == 3 { // newest interval failed its drain
+			to, cause = StateDiscarded, "gather failed"
+		}
+		if _, err := j.Transition(i, to, cause); err != nil {
+			t.Fatal(err)
+		}
+	}
+	best, ok, err := j.HighestCommitted()
+	if err != nil || !ok || best != 2 {
+		t.Fatalf("HighestCommitted = %d, %v, %v (want 2)", best, ok, err)
+	}
+}
+
+// The journal is bounded: once entries beyond the cap are terminal, the
+// oldest terminal ones are trimmed — but mid-lifecycle entries are never
+// dropped, no matter how old.
+func TestJournalTrimsOldestTerminal(t *testing.T) {
+	j := testJournal(t)
+	total := maxJournalEntries + 10
+	for i := 1; i <= total; i++ {
+		if err := j.Record(captured(i)); err != nil {
+			t.Fatal(err)
+		}
+		if i == 1 {
+			continue // leave interval 1 CAPTURED: undrained forever
+		}
+		if _, err := j.Transition(i, StateDraining, ""); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := j.Transition(i, StateCommitted, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := j.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) > maxJournalEntries {
+		t.Fatalf("journal holds %d entries, cap is %d", len(entries), maxJournalEntries)
+	}
+	// The undrained entry survived the trim; the oldest terminal ones
+	// went first.
+	if e, ok, _ := j.Entry(1); !ok || e.State != StateCaptured {
+		t.Fatalf("undrained interval 1 was trimmed: ok=%v %+v", ok, e)
+	}
+	if _, ok, _ := j.Entry(2); ok {
+		t.Fatal("oldest terminal interval 2 survived the trim")
+	}
+	if e, ok, _ := j.Entry(total); !ok || e.State != StateCommitted {
+		t.Fatal("newest interval was trimmed")
+	}
+}
+
+// A journal rewrite is atomic: the temp file never survives a store, and
+// a corrupt or version-skewed file is an error, not silent data loss.
+func TestJournalStoreAtomicityAndCorruption(t *testing.T) {
+	fs := vfs.NewMem()
+	j := OpenJournal(GlobalRef{FS: fs, Dir: "lineage"})
+	if err := j.Record(captured(1)); err != nil {
+		t.Fatal(err)
+	}
+	if vfs.Exists(fs, "lineage/"+journalTmp) {
+		t.Fatal("temp journal left behind after store")
+	}
+	if err := fs.WriteFile("lineage/"+JournalFile, []byte("{not json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Load(); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corrupt journal load: %v", err)
+	}
+	if err := fs.WriteFile("lineage/"+JournalFile, []byte(`{"version": 99, "entries": []}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Load(); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version-skew journal load: %v", err)
+	}
+}

@@ -204,6 +204,20 @@ type PhaseBreakdown struct {
 	// the metadata is sealed before they run — so it is populated on the
 	// in-memory Result/SuperviseReport path only.
 	ReplicaNS int64 `json:"replica_ns,omitempty"`
+	// BlockedNS is the application-blocked share of the interval: the
+	// synchronous capture phase (slowest rank's quiesce + capture) plus
+	// any time the capture spent blocked on drain-queue backpressure.
+	// With the asynchronous drain engine this is the cost the running
+	// job actually pays per checkpoint; everything else overlaps
+	// application progress.
+	BlockedNS int64 `json:"blocked_ns,omitempty"`
+	// DrainWaitNS is how long the captured interval sat in the drain
+	// queue before the background drain picked it up.
+	DrainWaitNS int64 `json:"drain_wait_ns,omitempty"`
+	// DrainNS is the drain phase's execution time (gather through
+	// cleanup). Like ReplicaNS it post-dates the sealed metadata, so it
+	// is populated on the in-memory Result path only.
+	DrainNS int64 `json:"drain_ns,omitempty"`
 	// TotalNS is the global coordinator's wall time from checkpoint
 	// request to sealed metadata.
 	TotalNS int64 `json:"total_ns"`
@@ -228,6 +242,9 @@ func (p *PhaseBreakdown) Accumulate(o *PhaseBreakdown) {
 	p.GatherNS += o.GatherNS
 	p.CommitNS += o.CommitNS
 	p.ReplicaNS += o.ReplicaNS
+	p.BlockedNS += o.BlockedNS
+	p.DrainWaitNS += o.DrainWaitNS
+	p.DrainNS += o.DrainNS
 	p.TotalNS += o.TotalNS
 	p.BytesGathered += o.BytesGathered
 	p.BytesMoved += o.BytesMoved

@@ -189,6 +189,13 @@ type Stats struct {
 	Transfers    int
 }
 
+// Add merges two stats, field-wise. Callers that account for several
+// moves as one logical operation (e.g. a drain's gather plus its
+// replica pushes) sum them with Add.
+func (s Stats) Add(o Stats) Stats {
+	return s.add(o)
+}
+
 func (s Stats) add(o Stats) Stats {
 	return Stats{
 		Bytes:        s.Bytes + o.Bytes,

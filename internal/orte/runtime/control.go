@@ -30,6 +30,12 @@ type ControlRequest struct {
 	Op        string `json:"op"`
 	Job       int    `json:"job,omitempty"` // 0 = the only/first job
 	Terminate bool   `json:"terminate,omitempty"`
+	// Async runs only the capture phase before replying; the drain
+	// happens in the background queue. With Wait also set, the reply
+	// waits for the background drain's outcome (still exercising the
+	// async engine, unlike the plain synchronous op).
+	Async bool `json:"async,omitempty"`
+	Wait  bool `json:"wait,omitempty"`
 }
 
 // ControlJobInfo describes one job in a "ps" response.
@@ -44,11 +50,15 @@ type ControlJobInfo struct {
 
 // ControlResponse is the reply to one ControlRequest.
 type ControlResponse struct {
-	OK        bool             `json:"ok"`
-	Err       string           `json:"err,omitempty"`
-	GlobalRef string           `json:"global_ref,omitempty"`
-	Interval  int              `json:"interval,omitempty"`
-	Jobs      []ControlJobInfo `json:"jobs,omitempty"`
+	OK        bool   `json:"ok"`
+	Err       string `json:"err,omitempty"`
+	GlobalRef string `json:"global_ref,omitempty"`
+	Interval  int    `json:"interval,omitempty"`
+	// State reports the interval's drain-lifecycle position at reply
+	// time: "committed" for completed checkpoints, "queued" for an
+	// async request that returned at capture end.
+	State string           `json:"state,omitempty"`
+	Jobs  []ControlJobInfo `json:"jobs,omitempty"`
 	// Metrics is the Prometheus-text rendering of the cluster's metrics
 	// registry (the "metrics" op): the HNP's /metrics endpoint, served
 	// over the control channel instead of HTTP.
@@ -170,6 +180,27 @@ func (s *ControlServer) handle(req ControlRequest) ControlResponse {
 		if err != nil {
 			return ControlResponse{Err: err.Error()}
 		}
+		if req.Async {
+			p, err := s.cluster.CheckpointJobAsync(id, snapc.Options{Terminate: req.Terminate})
+			if err != nil {
+				return ControlResponse{Err: err.Error()}
+			}
+			if !req.Wait {
+				// Capture done, drain queued: the tool returns while the
+				// gather/commit proceeds in the background.
+				return ControlResponse{OK: true, Interval: p.Interval, State: "queued"}
+			}
+			res, err := p.Wait()
+			if err != nil {
+				return ControlResponse{Err: err.Error(), Interval: p.Interval}
+			}
+			return ControlResponse{
+				OK:        true,
+				GlobalRef: res.Ref.Dir,
+				Interval:  res.Interval,
+				State:     "committed",
+			}
+		}
 		res, err := s.cluster.CheckpointJob(id, snapc.Options{Terminate: req.Terminate})
 		if err != nil {
 			return ControlResponse{Err: err.Error()}
@@ -178,6 +209,7 @@ func (s *ControlServer) handle(req ControlRequest) ControlResponse {
 			OK:        true,
 			GlobalRef: res.Ref.Dir,
 			Interval:  res.Interval,
+			State:     "committed",
 		}
 	default:
 		return ControlResponse{Err: fmt.Sprintf("unknown op %q", req.Op)}

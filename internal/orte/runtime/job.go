@@ -3,6 +3,7 @@ package runtime
 import (
 	"errors"
 	"fmt"
+	"path"
 	"sync"
 	"time"
 
@@ -15,6 +16,7 @@ import (
 	"repro/internal/orte/names"
 	"repro/internal/orte/plm"
 	"repro/internal/orte/snapc"
+	"repro/internal/vfs"
 )
 
 // JobSpec describes an application launch.
@@ -348,30 +350,45 @@ var _ snapc.JobView = (*Job)(nil)
 
 // --- Checkpoint and restart ---------------------------------------------------
 
-// CheckpointJob runs a global checkpoint of the job through the SNAPC
-// component and returns the result, whose Ref is the global snapshot
-// reference the paper's tools print. Checkpoints are serialized: the
-// full component is a centralized coordinator.
-func (c *Cluster) CheckpointJob(id names.JobID, opts snapc.Options) (snapc.Result, error) {
+// CheckpointJobAsync runs the synchronous capture phase of a global
+// checkpoint — quiesce → capture → release, ending with the interval
+// staged node-local — and hands the interval to the background drain
+// queue. The returned ticket's Wait blocks until the drain (gather →
+// commit → replicate) finishes. Captures are serialized; the drain of
+// interval N overlaps the capture of interval N+1.
+func (c *Cluster) CheckpointJobAsync(id names.JobID, opts snapc.Options) (*snapc.Pending, error) {
 	j, err := c.Job(id)
 	if err != nil {
-		return snapc.Result{}, err
+		return nil, err
 	}
-	c.ckptMu.Lock()
-	defer c.ckptMu.Unlock()
+	c.capMu.Lock()
+	defer c.capMu.Unlock()
 	if err := j.awaitInitialized(10 * time.Second); err != nil {
-		return snapc.Result{}, err
+		return nil, err
 	}
 	j.mu.Lock()
 	interval := j.nextInterval
 	j.nextInterval++
 	j.mu.Unlock()
 	globalDir := snapshot.GlobalDirName(int(id))
-	res, err := c.snapcComp.Checkpoint(c.snapcEnv, j, c.hnpEP, c.daemons, globalDir, interval, opts)
+	cpt, err := c.snapcComp.Capture(c.snapcEnv, j, c.hnpEP, c.daemons, globalDir, interval, opts)
+	if err != nil {
+		return nil, err
+	}
+	return c.drainer.Enqueue(cpt)
+}
+
+// CheckpointJob runs a global checkpoint of the job through the SNAPC
+// component and returns the result, whose Ref is the global snapshot
+// reference the paper's tools print. The synchronous path is exactly
+// the asynchronous one awaited immediately — one code path, one
+// journal, one state machine.
+func (c *Cluster) CheckpointJob(id names.JobID, opts snapc.Options) (snapc.Result, error) {
+	p, err := c.CheckpointJobAsync(id, opts)
 	if err != nil {
 		return snapc.Result{}, err
 	}
-	return res, nil
+	return p.Wait()
 }
 
 // Restart relaunches a job from a global snapshot reference, possibly
@@ -396,10 +413,30 @@ func (c *Cluster) Restart(ref snapshot.GlobalRef, interval int, appFactory func(
 	}
 
 	// FILEM broadcast: preload each local snapshot from stable storage
-	// onto the node that will host the restarted rank.
+	// onto the node that will host the restarted rank — unless the rank
+	// lands back on the node that captured it and that node still holds
+	// the interval's sealed local stage, in which case the restart
+	// restores straight from it (no stable-storage round-trip). The
+	// local stage outlives the job when checkpoints keep local copies or
+	// when drain recovery preserved it.
 	restores := make([]*ompi.RestoreSpec, meta.NumProcs)
+	localBase := snapc.LocalBaseDir(names.JobID(meta.JobID), interval)
 	for _, pe := range meta.Procs {
 		node := placement[pe.Vpid]
+		if node == pe.Node {
+			if nodeFS, err := c.nodeFS(node); err == nil &&
+				vfs.Exists(nodeFS, path.Join(localBase, snapshot.LocalCommittedFile)) {
+				localDir := path.Join(localBase, snapshot.LocalDirName(pe.Vpid))
+				if lmeta, err := snapshot.ReadLocal(snapshot.LocalRef{FS: nodeFS, Dir: localDir}); err == nil &&
+					lmeta.Interval == interval && lmeta.JobID == meta.JobID && lmeta.Vpid == pe.Vpid {
+					restores[pe.Vpid] = &ompi.RestoreSpec{FS: nodeFS, Dir: localDir, Files: lmeta.Files}
+					c.ins.Counter("ompi_restart_local_fast_path_total").Inc()
+					c.ins.Emit("hnp", "restart.local-fast-path",
+						"rank %d restored from node %q local stage (interval %d)", pe.Vpid, node, interval)
+					continue
+				}
+			}
+		}
 		lref := snapshot.LocalRefIn(ref, interval, pe)
 		lmeta, err := snapshot.ReadLocal(lref)
 		if err != nil {

@@ -93,10 +93,12 @@ type Cluster struct {
 	filemEnv *filem.Env
 	snapcEnv *snapc.Env
 	daemons  map[string]names.Name
+	drainer  *snapc.Drainer
 
 	mu      sync.Mutex
 	jobs    map[names.JobID]*Job
-	ckptMu  sync.Mutex // serializes global checkpoints (centralized coordinator)
+	capMu   sync.Mutex // serializes capture phases (one interval captures at a time)
+	ckptMu  sync.Mutex // serializes drains/commits against scrub and restart
 	stopped bool
 	wg      sync.WaitGroup
 }
@@ -218,6 +220,13 @@ func New(cfg Config) (*Cluster, error) {
 		Ins:        c.ins,
 		AckTimeout: cfg.Params.Duration("snapc_ack_timeout", 0),
 	}
+	if inj != nil {
+		c.snapcEnv.Inject = inj.Fire
+	}
+	// The asynchronous drain engine: captures hand their intervals to
+	// this queue; its worker drains them under the checkpoint lock so
+	// commits never interleave with scrub or restart.
+	c.drainer = snapc.NewDrainer(c.snapcEnv, cfg.Params, &c.ckptMu)
 
 	// Runtime entities: HNP plus one orted (local coordinator) per node.
 	if c.hnpEP, err = c.router.Register(names.HNP); err != nil {
@@ -388,7 +397,8 @@ func (c *Cluster) AliveNodes() []string {
 // Faults returns the installed fault injector (nil without a plan).
 func (c *Cluster) Faults() *faultsim.Injector { return c.faults }
 
-// Close shuts the cluster down: daemons stop, endpoints close.
+// Close shuts the cluster down: pending drains finish, daemons stop,
+// endpoints close.
 func (c *Cluster) Close() {
 	c.mu.Lock()
 	if c.stopped {
@@ -397,11 +407,28 @@ func (c *Cluster) Close() {
 	}
 	c.stopped = true
 	c.mu.Unlock()
+	c.drainer.Close()
 	for _, n := range c.nodes {
 		n.stopHeartbeat()
 	}
 	c.router.Close()
 	c.wg.Wait()
+}
+
+// Drainer exposes the cluster's asynchronous drain engine.
+func (c *Cluster) Drainer() *snapc.Drainer { return c.drainer }
+
+// FlushDrains blocks until every enqueued interval has drained.
+func (c *Cluster) FlushDrains() { c.drainer.Flush() }
+
+// RecoverDrains resolves a lineage's undrained journal entries against
+// this cluster's surviving nodes: fast-forward already-committed
+// intervals, re-drain from intact local stages, discard the rest. The
+// drain queue must be idle (flush first).
+func (c *Cluster) RecoverDrains(globalDir string) (snapc.RecoverReport, error) {
+	c.ckptMu.Lock()
+	defer c.ckptMu.Unlock()
+	return snapc.Recover(c.snapcEnv, globalDir, c.Alive)
 }
 
 // Nodes returns the node names in declaration order.

@@ -1,0 +1,512 @@
+// The asynchronous drain engine (DESIGN.md §5c).
+//
+// The paper's cost decomposition (§7, Fig. 4–6) shows interval latency
+// is dominated by aggregating local snapshots onto stable storage —
+// but the application only needs to stay quiesced through the capture
+// phase. The Drainer exploits that: Capture ends with the interval
+// staged node-local under LOCAL_COMMITTED markers, Enqueue journals it
+// (CAPTURED) and hands it to a single background worker that runs the
+// gather → commit → replicate half (DRAINING → COMMITTED) while the
+// next interval captures.
+//
+// Backpressure bounds the node-local stage: snapc_drain_queue caps the
+// in-flight intervals and snapc_stage_bytes_max caps their total
+// staged bytes; a capture that would exceed either blocks in Enqueue
+// (counted in ompi_snapc_captures_blocked_total and the blocked-time
+// histograms) until the worker catches up.
+//
+// The drain is FIFO and serialized on one worker deliberately: the
+// content-addressed dedup baseline of interval N+1 is interval N's
+// committed manifest, so commits must land in capture order.
+package snapc
+
+import (
+	"fmt"
+	"path"
+	"sync"
+	"time"
+
+	"repro/internal/core/snapshot"
+	"repro/internal/mca"
+	"repro/internal/ompi"
+	"repro/internal/orte/names"
+	"repro/internal/vfs"
+)
+
+// Drain-lifecycle fault-injection points, one per journal edge. An
+// injected error simulates a crash at that edge: the drain stops with
+// the journal and on-disk state exactly as a real crash would leave
+// them (no cleanup, no DISCARDED transition) — recovery tests then
+// exercise Recover against each.
+const (
+	// InjectPreDrain fires before the CAPTURED → DRAINING transition:
+	// the journal still says CAPTURED, nothing touched stable storage.
+	InjectPreDrain = "snapc.drain:pre-drain"
+	// InjectMidDrain fires after the DRAINING transition but before any
+	// gather work: the journal says DRAINING, stable storage may hold a
+	// partial stage.
+	InjectMidDrain = "snapc.drain:mid-drain"
+	// InjectPreCommitJournal fires after the interval committed on
+	// stable storage but before the journal's COMMITTED transition:
+	// recovery must fast-forward the journal, not re-drain.
+	InjectPreCommitJournal = "snapc.drain:pre-commit"
+)
+
+// Pending is a ticket for an interval handed to the Drainer. Wait
+// blocks until the background drain finishes and returns its outcome —
+// the synchronous Checkpoint path is exactly Enqueue immediately
+// followed by Wait.
+type Pending struct {
+	// Interval is the ticket's checkpoint interval number.
+	Interval int
+	done     chan struct{}
+	res      Result
+	err      error
+}
+
+// Wait blocks until the drain completes and returns its result.
+func (p *Pending) Wait() (Result, error) {
+	<-p.done
+	return p.res, p.err
+}
+
+// Done reports whether the drain has completed without blocking.
+func (p *Pending) Done() bool {
+	select {
+	case <-p.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Drainer is the bounded background drain queue: one per cluster,
+// shared by every job. A single worker goroutine pops intervals FIFO
+// and runs Drain under the cluster's checkpoint lock.
+type Drainer struct {
+	env *Env
+	// Lock, when set, is held around each background drain. The runtime
+	// passes its checkpoint mutex so drains serialize against scrub and
+	// restart exactly as synchronous checkpoints did.
+	lock sync.Locker
+
+	maxQueue int   // snapc_drain_queue: max in-flight intervals
+	maxBytes int64 // snapc_stage_bytes_max: staged-bytes cap (0 = unlimited)
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []*drainItem
+	inflight int   // queued + actively draining
+	staged   int64 // staged bytes across in-flight intervals
+	closed   bool
+	workerWG sync.WaitGroup
+
+	jmu      sync.Mutex
+	journals map[string]*snapshot.Journal
+}
+
+type drainItem struct {
+	cpt     *Captured
+	pending *Pending
+}
+
+// DefaultDrainQueue is the default snapc_drain_queue.
+const DefaultDrainQueue = 4
+
+// NewDrainer builds the drain engine from the cluster's MCA
+// parameters (snapc_drain_queue, snapc_stage_bytes_max) and starts its
+// worker. lock may be nil.
+func NewDrainer(env *Env, params *mca.Params, lock sync.Locker) *Drainer {
+	d := &Drainer{
+		env:      env,
+		lock:     lock,
+		maxQueue: params.Int("snapc_drain_queue", DefaultDrainQueue),
+		maxBytes: params.Bytes("snapc_stage_bytes_max", 0),
+		journals: make(map[string]*snapshot.Journal),
+	}
+	if d.maxQueue < 1 {
+		d.maxQueue = 1
+	}
+	d.cond = sync.NewCond(&d.mu)
+	d.workerWG.Add(1)
+	go d.worker()
+	return d
+}
+
+// Journal returns the shared drain-journal handle for one global
+// snapshot lineage directory. Sharing one handle per directory keeps
+// the journal's read-modify-write cycles serialized.
+func (d *Drainer) Journal(globalDir string) *snapshot.Journal {
+	d.jmu.Lock()
+	defer d.jmu.Unlock()
+	j, ok := d.journals[globalDir]
+	if !ok {
+		j = snapshot.OpenJournal(snapshot.GlobalRef{FS: d.env.Stable, Dir: globalDir})
+		d.journals[globalDir] = j
+	}
+	return j
+}
+
+// journalEntry builds the crash-safe journal record for a captured
+// interval: the full capture context, so a recovery pass can replay
+// the drain from the entry alone.
+func journalEntry(cpt *Captured) snapshot.JournalEntry {
+	job := cpt.Job
+	e := snapshot.JournalEntry{
+		Interval: cpt.Interval, State: snapshot.StateCaptured,
+		JobID: int(job.JobID()), NumProcs: job.NumProcs(),
+		AppName: job.AppName(), AppArgs: job.AppArgs(),
+		MCAParams: job.Params().Map(), Nodes: job.Nodes(),
+		LocalBase:   LocalBaseDir(job.JobID(), cpt.Interval),
+		Terminate:   cpt.Opts.Terminate,
+		StagedBytes: cpt.StagedBytes, CapturedAt: cpt.Began,
+	}
+	for v := 0; v < job.NumProcs(); v++ {
+		pr := cpt.Results[v]
+		e.Procs = append(e.Procs, snapshot.JournalProc{
+			Vpid: v, Node: job.NodeOf(v), Component: pr.Component,
+			Dir: pr.Dir, QuiesceNS: pr.QuiesceNS, CaptureNS: pr.CaptureNS,
+		})
+	}
+	return e
+}
+
+// Enqueue journals a captured interval (CAPTURED) and stages it for
+// the background drain, blocking first if the queue or staged-bytes
+// backpressure cap is hit. The block is application-blocked time: the
+// caller is the capture path, so the next capture cannot start until
+// Enqueue returns. Returns the ticket to Wait on.
+func (d *Drainer) Enqueue(cpt *Captured) (*Pending, error) {
+	if err := d.Journal(cpt.GlobalDir).Record(journalEntry(cpt)); err != nil {
+		return nil, fmt.Errorf("snapc: journal capture of interval %d: %w", cpt.Interval, err)
+	}
+	ins := d.env.Ins
+
+	d.mu.Lock()
+	blockStart := time.Time{}
+	for !d.closed && d.full(cpt.StagedBytes) {
+		if blockStart.IsZero() {
+			blockStart = time.Now()
+			ins.Counter("ompi_snapc_captures_blocked_total").Inc()
+			ins.Emit("snapc.drain", "drain.backpressure",
+				"interval %d blocked: %d in flight, %d staged bytes", cpt.Interval, d.inflight, d.staged)
+		}
+		d.cond.Wait()
+	}
+	if d.closed {
+		d.mu.Unlock()
+		return nil, fmt.Errorf("snapc: drainer closed; interval %d not drained", cpt.Interval)
+	}
+	if !blockStart.IsZero() {
+		blocked := time.Since(blockStart)
+		cpt.BlockedNS += int64(blocked)
+		ins.ObserveSeconds("ompi_snapc_capture_blocked_seconds", blocked)
+	}
+	// The interval's total application-blocked share is now final:
+	// capture (slowest rank's quiesce+capture) plus any backpressure.
+	ins.ObserveSeconds("ompi_snapc_blocked_seconds", time.Duration(cpt.BlockedNS))
+	cpt.EnqueuedAt = time.Now()
+	p := &Pending{Interval: cpt.Interval, done: make(chan struct{})}
+	d.queue = append(d.queue, &drainItem{cpt: cpt, pending: p})
+	d.inflight++
+	d.staged += cpt.StagedBytes
+	ins.Gauge("ompi_snapc_drain_queue_depth").Set(float64(d.inflight))
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	return p, nil
+}
+
+// full reports (with d.mu held) whether admitting another interval of
+// addBytes staged bytes would exceed a backpressure cap. An oversized
+// single interval is admitted once the queue is empty — blocking it
+// forever would deadlock the capture path.
+func (d *Drainer) full(addBytes int64) bool {
+	if d.inflight >= d.maxQueue {
+		return true
+	}
+	if d.maxBytes > 0 && d.inflight > 0 && d.staged+addBytes > d.maxBytes {
+		return true
+	}
+	return false
+}
+
+// worker is the single background drain loop: pop FIFO, drain, journal,
+// deliver.
+func (d *Drainer) worker() {
+	defer d.workerWG.Done()
+	for {
+		d.mu.Lock()
+		for len(d.queue) == 0 && !d.closed {
+			d.cond.Wait()
+		}
+		if len(d.queue) == 0 && d.closed {
+			d.mu.Unlock()
+			return
+		}
+		it := d.queue[0]
+		d.queue = d.queue[1:]
+		d.mu.Unlock()
+
+		res, err := d.drainOne(it.cpt)
+
+		d.mu.Lock()
+		d.inflight--
+		d.staged -= it.cpt.StagedBytes
+		d.env.Ins.Gauge("ompi_snapc_drain_queue_depth").Set(float64(d.inflight))
+		d.cond.Broadcast()
+		d.mu.Unlock()
+
+		it.pending.res, it.pending.err = res, err
+		close(it.pending.done)
+	}
+}
+
+// drainOne runs one interval's gather → commit → replicate under the
+// cluster lock, walking the journal through its edges. Injected faults
+// simulate a crash at the edge: the journal and on-disk state are left
+// exactly as found, for Recover to resolve. Real drain failures
+// discard the interval (Drain already aborted it atomically).
+func (d *Drainer) drainOne(cpt *Captured) (Result, error) {
+	if d.lock != nil {
+		d.lock.Lock()
+		defer d.lock.Unlock()
+	}
+	env := d.env
+	j := d.Journal(cpt.GlobalDir)
+	if err := env.fire(InjectPreDrain); err != nil {
+		env.Ins.Emit("snapc.drain", "drain.crash", "interval %d: %v", cpt.Interval, err)
+		return Result{}, fmt.Errorf("snapc: drain interval %d: %w", cpt.Interval, err)
+	}
+	if _, err := j.Transition(cpt.Interval, snapshot.StateDraining, ""); err != nil {
+		return Result{}, err
+	}
+	if err := env.fire(InjectMidDrain); err != nil {
+		env.Ins.Emit("snapc.drain", "drain.crash", "interval %d: %v", cpt.Interval, err)
+		return Result{}, fmt.Errorf("snapc: drain interval %d: %w", cpt.Interval, err)
+	}
+	res, err := Drain(env, cpt)
+	if err != nil {
+		if _, terr := j.Transition(cpt.Interval, snapshot.StateDiscarded, err.Error()); terr != nil {
+			env.Ins.Emit("snapc.drain", "drain.journal-error", "interval %d: %v", cpt.Interval, terr)
+		}
+		return Result{}, err
+	}
+	if ierr := env.fire(InjectPreCommitJournal); ierr != nil {
+		env.Ins.Emit("snapc.drain", "drain.crash", "interval %d: %v", cpt.Interval, ierr)
+		return Result{}, fmt.Errorf("snapc: drain interval %d: %w", cpt.Interval, ierr)
+	}
+	if _, terr := j.Transition(cpt.Interval, snapshot.StateCommitted, ""); terr != nil {
+		return Result{}, terr
+	}
+	return res, nil
+}
+
+// Flush blocks until every enqueued interval has drained.
+func (d *Drainer) Flush() {
+	d.mu.Lock()
+	for d.inflight > 0 {
+		d.cond.Wait()
+	}
+	d.mu.Unlock()
+}
+
+// Close drains the queue, stops the worker and rejects further
+// enqueues. Safe to call more than once.
+func (d *Drainer) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		d.workerWG.Wait()
+		return
+	}
+	d.closed = true
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	d.workerWG.Wait()
+}
+
+// QueueDepth reports the in-flight interval count (queued + draining).
+func (d *Drainer) QueueDepth() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.inflight
+}
+
+// RecoverReport summarizes one recovery pass over a drain journal.
+type RecoverReport struct {
+	// FastForwarded intervals were already committed on stable storage;
+	// only the journal's COMMITTED transition was missing.
+	FastForwarded int
+	// Redrained intervals were rebuilt from their journal entries and
+	// drained from the surviving nodes' local stages.
+	Redrained int
+	// Discarded intervals were unrecoverable: a captured node died, a
+	// local stage was incomplete, or the re-drain itself failed.
+	Discarded int
+}
+
+// Recover resolves every undrained journal entry of one global
+// snapshot lineage after a failure or restart: fast-forward the
+// journal when the interval already committed, re-drain from the
+// nodes' local stages when every captured node survived with its
+// LOCAL_COMMITTED marker intact, and discard (with debris cleanup)
+// otherwise. alive reports whether a node survived; nil means no node
+// survived. Must not run concurrently with an active Drainer on the
+// same lineage — flush or close it first.
+func Recover(env *Env, globalDir string, alive func(node string) bool) (RecoverReport, error) {
+	var rep RecoverReport
+	ref := snapshot.GlobalRef{FS: env.Stable, Dir: globalDir}
+	j := snapshot.OpenJournal(ref)
+	und, err := j.Undrained()
+	if err != nil {
+		return rep, err
+	}
+	for _, e := range und {
+		committed := vfs.Exists(env.Stable, path.Join(ref.IntervalDir(e.Interval), snapshot.CommittedFile))
+		switch {
+		case committed:
+			// The drain finished; only the journal edge is missing
+			// (crash between commit and journal rewrite).
+			if err := fastForward(j, e); err != nil {
+				return rep, err
+			}
+			rep.FastForwarded++
+			env.Ins.Emit("snapc.drain", "recover.fast-forward", "interval %d already committed", e.Interval)
+		case stageIntact(env, e, alive):
+			if err := redrain(env, j, globalDir, e); err != nil {
+				rep.Discarded++
+				env.Ins.Emit("snapc.drain", "recover.redrain-failed", "interval %d: %v", e.Interval, err)
+				continue
+			}
+			rep.Redrained++
+			env.Ins.Counter("ompi_snapc_intervals_redrained_total").Inc()
+			env.Ins.Emit("snapc.drain", "recover.redrained", "interval %d drained from surviving local stages", e.Interval)
+		default:
+			discardEntry(env, ref, j, e, alive, "captured node lost before drain")
+			rep.Discarded++
+			env.Ins.Emit("snapc.drain", "recover.discarded", "interval %d: captured node lost before drain", e.Interval)
+		}
+	}
+	return rep, nil
+}
+
+// fastForward walks a journal entry to COMMITTED through whatever
+// edges remain (CAPTURED entries need the DRAINING hop first).
+func fastForward(j *snapshot.Journal, e snapshot.JournalEntry) error {
+	if e.State == snapshot.StateCaptured {
+		if _, err := j.Transition(e.Interval, snapshot.StateDraining, ""); err != nil {
+			return err
+		}
+	}
+	_, err := j.Transition(e.Interval, snapshot.StateCommitted, "")
+	return err
+}
+
+// stageIntact reports whether every node that captured the entry's
+// interval is still alive and still holds its sealed local stage.
+func stageIntact(env *Env, e snapshot.JournalEntry, alive func(string) bool) bool {
+	if alive == nil {
+		return false
+	}
+	for _, node := range e.Nodes {
+		if !alive(node) {
+			return false
+		}
+		fsys, err := env.NodeFS(node)
+		if err != nil || !vfs.Exists(fsys, path.Join(e.LocalBase, snapshot.LocalCommittedFile)) {
+			return false
+		}
+	}
+	return len(e.Nodes) > 0
+}
+
+// redrain replays an interval's drain from its journal entry alone: a
+// journalJob stands in for the live job, the DRAINING edge re-enters
+// (legal — that's what the edge exists for), and a real failure
+// discards the entry.
+func redrain(env *Env, j *snapshot.Journal, globalDir string, e snapshot.JournalEntry) error {
+	if _, err := j.Transition(e.Interval, snapshot.StateDraining, ""); err != nil {
+		return err
+	}
+	cpt := capturedFromEntry(e, globalDir)
+	if _, err := Drain(env, cpt); err != nil {
+		if _, terr := j.Transition(e.Interval, snapshot.StateDiscarded, err.Error()); terr != nil {
+			env.Ins.Emit("snapc.drain", "drain.journal-error", "interval %d: %v", e.Interval, terr)
+		}
+		return err
+	}
+	_, err := j.Transition(e.Interval, snapshot.StateCommitted, "")
+	return err
+}
+
+// discardEntry marks an entry DISCARDED and removes whatever debris
+// remains: the stable-storage stage and any surviving nodes' local
+// stages.
+func discardEntry(env *Env, ref snapshot.GlobalRef, j *snapshot.Journal, e snapshot.JournalEntry,
+	alive func(string) bool, cause string) {
+	if _, err := j.Transition(e.Interval, snapshot.StateDiscarded, cause); err != nil {
+		env.Ins.Emit("snapc.drain", "drain.journal-error", "interval %d: %v", e.Interval, err)
+	}
+	if stage := ref.StageDir(e.Interval); vfs.Exists(env.Stable, stage) {
+		_ = env.Stable.Remove(stage)
+	}
+	for _, node := range e.Nodes {
+		if alive != nil && !alive(node) {
+			continue
+		}
+		if fsys, err := env.NodeFS(node); err == nil && vfs.Exists(fsys, e.LocalBase) {
+			_ = env.Filem.Remove(env.FilemEnv, node, []string{e.LocalBase})
+		}
+	}
+}
+
+// capturedFromEntry rebuilds the drain input from a journal entry.
+// KeepLocal is set: recovery runs on the restart path, and a surviving
+// node's sealed local stage is exactly what the restart-from-local
+// fast path wants to find.
+func capturedFromEntry(e snapshot.JournalEntry, globalDir string) *Captured {
+	job := &journalJob{entry: e, params: mca.FromMap(e.MCAParams)}
+	cpt := &Captured{
+		Job: job, GlobalDir: globalDir, Interval: e.Interval,
+		Opts:    Options{Terminate: e.Terminate, KeepLocal: true},
+		ByNode:  make(map[string][]int),
+		Results: make(map[int]procResult, len(e.Procs)),
+		Began:   e.CapturedAt, StagedBytes: e.StagedBytes,
+	}
+	for _, p := range e.Procs {
+		cpt.ByNode[p.Node] = append(cpt.ByNode[p.Node], p.Vpid)
+		cpt.Results[p.Vpid] = procResult{
+			Vpid: p.Vpid, Component: p.Component, Dir: p.Dir,
+			QuiesceNS: p.QuiesceNS, CaptureNS: p.CaptureNS,
+		}
+	}
+	return cpt
+}
+
+// journalJob is the JobView a recovery re-drain presents to Drain: the
+// job is gone, but the journal entry recorded everything the drain
+// half of the lifecycle consults. Deliver is never called — the drain
+// phase only reads.
+type journalJob struct {
+	entry  snapshot.JournalEntry
+	params *mca.Params
+}
+
+func (j *journalJob) JobID() names.JobID { return names.JobID(j.entry.JobID) }
+func (j *journalJob) AppName() string    { return j.entry.AppName }
+func (j *journalJob) AppArgs() []string  { return j.entry.AppArgs }
+func (j *journalJob) NumProcs() int      { return j.entry.NumProcs }
+func (j *journalJob) Nodes() []string    { return j.entry.Nodes }
+func (j *journalJob) NodeOf(vpid int) string {
+	for _, p := range j.entry.Procs {
+		if p.Vpid == vpid {
+			return p.Node
+		}
+	}
+	return ""
+}
+func (j *journalJob) Checkpointable(int) bool      { return true }
+func (j *journalJob) Deliver(int, *ompi.Directive) {}
+func (j *journalJob) Params() *mca.Params          { return j.params }
+
+var _ JobView = (*journalJob)(nil)

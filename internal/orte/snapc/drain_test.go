@@ -1,0 +1,474 @@
+package snapc
+
+import (
+	"errors"
+	"path"
+	"testing"
+	"time"
+
+	"repro/internal/core/snapshot"
+	"repro/internal/faultsim"
+	"repro/internal/mca"
+	"repro/internal/trace"
+	"repro/internal/vfs"
+)
+
+// drainParams builds MCA params for a Drainer under test.
+func drainParams(kv ...string) *mca.Params {
+	p := mca.NewParams()
+	for i := 0; i+1 < len(kv); i += 2 {
+		p.Set(kv[i], kv[i+1])
+	}
+	return p
+}
+
+// captureInterval runs the synchronous capture phase on the harness.
+func captureInterval(t *testing.T, h *harness, interval int) *Captured {
+	t.Helper()
+	comp := &Full{}
+	cpt, err := comp.Capture(h.env, h.job, h.hnp, h.daemons,
+		snapshot.GlobalDirName(int(h.job.id)), interval, Options{})
+	if err != nil {
+		t.Fatalf("Capture interval %d: %v", interval, err)
+	}
+	return cpt
+}
+
+func globalRef(h *harness) snapshot.GlobalRef {
+	return snapshot.GlobalRef{FS: h.stable, Dir: snapshot.GlobalDirName(int(h.job.id))}
+}
+
+func journalState(t *testing.T, h *harness, interval int) snapshot.IntervalState {
+	t.Helper()
+	e, ok, err := snapshot.OpenJournal(globalRef(h)).Entry(interval)
+	if err != nil || !ok {
+		t.Fatalf("journal entry %d: ok=%v err=%v", interval, ok, err)
+	}
+	return e.State
+}
+
+// The basic async contract: Enqueue returns at capture end with the
+// interval staged node-local, and Wait later delivers the same Result a
+// synchronous Checkpoint would have — interval committed on stable
+// storage, journal at COMMITTED, local stages cleaned.
+func TestDrainerCommitsInBackground(t *testing.T) {
+	h := newHarness(t, 4)
+	h.env.Ins = trace.New()
+	d := NewDrainer(h.env, drainParams(), nil)
+	defer d.Close()
+
+	cpt := captureInterval(t, h, 0)
+	// Capture ended with every node's stage sealed under the marker.
+	for _, nodeFS := range h.job.nodeFS {
+		if !vfs.Exists(nodeFS, path.Join("tmp/ckpt/job7/0", snapshot.LocalCommittedFile)) {
+			t.Fatal("capture did not seal the node-local stage with LOCAL_COMMITTED")
+		}
+	}
+	p, err := d.Enqueue(cpt)
+	if err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	res, err := p.Wait()
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if res.Interval != 0 || res.Meta.NumProcs != 4 {
+		t.Fatalf("drain result = %+v", res)
+	}
+	if !p.Done() {
+		t.Fatal("Done() false after Wait returned")
+	}
+	if _, err := snapshot.VerifyInterval(globalRef(h), 0); err != nil {
+		t.Fatalf("VerifyInterval: %v", err)
+	}
+	if st := journalState(t, h, 0); st != snapshot.StateCommitted {
+		t.Fatalf("journal state = %s", st)
+	}
+	// The drain's cleanup removed the node-local stages.
+	for _, nodeFS := range h.job.nodeFS {
+		if vfs.Exists(nodeFS, "tmp/ckpt/job7/0") {
+			t.Fatal("node-local stage survived the drain")
+		}
+	}
+	if got := h.env.Ins.Counter("ompi_filem_drain_bytes_total").Value(); got <= 0 {
+		t.Errorf("ompi_filem_drain_bytes_total = %d", got)
+	}
+	if got := h.env.Ins.Gauge("ompi_snapc_drain_queue_depth").Value(); got != 0 {
+		t.Errorf("queue depth after drain = %v", got)
+	}
+}
+
+// Drains are FIFO: with the worker held at the pre-drain point, two
+// queued intervals still commit in capture order (the dedup baseline of
+// interval N+1 is interval N's manifest, so order is load-bearing).
+func TestDrainerFIFOOrder(t *testing.T) {
+	h := newHarness(t, 4)
+	h.env.Ins = trace.New()
+	gate := make(chan struct{})
+	h.env.Inject = func(point string) error {
+		if point == InjectPreDrain {
+			<-gate
+		}
+		return nil
+	}
+	d := NewDrainer(h.env, drainParams("snapc_drain_queue", "4"), nil)
+	defer d.Close()
+
+	cpt0 := captureInterval(t, h, 0)
+	p0, err := d.Enqueue(cpt0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpt1 := captureInterval(t, h, 1)
+	p1, err := d.Enqueue(cpt1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depth := d.QueueDepth(); depth != 2 {
+		t.Fatalf("QueueDepth = %d with worker gated", depth)
+	}
+	if p0.Done() || p1.Done() {
+		t.Fatal("drain completed while gated")
+	}
+	close(gate)
+	if _, err := p0.Wait(); err != nil {
+		t.Fatalf("interval 0: %v", err)
+	}
+	if _, err := p1.Wait(); err != nil {
+		t.Fatalf("interval 1: %v", err)
+	}
+	best, ok, err := snapshot.OpenJournal(globalRef(h)).HighestCommitted()
+	if err != nil || !ok || best != 1 {
+		t.Fatalf("HighestCommitted = %d, %v, %v", best, ok, err)
+	}
+	for iv := 0; iv <= 1; iv++ {
+		if _, err := snapshot.VerifyInterval(globalRef(h), iv); err != nil {
+			t.Fatalf("VerifyInterval(%d): %v", iv, err)
+		}
+	}
+}
+
+// snapc_drain_queue backpressure: with the cap at 1 and the worker
+// gated, the second Enqueue blocks — counted in
+// ompi_snapc_captures_blocked_total and folded into the interval's
+// BlockedNS — and resumes once the worker frees a slot.
+func TestDrainerQueueBackpressure(t *testing.T) {
+	h := newHarness(t, 4)
+	h.env.Ins = trace.New()
+	gate := make(chan struct{})
+	h.env.Inject = func(point string) error {
+		if point == InjectPreDrain {
+			<-gate
+		}
+		return nil
+	}
+	d := NewDrainer(h.env, drainParams("snapc_drain_queue", "1"), nil)
+	defer d.Close()
+
+	cpt0 := captureInterval(t, h, 0)
+	p0, err := d.Enqueue(cpt0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpt1 := captureInterval(t, h, 1)
+	enq := make(chan *Pending, 1)
+	go func() {
+		p, err := d.Enqueue(cpt1)
+		if err != nil {
+			t.Error(err)
+		}
+		enq <- p
+	}()
+	// The second enqueue must block on the full queue.
+	deadline := time.Now().Add(5 * time.Second)
+	for h.env.Ins.Counter("ompi_snapc_captures_blocked_total").Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second Enqueue never blocked on the full queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-enq:
+		t.Fatal("Enqueue returned while the queue was full")
+	default:
+	}
+	close(gate)
+	p1 := <-enq
+	if _, err := p0.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p1.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.env.Ins.Counter("ompi_snapc_captures_blocked_total").Value(); got != 1 {
+		t.Errorf("captures_blocked_total = %d", got)
+	}
+	if cpt1.BlockedNS <= 0 {
+		t.Error("backpressure block not folded into the interval's BlockedNS")
+	}
+}
+
+// snapc_stage_bytes_max backpressure: a byte cap smaller than one
+// interval still admits it when the queue is empty (blocking forever
+// would deadlock the capture path) but holds the next interval back
+// until the staged bytes drain.
+func TestDrainerStageBytesBackpressure(t *testing.T) {
+	h := newHarness(t, 4)
+	h.env.Ins = trace.New()
+	gate := make(chan struct{})
+	h.env.Inject = func(point string) error {
+		if point == InjectPreDrain {
+			<-gate
+		}
+		return nil
+	}
+	d := NewDrainer(h.env, drainParams("snapc_drain_queue", "8", "snapc_stage_bytes_max", "1"), nil)
+	defer d.Close()
+
+	cpt0 := captureInterval(t, h, 0)
+	if cpt0.StagedBytes <= 1 {
+		t.Fatalf("test needs an interval larger than the cap, got %d bytes", cpt0.StagedBytes)
+	}
+	p0, err := d.Enqueue(cpt0) // oversized, but the queue is empty: admitted
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpt1 := captureInterval(t, h, 1)
+	enq := make(chan *Pending, 1)
+	go func() {
+		p, err := d.Enqueue(cpt1)
+		if err != nil {
+			t.Error(err)
+		}
+		enq <- p
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for h.env.Ins.Counter("ompi_snapc_captures_blocked_total").Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("Enqueue never blocked on the staged-bytes cap")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	p1 := <-enq
+	if _, err := p0.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p1.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDrainerCloseRejectsEnqueue(t *testing.T) {
+	h := newHarness(t, 2)
+	h.env.Ins = trace.New()
+	d := NewDrainer(h.env, drainParams(), nil)
+	cpt := captureInterval(t, h, 0)
+	d.Close()
+	d.Close() // idempotent
+	if _, err := d.Enqueue(cpt); err == nil {
+		t.Fatal("Enqueue accepted after Close")
+	}
+}
+
+// Crash at every journal edge, then recover. Each injection point
+// simulates a crash that leaves the journal and on-disk state exactly
+// as a real crash would; Recover must resolve each the right way:
+// re-drain from the surviving local stages when stable storage has
+// nothing (or a partial stage), fast-forward when the interval already
+// committed and only the journal edge is missing.
+func TestDrainCrashAtEveryEdgeThenRecover(t *testing.T) {
+	cases := []struct {
+		point     string
+		wantState snapshot.IntervalState // journal state the crash leaves
+		wantFF    int
+		wantRedrn int
+	}{
+		{InjectPreDrain, snapshot.StateCaptured, 0, 1},
+		{InjectMidDrain, snapshot.StateDraining, 0, 1},
+		{InjectPreCommitJournal, snapshot.StateDraining, 1, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.point, func(t *testing.T) {
+			h := newHarness(t, 4)
+			h.env.Ins = trace.New()
+			inj, err := faultsim.Parse("seed=1;" + tc.point + "=times1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			h.env.Inject = inj.Fire
+			d := NewDrainer(h.env, drainParams(), nil)
+			defer d.Close()
+
+			cpt := captureInterval(t, h, 0)
+			p, err := d.Enqueue(cpt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := p.Wait(); !errors.Is(err, faultsim.ErrInjected) {
+				t.Fatalf("Wait = %v, want injected crash", err)
+			}
+			if st := journalState(t, h, 0); st != tc.wantState {
+				t.Fatalf("journal after crash = %s, want %s", st, tc.wantState)
+			}
+			committedOnStable := vfs.Exists(h.stable,
+				path.Join(globalRef(h).IntervalDir(0), snapshot.CommittedFile))
+			if wantCommitted := tc.wantFF == 1; committedOnStable != wantCommitted {
+				t.Fatalf("stable COMMITTED exists = %v, want %v", committedOnStable, wantCommitted)
+			}
+			// The crash left the node-local stages sealed; that is what
+			// makes the re-drain possible.
+			for _, nodeFS := range h.job.nodeFS {
+				if tc.wantRedrn == 1 &&
+					!vfs.Exists(nodeFS, path.Join("tmp/ckpt/job7/0", snapshot.LocalCommittedFile)) {
+					t.Fatal("crash lost the sealed local stage")
+				}
+			}
+
+			h.env.Inject = nil // the "restarted" process has no fault plan
+			rep, err := Recover(h.env, snapshot.GlobalDirName(7), func(string) bool { return true })
+			if err != nil {
+				t.Fatalf("Recover: %v", err)
+			}
+			if rep.FastForwarded != tc.wantFF || rep.Redrained != tc.wantRedrn || rep.Discarded != 0 {
+				t.Fatalf("RecoverReport = %+v, want ff=%d redrain=%d", rep, tc.wantFF, tc.wantRedrn)
+			}
+			if st := journalState(t, h, 0); st != snapshot.StateCommitted {
+				t.Fatalf("journal after recovery = %s", st)
+			}
+			if _, err := snapshot.VerifyInterval(globalRef(h), 0); err != nil {
+				t.Fatalf("recovered interval does not verify: %v", err)
+			}
+			if tc.wantRedrn == 1 {
+				// A re-drain keeps the local stages (KeepLocal): the restart
+				// fast path reads them directly on the surviving node.
+				for _, nodeFS := range h.job.nodeFS {
+					if !vfs.Exists(nodeFS, path.Join("tmp/ckpt/job7/0", snapshot.LocalCommittedFile)) {
+						t.Fatal("re-drain dropped the sealed local stage the restart fast path needs")
+					}
+				}
+				if got := h.env.Ins.Counter("ompi_snapc_intervals_redrained_total").Value(); got != 1 {
+					t.Errorf("intervals_redrained_total = %d", got)
+				}
+			}
+			// Recovery is idempotent: a second pass finds nothing undrained.
+			rep, err = Recover(h.env, snapshot.GlobalDirName(7), func(string) bool { return true })
+			if err != nil || rep != (RecoverReport{}) {
+				t.Fatalf("second Recover = %+v, %v", rep, err)
+			}
+		})
+	}
+}
+
+// A captured node lost before the drain makes the interval
+// unrecoverable: Recover discards the journal entry (with the cause) and
+// sweeps both the stable-storage stage and the surviving nodes' local
+// stages — no debris.
+func TestRecoverDiscardsWhenCapturedNodeLost(t *testing.T) {
+	h := newHarness(t, 4)
+	h.env.Ins = trace.New()
+	inj, err := faultsim.Parse("seed=1;" + InjectMidDrain + "=times1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.env.Inject = inj.Fire
+	d := NewDrainer(h.env, drainParams(), nil)
+	defer d.Close()
+
+	cpt := captureInterval(t, h, 0)
+	p, err := d.Enqueue(cpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Wait(); !errors.Is(err, faultsim.ErrInjected) {
+		t.Fatalf("Wait = %v", err)
+	}
+
+	h.env.Inject = nil
+	rep, err := Recover(h.env, snapshot.GlobalDirName(7), func(node string) bool { return node != "n1" })
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if rep.Discarded != 1 || rep.FastForwarded != 0 || rep.Redrained != 0 {
+		t.Fatalf("RecoverReport = %+v", rep)
+	}
+	e, ok, err := snapshot.OpenJournal(globalRef(h)).Entry(0)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if e.State != snapshot.StateDiscarded || e.Cause == "" {
+		t.Fatalf("discarded entry = %+v", e)
+	}
+	// No debris: the stable stage is gone, and the surviving node's
+	// local stage was swept.
+	if vfs.Exists(h.stable, globalRef(h).StageDir(0)) {
+		t.Fatal("stable stage directory survived the discard")
+	}
+	if vfs.Exists(h.job.nodeFS["n0"], "tmp/ckpt/job7/0") {
+		t.Fatal("surviving node's local stage survived the discard")
+	}
+}
+
+// With no liveness oracle at all (the standalone-tool path: every
+// simulated node died with the original process), an undrained interval
+// is discarded, never re-drained.
+func TestRecoverNilAliveDiscards(t *testing.T) {
+	h := newHarness(t, 2)
+	h.env.Ins = trace.New()
+	inj, err := faultsim.Parse("seed=1;" + InjectPreDrain + "=times1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.env.Inject = inj.Fire
+	d := NewDrainer(h.env, drainParams(), nil)
+	defer d.Close()
+	p, err := d.Enqueue(captureInterval(t, h, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Wait(); !errors.Is(err, faultsim.ErrInjected) {
+		t.Fatalf("Wait = %v", err)
+	}
+	h.env.Inject = nil
+	rep, err := Recover(h.env, snapshot.GlobalDirName(7), nil)
+	if err != nil || rep.Discarded != 1 {
+		t.Fatalf("Recover = %+v, %v", rep, err)
+	}
+}
+
+// A real (non-crash) drain failure is not a crash: the worker discards
+// the interval in the journal with the failure as cause, and the ticket
+// surfaces the error.
+func TestDrainFailureDiscardsInJournal(t *testing.T) {
+	h := newHarness(t, 4)
+	h.env.Ins = trace.New()
+	// Fail every gather transfer: retries are off in the harness, so the
+	// drain itself fails and aborts the interval.
+	inj, err := faultsim.Parse("seed=1;filem.transfer=p1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.env.FilemEnv.Inject = inj.Fire
+	d := NewDrainer(h.env, drainParams(), nil)
+	defer d.Close()
+
+	p, err := d.Enqueue(captureInterval(t, h, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Wait(); err == nil {
+		t.Fatal("drain succeeded despite failing gathers")
+	}
+	e, ok, err := snapshot.OpenJournal(globalRef(h)).Entry(0)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if e.State != snapshot.StateDiscarded || e.Cause == "" {
+		t.Fatalf("journal after drain failure = %+v", e)
+	}
+	// The abort cleaned the stable stage; nothing to recover.
+	rep, err := Recover(h.env, snapshot.GlobalDirName(7), func(string) bool { return true })
+	if err != nil || rep != (RecoverReport{}) {
+		t.Fatalf("Recover after discard = %+v, %v", rep, err)
+	}
+}

@@ -93,6 +93,9 @@ type Env struct {
 	// AckTimeout bounds how long the global coordinator waits for a
 	// local coordinator. Zero means DefaultAckTimeout.
 	AckTimeout time.Duration
+	// Inject is the fault-injection hook for the drain lifecycle edges
+	// ("snapc.drain:<edge>", see drain.go). Optional.
+	Inject func(point string) error
 	// CleanupLocal removes node-local snapshot directories after the
 	// gather (the FILEM remove operation). Defaults to true via
 	// Options.
@@ -101,6 +104,14 @@ type Env struct {
 
 // DefaultAckTimeout bounds the wait for local coordinator acks.
 const DefaultAckTimeout = 2 * time.Minute
+
+// fire consults the drain-lifecycle fault-injection hook.
+func (e *Env) fire(point string) error {
+	if e.Inject == nil {
+		return nil
+	}
+	return e.Inject(point)
+}
 
 // Options modify one checkpoint request.
 type Options struct {
@@ -127,13 +138,46 @@ type Result struct {
 	ReplicasPlaced int
 }
 
+// Captured is the outcome of an interval's synchronous capture phase:
+// every rank quiesced, captured and resumed, and each participating
+// node holds the interval's local snapshots under a LOCAL_COMMITTED
+// marker. Nothing has touched stable storage yet — Drain (directly, or
+// via the Drainer's background queue) performs the gather → commit →
+// replicate half.
+type Captured struct {
+	Job       JobView
+	GlobalDir string
+	Interval  int
+	Opts      Options
+
+	ByNode  map[string][]int
+	Results map[int]procResult
+	Began   time.Time
+
+	// StagedBytes is the interval's total node-local payload, the unit
+	// the Drainer's snapc_stage_bytes_max backpressure counts.
+	StagedBytes int64
+	// BlockedNS accumulates the application-blocked time: the capture
+	// phase itself, plus (added by the Drainer) any backpressure block.
+	BlockedNS int64
+	// EnqueuedAt is stamped by the Drainer when the interval enters the
+	// drain queue; the drain turns it into the DrainWaitNS phase.
+	EnqueuedAt time.Time
+}
+
 // Component is a SNAPC implementation.
 type Component interface {
 	mca.Component
-	// Checkpoint runs one global checkpoint of job, writing the global
+	// Capture runs the synchronous phase of one global checkpoint of
+	// job: quiesce → capture → release on every rank, ending with the
+	// interval staged node-local. hnp is the HNP's RML endpoint; daemons
+	// maps node names to their orted RML names (the local coordinators
+	// must be serving).
+	Capture(env *Env, job JobView, hnp *rml.Endpoint, daemons map[string]names.Name,
+		globalDir string, interval int, opts Options) (*Captured, error)
+	// Checkpoint runs one full global checkpoint of job synchronously
+	// (Capture immediately followed by Drain), writing the global
 	// snapshot under globalDir on stable storage as the given interval.
-	// hnp is the HNP's RML endpoint; daemons maps node names to their
-	// orted RML names (the local coordinators must be serving).
 	Checkpoint(env *Env, job JobView, hnp *rml.Endpoint, daemons map[string]names.Name,
 		globalDir string, interval int, opts Options) (Result, error)
 	// ServeLocal runs a node's local coordinator loop on ep until the
@@ -170,7 +214,10 @@ type procResult struct {
 	Dir       string   `json:"dir"` // node-local snapshot dir
 	QuiesceNS int64    `json:"quiesce_ns,omitempty"`
 	CaptureNS int64    `json:"capture_ns,omitempty"`
-	Err       string   `json:"err,omitempty"`
+	// Bytes is the staged size of the rank's local snapshot. The drain
+	// engine's staged-bytes backpressure cap counts these.
+	Bytes int64  `json:"bytes,omitempty"`
+	Err   string `json:"err,omitempty"`
 }
 
 // localAck is the local→global coordinator report (Fig. 1-D/E).
@@ -191,23 +238,47 @@ func (*Full) Name() string { return "full" }
 // Priority implements mca.Component.
 func (*Full) Priority() int { return 20 }
 
-// localBaseDir is where a node keeps its local snapshots for one
-// checkpoint interval of one job.
-func localBaseDir(job names.JobID, interval int) string {
+// LocalBaseDir is where a node keeps its local snapshots for one
+// checkpoint interval of one job. Exported for the restart fast path,
+// which probes surviving nodes for a still-valid local stage.
+func LocalBaseDir(job names.JobID, interval int) string {
 	return fmt.Sprintf("tmp/ckpt/job%d/%d", job, interval)
 }
 
-// Checkpoint implements Component. It is the global coordinator.
+// localBaseDir is the package-internal alias.
+func localBaseDir(job names.JobID, interval int) string {
+	return LocalBaseDir(job, interval)
+}
+
+// Checkpoint implements Component: one full synchronous checkpoint —
+// Capture immediately followed by Drain.
 func (f *Full) Checkpoint(env *Env, job JobView, hnp *rml.Endpoint, daemons map[string]names.Name,
 	globalDir string, interval int, opts Options) (Result, error) {
+	cap, err := f.Capture(env, job, hnp, daemons, globalDir, interval, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return Drain(env, cap)
+}
+
+// Capture implements Component: the synchronous phase of the global
+// coordinator — checkpointability check, fan-out to the local
+// coordinators, ack collection. When it returns, every rank has already
+// resumed and the interval is staged node-local under LOCAL_COMMITTED
+// markers.
+func (f *Full) Capture(env *Env, job JobView, hnp *rml.Endpoint, daemons map[string]names.Name,
+	globalDir string, interval int, opts Options) (*Captured, error) {
 	began := time.Now()
 	log := env.Ins
+	csp := env.Ins.Span("snapc.capture", trace.WithInterval(interval), trace.WithSource("snapc.global"))
 	log.Emit("snapc.global", "ckpt.request", "job %d interval %d terminate=%v", job.JobID(), interval, opts.Terminate)
 
 	// §5.1: verify every target is checkpointable before touching any.
 	for v := 0; v < job.NumProcs(); v++ {
 		if !job.Checkpointable(v) {
-			return Result{}, fmt.Errorf("%w: job %d rank %d", ErrNotCheckpointable, job.JobID(), v)
+			err := fmt.Errorf("%w: job %d rank %d", ErrNotCheckpointable, job.JobID(), v)
+			csp.End(err)
+			return nil, err
 		}
 	}
 
@@ -222,14 +293,17 @@ func (f *Full) Checkpoint(env *Env, job JobView, hnp *rml.Endpoint, daemons map[
 	for node, vpids := range byNode {
 		daemon, ok := daemons[node]
 		if !ok {
-			return Result{}, fmt.Errorf("snapc: no local coordinator on node %q", node)
+			err := fmt.Errorf("snapc: no local coordinator on node %q", node)
+			csp.End(err)
+			return nil, err
 		}
 		req := localRequest{
 			Job: int(job.JobID()), Interval: interval,
 			Vpids: vpids, BaseDir: base, Terminate: opts.Terminate,
 		}
 		if err := hnp.SendJSON(daemon, rml.TagSnapcRequest, req); err != nil {
-			return Result{}, fmt.Errorf("snapc: order node %q: %w", node, err)
+			csp.End(err)
+			return nil, fmt.Errorf("snapc: order node %q: %w", node, err)
 		}
 	}
 
@@ -243,15 +317,18 @@ func (f *Full) Checkpoint(env *Env, job JobView, hnp *rml.Endpoint, daemons map[
 	for len(seen) < len(byNode) {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
+			err := fmt.Errorf("snapc: checkpoint interval %d: %w deadline exceeded (%d of %d node acks)",
+				interval, errAborted, len(seen), len(byNode))
 			abortInterval(env, job, byNode, globalDir, interval,
 				fmt.Errorf("deadline exceeded with %d of %d node acks", len(seen), len(byNode)))
-			return Result{}, fmt.Errorf("snapc: checkpoint interval %d: %w deadline exceeded (%d of %d node acks)",
-				interval, errAborted, len(seen), len(byNode))
+			csp.End(err)
+			return nil, err
 		}
 		var ack localAck
 		if _, err := hnp.RecvJSONTimeout(rml.TagSnapcAck, &ack, remaining); err != nil {
 			abortInterval(env, job, byNode, globalDir, interval, err)
-			return Result{}, fmt.Errorf("snapc: waiting for local coordinators: %w", err)
+			csp.End(err)
+			return nil, fmt.Errorf("snapc: waiting for local coordinators: %w", err)
 		}
 		// Discard stale acks from earlier (aborted or timed-out)
 		// intervals: without this match, a late ack would be
@@ -263,12 +340,16 @@ func (f *Full) Checkpoint(env *Env, job JobView, hnp *rml.Endpoint, daemons map[
 		}
 		if ack.Err != "" {
 			abortInterval(env, job, byNode, globalDir, interval, errors.New(ack.Err))
-			return Result{}, fmt.Errorf("snapc: node %q: %s", ack.Node, ack.Err)
+			err := fmt.Errorf("snapc: node %q: %s", ack.Node, ack.Err)
+			csp.End(err)
+			return nil, err
 		}
 		for _, pr := range ack.Results {
 			if pr.Err != "" {
 				abortInterval(env, job, byNode, globalDir, interval, errors.New(pr.Err))
-				return Result{}, fmt.Errorf("snapc: rank %d on %q: %s", pr.Vpid, ack.Node, pr.Err)
+				err := fmt.Errorf("snapc: rank %d on %q: %s", pr.Vpid, ack.Node, pr.Err)
+				csp.End(err)
+				return nil, err
 			}
 			results[pr.Vpid] = pr
 		}
@@ -278,11 +359,35 @@ func (f *Full) Checkpoint(env *Env, job JobView, hnp *rml.Endpoint, daemons map[
 	if len(results) != job.NumProcs() {
 		abortInterval(env, job, byNode, globalDir, interval,
 			fmt.Errorf("%d of %d local snapshots reported", len(results), job.NumProcs()))
-		return Result{}, fmt.Errorf("snapc: %d of %d local snapshots reported", len(results), job.NumProcs())
+		err := fmt.Errorf("snapc: %d of %d local snapshots reported", len(results), job.NumProcs())
+		csp.End(err)
+		return nil, err
 	}
+	csp.End(nil)
+	return newCaptured(job, globalDir, interval, opts, byNode, results, began), nil
+}
 
-	// Aggregate to stable storage and write metadata (Fig. 1-F).
-	return finishGlobal(env, job, globalDir, interval, opts, byNode, results, began)
+// newCaptured assembles the capture-phase outcome shared by the full
+// and tree coordinators: staged-byte totals for backpressure accounting
+// and the slowest rank's quiesce+capture as the blocked share.
+func newCaptured(job JobView, globalDir string, interval int, opts Options,
+	byNode map[string][]int, results map[int]procResult, began time.Time) *Captured {
+	cap := &Captured{
+		Job: job, GlobalDir: globalDir, Interval: interval, Opts: opts,
+		ByNode: byNode, Results: results, Began: began,
+	}
+	var quiesceWall, captureWall int64
+	for _, pr := range results {
+		cap.StagedBytes += pr.Bytes
+		if pr.QuiesceNS > quiesceWall {
+			quiesceWall = pr.QuiesceNS
+		}
+		if pr.CaptureNS > captureWall {
+			captureWall = pr.CaptureNS
+		}
+	}
+	cap.BlockedNS = quiesceWall + captureWall
+	return cap
 }
 
 // errAborted tags checkpoint failures that aborted the interval.
@@ -351,19 +456,42 @@ func gatherBaseline(env *Env, ref snapshot.GlobalRef, interval int, enabled bool
 	return &filem.Baseline{Dir: ref.IntervalDir(prev), ByHash: idx}
 }
 
-// finishGlobal is the back half of a global checkpoint, shared by every
-// coordination topology: FILEM-gather the local snapshots into the
-// global snapshot directory on stable storage while the processes have
-// already resumed normal operation, write the global metadata, and
-// clean the node-local temporaries.
-func finishGlobal(env *Env, job JobView, globalDir string, interval int, opts Options,
-	byNode map[string][]int, results map[int]procResult, began time.Time) (Result, error) {
+// Drain is the asynchronous half of a global checkpoint, shared by
+// every coordination topology: FILEM-gather the captured node-local
+// snapshots into the global snapshot directory on stable storage while
+// the processes run on, write the global metadata, push replicas, and
+// clean the node-local temporaries. Callers that want background
+// draining go through the Drainer; recovery re-drains call it directly.
+func Drain(env *Env, cpt *Captured) (Result, error) {
+	res, err := finishGlobal(env, cpt)
+	if err == nil {
+		// Drain-scoped FILEM accounting: bytes and transfers the drain
+		// engine moved (gather plus replica pushes), as opposed to the
+		// restart broadcast path.
+		moved := res.GatherStats.Add(res.ReplicaStats)
+		env.Ins.Counter("ompi_filem_drain_bytes_total").Add(moved.Bytes)
+		env.Ins.Counter("ompi_filem_drain_transfers_total").Add(int64(moved.Transfers))
+	}
+	return res, err
+}
+
+// finishGlobal implements Drain.
+func finishGlobal(env *Env, cpt *Captured) (Result, error) {
+	job, globalDir, interval, opts := cpt.Job, cpt.GlobalDir, cpt.Interval, cpt.Opts
+	byNode, results, began := cpt.ByNode, cpt.Results, cpt.Began
+	drainStart := time.Now()
 	log := env.Ins
 	root := env.Ins.Span("snapc.interval", trace.WithInterval(interval), trace.WithSource("snapc.global"))
+	dsp := root.Child("snapc.drain")
 	// Per-phase attribution starts from what the ranks reported: quiesce
 	// and capture happen rank-parallel, so the wall share is the slowest
-	// rank and the sum is the aggregate work.
-	pb := &snapshot.PhaseBreakdown{}
+	// rank and the sum is the aggregate work. The capture phase already
+	// totaled the blocked share; the queue wait (if the Drainer staged
+	// this interval) is everything between enqueue and now.
+	pb := &snapshot.PhaseBreakdown{BlockedNS: cpt.BlockedNS}
+	if !cpt.EnqueuedAt.IsZero() {
+		pb.DrainWaitNS = int64(drainStart.Sub(cpt.EnqueuedAt))
+	}
 	for _, pr := range results {
 		pb.QuiesceSumNS += pr.QuiesceNS
 		pb.CaptureSumNS += pr.CaptureNS
@@ -385,6 +513,7 @@ func finishGlobal(env *Env, job JobView, globalDir string, interval int, opts Op
 	if vfs.Exists(env.Stable, stage) {
 		if err := env.Stable.Remove(stage); err != nil {
 			abortInterval(env, job, byNode, globalDir, interval, err)
+			dsp.End(err)
 			root.End(err)
 			return Result{}, fmt.Errorf("snapc: clear stale stage for interval %d: %w", interval, err)
 		}
@@ -408,6 +537,7 @@ func finishGlobal(env *Env, job JobView, globalDir string, interval int, opts Op
 	gsp.End(err)
 	if err != nil {
 		abortInterval(env, job, byNode, globalDir, interval, err)
+		dsp.End(err)
 		root.End(err)
 		return Result{}, fmt.Errorf("snapc: gather to stable storage: %w", err)
 	}
@@ -472,6 +602,7 @@ func finishGlobal(env *Env, job JobView, globalDir string, interval int, opts Op
 	if err := snapshot.WriteGlobal(ref, meta); err != nil {
 		csp.End(err)
 		abortInterval(env, job, byNode, globalDir, interval, err)
+		dsp.End(err)
 		root.End(err)
 		return Result{}, fmt.Errorf("snapc: commit global snapshot: %w", err)
 	}
@@ -512,6 +643,9 @@ func finishGlobal(env *Env, job JobView, globalDir string, interval int, opts Op
 		}
 	}
 	env.Ins.Counter("ompi_snapc_intervals_committed_total").Inc()
+	pb.DrainNS = int64(time.Since(drainStart))
+	env.Ins.ObserveSeconds("ompi_snapc_interval_e2e_seconds", time.Since(began))
+	dsp.End(nil)
 	root.End(nil)
 	log.Emit("snapc.global", "ckpt.done", "global snapshot %s interval %d", globalDir, interval)
 	return Result{Ref: ref, Meta: meta, Interval: interval,
@@ -641,12 +775,14 @@ func (f *Full) handleLocal(env *Env, node string, req localRequest, resolve func
 			Terminate: req.Terminate, Result: results,
 		})
 	}
+	clean := true
 	for range req.Vpids {
 		res := <-results
 		pr := procResult{Vpid: res.Rank, Component: res.Component, Files: res.Files, Dir: dirs[res.Rank],
 			QuiesceNS: res.QuiesceNS, CaptureNS: res.CaptureNS}
 		if res.Err != nil {
 			pr.Err = res.Err.Error()
+			clean = false
 			ack.Results = append(ack.Results, pr)
 			continue
 		}
@@ -659,8 +795,22 @@ func (f *Full) handleLocal(env *Env, node string, req localRequest, resolve func
 		}
 		if _, err := snapshot.WriteLocal(nodeFS, dirs[res.Rank], meta); err != nil {
 			pr.Err = err.Error()
+			clean = false
+		} else if sz, err := vfs.TreeSize(nodeFS, dirs[res.Rank]); err == nil {
+			pr.Bytes = sz
 		}
 		ack.Results = append(ack.Results, pr)
+	}
+	// Every rank staged: seal the node's share of the interval with the
+	// LOCAL_COMMITTED marker. The async drain and the restart fast path
+	// trust a node-local stage only under this marker — it is the local
+	// analogue of the global COMMITTED file.
+	if clean {
+		marker := path.Join(req.BaseDir, snapshot.LocalCommittedFile)
+		body := fmt.Sprintf("job %d interval %d procs %d\n", req.Job, req.Interval, len(req.Vpids))
+		if err := nodeFS.WriteFile(marker, []byte(body)); err != nil {
+			ack.Err = fmt.Sprintf("seal local stage: %v", err)
+		}
 	}
 	return ack
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/orte/names"
 	"repro/internal/orte/rml"
+	"repro/internal/trace"
 )
 
 // Tree is the hierarchical snapshot coordinator: the alternative
@@ -56,17 +57,31 @@ func (r *treeRequest) daemonName(node string) (names.Name, bool) {
 	return names.Name{Job: names.JobID(d.Job), Vpid: names.Vpid(d.Vpid)}, true
 }
 
-// Checkpoint implements Component: the global coordinator, tree flavor.
+// Checkpoint implements Component: the global coordinator, tree flavor —
+// Capture immediately followed by Drain, like full.
 func (t *Tree) Checkpoint(env *Env, job JobView, hnp *rml.Endpoint, daemons map[string]names.Name,
 	globalDir string, interval int, opts Options) (Result, error) {
+	cap, err := t.Capture(env, job, hnp, daemons, globalDir, interval, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return Drain(env, cap)
+}
+
+// Capture implements Component: the synchronous phase, tree flavor.
+func (t *Tree) Capture(env *Env, job JobView, hnp *rml.Endpoint, daemons map[string]names.Name,
+	globalDir string, interval int, opts Options) (*Captured, error) {
 	began := time.Now()
 	log := env.Ins
+	csp := env.Ins.Span("snapc.capture", trace.WithInterval(interval), trace.WithSource("snapc.global"))
 	log.Emit("snapc.global", "ckpt.request", "job %d interval %d terminate=%v (tree)", job.JobID(), interval, opts.Terminate)
 
 	// §5.1 atomic checkpointability check, same as full.
 	for v := 0; v < job.NumProcs(); v++ {
 		if !job.Checkpointable(v) {
-			return Result{}, fmt.Errorf("%w: job %d rank %d", ErrNotCheckpointable, job.JobID(), v)
+			err := fmt.Errorf("%w: job %d rank %d", ErrNotCheckpointable, job.JobID(), v)
+			csp.End(err)
+			return nil, err
 		}
 	}
 	byNode := make(map[string][]int)
@@ -87,7 +102,9 @@ func (t *Tree) Checkpoint(env *Env, job JobView, hnp *rml.Endpoint, daemons map[
 	for _, n := range nodes {
 		dn, ok := daemons[n]
 		if !ok {
-			return Result{}, fmt.Errorf("snapc tree: no local coordinator on node %q", n)
+			err := fmt.Errorf("snapc tree: no local coordinator on node %q", n)
+			csp.End(err)
+			return nil, err
 		}
 		req.Daemons[n] = struct {
 			Job  int `json:"job"`
@@ -98,7 +115,8 @@ func (t *Tree) Checkpoint(env *Env, job JobView, hnp *rml.Endpoint, daemons map[
 	rootDaemon, _ := req.daemonName(nodes[0])
 	req.SelfIndex = 0
 	if err := hnp.SendJSON(rootDaemon, rml.TagSnapcRequest, req); err != nil {
-		return Result{}, fmt.Errorf("snapc tree: order root %q: %w", nodes[0], err)
+		csp.End(err)
+		return nil, fmt.Errorf("snapc tree: order root %q: %w", nodes[0], err)
 	}
 	// ...and one aggregated ack back up, within the request deadline.
 	// Acks are matched on (job, interval) so stale reports from aborted
@@ -110,11 +128,14 @@ func (t *Tree) Checkpoint(env *Env, job JobView, hnp *rml.Endpoint, daemons map[
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
 			abortInterval(env, job, byNode, globalDir, interval, fmt.Errorf("deadline exceeded"))
-			return Result{}, fmt.Errorf("snapc tree: checkpoint interval %d: %w deadline exceeded", interval, errAborted)
+			err := fmt.Errorf("snapc tree: checkpoint interval %d: %w deadline exceeded", interval, errAborted)
+			csp.End(err)
+			return nil, err
 		}
 		if _, err := hnp.RecvJSONTimeout(rml.TagSnapcAck, &ack, remaining); err != nil {
 			abortInterval(env, job, byNode, globalDir, interval, err)
-			return Result{}, fmt.Errorf("snapc tree: waiting for aggregated ack: %w", err)
+			csp.End(err)
+			return nil, fmt.Errorf("snapc tree: waiting for aggregated ack: %w", err)
 		}
 		if ack.Job != int(job.JobID()) || ack.Interval != interval {
 			log.Emit("snapc.global", "ckpt.stale-ack", "discarding ack for job %d interval %d (running interval %d)",
@@ -125,25 +146,30 @@ func (t *Tree) Checkpoint(env *Env, job JobView, hnp *rml.Endpoint, daemons map[
 	}
 	if ack.Err != "" {
 		abortInterval(env, job, byNode, globalDir, interval, errors.New(ack.Err))
-		return Result{}, fmt.Errorf("snapc tree: %s", ack.Err)
+		err := fmt.Errorf("snapc tree: %s", ack.Err)
+		csp.End(err)
+		return nil, err
 	}
 	results := make(map[int]procResult, job.NumProcs())
 	for _, pr := range ack.Results {
 		if pr.Err != "" {
 			abortInterval(env, job, byNode, globalDir, interval, errors.New(pr.Err))
-			return Result{}, fmt.Errorf("snapc tree: rank %d: %s", pr.Vpid, pr.Err)
+			err := fmt.Errorf("snapc tree: rank %d: %s", pr.Vpid, pr.Err)
+			csp.End(err)
+			return nil, err
 		}
 		results[pr.Vpid] = pr
 	}
 	if len(results) != job.NumProcs() {
 		abortInterval(env, job, byNode, globalDir, interval,
 			fmt.Errorf("%d of %d local snapshots reported", len(results), job.NumProcs()))
-		return Result{}, fmt.Errorf("snapc tree: %d of %d local snapshots reported", len(results), job.NumProcs())
+		err := fmt.Errorf("snapc tree: %d of %d local snapshots reported", len(results), job.NumProcs())
+		csp.End(err)
+		return nil, err
 	}
 	log.Emit("snapc.global", "ckpt.node-done", "aggregated ack covers %d procs (tree)", len(results))
-
-	// Aggregation to stable storage and metadata: shared with full.
-	return finishGlobal(env, job, globalDir, interval, opts, byNode, results, began)
+	csp.End(nil)
+	return newCaptured(job, globalDir, interval, opts, byNode, results, began), nil
 }
 
 // ServeLocal implements Component: relay down, handle locally, aggregate
