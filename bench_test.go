@@ -12,6 +12,7 @@
 //	A8     BenchmarkIncrementalGather
 //	A9     BenchmarkReplicationOverhead
 //	A10    BenchmarkAsyncDrainPipeline
+//	A11    BenchmarkRecoveryVsRestart
 //
 // Run with: go test -bench=. -benchmem
 //
@@ -869,5 +870,94 @@ func BenchmarkAsyncDrainPipeline(b *testing.B) {
 				b.Fatal(err)
 			}
 		})
+	}
+}
+
+// BenchmarkRecoveryVsRestart is ablation A11: after a node loss at a
+// committed KeepLocal frontier, how long until the job is computing
+// again — and how many bytes had to be restored — for in-job single-rank
+// recovery versus the whole-job restart ladder, across job sizes. The
+// in-job path stages one rank's image and rolls survivors back in
+// place; the whole-job path re-stages every rank from stable storage.
+func BenchmarkRecoveryVsRestart(b *testing.B) {
+	const cells = 4096 // ~32 KiB of state per rank
+	for _, np := range []int{4, 8, 16} {
+		for _, mode := range []string{"injob", "wholejob"} {
+			b.Run(fmt.Sprintf("np=%d/mode=%s", np, mode), func(b *testing.B) {
+				var restored, recovered int64
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					ins := trace.New()
+					sys, err := core.NewSystem(core.Options{
+						Nodes: np + 1, SlotsPerNode: 1, Ins: ins,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					args := []string{"-steps", "0", "-cells", fmt.Sprint(cells)}
+					factory, err := apps.Lookup("stencil", args)
+					if err != nil {
+						b.Fatal(err)
+					}
+					job, err := sys.Launch(core.JobSpec{Name: "stencil", Args: args, NP: np, AppFactory: factory})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if mode == "injob" {
+						job.SetRecoveryHandler(sys.Recovery())
+					}
+					if _, err := sys.Cluster().CheckpointJob(job.JobID(), snapc.Options{KeepLocal: mode == "injob"}); err != nil {
+						b.Fatal(err)
+					}
+					victim := job.NodeOf(np - 1)
+					b.StartTimer()
+					if err := sys.Cluster().KillNode(victim); err != nil {
+						b.Fatal(err)
+					}
+					live := job
+					if mode == "injob" {
+						// Recovered ranks are released only after the
+						// session completes: the counter marks the job
+						// computing again.
+						c := ins.Counter("ompi_recovery_recovered_ranks_total")
+						for c.Value() == 0 {
+							time.Sleep(50 * time.Microsecond)
+						}
+					} else {
+						if err := job.Wait(); err == nil {
+							b.Fatal("job survived node loss without a recovery handler")
+						}
+						ref, err := sys.OpenGlobalSnapshot(snapshot.GlobalDirName(int(job.JobID())))
+						if err != nil {
+							b.Fatal(err)
+						}
+						live, err = sys.RestartLatest(ref, factory)
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.StopTimer()
+					restored += ins.Counter("ompi_recovery_restored_bytes_total").Value() +
+						ins.Counter("ompi_restart_restored_bytes_total").Value()
+					recovered++
+					// Released ranks re-arm checkpointability as they resume;
+					// give the terminate checkpoint a few tries.
+					for tries := 0; ; tries++ {
+						if _, err = sys.Checkpoint(live.JobID(), true); err == nil {
+							break
+						}
+						if tries > 100 {
+							b.Fatal(err)
+						}
+						time.Sleep(time.Millisecond)
+					}
+					if err := live.Wait(); err != nil {
+						b.Fatal(err)
+					}
+					sys.Close()
+				}
+				b.ReportMetric(float64(restored)/float64(recovered)/1024, "restored-KiB/recovery")
+			})
+		}
 	}
 }

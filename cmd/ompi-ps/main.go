@@ -10,6 +10,17 @@
 // bytes gathered/deduped, retries), fetched through the control
 // channel's "metrics" op. --metrics dumps the full Prometheus text
 // once and exits.
+//
+// --ranks expands one job into its per-rank table: where each rank
+// runs, its lifecycle state, the last checkpoint interval it took part
+// in, and where its current incarnation's state came from (fresh
+// launch, in-place rollback, staged recovery or migration source).
+// --migrate rank=N node=M moves one rank of a running job onto another
+// live node through an in-job recovery session, without restarting the
+// survivors:
+//
+//	ompi-ps --ranks PID_OF_OMPI_RUN
+//	ompi-ps --migrate rank=2 node=node4 PID_OF_OMPI_RUN
 package main
 
 import (
@@ -37,8 +48,11 @@ func run() error {
 	watch := fs.Bool("watch", false, "refresh the listing periodically with live checkpoint counters")
 	interval := fs.Duration("interval", time.Second, "refresh period for --watch")
 	metrics := fs.Bool("metrics", false, "dump the full Prometheus metrics text and exit")
+	ranks := fs.Bool("ranks", false, "list the per-rank table (node, state, interval, restore source)")
+	migrate := fs.String("migrate", "", "move a rank: rank=N node=M (in-job, survivors keep running)")
+	job := fs.Int("job", 0, "job id for --ranks/--migrate (default: the only job)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: ompi-ps [--watch] PID_OF_OMPI_RUN")
+		fmt.Fprintln(os.Stderr, "usage: ompi-ps [--watch|--ranks|--migrate rank=N node=M] PID_OF_OMPI_RUN")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -58,6 +72,26 @@ func run() error {
 		if err != nil {
 			return err
 		}
+	}
+	if *migrate != "" {
+		rank, node, err := parseMigrateSpec(*migrate)
+		if err != nil {
+			return err
+		}
+		resp, err := runtime.ControlDial(target, runtime.ControlRequest{
+			Op: "migrate", Job: *job, Rank: rank, Node: node,
+		})
+		if err != nil {
+			return err
+		}
+		if !resp.OK {
+			return fmt.Errorf("%s", resp.Err)
+		}
+		fmt.Printf("rank %d migrated to %s\n", rank, node)
+		return listRanks(target, *job)
+	}
+	if *ranks {
+		return listRanks(target, *job)
 	}
 	if *metrics {
 		resp, err := runtime.ControlDial(target, runtime.ControlRequest{Op: "metrics"})
@@ -120,6 +154,58 @@ func listOnce(target string, withCounters bool) error {
 		fmt.Printf("  %-40s %s\n", n, counters[n])
 	}
 	return nil
+}
+
+// listRanks prints one job's per-rank table from the "ranks" op.
+func listRanks(target string, job int) error {
+	resp, err := runtime.ControlDial(target, runtime.ControlRequest{Op: "ranks", Job: job})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("%s", resp.Err)
+	}
+	fmt.Printf("%4s %-10s %-10s %8s  %s\n", "RANK", "NODE", "STATE", "INTERVAL", "SOURCE")
+	for _, r := range resp.Ranks {
+		iv := strconv.Itoa(r.Interval)
+		if r.Interval < 0 {
+			iv = "-"
+		}
+		src := r.Source
+		if src == "" {
+			src = "launch"
+		}
+		fmt.Printf("%4d %-10s %-10s %8s  %s\n", r.Rank, r.Node, r.State, iv, src)
+	}
+	return nil
+}
+
+// parseMigrateSpec parses the --migrate argument "rank=N node=M"
+// (space- or comma-separated, order-free).
+func parseMigrateSpec(spec string) (int, string, error) {
+	rank, node := -1, ""
+	for _, f := range strings.FieldsFunc(spec, func(r rune) bool { return r == ' ' || r == ',' }) {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return 0, "", fmt.Errorf("bad --migrate field %q: want rank=N node=M", f)
+		}
+		switch key {
+		case "rank":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return 0, "", fmt.Errorf("bad --migrate rank %q", val)
+			}
+			rank = n
+		case "node":
+			node = val
+		default:
+			return 0, "", fmt.Errorf("unknown --migrate field %q: want rank=N node=M", key)
+		}
+	}
+	if rank < 0 || node == "" {
+		return 0, "", fmt.Errorf("--migrate needs both rank=N and node=M")
+	}
+	return rank, node, nil
 }
 
 // parseCounters pulls the single-valued sample lines (counters and

@@ -48,6 +48,7 @@ func run() error {
 	every := fs.Duration("checkpoint-every", 0, "take a global checkpoint periodically (0 = off)")
 	asyncDrain := fs.Bool("async-drain", false, "drain periodic checkpoints in the background: the job only blocks for the capture phase")
 	autoRestart := fs.Int("auto-restart", 0, "after a failure, restart the job up to N times from the newest valid snapshot (0 = off)")
+	recover := fs.String("recover", "whole-job", `node-loss posture: "whole-job" restarts the job from the newest snapshot; "in-job" respawns only the lost ranks in place and keeps the survivors running (falls back to whole-job when a session cannot converge)`)
 	verbose := fs.Bool("v", false, "print trace summary at exit")
 	var mcaArgs mcaFlags
 	fs.Var(&mcaArgs, "mca", "MCA parameter key=value (repeatable), e.g. --mca crcp=bkmrk --mca crs=self")
@@ -72,6 +73,15 @@ func run() error {
 	params, err := mca.ParseParams(mcaArgs)
 	if err != nil {
 		return err
+	}
+	var policy core.RecoveryPolicy
+	switch *recover {
+	case "whole-job":
+		policy = core.RecoverWholeJob
+	case "in-job":
+		policy = core.RecoverInJob
+	default:
+		return fmt.Errorf("unknown --recover policy %q (want whole-job or in-job)", *recover)
 	}
 
 	ins := trace.New()
@@ -108,6 +118,7 @@ func run() error {
 		AutoRestart:     *autoRestart,
 		CheckpointEvery: *every,
 		AsyncDrain:      *asyncDrain,
+		Recovery:        policy,
 		Progress: func(ck core.CheckpointResult) {
 			fmt.Printf("ompi-run: periodic Snapshot Ref.: %d %s\n", ck.Interval, ck.Dir)
 		},
@@ -117,6 +128,10 @@ func run() error {
 	}
 	if rep.FailedCheckpoints > 0 {
 		fmt.Fprintf(os.Stderr, "ompi-run: %d checkpoint attempt(s) aborted\n", rep.FailedCheckpoints)
+	}
+	if ij := rep.InJobRecovery; ij.Sessions > 0 {
+		fmt.Printf("ompi-run: in-job recovery: %d session(s), %d rank(s) recovered, %d migrated, %d retr%s, %d fallback(s), %d B restored\n",
+			ij.Sessions, ij.RecoveredRanks, ij.Migrations, ij.Retries, plural(ij.Retries, "y", "ies"), ij.Fallbacks, ij.RestoredBytes)
 	}
 	if rep.Restarts > 0 {
 		fmt.Printf("ompi-run: recovered from %d failure(s) via auto-restart\n", rep.Restarts)
@@ -143,4 +158,11 @@ func run() error {
 	}
 	fmt.Println("ompi-run: job completed")
 	return nil
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }

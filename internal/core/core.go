@@ -26,6 +26,7 @@ import (
 	"repro/internal/ompi"
 	"repro/internal/orte/names"
 	"repro/internal/orte/plm"
+	"repro/internal/orte/recovery"
 	"repro/internal/orte/runtime"
 	"repro/internal/orte/snapc"
 	"repro/internal/trace"
@@ -66,6 +67,9 @@ type Options struct {
 type System struct {
 	cluster *runtime.Cluster
 	ins     *trace.Instrumentation
+
+	recovMu sync.Mutex
+	recov   *recovery.Coordinator // lazily built in-job recovery coordinator
 }
 
 // JobSpec re-exports the runtime job description.
@@ -144,7 +148,12 @@ func (s *System) JobIDs() []names.JobID { return s.cluster.JobIDs() }
 // terminating it) and returns the global snapshot reference — the one
 // name the user must preserve (paper §4).
 func (s *System) Checkpoint(id names.JobID, terminate bool) (CheckpointResult, error) {
-	res, err := s.cluster.CheckpointJob(id, snapc.Options{Terminate: terminate})
+	return s.checkpoint(id, snapc.Options{Terminate: terminate})
+}
+
+// checkpoint is Checkpoint with full SNAPC options (KeepLocal etc.).
+func (s *System) checkpoint(id names.JobID, copts snapc.Options) (CheckpointResult, error) {
+	res, err := s.cluster.CheckpointJob(id, copts)
 	if err != nil {
 		return CheckpointResult{}, err
 	}
@@ -189,7 +198,12 @@ func (p *PendingCheckpoint) Wait() (CheckpointResult, error) {
 // resumes — and queues the interval for the background drain engine.
 // The returned ticket's Wait yields the committed snapshot reference.
 func (s *System) CheckpointAsync(id names.JobID, terminate bool) (*PendingCheckpoint, error) {
-	p, err := s.cluster.CheckpointJobAsync(id, snapc.Options{Terminate: terminate})
+	return s.checkpointAsync(id, snapc.Options{Terminate: terminate})
+}
+
+// checkpointAsync is CheckpointAsync with full SNAPC options.
+func (s *System) checkpointAsync(id names.JobID, copts snapc.Options) (*PendingCheckpoint, error) {
+	p, err := s.cluster.CheckpointJobAsync(id, copts)
 	if err != nil {
 		return nil, err
 	}
@@ -280,6 +294,15 @@ type SuperviseOptions struct {
 	AsyncDrain bool
 	// Progress, when non-nil, is called after every committed checkpoint.
 	Progress func(CheckpointResult)
+	// Recovery selects the node-loss posture. RecoverWholeJob (zero
+	// value) keeps the paper's abort-and-restart behavior; RecoverInJob
+	// attaches the in-job recovery coordinator to every incarnation, so
+	// node loss respawns only the lost ranks (whole-job restart remains
+	// the fallback when a session cannot converge). In-job mode also
+	// keeps each periodic checkpoint's node-local stages (KeepLocal) —
+	// they are the zero-cost rollback source for the survivors — and
+	// prunes stages older than the newest committed interval.
+	Recovery RecoveryPolicy
 }
 
 // RestartSource records which interval — and which copy of it — one
@@ -307,6 +330,11 @@ type SuperviseReport struct {
 	// passes resolved (async mode): intervals fast-forwarded, re-drained
 	// from surviving local stages, or discarded.
 	DrainRecovery snapc.RecoverReport
+	// InJobRecovery summarizes the in-job recovery coordinator's work
+	// during this supervised run (RecoverInJob policy): sessions,
+	// recovered ranks, retries, fallbacks into whole-job restart,
+	// migrations, and bytes staged for restores.
+	InJobRecovery recovery.Stats
 }
 
 // Supervise runs a job to completion, checkpointing it periodically and —
@@ -327,6 +355,28 @@ type SuperviseReport struct {
 // appFactory must build the same application the job runs; it is handed
 // to every restarted incarnation.
 func (s *System) Supervise(job *Job, appFactory func(rank int) ompi.App, opts SuperviseOptions) (SuperviseReport, error) {
+	var co *recovery.Coordinator
+	var base recovery.Stats
+	if opts.Recovery == RecoverInJob {
+		co = s.Recovery()
+		base = co.Stats()
+	}
+	rep, err := s.superviseLoop(job, appFactory, opts, co)
+	if co != nil {
+		d := co.Stats()
+		rep.InJobRecovery = recovery.Stats{
+			Sessions:       d.Sessions - base.Sessions,
+			RecoveredRanks: d.RecoveredRanks - base.RecoveredRanks,
+			Retries:        d.Retries - base.Retries,
+			Fallbacks:      d.Fallbacks - base.Fallbacks,
+			Migrations:     d.Migrations - base.Migrations,
+			RestoredBytes:  d.RestoredBytes - base.RestoredBytes,
+		}
+	}
+	return rep, err
+}
+
+func (s *System) superviseLoop(job *Job, appFactory func(rank int) ompi.App, opts SuperviseOptions, co *recovery.Coordinator) (SuperviseReport, error) {
 	var rep SuperviseReport
 	var mu sync.Mutex
 	// Snapshot lineage: the original job's global reference plus one per
@@ -336,6 +386,13 @@ func (s *System) Supervise(job *Job, appFactory func(rank int) ompi.App, opts Su
 	scrubEvery := job.Params().Duration("scrub_interval", 0)
 	replicas := job.Params().Int("filem_replicas", 0)
 	for {
+		if co != nil {
+			// Every incarnation opts into in-job recovery: node loss
+			// freezes the job and respawns only the lost ranks; the
+			// incarnation dies (and this loop restarts it whole) only
+			// when a session falls back.
+			current.SetRecoveryHandler(co)
+		}
 		stop := make(chan struct{})
 		var tickers sync.WaitGroup
 		if scrubEvery > 0 {
@@ -366,6 +423,9 @@ func (s *System) Supervise(job *Job, appFactory func(rank int) ompi.App, opts Su
 		}
 		if opts.CheckpointEvery > 0 {
 			tickers.Add(1)
+			// In-job recovery keeps every periodic checkpoint's node-local
+			// stages: they are the survivors' zero-cost rollback source.
+			copts := snapc.Options{KeepLocal: co != nil}
 			go func(j *Job) {
 				defer tickers.Done()
 				t := time.NewTicker(opts.CheckpointEvery)
@@ -383,7 +443,7 @@ func (s *System) Supervise(job *Job, appFactory func(rank int) ompi.App, opts Su
 						// Pay only the capture phase on the ticker; a
 						// collector goroutine (joined with the tickers)
 						// accounts for the drain when it lands.
-						p, err := s.CheckpointAsync(j.JobID(), false)
+						p, err := s.checkpointAsync(j.JobID(), copts)
 						if err != nil {
 							mu.Lock()
 							rep.FailedCheckpoints++
@@ -407,13 +467,16 @@ func (s *System) Supervise(job *Job, appFactory func(rank int) ompi.App, opts Su
 								s.ins.Emit("core", "supervise.ckpt-failed", "job %d: %v", j.JobID(), err)
 								return
 							}
+							if co != nil {
+								s.cluster.PruneLocalStages(j.JobID(), res.Interval)
+							}
 							if opts.Progress != nil {
 								opts.Progress(res)
 							}
 						}()
 						continue
 					}
-					res, err := s.Checkpoint(j.JobID(), false)
+					res, err := s.checkpoint(j.JobID(), copts)
 					mu.Lock()
 					if err != nil {
 						rep.FailedCheckpoints++
@@ -425,6 +488,9 @@ func (s *System) Supervise(job *Job, appFactory func(rank int) ompi.App, opts Su
 					if err != nil {
 						s.ins.Emit("core", "supervise.ckpt-failed", "job %d: %v", j.JobID(), err)
 						continue
+					}
+					if co != nil {
+						s.cluster.PruneLocalStages(j.JobID(), res.Interval)
 					}
 					if opts.Progress != nil {
 						opts.Progress(res)

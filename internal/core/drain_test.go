@@ -311,6 +311,7 @@ func TestRestartEquivalenceProperty(t *testing.T) {
 		plan  string
 		every time.Duration
 		async bool
+		inJob bool
 	}
 	// Generated, not hand-picked: every case derives from its seed.
 	var cases []pcase
@@ -330,6 +331,20 @@ func TestRestartEquivalenceProperty(t *testing.T) {
 			async: async,
 		})
 	}
+	// The same generated node-loss plans under the in-job recovery
+	// policy: survivors must stay in place and the run must converge to
+	// the same oracle, whether the session succeeds in-job or falls back
+	// to a whole-job restart.
+	for i, seed := range []int{51, 52} {
+		plan := fmt.Sprintf("seed=%d; node.kill:node%d=after%d,once", seed, 1+i, 12+3*i)
+		cases = append(cases, pcase{
+			name:  fmt.Sprintf("seed%d_every%dms_injob", seed, 4+i),
+			plan:  plan,
+			every: time.Duration(4+i) * time.Millisecond,
+			async: i%2 == 1,
+			inJob: true,
+		})
+	}
 
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -338,25 +353,54 @@ func TestRestartEquivalenceProperty(t *testing.T) {
 			params.Set("filem_retry_max", "6")
 			params.Set("orted_heartbeat_interval", "10ms")
 			params.Set("orted_heartbeat_miss", "8")
-			sys, err := NewSystem(Options{Nodes: nodes, SlotsPerNode: slots, Params: params, Ins: trace.New()})
+			params.Set("trace_max_events", "500000")
+			ins := trace.New()
+			sys, err := NewSystem(Options{Nodes: nodes, SlotsPerNode: slots, Params: params, Ins: ins})
 			if err != nil {
 				t.Fatal(err)
 			}
 			defer sys.Close()
+			defer func() {
+				if !t.Failed() {
+					return
+				}
+				for _, ev := range ins.Log.Events() {
+					switch ev.Kind {
+					case "supervise.restart", "recovery.abort", "recovery.detect",
+						"recovery.complete", "job.abort", "node.down", "node.lost":
+						t.Logf("event %s %s: %s", ev.Source, ev.Kind, ev.Detail)
+					}
+				}
+			}()
 			factory, apps := slowCounterFactory(limit, 2*time.Millisecond)
 			job, err := sys.Launch(JobSpec{Name: "prop", NP: np, AppFactory: factory})
 			if err != nil {
 				t.Fatal(err)
 			}
+			policy := RecoverWholeJob
+			if tc.inJob {
+				policy = RecoverInJob
+			}
 			rep, err := sys.Supervise(job, factory, SuperviseOptions{
 				AutoRestart:     2,
 				CheckpointEvery: tc.every,
 				AsyncDrain:      tc.async,
+				Recovery:        policy,
 			})
 			if err != nil {
 				t.Fatalf("Supervise: %v (report %+v)", err, rep)
 			}
-			if !rep.Recovered {
+			if tc.inJob {
+				// The seeded kill must have been handled somewhere: an
+				// in-job session (possibly falling back) or, if the job
+				// finished before the detector fired, not at all.
+				if rep.InJobRecovery.Sessions == 0 && !rep.Recovered {
+					t.Fatalf("the seeded node kill was never handled (report %+v)", rep)
+				}
+				if rep.InJobRecovery.Sessions > 0 && rep.InJobRecovery.Fallbacks == 0 && rep.Restarts != 0 {
+					t.Fatalf("whole-job restart without a recorded fallback (report %+v)", rep)
+				}
+			} else if !rep.Recovered {
 				t.Fatalf("the seeded node kill never forced a recovery (report %+v)", rep)
 			}
 			if rep.Checkpoints == 0 {
@@ -364,8 +408,22 @@ func TestRestartEquivalenceProperty(t *testing.T) {
 			}
 
 			// The property: final per-rank state is byte-identical to the
-			// fault-free oracle.
-			got := finalIters(*apps, np)
+			// fault-free oracle. In-job recovery keeps the original job
+			// (and its app instances) alive unless it fell back, so read
+			// the final state from the last incarnation's job table.
+			var got []int
+			if tc.inJob {
+				ids := sys.JobIDs()
+				last, err := sys.Job(ids[len(ids)-1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				for r := 0; r < np; r++ {
+					got = append(got, last.App(r).(*slowCounter).state.Iter)
+				}
+			} else {
+				got = finalIters(*apps, np)
+			}
 			for r := range want {
 				if got[r] != want[r] {
 					t.Errorf("rank %d final iter = %d, fault-free reference = %d", r, got[r], want[r])

@@ -283,3 +283,20 @@ func (p *bkmrkProto) Restore(data []byte) error {
 }
 
 var _ Protocol = (*bkmrkProto)(nil)
+
+// DecodeBookmarks decodes the channel bookmark counters a bkmrk
+// protocol Save produced: per-peer counts of whole messages sent and
+// fully received at the quiesced cut. ok is false when data is empty
+// (the none protocol saves no state) or is not a bookmark image;
+// callers such as the recovery coordinator then skip channel re-knit
+// verification rather than failing.
+func DecodeBookmarks(data []byte) (sent, recvd map[int]uint64, ok bool) {
+	if len(data) == 0 {
+		return nil, nil, false
+	}
+	var s bkmrkState
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, nil, false
+	}
+	return s.Sent, s.Recvd, true
+}

@@ -57,10 +57,11 @@ var (
 
 // Router is the in-process switchboard. It is safe for concurrent use.
 type Router struct {
-	mu     sync.Mutex
-	boxes  map[names.Name]*Endpoint
-	closed bool
-	inject func(point string) error
+	mu         sync.Mutex
+	boxes      map[names.Name]*Endpoint
+	closed     bool
+	inject     func(point string) error
+	sendInject func(point string) error
 }
 
 // SetInject installs a fault-injection hook consulted on every Send at
@@ -69,6 +70,17 @@ type Router struct {
 func (r *Router) SetInject(fn func(point string) error) {
 	r.mu.Lock()
 	r.inject = fn
+	r.mu.Unlock()
+}
+
+// SetSendInject installs a fault-injection hook consulted on every Send
+// at point "rml.send:<to>". Unlike SetInject's silent drop, a firing
+// hook here is returned to the sender as a transport error — the flaky
+// NIC / transient EHOSTUNREACH failure mode the heartbeat miss budget
+// must tolerate without self-declaring the node dead.
+func (r *Router) SetSendInject(fn func(point string) error) {
+	r.mu.Lock()
+	r.sendInject = fn
 	r.mu.Unlock()
 }
 
@@ -169,7 +181,13 @@ func (e *Endpoint) Send(to names.Name, tag Tag, data []byte) error {
 	}
 	e.router.mu.Lock()
 	inject := e.router.inject
+	sendInject := e.router.sendInject
 	e.router.mu.Unlock()
+	if sendInject != nil {
+		if err := sendInject(fmt.Sprintf("rml.send:%v", to)); err != nil {
+			return fmt.Errorf("rml: send to %v: %w", to, err)
+		}
+	}
 	if inject != nil {
 		if err := inject(fmt.Sprintf("rml.deliver:%v", to)); err != nil {
 			return nil // silently dropped in flight, like a lost datagram

@@ -25,7 +25,7 @@ import (
 // the job exactly as the paper's tools do.
 
 // ControlRequest is one tool command. Op is "checkpoint", "ps",
-// "metrics" or "ping".
+// "ranks", "migrate", "metrics" or "ping".
 type ControlRequest struct {
 	Op        string `json:"op"`
 	Job       int    `json:"job,omitempty"` // 0 = the only/first job
@@ -36,6 +36,10 @@ type ControlRequest struct {
 	// async engine, unlike the plain synchronous op).
 	Async bool `json:"async,omitempty"`
 	Wait  bool `json:"wait,omitempty"`
+	// Rank and Node parameterize the "migrate" op: move Rank of Job to
+	// live node Node through an in-job recovery session.
+	Rank int    `json:"rank,omitempty"`
+	Node string `json:"node,omitempty"`
 }
 
 // ControlJobInfo describes one job in a "ps" response.
@@ -48,6 +52,18 @@ type ControlJobInfo struct {
 	Ckpts int      `json:"checkpoints"`
 }
 
+// ControlRankInfo is one rank's row in a "ranks" response: where it
+// runs, its lifecycle state, the last checkpoint interval it took part
+// in (-1 before the first), and where its current incarnation's state
+// came from.
+type ControlRankInfo struct {
+	Rank     int    `json:"rank"`
+	Node     string `json:"node"`
+	State    string `json:"state"`
+	Interval int    `json:"interval"`
+	Source   string `json:"source"`
+}
+
 // ControlResponse is the reply to one ControlRequest.
 type ControlResponse struct {
 	OK        bool   `json:"ok"`
@@ -57,8 +73,9 @@ type ControlResponse struct {
 	// State reports the interval's drain-lifecycle position at reply
 	// time: "committed" for completed checkpoints, "queued" for an
 	// async request that returned at capture end.
-	State string           `json:"state,omitempty"`
-	Jobs  []ControlJobInfo `json:"jobs,omitempty"`
+	State string            `json:"state,omitempty"`
+	Jobs  []ControlJobInfo  `json:"jobs,omitempty"`
+	Ranks []ControlRankInfo `json:"ranks,omitempty"`
 	// Metrics is the Prometheus-text rendering of the cluster's metrics
 	// registry (the "metrics" op): the HNP's /metrics endpoint, served
 	// over the control channel instead of HTTP.
@@ -173,6 +190,35 @@ func (s *ControlServer) handle(req ControlRequest) ControlResponse {
 			})
 		}
 		return ControlResponse{OK: true, Jobs: out}
+	case "ranks":
+		id, err := s.resolveJobID(req.Job)
+		if err != nil {
+			return ControlResponse{Err: err.Error()}
+		}
+		j, err := s.cluster.Job(id)
+		if err != nil {
+			return ControlResponse{Err: err.Error()}
+		}
+		var rows []ControlRankInfo
+		for _, ri := range j.RankTable() {
+			rows = append(rows, ControlRankInfo{
+				Rank: ri.Rank, Node: ri.Node, State: string(ri.State),
+				Interval: ri.Interval, Source: ri.Source,
+			})
+		}
+		return ControlResponse{OK: true, Ranks: rows}
+	case "migrate":
+		id, err := s.resolveJobID(req.Job)
+		if err != nil {
+			return ControlResponse{Err: err.Error()}
+		}
+		if req.Node == "" {
+			return ControlResponse{Err: "migrate needs a target node"}
+		}
+		if err := s.cluster.MigrateRank(id, req.Rank, req.Node); err != nil {
+			return ControlResponse{Err: err.Error()}
+		}
+		return ControlResponse{OK: true}
 	case "metrics":
 		return ControlResponse{OK: true, Metrics: s.cluster.ins.RenderMetrics()}
 	case "checkpoint":

@@ -121,6 +121,65 @@ func TestControlCheckpointExplicitJob(t *testing.T) {
 	}
 }
 
+func TestControlRanksAndMigrate(t *testing.T) {
+	_, srv, job := controlFixture(t)
+	resp, err := ControlDial(srv.Addr(), ControlRequest{Op: "ranks"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || len(resp.Ranks) != 4 {
+		t.Fatalf("ranks = %+v", resp)
+	}
+	for i, r := range resp.Ranks {
+		if r.Rank != i || r.Node == "" {
+			t.Errorf("rank row %d = %+v", i, r)
+		}
+		if r.State != string(RankRunning) {
+			t.Errorf("rank %d state = %q, want running", i, r.State)
+		}
+		if r.Interval != -1 {
+			t.Errorf("rank %d interval = %d before first checkpoint", i, r.Interval)
+		}
+	}
+
+	// Migrate without a target node is rejected.
+	bad, err := ControlDial(srv.Addr(), ControlRequest{Op: "migrate", Rank: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.OK || !strings.Contains(bad.Err, "target node") {
+		t.Errorf("migrate without node = %+v", bad)
+	}
+	// Migrate on a job with no recovery handler fails cleanly.
+	bad, err = ControlDial(srv.Addr(), ControlRequest{Op: "migrate", Rank: 1, Node: "n1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.OK || !strings.Contains(bad.Err, "recovery handler") {
+		t.Errorf("migrate without handler = %+v", bad)
+	}
+	ck, err := ControlDial(srv.Addr(), ControlRequest{Op: "checkpoint", Terminate: true})
+	if err != nil || !ck.OK {
+		t.Fatalf("checkpoint: %v %+v", err, ck)
+	}
+	if err := job.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// After completion the per-rank view reports the final states.
+	resp, err = ControlDial(srv.Addr(), ControlRequest{Op: "ranks"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range resp.Ranks {
+		if r.State != string(RankDone) {
+			t.Errorf("rank %d state = %q after completion", r.Rank, r.State)
+		}
+		if r.Interval != 0 {
+			t.Errorf("rank %d interval = %d, want 0", r.Rank, r.Interval)
+		}
+	}
+}
+
 func TestControlSessionRegistration(t *testing.T) {
 	c, err := New(Config{
 		Nodes: []plm.NodeSpec{{Name: "n0", Slots: 2}},

@@ -1,0 +1,79 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/faultsim"
+	"repro/internal/mca"
+	"repro/internal/orte/plm"
+	"repro/internal/trace"
+)
+
+// TestHeartbeatToleratesTransientSendFailures is the regression test for
+// the orted self-kill bug: a transient RML send error in heartbeatLoop
+// used to terminate the beacon immediately, so the HNP's detector
+// declared a perfectly healthy node dead. With the miss budget in place,
+// a flaky endpoint that fails a bounded burst of sends must leave every
+// node alive and the job unharmed.
+func TestHeartbeatToleratesTransientSendFailures(t *testing.T) {
+	// Fail 6 heartbeat sends after the first 4 succeed. The budget is 10
+	// consecutive misses per node, so even if one unlucky orted absorbs
+	// the whole burst it stays under its budget.
+	inj := faultsim.New(7, faultsim.Rule{Point: "rml.send", After: 4, Times: 6})
+	params := mca.NewParams()
+	params.Set("orted_heartbeat_interval", "4ms")
+	params.Set("orted_heartbeat_miss", "10")
+	c, err := New(Config{
+		Nodes: []plm.NodeSpec{
+			{Name: "n0", Slots: 2}, {Name: "n1", Slots: 2},
+			{Name: "n2", Slots: 2}, {Name: "n3", Slots: 2},
+		},
+		Params: params,
+		Ins:    trace.New(),
+		Faults: inj,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer c.Close()
+
+	// Let the beacons run until the whole fault burst has been absorbed.
+	deadline := time.Now().Add(5 * time.Second)
+	for inj.Fired("rml.send") < 6 {
+		if time.Now().After(deadline) {
+			t.Fatalf("fault rule never exhausted: fired %d/6", inj.Fired("rml.send"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Give the orteds time to resume clean beacons past the detector's
+	// cutoff window, then verify nobody was declared dead.
+	time.Sleep(60 * time.Millisecond)
+	for _, n := range c.Nodes() {
+		if !c.Alive(n) {
+			t.Fatalf("node %q declared dead despite transient-only send failures", n)
+		}
+	}
+	// The miss/backoff path must actually have been exercised, or the
+	// test proves nothing.
+	misses := 0
+	for _, ev := range c.Log().Events() {
+		if ev.Kind == "heartbeat.miss" {
+			misses++
+		}
+	}
+	if misses == 0 {
+		t.Fatalf("fault rule never fired: no heartbeat.miss events recorded")
+	}
+
+	// The cluster must still be fully serviceable: a job launched after
+	// the burst runs to completion on all four nodes.
+	factory, _ := newStencilFactory(16, 0)
+	j, err := c.Launch(JobSpec{Name: "hb-flaky", NP: 4, AppFactory: factory})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if err := j.Wait(); err != nil {
+		t.Fatalf("job failed after transient heartbeat faults: %v", err)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/mca"
 	"repro/internal/ompi"
 	"repro/internal/ompi/btl"
+	"repro/internal/ompi/crcp"
 	"repro/internal/opal/crs"
 	"repro/internal/orte/filem"
 	"repro/internal/orte/names"
@@ -56,16 +57,27 @@ type Job struct {
 	spec    JobSpec
 	params  *mca.Params
 
-	placement map[int]string // rank -> node
-	nodes     []string       // distinct nodes, stable order
-	procs     []*ompi.Proc
-	apps      []ompi.App
-	fabric    btl.JobFabric // job transport; Close aborts the job
+	// Component selections are kept so the recovery coordinator can
+	// respawn ranks with the same stack the job launched with.
+	btlComp  btl.Component
+	crcpComp crcp.Component
+	crsFor   func(rank int) (crs.Component, error)
+
+	placement map[int]string // rank -> node; guarded by mu after launch
+	nodes     []string       // distinct nodes, stable order; guarded by mu
+	procs     []*ompi.Proc   // rank slots; entries replaced on respawn (mu)
+	apps      []ompi.App     // rank slots; entries replaced on respawn (mu)
+	fabric    btl.JobFabric  // job transport; Close aborts the job (mu)
 
 	mu             sync.Mutex
 	checkpointable []ckptState
 	nextInterval   int
+	epochs         []int      // per-rank incarnation counter (mu)
+	rankMeta       []RankInfo // per-rank observability (mu)
+	handler        RecoveryHandler
+	recov          *RecoverySession // active recovery session, nil otherwise
 
+	wg   sync.WaitGroup // one per live rank goroutine, respawns included
 	errs []error
 	done chan struct{}
 }
@@ -134,10 +146,18 @@ func (c *Cluster) launch(spec JobSpec, placementOverride map[int]string, restore
 		id:             c.ns.AllocateJob(),
 		spec:           spec,
 		params:         params,
+		btlComp:        btlComp,
+		crcpComp:       crcpComp,
+		crsFor:         crsFor,
 		placement:      placement,
 		checkpointable: make([]ckptState, spec.NP),
+		epochs:         make([]int, spec.NP),
+		rankMeta:       make([]RankInfo, spec.NP),
 		done:           make(chan struct{}),
 		errs:           make([]error, spec.NP),
+	}
+	for r := 0; r < spec.NP; r++ {
+		j.rankMeta[r] = RankInfo{Rank: r, Node: placement[r], State: RankRunning, Interval: -1, Source: "fresh"}
 	}
 	seen := make(map[string]bool)
 	for r := 0; r < spec.NP; r++ {
@@ -162,32 +182,9 @@ func (c *Cluster) launch(spec JobSpec, placementOverride map[int]string, restore
 	j.procs = make([]*ompi.Proc, spec.NP)
 	j.apps = make([]ompi.App, spec.NP)
 	for r := 0; r < spec.NP; r++ {
-		r := r
-		crsComp, err := crsFor(r)
+		proc, err := j.newRankProc(r, placement[r], fabric, nil)
 		if err != nil {
-			return nil, fmt.Errorf("runtime: rank %d CRS: %w", r, err)
-		}
-		proc, err := ompi.NewProc(ompi.Config{
-			JobID: int(j.id), Rank: r, Size: spec.NP,
-			Node: placement[r], PID: 1000*int(j.id) + r,
-			Fabric: fabric, Params: params,
-			CRS: crsComp, CRCP: crcpComp, Ins: c.ins,
-			SyncCheckpoint: func() error {
-				// The requesting rank participates in the checkpoint it
-				// triggers, so the global request must run concurrently:
-				// blocking here would deadlock the coordinator against
-				// the caller's own participation.
-				go func() {
-					if _, err := c.CheckpointJob(j.id, snapc.Options{}); err != nil {
-						c.ins.Emit("hnp", "ckpt.sync-error", "job %d: %v", j.id, err)
-					}
-				}()
-				return nil
-			},
-			NotifyCheckpointable: func(ok bool) { j.setCheckpointable(r, ok) },
-		})
-		if err != nil {
-			return nil, fmt.Errorf("runtime: create rank %d: %w", r, err)
+			return nil, err
 		}
 		j.procs[r] = proc
 		j.apps[r] = spec.AppFactory(r)
@@ -207,32 +204,97 @@ func (c *Cluster) launch(spec JobSpec, placementOverride map[int]string, restore
 	c.mu.Unlock()
 	c.ins.Emit("hnp", "job.launch", "job %d np=%d app=%s", j.id, spec.NP, spec.Name)
 
-	var wg sync.WaitGroup
 	for r := 0; r < spec.NP; r++ {
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			var rs *ompi.RestoreSpec
-			if restores != nil {
-				rs = restores[r]
-			}
-			j.errs[r] = j.procs[r].Run(j.apps[r], rs)
-			if j.errs[r] != nil {
-				// A failed rank aborts the whole job, as mpirun kills a
-				// parallel job when one process dies: closing the fabric
-				// fails every peer blocked in communication.
-				j.setCheckpointable(r, false)
-				fabric.Close()
-			}
-		}(r)
+		var rs *ompi.RestoreSpec
+		if restores != nil {
+			rs = restores[r]
+		}
+		j.wg.Add(1)
+		go j.runRank(r, 0, j.procs[r], j.apps[r], rs)
 	}
 	go func() {
-		wg.Wait()
-		fabric.Close() // release transport resources (TCP connections)
+		j.wg.Wait()
+		j.closeFabric() // release transport resources (TCP connections)
 		close(j.done)
 		c.ins.Emit("hnp", "job.done", "job %d", j.id)
 	}()
 	return j, nil
+}
+
+// newRankProc builds one rank's process object, wired to the job's
+// lifecycle hooks. Used at launch and again when the recovery
+// coordinator respawns a lost rank on a replacement node.
+func (j *Job) newRankProc(r int, node string, fabric btl.JobFabric, gate func([]byte, error) error) (*ompi.Proc, error) {
+	crsComp, err := j.crsFor(r)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: rank %d CRS: %w", r, err)
+	}
+	proc, err := ompi.NewProc(ompi.Config{
+		JobID: int(j.id), Rank: r, Size: j.spec.NP,
+		Node: node, PID: 1000*int(j.id) + r,
+		Fabric: fabric, Params: j.params,
+		CRS: crsComp, CRCP: j.crcpComp, Ins: j.cluster.ins,
+		SyncCheckpoint:       j.syncCheckpoint,
+		NotifyCheckpointable: func(ok bool) { j.setCheckpointable(r, ok) },
+		Recover:              func(cause error) (*ompi.RecoverOrder, error) { return j.awaitRecovery(r, cause) },
+		RecoveryGate:         gate,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("runtime: create rank %d: %w", r, err)
+	}
+	return proc, nil
+}
+
+// syncCheckpoint serves a rank's synchronous checkpoint request. The
+// requesting rank participates in the checkpoint it triggers, so the
+// global request must run concurrently: blocking here would deadlock the
+// coordinator against the caller's own participation.
+func (j *Job) syncCheckpoint() error {
+	go func() {
+		if _, err := j.cluster.CheckpointJob(j.id, snapc.Options{}); err != nil {
+			j.cluster.ins.Emit("hnp", "ckpt.sync-error", "job %d: %v", j.id, err)
+		}
+	}()
+	return nil
+}
+
+// runRank drives one incarnation of a rank slot. The epoch guards
+// bookkeeping: when the slot has been respawned (lost-node recovery or
+// migration), the stale incarnation's exit is discarded.
+func (j *Job) runRank(r, epoch int, proc *ompi.Proc, app ompi.App, rs *ompi.RestoreSpec) {
+	defer j.wg.Done()
+	err := proc.Run(app, rs)
+	j.mu.Lock()
+	if epoch != j.epochs[r] {
+		j.mu.Unlock()
+		return // superseded incarnation; the respawn owns this slot now
+	}
+	j.errs[r] = err
+	if err != nil {
+		j.rankMeta[r].State = RankFailed
+	} else if j.rankMeta[r].State != RankMigrated {
+		j.rankMeta[r].State = RankDone
+	}
+	fab := j.fabric
+	abort := err != nil && j.recov == nil
+	j.mu.Unlock()
+	if abort {
+		// A failed rank aborts the whole job, as mpirun kills a
+		// parallel job when one process dies: closing the fabric fails
+		// every peer blocked in communication. Suppressed while a
+		// recovery session owns the job: survivors are parked, not dead.
+		j.setCheckpointable(r, false)
+		fab.Close()
+	}
+}
+
+// closeFabric closes the job's current fabric under the lock (recovery
+// swaps fabrics, so the field must not be read bare).
+func (j *Job) closeFabric() {
+	j.mu.Lock()
+	fab := j.fabric
+	j.mu.Unlock()
+	fab.Close()
 }
 
 // Wait blocks until every rank finished and returns the combined error
@@ -259,10 +321,17 @@ func (j *Job) Done() bool {
 }
 
 // App returns the rank-local application instance (examples inspect it).
-func (j *Job) App(rank int) ompi.App { return j.apps[rank] }
+// Recovery replaces slot entries, so reads go through the lock.
+func (j *Job) App(rank int) ompi.App {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.apps[rank]
+}
 
 // hasRanksOn reports whether any rank of the job runs on node.
 func (j *Job) hasRanksOn(node string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	for _, n := range j.nodes {
 		if n == node {
 			return true
@@ -272,7 +341,11 @@ func (j *Job) hasRanksOn(node string) bool {
 }
 
 // Proc returns the rank's process object.
-func (j *Job) Proc(rank int) *ompi.Proc { return j.procs[rank] }
+func (j *Job) Proc(rank int) *ompi.Proc {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.procs[rank]
+}
 
 func (j *Job) setCheckpointable(rank int, ok bool) {
 	st := ckptNo
@@ -324,10 +397,16 @@ func (j *Job) AppArgs() []string { return j.spec.Args }
 func (j *Job) NumProcs() int { return j.spec.NP }
 
 // NodeOf implements snapc.JobView.
-func (j *Job) NodeOf(vpid int) string { return j.placement[vpid] }
+func (j *Job) NodeOf(vpid int) string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.placement[vpid]
+}
 
 // Nodes implements snapc.JobView.
 func (j *Job) Nodes() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	out := make([]string, len(j.nodes))
 	copy(out, j.nodes)
 	return out
@@ -341,7 +420,7 @@ func (j *Job) Checkpointable(vpid int) bool {
 }
 
 // Deliver implements snapc.JobView.
-func (j *Job) Deliver(vpid int, d *ompi.Directive) { j.procs[vpid].Deliver(d) }
+func (j *Job) Deliver(vpid int, d *ompi.Directive) { j.Proc(vpid).Deliver(d) }
 
 // Params implements snapc.JobView.
 func (j *Job) Params() *mca.Params { return j.params }
@@ -375,6 +454,7 @@ func (c *Cluster) CheckpointJobAsync(id names.JobID, opts snapc.Options) (*snapc
 	if err != nil {
 		return nil, err
 	}
+	j.noteCheckpoint(interval)
 	return c.drainer.Enqueue(cpt)
 }
 
@@ -420,6 +500,7 @@ func (c *Cluster) Restart(ref snapshot.GlobalRef, interval int, appFactory func(
 	// local stage outlives the job when checkpoints keep local copies or
 	// when drain recovery preserved it.
 	restores := make([]*ompi.RestoreSpec, meta.NumProcs)
+	sources := make(map[int]string, meta.NumProcs)
 	localBase := snapc.LocalBaseDir(names.JobID(meta.JobID), interval)
 	for _, pe := range meta.Procs {
 		node := placement[pe.Vpid]
@@ -430,6 +511,7 @@ func (c *Cluster) Restart(ref snapshot.GlobalRef, interval int, appFactory func(
 				if lmeta, err := snapshot.ReadLocal(snapshot.LocalRef{FS: nodeFS, Dir: localDir}); err == nil &&
 					lmeta.Interval == interval && lmeta.JobID == meta.JobID && lmeta.Vpid == pe.Vpid {
 					restores[pe.Vpid] = &ompi.RestoreSpec{FS: nodeFS, Dir: localDir, Files: lmeta.Files}
+					sources[pe.Vpid] = "restored:local-stage"
 					c.ins.Counter("ompi_restart_local_fast_path_total").Inc()
 					c.ins.Emit("hnp", "restart.local-fast-path",
 						"rank %d restored from node %q local stage (interval %d)", pe.Vpid, node, interval)
@@ -443,18 +525,20 @@ func (c *Cluster) Restart(ref snapshot.GlobalRef, interval int, appFactory func(
 			return nil, fmt.Errorf("runtime: restart rank %d: %w", pe.Vpid, err)
 		}
 		dstDir := fmt.Sprintf("tmp/restart/job%d/%d/%s", meta.JobID, interval, snapshot.LocalDirName(pe.Vpid))
-		_, err = c.filemComp.Move(c.filemEnv, []filem.Request{{
+		st, err := c.filemComp.Move(c.filemEnv, []filem.Request{{
 			SrcNode: filem.StableNode, SrcPath: lref.Dir,
 			DstNode: node, DstPath: dstDir,
 		}})
 		if err != nil {
 			return nil, fmt.Errorf("runtime: preload rank %d on %q: %w", pe.Vpid, node, err)
 		}
+		c.ins.Counter("ompi_restart_restored_bytes_total").Add(st.Bytes)
 		nodeFS, err := c.nodeFS(node)
 		if err != nil {
 			return nil, err
 		}
 		restores[pe.Vpid] = &ompi.RestoreSpec{FS: nodeFS, Dir: dstDir, Files: lmeta.Files}
+		sources[pe.Vpid] = "restored:stable"
 	}
 
 	// Per-process CRS components may differ (heterogeneous snapshots):
@@ -473,5 +557,15 @@ func (c *Cluster) Restart(ref snapshot.GlobalRef, interval int, appFactory func(
 		CRSByRank:  func(rank int) string { return crsNames[rank] },
 	}
 	c.ins.Emit("hnp", "job.restart", "from %s interval %d np=%d", ref.Dir, interval, meta.NumProcs)
-	return c.launch(spec, placement, restores)
+	j, err := c.launch(spec, placement, restores)
+	if err != nil {
+		return nil, err
+	}
+	j.mu.Lock()
+	for r, src := range sources {
+		j.rankMeta[r].Source = src
+		j.rankMeta[r].Interval = interval
+	}
+	j.mu.Unlock()
+	return j, nil
 }

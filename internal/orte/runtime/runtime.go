@@ -178,6 +178,7 @@ func New(cfg Config) (*Cluster, error) {
 	if inj != nil {
 		c.topo.SetInject(inj.Fire)
 		c.router.SetInject(inj.Fire)
+		c.router.SetSendInject(inj.Fire)
 	}
 
 	// Framework selection (the MCA machinery the whole design rides on).
@@ -249,7 +250,7 @@ func New(cfg Config) (*Cluster, error) {
 				c.ins.Emit("orted["+nodeName+"]", "orted.error", "%v", err)
 			}
 		}(nodeName, ep)
-		go c.heartbeatLoop(nodeName, ep, hbInterval, c.nodes[nodeName].stopHB)
+		go c.heartbeatLoop(nodeName, ep, hbInterval, hbMiss, c.nodes[nodeName].stopHB)
 	}
 	c.wg.Add(1)
 	go c.monitorLoop(hbInterval, hbMiss)
@@ -267,10 +268,23 @@ type heartbeat struct {
 // HNP over the RML, the out-of-band channel ORTE daemons really keep
 // open. A "node.kill:<node>" fault firing here kills the node abruptly —
 // mid-checkpoint, mid-step, wherever the run happens to be.
-func (c *Cluster) heartbeatLoop(node string, ep *rml.Endpoint, interval time.Duration, stop chan struct{}) {
+//
+// Send errors are NOT instant death: a transient transport failure (the
+// "rml.send:<hnp>" injection point, or a congested OOB link) must not
+// make a healthy orted silence itself. The loop tolerates up to `miss`
+// consecutive send failures, backing off between retries, and only gives
+// up — leaving the HNP's detector to declare the node lost — once the
+// budget is exhausted or the router reports a permanent condition while
+// the cluster is shutting down.
+func (c *Cluster) heartbeatLoop(node string, ep *rml.Endpoint, interval time.Duration, miss int, stop chan struct{}) {
 	defer c.wg.Done()
+	if miss <= 0 {
+		miss = 1
+	}
 	tick := time.NewTicker(interval)
 	defer tick.Stop()
+	misses := 0
+	backoff := interval / 4
 	for seq := 1; ; seq++ {
 		select {
 		case <-stop:
@@ -283,8 +297,32 @@ func (c *Cluster) heartbeatLoop(node string, ep *rml.Endpoint, interval time.Dur
 			return
 		}
 		if err := ep.SendJSON(names.HNP, rml.TagHeartbeat, heartbeat{Node: node, Seq: seq}); err != nil {
-			return // router shut down
+			c.mu.Lock()
+			stopping := c.stopped
+			c.mu.Unlock()
+			if stopping {
+				return
+			}
+			misses++
+			if misses >= miss {
+				c.ins.Emit("orted["+node+"]", "heartbeat.giveup",
+					"%d consecutive send failures, last: %v", misses, err)
+				return
+			}
+			c.ins.Emit("orted["+node+"]", "heartbeat.miss",
+				"send failure %d/%d: %v", misses, miss, err)
+			select {
+			case <-stop:
+				return
+			case <-time.After(backoff):
+			}
+			if backoff < interval {
+				backoff *= 2
+			}
+			continue
 		}
+		misses = 0
+		backoff = interval / 4
 	}
 }
 
@@ -367,8 +405,15 @@ func (c *Cluster) KillNode(node string) error {
 	c.router.Deregister(c.daemons[node])
 	c.ins.Emit("runtime", "node.down", "node %q is dead", node)
 	for _, j := range victims {
+		// A job with a recovery handler survives the loss in-job: the
+		// handler freezes it, respawns the lost ranks, and re-knits.
+		// Without one, losing a node kills the whole job (pre-recovery
+		// semantics, and the fallback when recovery itself fails).
+		if j.onNodeDeath(node) {
+			continue
+		}
 		c.ins.Emit("runtime", "job.abort", "job %d lost node %q", j.id, node)
-		j.fabric.Close()
+		j.closeFabric()
 	}
 	return nil
 }

@@ -290,10 +290,17 @@ func (f *Full) Capture(env *Env, job JobView, hnp *rml.Endpoint, daemons map[str
 		byNode[n] = append(byNode[n], v)
 	}
 	base := localBaseDir(job.JobID(), interval)
+	ordered := 0
 	for node, vpids := range byNode {
 		daemon, ok := daemons[node]
 		if !ok {
 			err := fmt.Errorf("snapc: no local coordinator on node %q", node)
+			if ordered > 0 {
+				// Nodes ordered before the failure are already capturing:
+				// abort the interval so their debris is swept rather than
+				// abandoned mid-flight.
+				abortInterval(env, job, byNode, globalDir, interval, err)
+			}
 			csp.End(err)
 			return nil, err
 		}
@@ -302,9 +309,13 @@ func (f *Full) Capture(env *Env, job JobView, hnp *rml.Endpoint, daemons map[str
 			Vpids: vpids, BaseDir: base, Terminate: opts.Terminate,
 		}
 		if err := hnp.SendJSON(daemon, rml.TagSnapcRequest, req); err != nil {
+			if ordered > 0 {
+				abortInterval(env, job, byNode, globalDir, interval, err)
+			}
 			csp.End(err)
 			return nil, fmt.Errorf("snapc: order node %q: %w", node, err)
 		}
+		ordered++
 	}
 
 	// Monitor progress: one ack per involved node (Fig. 1-E), all
