@@ -13,6 +13,7 @@
 //	A9     BenchmarkReplicationOverhead
 //	A10    BenchmarkAsyncDrainPipeline
 //	A11    BenchmarkRecoveryVsRestart
+//	A12    BenchmarkLedgerOverhead, BenchmarkHNPReattachMTTR
 //
 // Run with: go test -bench=. -benchmem
 //
@@ -959,5 +960,98 @@ func BenchmarkRecoveryVsRestart(b *testing.B) {
 				b.ReportMetric(float64(restored)/float64(recovered)/1024, "restored-KiB/recovery")
 			})
 		}
+	}
+}
+
+// BenchmarkLedgerOverhead is half of ablation A12: what the durable HNP
+// job ledger's write-through costs per committed checkpoint. Identical
+// checkpoint loops with hnp_ledger on and off; the delta between the
+// two ns/op columns is the ledger tax (the acceptance bar is <5%).
+func BenchmarkLedgerOverhead(b *testing.B) {
+	const np, cells = 8, 4096
+	for _, ledgerOn := range []bool{true, false} {
+		name := "ledger=on"
+		if !ledgerOn {
+			name = "ledger=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			params := mca.NewParams()
+			params.Set("hnp_ledger", fmt.Sprint(ledgerOn))
+			sys, err := core.NewSystem(core.Options{
+				Nodes: 4, SlotsPerNode: 2, Params: params, Ins: trace.New(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sys.Close()
+			args := []string{"-steps", "0", "-cells", fmt.Sprint(cells)}
+			factory, err := apps.Lookup("stencil", args)
+			if err != nil {
+				b.Fatal(err)
+			}
+			job, err := sys.Launch(core.JobSpec{Name: "stencil", Args: args, NP: np, AppFactory: factory})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.Cluster().CheckpointJob(job.JobID(), snapc.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if _, err := sys.Checkpoint(job.JobID(), true); err != nil {
+				b.Fatal(err)
+			}
+			if err := job.Wait(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkHNPReattachMTTR is the other half of A12: mean time to
+// repair the control plane. Each iteration kills the coordinator
+// (CrashHNP) and times Reattach — endpoint re-registration, per-orted
+// handshake, ledger reconciliation and journal recovery — until the
+// cluster answers coordinator verbs again.
+func BenchmarkHNPReattachMTTR(b *testing.B) {
+	const np, cells = 8, 4096
+	sys, err := core.NewSystem(core.Options{
+		Nodes: 4, SlotsPerNode: 2, Ins: trace.New(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	args := []string{"-steps", "0", "-cells", fmt.Sprint(cells)}
+	factory, err := apps.Lookup("stencil", args)
+	if err != nil {
+		b.Fatal(err)
+	}
+	job, err := sys.Launch(core.JobSpec{Name: "stencil", Args: args, NP: np, AppFactory: factory})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sys.Cluster().CheckpointJob(job.JobID(), snapc.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if err := sys.Cluster().CrashHNP(fmt.Errorf("bench crash %d", i)); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := sys.Reattach(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if _, err := sys.Checkpoint(job.JobID(), true); err != nil {
+		b.Fatal(err)
+	}
+	if err := job.Wait(); err != nil {
+		b.Fatal(err)
 	}
 }

@@ -21,6 +21,11 @@
 //
 //	ompi-ps --ranks PID_OF_OMPI_RUN
 //	ompi-ps --migrate rank=2 node=node4 PID_OF_OMPI_RUN
+//
+// --health prints the coordinator's own health view: whether the HNP is
+// headless, whether the stable store is in its DEGRADED window (and how
+// many intervals are parked node-local waiting for catch-up), the
+// durable job ledger's flush lag, and per-node heartbeat freshness.
 package main
 
 import (
@@ -49,6 +54,7 @@ func run() error {
 	interval := fs.Duration("interval", time.Second, "refresh period for --watch")
 	metrics := fs.Bool("metrics", false, "dump the full Prometheus metrics text and exit")
 	ranks := fs.Bool("ranks", false, "list the per-rank table (node, state, interval, restore source)")
+	health := fs.Bool("health", false, "print the coordinator health view (headless, store, ledger, node heartbeats)")
 	migrate := fs.String("migrate", "", "move a rank: rank=N node=M (in-job, survivors keep running)")
 	job := fs.Int("job", 0, "job id for --ranks/--migrate (default: the only job)")
 	fs.Usage = func() {
@@ -92,6 +98,9 @@ func run() error {
 	}
 	if *ranks {
 		return listRanks(target, *job)
+	}
+	if *health {
+		return showHealth(target)
 	}
 	if *metrics {
 		resp, err := runtime.ControlDial(target, runtime.ControlRequest{Op: "metrics"})
@@ -176,6 +185,52 @@ func listRanks(target string, job int) error {
 			src = "launch"
 		}
 		fmt.Printf("%4d %-10s %-10s %8s  %s\n", r.Rank, r.Node, r.State, iv, src)
+	}
+	return nil
+}
+
+// showHealth prints the "health" op's view: is the coordinator up, is
+// the stable store degraded, how far behind is the durable ledger, and
+// how fresh is each node's heartbeat.
+func showHealth(target string) error {
+	resp, err := runtime.ControlDial(target, runtime.ControlRequest{Op: "health"})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("%s", resp.Err)
+	}
+	h := resp.Health
+	if h == nil {
+		return fmt.Errorf("mpirun replied without a health payload (older version?)")
+	}
+	hnp := "up"
+	if h.Headless {
+		hnp = "HEADLESS"
+	}
+	store := "ok"
+	if h.StoreDegraded {
+		store = fmt.Sprintf("DEGRADED (outage score %d)", h.OutageScore)
+	}
+	fmt.Printf("coordinator: %s\n", hnp)
+	fmt.Printf("stable store: %s\n", store)
+	fmt.Printf("  parked intervals: %d  journal backlog: %d  drain queue: %d\n",
+		h.ParkedIntervals, h.JournalBacklog, h.DrainQueueDepth)
+	fmt.Printf("ledger: seq %d  lag %d  flush errors %d\n",
+		h.LedgerSeq, h.LedgerLag, h.LedgerFlushErrors)
+	if len(h.Nodes) > 0 {
+		fmt.Printf("%-10s %-6s %s\n", "NODE", "ALIVE", "LAST BEAT")
+		for _, n := range h.Nodes {
+			beat := "never"
+			if n.LastBeatMs >= 0 {
+				beat = fmt.Sprintf("%dms ago", n.LastBeatMs)
+			}
+			alive := "yes"
+			if !n.Alive {
+				alive = "no"
+			}
+			fmt.Printf("%-10s %-6s %s\n", n.Node, alive, beat)
+		}
 	}
 	return nil
 }

@@ -12,6 +12,14 @@
 // `ompi-checkpoint $(pidof ompi-run)` works exactly like the paper's
 // tool invocation. Global snapshots are written to --stable (a real
 // directory) so they survive this process for ompi-restart.
+//
+// The coordinator itself is crash-safe: every job mutation is recorded
+// in a durable ledger under --stable. --reattach-on-crash rebuilds a
+// crashed coordinator in place over the still-running simulated
+// cluster; `ompi-run --reattach --stable DIR` is the cold path — after
+// the whole process died, it replays the ledger and restarts every
+// unfinished job from its newest valid snapshot, no application
+// argument needed.
 package main
 
 import (
@@ -19,11 +27,16 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/core/snapshot"
 	"repro/internal/mca"
+	"repro/internal/orte/ledger"
+	"repro/internal/orte/runtime"
 	"repro/internal/trace"
+	"repro/internal/vfs"
 )
 
 // mcaFlags collects repeated --mca key=value flags.
@@ -49,6 +62,8 @@ func run() error {
 	asyncDrain := fs.Bool("async-drain", false, "drain periodic checkpoints in the background: the job only blocks for the capture phase")
 	autoRestart := fs.Int("auto-restart", 0, "after a failure, restart the job up to N times from the newest valid snapshot (0 = off)")
 	recover := fs.String("recover", "whole-job", `node-loss posture: "whole-job" restarts the job from the newest snapshot; "in-job" respawns only the lost ranks in place and keeps the survivors running (falls back to whole-job when a session cannot converge)`)
+	reattachOnCrash := fs.Bool("reattach-on-crash", false, "rebuild the coordinator in place when it crashes mid-run instead of wedging the control plane")
+	reattach := fs.Bool("reattach", false, "adopt a crashed ompi-run's jobs: replay the durable job ledger under --stable and restart every unfinished job from its newest valid snapshot (no application argument needed)")
 	verbose := fs.Bool("v", false, "print trace summary at exit")
 	var mcaArgs mcaFlags
 	fs.Var(&mcaArgs, "mca", "MCA parameter key=value (repeatable), e.g. --mca crcp=bkmrk --mca crs=self")
@@ -58,16 +73,6 @@ func run() error {
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(os.Args[1:]); err != nil {
-		return err
-	}
-	if fs.NArg() < 1 {
-		fs.Usage()
-		return fmt.Errorf("missing application name")
-	}
-	appName := fs.Arg(0)
-	appArgs := fs.Args()[1:]
-	factory, err := apps.Lookup(appName, appArgs)
-	if err != nil {
 		return err
 	}
 	params, err := mca.ParseParams(mcaArgs)
@@ -82,6 +87,32 @@ func run() error {
 		policy = core.RecoverInJob
 	default:
 		return fmt.Errorf("unknown --recover policy %q (want whole-job or in-job)", *recover)
+	}
+	sopts := core.SuperviseOptions{
+		AutoRestart:     *autoRestart,
+		CheckpointEvery: *every,
+		AsyncDrain:      *asyncDrain,
+		Recovery:        policy,
+		ReattachOnCrash: *reattachOnCrash,
+		Progress: func(ck core.CheckpointResult) {
+			fmt.Printf("ompi-run: periodic Snapshot Ref.: %d %s\n", ck.Interval, ck.Dir)
+		},
+	}
+	if *reattach {
+		if fs.NArg() > 0 {
+			return fmt.Errorf("--reattach takes no application argument; it comes from the snapshots")
+		}
+		return runReattach(*stable, *nodes, *slots, params, sopts, *verbose)
+	}
+	if fs.NArg() < 1 {
+		fs.Usage()
+		return fmt.Errorf("missing application name")
+	}
+	appName := fs.Arg(0)
+	appArgs := fs.Args()[1:]
+	factory, err := apps.Lookup(appName, appArgs)
+	if err != nil {
+		return err
 	}
 
 	ins := trace.New()
@@ -114,18 +145,20 @@ func run() error {
 	// scheduler-style automation the paper's asynchronous tool path
 	// enables) and, with --auto-restart, relaunches a failed job from the
 	// newest valid global snapshot onto the surviving nodes.
-	rep, err := sys.Supervise(job, factory, core.SuperviseOptions{
-		AutoRestart:     *autoRestart,
-		CheckpointEvery: *every,
-		AsyncDrain:      *asyncDrain,
-		Recovery:        policy,
-		Progress: func(ck core.CheckpointResult) {
-			fmt.Printf("ompi-run: periodic Snapshot Ref.: %d %s\n", ck.Interval, ck.Dir)
-		},
-	})
+	rep, err := sys.Supervise(job, factory, sopts)
 	if *verbose {
 		fmt.Println("trace:", ins.Log.Summary())
 	}
+	printReport(rep)
+	if err != nil {
+		return err
+	}
+	fmt.Println("ompi-run: job completed")
+	return nil
+}
+
+// printReport renders one supervised run's summary lines.
+func printReport(rep core.SuperviseReport) {
 	if rep.FailedCheckpoints > 0 {
 		fmt.Fprintf(os.Stderr, "ompi-run: %d checkpoint attempt(s) aborted\n", rep.FailedCheckpoints)
 	}
@@ -153,11 +186,135 @@ func run() error {
 		fmt.Printf("ompi-run: drain recovery: %d fast-forwarded, %d re-drained, %d discarded\n",
 			dr.FastForwarded, dr.Redrained, dr.Discarded)
 	}
+	if rep.DegradedCheckpoints > 0 {
+		fmt.Printf("ompi-run: %d checkpoint(s) landed node-local during a stable-store outage (parked for catch-up)\n",
+			rep.DegradedCheckpoints)
+	}
+	if rep.Reattaches > 0 {
+		fmt.Printf("ompi-run: coordinator crashed and was rebuilt in place %d time(s)\n", rep.Reattaches)
+	}
+}
+
+// runReattach is the cold half of HNP crash recovery: the original
+// ompi-run process died, but its durable job ledger and global
+// snapshots survive under --stable. Replay the ledger, refuse if a
+// live mpirun still owns a registered session (use the tools against
+// it instead), then restart every unfinished job from its newest valid
+// snapshot and supervise it as usual.
+func runReattach(stable string, nodes, slots int, params *mca.Params, sopts core.SuperviseOptions, verbose bool) error {
+	// A registered session answering pings means an mpirun is alive —
+	// possibly mid-headless-window and about to reattach in place.
+	// Adopting its jobs from underneath it would fork the lineage.
+	sessions, err := runtime.ScanSessions()
 	if err != nil {
 		return err
 	}
-	fmt.Println("ompi-run: job completed")
-	return nil
+	for pid, addr := range sessions {
+		if resp, err := runtime.ControlDialTimeout(addr, runtime.ControlRequest{Op: "ping"}, 2*time.Second); err == nil && resp.OK {
+			return fmt.Errorf("mpirun pid %d is still alive at %s; reattach refused (checkpoint or stop it first)", pid, addr)
+		}
+	}
+
+	fsys, err := vfs.NewOS(stable)
+	if err != nil {
+		return fmt.Errorf("stable storage: %w", err)
+	}
+	ledgerDir := ""
+	if params != nil {
+		ledgerDir = params.String("hnp_ledger_dir", ledger.DefaultDir)
+	}
+	st, dropped, err := ledger.Replay(fsys, ledgerDir)
+	if err != nil {
+		return fmt.Errorf("no usable job ledger under %s: %w", stable, err)
+	}
+	if dropped > 0 {
+		fmt.Fprintf(os.Stderr, "ompi-run: ledger replay dropped %d damaged trailing record(s)\n", dropped)
+	}
+	live := st.Live()
+	fmt.Printf("ompi-run: ledger replayed: seq %d, %d job(s) (%d unfinished), %d coordinator crash(es), %d prior reattach(es)\n",
+		st.Seq, len(st.Jobs), len(live), st.Crashes, st.Reattaches)
+	if len(live) == 0 {
+		fmt.Println("ompi-run: every recorded job finished; nothing to reattach")
+		return nil
+	}
+
+	ins := trace.New()
+	sys, err := core.NewSystem(core.Options{
+		Nodes: nodes, SlotsPerNode: slots,
+		StableDir: stable, Params: params, Ins: ins,
+	})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	ctl, err := sys.Cluster().ServeControl("", true)
+	if err != nil {
+		return err
+	}
+	defer ctl.Close()
+	fmt.Printf("ompi-run: pid %d, control %s\n", os.Getpid(), ctl.Addr())
+
+	var firstErr error
+	for _, id := range live {
+		js := st.Jobs[id]
+		dir := snapshot.GlobalDirName(id)
+		ref, err := sys.OpenGlobalSnapshot(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ompi-run: job %d (%s, np %d) left no restartable snapshot; cannot adopt it: %v\n",
+				id, js.Name, js.NP, err)
+			continue
+		}
+		// The original process's orteds died with it, so undrained
+		// journal entries point at local stages that no longer exist.
+		if n, err := snapshot.OpenJournal(ref).DiscardUndrained("ompi-run --reattach: captured nodes did not survive the original process"); err != nil {
+			fmt.Fprintf(os.Stderr, "ompi-run: job %d drain journal: %v\n", id, err)
+			continue
+		} else if n > 0 {
+			fmt.Printf("ompi-run: job %d: discarded %d captured-but-undrained interval(s)\n", id, n)
+		}
+		res := sys.Resolver(dir)
+		iv, meta, cp, err := res.LatestValid()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ompi-run: job %d has no valid snapshot interval: %v\n", id, err)
+			continue
+		}
+		if !cp.Primary() {
+			fmt.Printf("ompi-run: job %d interval %d primary unusable; repairing from %s\n", id, iv, cp)
+			if err := res.Repair(iv, cp); err != nil {
+				fmt.Fprintf(os.Stderr, "ompi-run: job %d repair: %v\n", id, err)
+				continue
+			}
+		}
+		factory, err := apps.Lookup(meta.AppName, meta.AppArgs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ompi-run: job %d snapshot names application %q: %v\n", id, meta.AppName, err)
+			continue
+		}
+		fmt.Printf("ompi-run: adopting job %d: app %q np %d from %s interval %d\n",
+			id, meta.AppName, meta.NumProcs, dir, iv)
+		job, err := sys.Restart(ref, iv, factory)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ompi-run: job %d restart: %v\n", id, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		rep, err := sys.Supervise(job, factory, sopts)
+		printReport(rep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ompi-run: adopted job %d failed: %v\n", id, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		fmt.Printf("ompi-run: adopted job %d completed\n", id)
+	}
+	if verbose {
+		fmt.Println("trace:", ins.Log.Summary())
+	}
+	return firstErr
 }
 
 func plural(n int, one, many string) string {

@@ -1,0 +1,191 @@
+// Chaos seeds for the control-plane fault-tolerance acceptance matrix:
+// coordinator crashes (hnp.crash), stable-store outages (fs.outage) and
+// node kills (node.kill), alone and combined, all driven through
+// Supervise with ReattachOnCrash. The property under test is always the
+// same: the job converges to the fault-free oracle and every committed
+// interval verifies.
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core/snapshot"
+	"repro/internal/mca"
+	"repro/internal/trace"
+)
+
+// verifyAllCommitted checks the no-debris criterion: every interval any
+// lineage lists as committed must pass full checksum verification.
+func verifyAllCommitted(t *testing.T, sys *System) {
+	t.Helper()
+	for _, id := range sys.JobIDs() {
+		ref := snapshot.GlobalRef{FS: sys.Cluster().Stable(), Dir: snapshot.GlobalDirName(int(id))}
+		ivs, err := snapshot.Intervals(ref)
+		if err != nil {
+			continue // job never committed a snapshot
+		}
+		for _, iv := range ivs {
+			if _, err := snapshot.VerifyInterval(ref, iv); err != nil {
+				t.Errorf("job %d interval %d committed but fails verification: %v", id, iv, err)
+			}
+		}
+	}
+}
+
+// The coordinator dies mid-checkpoint (during quiesce, the worst
+// window: orteds keep sealing stages into the void). ReattachOnCrash
+// rebuilds it in place, the orphaned interval is recovered from the
+// sealed stages, and the job still matches the fault-free run.
+func TestHNPCrashWithReattachMatchesFaultFree(t *testing.T) {
+	const np, limit = 8, 80
+	want := referenceIters(t, 4, 2, np, limit)
+
+	params := mca.NewParams()
+	params.Set("fault_plan", "seed=77; hnp.crash:quiesce=after1,once")
+	log := &trace.Log{}
+	sys, err := NewSystem(Options{Nodes: 4, SlotsPerNode: 2, Params: params, Ins: trace.WithLogOnly(log)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	factory, apps := slowCounterFactory(limit, 2*time.Millisecond)
+	job, err := sys.Launch(JobSpec{Name: "crash", NP: np, AppFactory: factory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Supervise(job, factory, SuperviseOptions{
+		AutoRestart:     1,
+		CheckpointEvery: 5 * time.Millisecond,
+		ReattachOnCrash: true,
+	})
+	if err != nil {
+		t.Fatalf("Supervise: %v (report %+v)", err, rep)
+	}
+	if rep.Reattaches < 1 {
+		t.Errorf("report = %+v, want at least one reattach", rep)
+	}
+	if sys.Cluster().Headless() {
+		t.Error("cluster still headless after supervised reattach")
+	}
+	if got := sys.Cluster().Faults().Fired("hnp.crash:quiesce"); got != 1 {
+		t.Errorf("hnp.crash:quiesce fired %d times, want 1", got)
+	}
+	got := finalIters(*apps, np)
+	for r := range want {
+		if got[r] != want[r] {
+			t.Errorf("rank %d final iter = %d, fault-free reference = %d", r, got[r], want[r])
+		}
+	}
+	verifyAllCommitted(t, sys)
+}
+
+// A stable-store outage window opens mid-run: checkpoints during the
+// window land node-local as degraded successes (never hard failures),
+// and once the window closes the catch-up pass reconciles every parked
+// interval onto stable storage.
+func TestStoreOutageSuperviseDegradesAndCatchesUp(t *testing.T) {
+	const np, limit = 8, 80
+	want := referenceIters(t, 4, 2, np, limit)
+
+	params := mca.NewParams()
+	params.Set("fault_plan", "seed=5; fs.outage:stable=after60,times80")
+	params.Set("snapc_store_retry_backoff", "2ms")
+	params.Set("snapc_store_retry_max", "10ms")
+	log := &trace.Log{}
+	sys, err := NewSystem(Options{Nodes: 4, SlotsPerNode: 2, Params: params, Ins: trace.WithLogOnly(log)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	factory, apps := slowCounterFactory(limit, 2*time.Millisecond)
+	job, err := sys.Launch(JobSpec{Name: "outage", NP: np, AppFactory: factory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Supervise(job, factory, SuperviseOptions{
+		CheckpointEvery: 5 * time.Millisecond,
+		AsyncDrain:      true,
+	})
+	if err != nil {
+		t.Fatalf("Supervise: %v (report %+v)", err, rep)
+	}
+	if rep.DegradedCheckpoints == 0 {
+		t.Errorf("report = %+v, want degraded checkpoints during the outage window", rep)
+	}
+	if sys.Cluster().Faults().Fired("fs.outage:stable") == 0 {
+		t.Error("the seeded plan injected no store outages")
+	}
+	// The outage window is bounded (times80): catch-up must reconcile
+	// every parked interval and clear DEGRADED.
+	if err := sys.Cluster().Drainer().AwaitCatchup(10 * time.Second); err != nil {
+		t.Fatalf("AwaitCatchup after outage window: %v", err)
+	}
+	h := sys.Cluster().Drainer().Health()
+	if h.Degraded || h.Parked != 0 || h.JournalBacklog != 0 {
+		t.Errorf("store health after catch-up = %+v, want clean", h)
+	}
+	got := finalIters(*apps, np)
+	for r := range want {
+		if got[r] != want[r] {
+			t.Errorf("rank %d final iter = %d, fault-free reference = %d", r, got[r], want[r])
+		}
+	}
+	verifyAllCommitted(t, sys)
+}
+
+// The full chaos matrix in one seeded run: the coordinator crashes
+// mid-quiesce, a node dies, and a stable-store outage window opens —
+// supervised with auto-restart and reattach. Convergence to the
+// fault-free oracle is the acceptance criterion for PR 8.
+func TestChaosTripleFaultConvergesToFaultFree(t *testing.T) {
+	const np, limit = 8, 120
+	want := referenceIters(t, 5, 2, np, limit)
+
+	params := mca.NewParams()
+	params.Set("fault_plan",
+		"seed=99; hnp.crash:quiesce=after2,once; node.kill:node3=after20,once; fs.outage:stable=after200,times60")
+	params.Set("snapc_store_retry_backoff", "2ms")
+	params.Set("snapc_store_retry_max", "10ms")
+	params.Set("orted_heartbeat_interval", "10ms")
+	params.Set("orted_heartbeat_miss", "8")
+	log := &trace.Log{}
+	sys, err := NewSystem(Options{Nodes: 5, SlotsPerNode: 2, Params: params, Ins: trace.WithLogOnly(log)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	factory, apps := slowCounterFactory(limit, 2*time.Millisecond)
+	job, err := sys.Launch(JobSpec{Name: "chaos", NP: np, AppFactory: factory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Supervise(job, factory, SuperviseOptions{
+		AutoRestart:     2,
+		CheckpointEvery: 5 * time.Millisecond,
+		ReattachOnCrash: true,
+	})
+	if err != nil {
+		t.Fatalf("Supervise: %v (report %+v)", err, rep)
+	}
+	if rep.Reattaches < 1 {
+		t.Errorf("report = %+v, want at least one reattach", rep)
+	}
+	inj := sys.Cluster().Faults()
+	if inj.Fired("hnp.crash:quiesce") != 1 {
+		t.Errorf("hnp.crash:quiesce fired %d times, want 1", inj.Fired("hnp.crash:quiesce"))
+	}
+	if inj.Fired("node.kill") != 1 {
+		t.Errorf("node.kill fired %d times, want 1", inj.Fired("node.kill"))
+	}
+	got := finalIters(*apps, np)
+	for r := range want {
+		if got[r] != want[r] {
+			t.Errorf("rank %d final iter = %d, fault-free reference = %d", r, got[r], want[r])
+		}
+	}
+	verifyAllCommitted(t, sys)
+}

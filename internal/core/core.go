@@ -70,6 +70,8 @@ type System struct {
 
 	recovMu sync.Mutex
 	recov   *recovery.Coordinator // lazily built in-job recovery coordinator
+
+	reattachMu sync.Mutex // serializes automatic HNP reattach attempts
 }
 
 // JobSpec re-exports the runtime job description.
@@ -294,6 +296,14 @@ type SuperviseOptions struct {
 	AsyncDrain bool
 	// Progress, when non-nil, is called after every committed checkpoint.
 	Progress func(CheckpointResult)
+	// ReattachOnCrash makes Supervise rebuild the coordinator when a
+	// checkpoint attempt reports the HNP crashed or down: the paper's
+	// mpirun, made crash-safe. The reattach re-registers the control
+	// plane over the still-running orteds, replays deaths from the
+	// headless window, and resolves the drain journal — no COMMITTED
+	// interval is lost; at most the in-flight one is re-drained or
+	// discarded.
+	ReattachOnCrash bool
 	// Recovery selects the node-loss posture. RecoverWholeJob (zero
 	// value) keeps the paper's abort-and-restart behavior; RecoverInJob
 	// attaches the in-job recovery coordinator to every incarnation, so
@@ -316,11 +326,17 @@ type RestartSource struct {
 
 // SuperviseReport summarizes a supervised run.
 type SuperviseReport struct {
-	Restarts          int  // restarts performed
-	Checkpoints       int  // committed global checkpoints
-	FailedCheckpoints int  // aborted checkpoint attempts
-	Recovered         bool // the job failed at least once and was restarted
-	Scrubs            int  // completed periodic scrub passes
+	Restarts          int // restarts performed
+	Checkpoints       int // committed global checkpoints
+	FailedCheckpoints int // aborted checkpoint attempts
+	// DegradedCheckpoints counts intervals that succeeded node-local
+	// during a stable-store outage and were parked for catch-up
+	// (ErrStoreDegraded): degraded successes, not failures.
+	DegradedCheckpoints int
+	// Reattaches counts automatic HNP rebuilds (ReattachOnCrash).
+	Reattaches int
+	Recovered  bool // the job failed at least once and was restarted
+	Scrubs     int  // completed periodic scrub passes
 	// Phases accumulates every committed interval's PhaseBreakdown:
 	// total time and bytes spent per checkpoint phase over the run.
 	Phases snapshot.PhaseBreakdown
@@ -335,6 +351,62 @@ type SuperviseReport struct {
 	// recovered ranks, retries, fallbacks into whole-job restart,
 	// migrations, and bytes staged for restores.
 	InJobRecovery recovery.Stats
+}
+
+// Reattach rebuilds a crashed HNP over the still-running cluster (see
+// runtime.Cluster.Reattach). It is safe to call concurrently; only one
+// rebuild runs at a time and a no-longer-headless coordinator is not an
+// error.
+func (s *System) Reattach() (runtime.ReattachReport, error) {
+	s.reattachMu.Lock()
+	defer s.reattachMu.Unlock()
+	if !s.cluster.Headless() {
+		return runtime.ReattachReport{}, nil
+	}
+	return s.cluster.Reattach()
+}
+
+// reattach is the supervise-loop half of ReattachOnCrash: attempt one
+// serialized rebuild and report whether this call performed it.
+func (s *System) reattach() bool {
+	s.reattachMu.Lock()
+	defer s.reattachMu.Unlock()
+	if !s.cluster.Headless() {
+		return false
+	}
+	if _, err := s.cluster.Reattach(); err != nil {
+		s.ins.Emit("core", "supervise.reattach-failed", "%v", err)
+		return false
+	}
+	return true
+}
+
+// noteCkptErr classifies one failed checkpoint attempt for the
+// supervise report: a store-outage degradation (the interval succeeded
+// node-local and is parked for catch-up) is a degraded success, not a
+// failure; a crashed coordinator optionally triggers an automatic
+// reattach so the next tick finds a working control plane.
+func (s *System) noteCkptErr(job names.JobID, err error, rep *SuperviseReport, mu *sync.Mutex, opts SuperviseOptions) {
+	mu.Lock()
+	if errors.Is(err, snapc.ErrStoreDegraded) {
+		rep.DegradedCheckpoints++
+	} else {
+		rep.FailedCheckpoints++
+	}
+	mu.Unlock()
+	if errors.Is(err, snapc.ErrStoreDegraded) {
+		s.ins.Emit("core", "supervise.ckpt-degraded", "job %d: %v", job, err)
+		return
+	}
+	s.ins.Emit("core", "supervise.ckpt-failed", "job %d: %v", job, err)
+	if opts.ReattachOnCrash &&
+		(errors.Is(err, snapc.ErrHNPDown) || errors.Is(err, snapc.ErrHNPCrashed)) {
+		if s.reattach() {
+			mu.Lock()
+			rep.Reattaches++
+			mu.Unlock()
+		}
+	}
 }
 
 // Supervise runs a job to completion, checkpointing it periodically and —
@@ -445,28 +517,21 @@ func (s *System) superviseLoop(job *Job, appFactory func(rank int) ompi.App, opt
 						// accounts for the drain when it lands.
 						p, err := s.checkpointAsync(j.JobID(), copts)
 						if err != nil {
-							mu.Lock()
-							rep.FailedCheckpoints++
-							mu.Unlock()
-							s.ins.Emit("core", "supervise.ckpt-failed", "job %d: %v", j.JobID(), err)
+							s.noteCkptErr(j.JobID(), err, &rep, &mu, opts)
 							continue
 						}
 						tickers.Add(1)
 						go func() {
 							defer tickers.Done()
 							res, err := p.Wait()
-							mu.Lock()
 							if err != nil {
-								rep.FailedCheckpoints++
-							} else {
-								rep.Checkpoints++
-								rep.Phases.Accumulate(res.Meta.Phases)
-							}
-							mu.Unlock()
-							if err != nil {
-								s.ins.Emit("core", "supervise.ckpt-failed", "job %d: %v", j.JobID(), err)
+								s.noteCkptErr(j.JobID(), err, &rep, &mu, opts)
 								return
 							}
+							mu.Lock()
+							rep.Checkpoints++
+							rep.Phases.Accumulate(res.Meta.Phases)
+							mu.Unlock()
 							if co != nil {
 								s.cluster.PruneLocalStages(j.JobID(), res.Interval)
 							}
@@ -477,18 +542,14 @@ func (s *System) superviseLoop(job *Job, appFactory func(rank int) ompi.App, opt
 						continue
 					}
 					res, err := s.checkpoint(j.JobID(), copts)
-					mu.Lock()
 					if err != nil {
-						rep.FailedCheckpoints++
-					} else {
-						rep.Checkpoints++
-						rep.Phases.Accumulate(res.Meta.Phases)
-					}
-					mu.Unlock()
-					if err != nil {
-						s.ins.Emit("core", "supervise.ckpt-failed", "job %d: %v", j.JobID(), err)
+						s.noteCkptErr(j.JobID(), err, &rep, &mu, opts)
 						continue
 					}
+					mu.Lock()
+					rep.Checkpoints++
+					rep.Phases.Accumulate(res.Meta.Phases)
+					mu.Unlock()
 					if co != nil {
 						s.cluster.PruneLocalStages(j.JobID(), res.Interval)
 					}
@@ -506,6 +567,13 @@ func (s *System) superviseLoop(job *Job, appFactory func(rank int) ompi.App, opt
 		}
 		if rep.Restarts >= opts.AutoRestart {
 			return rep, err
+		}
+		// A restart needs a working coordinator: if the job died while the
+		// HNP was also down, rebuild the control plane first.
+		if opts.ReattachOnCrash && s.cluster.Headless() && s.reattach() {
+			mu.Lock()
+			rep.Reattaches++
+			mu.Unlock()
 		}
 		// Resolve the drain queue before picking a restart interval: let
 		// in-flight drains land, then walk every lineage's journal —

@@ -40,6 +40,13 @@ const (
 	// snapshot metadata. The drain phase and the restart fast path trust
 	// a local stage only under this marker.
 	LocalCommittedFile = "LOCAL_COMMITTED"
+	// JournalCorruptFile is where a torn or garbage journal is
+	// quarantined: a journal that fails to parse is renamed aside (for
+	// post-mortem inspection) rather than wedging every drain operation,
+	// and the journal restarts empty. The LOCAL_COMMITTED markers on the
+	// nodes remain the ground truth; snapc.RebuildJournal reconstructs
+	// the lost entries from them.
+	JournalCorruptFile = "drain_journal.corrupt"
 	// maxJournalEntries bounds the journal: once every entry is terminal
 	// beyond this count, the oldest terminal entries are dropped. Keeps
 	// the file O(1) over long supervised runs.
@@ -127,7 +134,16 @@ type Journal struct {
 	FS  vfs.FS
 	Dir string // the global snapshot lineage directory
 
-	mu sync.Mutex
+	mu          sync.Mutex
+	quarantined int // corrupt journal files moved aside by load()
+}
+
+// Quarantined reports how many corrupt journal files this handle has
+// moved aside.
+func (j *Journal) Quarantined() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.quarantined
 }
 
 // OpenJournal returns the journal handle for a global snapshot lineage.
@@ -163,13 +179,32 @@ func (j *Journal) load() ([]JournalEntry, error) {
 	}
 	var doc journalDoc
 	if err := json.Unmarshal(data, &doc); err != nil {
-		return nil, fmt.Errorf("snapshot: corrupt drain journal %q: %w", j.path(), err)
+		// A torn or garbage journal (crash mid-write on a non-atomic
+		// backend, bitrot) must not wedge every future drain: quarantine
+		// the damaged file and restart empty. The sealed LOCAL_COMMITTED
+		// stage markers on the nodes are the recoverable ground truth.
+		return j.quarantine(fmt.Sprintf("unparseable: %v", err))
 	}
 	if doc.Version != FormatVersion {
-		return nil, fmt.Errorf("snapshot: drain journal version %d, want %d", doc.Version, FormatVersion)
+		return j.quarantine(fmt.Sprintf("version %d, want %d", doc.Version, FormatVersion))
 	}
 	sort.Slice(doc.Entries, func(a, b int) bool { return doc.Entries[a].Interval < doc.Entries[b].Interval })
 	return doc.Entries, nil
+}
+
+// quarantine moves a corrupt journal aside (JournalCorruptFile, plus a
+// one-line cause file) and reports an empty journal. A rename failure —
+// the store itself is failing — is surfaced instead: pretending the
+// journal is empty while the corrupt file stays in place would let a
+// later load read the damage again as if it were fresh.
+func (j *Journal) quarantine(cause string) ([]JournalEntry, error) {
+	dst := path.Join(j.Dir, JournalCorruptFile)
+	if err := j.FS.Rename(j.path(), dst); err != nil {
+		return nil, fmt.Errorf("snapshot: quarantine corrupt drain journal (%s): %w", cause, err)
+	}
+	_ = j.FS.WriteFile(dst+".cause", []byte(cause+"\n"))
+	j.quarantined++
+	return nil, nil
 }
 
 // store rewrites the journal atomically: marshal, write a temp file in

@@ -1,7 +1,6 @@
 package snapshot
 
 import (
-	"strings"
 	"testing"
 
 	"repro/internal/vfs"
@@ -305,8 +304,12 @@ func TestJournalTrimsOldestTerminal(t *testing.T) {
 	}
 }
 
-// A journal rewrite is atomic: the temp file never survives a store, and
-// a corrupt or version-skewed file is an error, not silent data loss.
+// A journal rewrite is atomic: the temp file never survives a store. A
+// corrupt or version-skewed journal is quarantined — moved aside under
+// JournalCorruptFile for post-mortem, the journal restarts empty — so
+// one torn file never wedges every later drain operation. The sealed
+// LOCAL_COMMITTED stage markers remain the recoverable ground truth
+// (snapc.RebuildJournal reconstructs the lost entries from them).
 func TestJournalStoreAtomicityAndCorruption(t *testing.T) {
 	fs := vfs.NewMem()
 	j := OpenJournal(GlobalRef{FS: fs, Dir: "lineage"})
@@ -319,13 +322,103 @@ func TestJournalStoreAtomicityAndCorruption(t *testing.T) {
 	if err := fs.WriteFile("lineage/"+JournalFile, []byte("{not json")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := j.Load(); err == nil || !strings.Contains(err.Error(), "corrupt") {
-		t.Fatalf("corrupt journal load: %v", err)
+	entries, err := j.Load()
+	if err != nil || len(entries) != 0 {
+		t.Fatalf("corrupt journal: %d entries, err %v; want empty after quarantine", len(entries), err)
 	}
+	if !vfs.Exists(fs, "lineage/"+JournalCorruptFile) {
+		t.Fatal("corrupt journal was not moved to the quarantine name")
+	}
+	if vfs.Exists(fs, "lineage/"+JournalFile) {
+		t.Fatal("corrupt journal left in place after quarantine")
+	}
+	if got := j.Quarantined(); got != 1 {
+		t.Fatalf("Quarantined() = %d, want 1", got)
+	}
+	// The journal restarts empty and immediately usable.
+	if err := j.Record(captured(5)); err != nil {
+		t.Fatalf("record after quarantine: %v", err)
+	}
+	// Version skew quarantines the same way.
 	if err := fs.WriteFile("lineage/"+JournalFile, []byte(`{"version": 99, "entries": []}`)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := j.Load(); err == nil || !strings.Contains(err.Error(), "version") {
-		t.Fatalf("version-skew journal load: %v", err)
+	if entries, err := j.Load(); err != nil || len(entries) != 0 {
+		t.Fatalf("version-skew journal: %d entries, err %v; want empty after quarantine", len(entries), err)
+	}
+	if got := j.Quarantined(); got != 2 {
+		t.Fatalf("Quarantined() = %d, want 2", got)
+	}
+}
+
+// A crash mid-write on a non-atomic backend can leave the journal
+// truncated at ANY byte offset. Sweep every prefix of a real journal:
+// each one must load without error — either parsing cleanly (only the
+// full document does) or quarantining — and the journal must accept new
+// records immediately afterwards. No offset may wedge the lineage.
+func TestJournalTruncationAtEveryByte(t *testing.T) {
+	fs := vfs.NewMem()
+	j := OpenJournal(GlobalRef{FS: fs, Dir: "lineage"})
+	for iv := 0; iv < 3; iv++ {
+		e := captured(iv)
+		if err := j.Record(e); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := j.Transition(iv, StateDraining, "test"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := j.Transition(iv, StateCommitted, "test"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	intact, err := fs.ReadFile("lineage/" + JournalFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := j.Load()
+	if err != nil || len(full) != 3 {
+		t.Fatalf("intact journal: %d entries, err %v", len(full), err)
+	}
+
+	for cut := 0; cut < len(intact); cut++ {
+		torn := append([]byte(nil), intact[:cut]...)
+		if err := fs.WriteFile("lineage/"+JournalFile, torn); err != nil {
+			t.Fatal(err)
+		}
+		jt := OpenJournal(GlobalRef{FS: fs, Dir: "lineage"})
+		entries, err := jt.Load()
+		if err != nil {
+			t.Fatalf("cut at byte %d: Load error %v", cut, err)
+		}
+		switch len(entries) {
+		case 0:
+			// Quarantined: the torn file was moved aside.
+			if !vfs.Exists(fs, "lineage/"+JournalCorruptFile) {
+				t.Fatalf("cut at byte %d: empty load but no quarantine file", cut)
+			}
+			if jt.Quarantined() != 1 {
+				t.Fatalf("cut at byte %d: Quarantined() = %d", cut, jt.Quarantined())
+			}
+		case 3:
+			// The prefix happened to still be a complete document
+			// (e.g. only trailing whitespace was cut).
+		default:
+			t.Fatalf("cut at byte %d: %d entries, want 0 (quarantine) or 3 (intact)", cut, len(entries))
+		}
+		// Whatever happened, the lineage keeps working.
+		if err := jt.Record(captured(9)); err != nil {
+			t.Fatalf("cut at byte %d: record after load: %v", cut, err)
+		}
+		// Reset for the next offset.
+		if vfs.Exists(fs, "lineage/"+JournalCorruptFile) {
+			if err := fs.Remove("lineage/" + JournalCorruptFile); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if vfs.Exists(fs, "lineage/"+JournalCorruptFile+".cause") {
+			if err := fs.Remove("lineage/" + JournalCorruptFile + ".cause"); err != nil {
+				t.Fatal(err)
+			}
+		}
 	}
 }

@@ -42,6 +42,16 @@ import (
 // callers (and tests) can tell a synthetic fault from a real one.
 var ErrInjected = errors.New("faultsim: injected fault")
 
+// ErrOutage marks a storage failure of the transient-outage class
+// ("fs.outage:<label>"): the store is temporarily unreachable, not
+// damaged. The drain engine treats these differently from ordinary
+// write failures — instead of aborting the interval it parks the work,
+// enters degraded mode, and retries when the store returns.
+var ErrOutage = errors.New("faultsim: store outage")
+
+// IsOutage reports whether err belongs to the transient-outage class.
+func IsOutage(err error) bool { return errors.Is(err, ErrOutage) }
+
 // Rule arms one injection point. Triggers combine:
 //
 //   - Prob > 0: each matching operation fails with that probability.

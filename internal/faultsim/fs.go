@@ -24,6 +24,11 @@ import (
 //     file — sees the same damaged bytes, like real silent media decay.
 //     The flipped position derives from the plan seed and the path, so
 //     a given plan corrupts identically on every run.
+//   - "fs.outage:<label>": a transient outage — every operation on the
+//     store fails with an ErrOutage-class error while the rule fires,
+//     then the store comes back intact. "after5,times10" models a
+//     ten-operation window of unreachability. Checked before any other
+//     point on every operation.
 type faultyFS struct {
 	inner vfs.FS
 	inj   *Injector
@@ -39,6 +44,16 @@ func WrapFS(fsys vfs.FS, inj *Injector, label string) vfs.FS {
 		return fsys
 	}
 	return &faultyFS{inner: fsys, inj: inj, label: label}
+}
+
+// maybeOutage evaluates the transient-outage point: while its rule
+// fires, every operation fails with an error in the ErrOutage class and
+// the store itself is untouched.
+func (f *faultyFS) maybeOutage(op, name string) error {
+	if err := f.inj.Fire("fs.outage:" + f.label); err != nil {
+		return fmt.Errorf("vfs: %s %q: %w: %w", op, name, ErrOutage, err)
+	}
+	return nil
 }
 
 // maybeLose evaluates the storage-loss point and, when it fires, wipes
@@ -68,6 +83,9 @@ func (f *faultyFS) flipByte(name string, data []byte) {
 
 // WriteFile implements vfs.FS.
 func (f *faultyFS) WriteFile(name string, data []byte) error {
+	if err := f.maybeOutage("write", name); err != nil {
+		return err
+	}
 	f.maybeLose()
 	if err := f.inj.Fire("vfs.write:" + f.label); err != nil {
 		return fmt.Errorf("vfs: write %q: %w", name, err)
@@ -77,6 +95,9 @@ func (f *faultyFS) WriteFile(name string, data []byte) error {
 
 // ReadFile implements vfs.FS.
 func (f *faultyFS) ReadFile(name string) ([]byte, error) {
+	if err := f.maybeOutage("read", name); err != nil {
+		return nil, err
+	}
 	f.maybeLose()
 	if err := f.inj.Fire("vfs.read:" + f.label); err != nil {
 		return nil, fmt.Errorf("vfs: read %q: %w", name, err)
@@ -95,6 +116,9 @@ func (f *faultyFS) ReadFile(name string) ([]byte, error) {
 
 // Rename implements vfs.FS.
 func (f *faultyFS) Rename(oldName, newName string) error {
+	if err := f.maybeOutage("rename", oldName); err != nil {
+		return err
+	}
 	f.maybeLose()
 	if err := f.inj.Fire("vfs.rename:" + f.label); err != nil {
 		return fmt.Errorf("vfs: rename %q: %w", oldName, err)
@@ -104,24 +128,36 @@ func (f *faultyFS) Rename(oldName, newName string) error {
 
 // Remove implements vfs.FS.
 func (f *faultyFS) Remove(name string) error {
+	if err := f.maybeOutage("remove", name); err != nil {
+		return err
+	}
 	f.maybeLose()
 	return f.inner.Remove(name)
 }
 
 // MkdirAll implements vfs.FS.
 func (f *faultyFS) MkdirAll(name string) error {
+	if err := f.maybeOutage("mkdir", name); err != nil {
+		return err
+	}
 	f.maybeLose()
 	return f.inner.MkdirAll(name)
 }
 
 // ReadDir implements vfs.FS.
 func (f *faultyFS) ReadDir(name string) ([]vfs.FileInfo, error) {
+	if err := f.maybeOutage("readdir", name); err != nil {
+		return nil, err
+	}
 	f.maybeLose()
 	return f.inner.ReadDir(name)
 }
 
 // Stat implements vfs.FS.
 func (f *faultyFS) Stat(name string) (vfs.FileInfo, error) {
+	if err := f.maybeOutage("stat", name); err != nil {
+		return vfs.FileInfo{}, err
+	}
 	f.maybeLose()
 	return f.inner.Stat(name)
 }

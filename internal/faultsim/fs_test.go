@@ -2,6 +2,7 @@ package faultsim
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"repro/internal/vfs"
@@ -160,5 +161,77 @@ func TestStorageLossWipesButAcceptsWrites(t *testing.T) {
 	}
 	if in.Fired("node.storage-loss") != 1 {
 		t.Errorf("Fired = %d, want 1 (loss is one-shot)", in.Fired("node.storage-loss"))
+	}
+}
+
+func TestOutageIsTransientAndClassified(t *testing.T) {
+	mem := vfs.NewMem()
+	if err := mem.WriteFile("ckpt/data", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	// Ops 1–2 pass, ops 3–5 are the outage window, then the store returns.
+	in := New(1, Rule{Point: "fs.outage:stable", After: 2, Times: 3})
+	fs := WrapFS(mem, in, "stable")
+
+	if _, err := fs.ReadFile("ckpt/data"); err != nil {
+		t.Fatalf("pre-outage read: %v", err)
+	}
+	if err := fs.WriteFile("ckpt/more", []byte("x")); err != nil {
+		t.Fatalf("pre-outage write: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		_, err := fs.ReadFile("ckpt/data")
+		if err == nil {
+			t.Fatalf("op %d inside outage window succeeded", i)
+		}
+		if !IsOutage(err) {
+			t.Fatalf("outage error not classified: %v", err)
+		}
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("outage error lost the injected sentinel: %v", err)
+		}
+	}
+	// The store comes back intact: nothing was wiped or corrupted.
+	data, err := fs.ReadFile("ckpt/data")
+	if err != nil {
+		t.Fatalf("post-outage read: %v", err)
+	}
+	if string(data) != "payload" {
+		t.Fatalf("post-outage contents = %q", data)
+	}
+	if in.Fired("fs.outage") != 3 {
+		t.Errorf("Fired = %d, want 3", in.Fired("fs.outage"))
+	}
+	// Ordinary write failures are NOT outage-class.
+	in2 := New(1, Rule{Point: "vfs.write:stable", Times: 1})
+	fs2 := WrapFS(vfs.NewMem(), in2, "stable")
+	if err := fs2.WriteFile("x", nil); err == nil || IsOutage(err) {
+		t.Fatalf("plain write fault misclassified as outage: %v", err)
+	}
+}
+
+func TestOutageCoversEveryOperation(t *testing.T) {
+	mem := vfs.NewMem()
+	if err := mem.WriteFile("d/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	in := New(1, Rule{Point: "fs.outage:stable", Times: 7})
+	fs := WrapFS(mem, in, "stable")
+	checks := []struct {
+		op  string
+		err error
+	}{
+		{"write", fs.WriteFile("d/g", nil)},
+		{"read", func() error { _, err := fs.ReadFile("d/f"); return err }()},
+		{"rename", fs.Rename("d/f", "d/h")},
+		{"remove", fs.Remove("d/f")},
+		{"mkdir", fs.MkdirAll("d/sub")},
+		{"readdir", func() error { _, err := fs.ReadDir("d"); return err }()},
+		{"stat", func() error { _, err := fs.Stat("d/f"); return err }()},
+	}
+	for _, c := range checks {
+		if c.err == nil || !IsOutage(c.err) {
+			t.Errorf("%s during outage: %v", c.op, c.err)
+		}
 	}
 }

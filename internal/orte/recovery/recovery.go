@@ -120,6 +120,15 @@ func (co *Coordinator) HandleFailure(j *runtime.Job, node string, lost []int, de
 	co.ins.Counter("ompi_recovery_sessions_total").Inc()
 	co.ins.Counter("ompi_recovery_detect_ns_total").Add(time.Since(detectedAt).Nanoseconds())
 
+	// Fault point: the HNP dies just as recovery coordination begins.
+	// The frozen session is left stranded — survivors parked, no orders
+	// coming — until Reattach aborts it into the whole-job fallback.
+	if ierr := co.cluster.Faults().Fire("hnp.crash:recovery"); ierr != nil {
+		co.ins.Emit("recovery", "hnp.crash", "injected mid-recovery: %v", ierr)
+		_ = co.cluster.CrashHNP(fmt.Errorf("recovery session for node %q: %w", node, ierr))
+		return
+	}
+
 	sp := co.ins.Span("recovery.session", trace.WithSource("recovery"))
 	err := co.runAttempts(j, s, map[string]bool{node: true}, nil)
 	sp.End(err)

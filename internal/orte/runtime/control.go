@@ -3,16 +3,27 @@ package runtime
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/orte/names"
 	"repro/internal/orte/snapc"
 )
+
+// DefaultControlTimeout bounds control-channel I/O: how long the server
+// waits for a request on an accepted connection, and how long the
+// client tools wait to connect and to read a reply. A connect-and-hang
+// peer (or a wedged mpirun) fails the operation instead of blocking a
+// tool forever. The server side is tunable via the "control_timeout"
+// MCA parameter.
+const DefaultControlTimeout = 30 * time.Second
 
 // The control plane reproduces the paper's asynchronous command-line
 // tool path (§4, Fig. 1-A): `ompi-checkpoint PID_MPIRUN` reaches the
@@ -80,6 +91,33 @@ type ControlResponse struct {
 	// registry (the "metrics" op): the HNP's /metrics endpoint, served
 	// over the control channel instead of HTTP.
 	Metrics string `json:"metrics,omitempty"`
+	// Health is the "health" op's payload.
+	Health *ControlHealth `json:"health,omitempty"`
+}
+
+// ControlNodeHealth is one node's failure-detector row in a "health"
+// response. LastBeatMs is the age of the last heard heartbeat in
+// milliseconds; -1 means never heard this HNP incarnation.
+type ControlNodeHealth struct {
+	Node       string `json:"node"`
+	Alive      bool   `json:"alive"`
+	LastBeatMs int64  `json:"last_beat_ms"`
+}
+
+// ControlHealth is the wire form of the HNP's health view: headless
+// state, stable-store degradation, drain backlog, ledger durability
+// lag, and per-node failure-detector freshness.
+type ControlHealth struct {
+	Headless          bool                `json:"headless"`
+	StoreDegraded     bool                `json:"store_degraded"`
+	OutageScore       int                 `json:"outage_score"`
+	ParkedIntervals   int                 `json:"parked_intervals"`
+	JournalBacklog    int                 `json:"journal_backlog"`
+	DrainQueueDepth   int                 `json:"drain_queue_depth"`
+	LedgerSeq         int                 `json:"ledger_seq"`
+	LedgerLag         int                 `json:"ledger_lag"`
+	LedgerFlushErrors int                 `json:"ledger_flush_errors"`
+	Nodes             []ControlNodeHealth `json:"nodes,omitempty"`
 }
 
 // ControlServer accepts tool connections for a cluster.
@@ -87,7 +125,8 @@ type ControlServer struct {
 	cluster *Cluster
 	ln      net.Listener
 	wg      sync.WaitGroup
-	session string // session file path, removed on Close
+	session string        // session file path, removed on Close
+	timeout time.Duration // per-connection request-read / reply-write bound
 }
 
 // SessionDir is where running ompi-run instances register their control
@@ -112,7 +151,11 @@ func (c *Cluster) ServeControl(addr string, register bool) (*ControlServer, erro
 	if err != nil {
 		return nil, fmt.Errorf("runtime: control listen: %w", err)
 	}
-	s := &ControlServer{cluster: c, ln: ln}
+	s := &ControlServer{
+		cluster: c,
+		ln:      ln,
+		timeout: c.params.Duration("control_timeout", DefaultControlTimeout),
+	}
 	if register {
 		if err := os.MkdirAll(SessionDir(), 0o755); err != nil {
 			ln.Close()
@@ -159,15 +202,24 @@ func (s *ControlServer) acceptLoop() {
 }
 
 // serveConn handles one tool connection: one JSON request, one reply.
+// The request read is deadline-bounded so a connect-and-hang peer can't
+// pin an accept slot forever; the reply write is bounded the same way.
+// The handler itself (a synchronous checkpoint, say) is not bounded —
+// only the wire I/O is.
 func (s *ControlServer) serveConn(conn net.Conn) {
 	dec := json.NewDecoder(bufio.NewReader(conn))
 	enc := json.NewEncoder(conn)
 	var req ControlRequest
+	_ = conn.SetReadDeadline(time.Now().Add(s.timeout))
 	if err := dec.Decode(&req); err != nil {
+		_ = conn.SetWriteDeadline(time.Now().Add(s.timeout))
 		_ = enc.Encode(ControlResponse{Err: fmt.Sprintf("bad request: %v", err)})
 		return
 	}
-	_ = enc.Encode(s.handle(req))
+	_ = conn.SetReadDeadline(time.Time{})
+	resp := s.handle(req)
+	_ = conn.SetWriteDeadline(time.Now().Add(s.timeout))
+	_ = enc.Encode(resp)
 }
 
 func (s *ControlServer) handle(req ControlRequest) ControlResponse {
@@ -221,6 +273,29 @@ func (s *ControlServer) handle(req ControlRequest) ControlResponse {
 		return ControlResponse{OK: true}
 	case "metrics":
 		return ControlResponse{OK: true, Metrics: s.cluster.ins.RenderMetrics()}
+	case "health":
+		h := s.cluster.Health()
+		out := &ControlHealth{
+			Headless:          h.Headless,
+			StoreDegraded:     h.Store.Degraded,
+			OutageScore:       h.Store.OutageScore,
+			ParkedIntervals:   h.Store.Parked,
+			JournalBacklog:    h.Store.JournalBacklog,
+			DrainQueueDepth:   h.Store.QueueDepth,
+			LedgerSeq:         h.LedgerSeq,
+			LedgerLag:         h.LedgerLag,
+			LedgerFlushErrors: h.LedgerFlushErrors,
+		}
+		for _, n := range h.Nodes {
+			ms := int64(-1)
+			if n.SinceBeat >= 0 {
+				ms = n.SinceBeat.Milliseconds()
+			}
+			out.Nodes = append(out.Nodes, ControlNodeHealth{
+				Node: n.Node, Alive: n.Alive, LastBeatMs: ms,
+			})
+		}
+		return ControlResponse{OK: true, Health: out}
 	case "checkpoint":
 		id, err := s.resolveJobID(req.Job)
 		if err != nil {
@@ -279,13 +354,30 @@ func (s *ControlServer) resolveJobID(arg int) (names.JobID, error) {
 }
 
 // ControlDial sends one request to a control address and returns the
-// response; the client half used by the tools.
+// response; the client half used by the tools. I/O is bounded by
+// DefaultControlTimeout — use ControlDialTimeout for long-running ops
+// (a synchronous checkpoint of a large job can legitimately exceed it).
 func ControlDial(addr string, req ControlRequest) (ControlResponse, error) {
-	conn, err := net.Dial("tcp", addr)
+	return ControlDialTimeout(addr, req, DefaultControlTimeout)
+}
+
+// ControlDialTimeout is ControlDial with an explicit bound covering the
+// connect, the request write, and the response read. A dead or wedged
+// mpirun fails the call instead of hanging the tool. timeout <= 0 means
+// unbounded (connect still uses DefaultControlTimeout).
+func ControlDialTimeout(addr string, req ControlRequest, timeout time.Duration) (ControlResponse, error) {
+	connectTO := timeout
+	if connectTO <= 0 {
+		connectTO = DefaultControlTimeout
+	}
+	conn, err := net.DialTimeout("tcp", addr, connectTO)
 	if err != nil {
 		return ControlResponse{}, fmt.Errorf("runtime: dial mpirun control %s: %w", addr, err)
 	}
 	defer conn.Close()
+	if timeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(timeout))
+	}
 	if err := json.NewEncoder(conn).Encode(req); err != nil {
 		return ControlResponse{}, fmt.Errorf("runtime: send control request: %w", err)
 	}
@@ -304,4 +396,35 @@ func ResolveSession(pid int) (string, error) {
 		return "", fmt.Errorf("runtime: no mpirun session for pid %d: %w", pid, err)
 	}
 	return string(data), nil
+}
+
+// ScanSessions lists every registered mpirun session: pid → control
+// address. Stale files from crashed mpiruns are included — callers
+// probe each address (a short-timeout ping) to tell live from dead.
+// A missing session directory is an empty map, not an error.
+func ScanSessions() (map[int]string, error) {
+	entries, err := os.ReadDir(SessionDir())
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return map[int]string{}, nil
+		}
+		return nil, fmt.Errorf("runtime: scan sessions: %w", err)
+	}
+	out := make(map[int]string, len(entries))
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".addr") {
+			continue
+		}
+		pid, err := strconv.Atoi(strings.TrimSuffix(name, ".addr"))
+		if err != nil {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(SessionDir(), name))
+		if err != nil {
+			continue
+		}
+		out[pid] = string(data)
+	}
+	return out, nil
 }

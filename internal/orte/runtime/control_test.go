@@ -1,10 +1,16 @@
 package runtime
 
 import (
+	"errors"
+	"io"
+	"net"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/mca"
 	"repro/internal/ompi"
 	"repro/internal/orte/plm"
 	"repro/internal/trace"
@@ -212,6 +218,148 @@ func TestControlDialErrors(t *testing.T) {
 	}
 	if _, err := ResolveSession(-42); err == nil {
 		t.Error("ResolveSession of bogus pid succeeded")
+	}
+}
+
+// A client that connects and then says nothing must not hold a server
+// goroutine forever: the control_timeout read deadline kicks in, the
+// server answers with a bad-request error (or just closes), and normal
+// clients keep being served.
+func TestControlSlowClientGetsDeadlined(t *testing.T) {
+	params := mca.NewParams()
+	params.Set("control_timeout", "100ms")
+	c, err := New(Config{
+		Nodes:  []plm.NodeSpec{{Name: "n0", Slots: 2}},
+		Params: params,
+		Ins:    trace.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv, err := c.ServeControl("", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Send nothing. Within a few deadline periods the server must give
+	// up on us: either an error reply or a plain close, but not a hang.
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 4096)
+	n, err := conn.Read(buf)
+	if err != nil && !errors.Is(err, io.EOF) {
+		t.Fatalf("server neither replied nor closed the idle conn: %v", err)
+	}
+	if n > 0 && !strings.Contains(string(buf[:n]), "bad request") {
+		t.Errorf("idle conn reply = %q, want a bad-request error", buf[:n])
+	}
+	// The server is still healthy for well-behaved clients.
+	resp, err := ControlDial(srv.Addr(), ControlRequest{Op: "ping"})
+	if err != nil || !resp.OK {
+		t.Fatalf("ping after slow client: %v %+v", err, resp)
+	}
+}
+
+// ControlDialTimeout against a listener that accepts and never replies
+// must fail within the timeout instead of blocking forever.
+func TestControlDialTimeoutHangingServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // hold it open, say nothing
+		}
+	}()
+	start := time.Now()
+	_, err = ControlDialTimeout(ln.Addr().String(), ControlRequest{Op: "ping"}, 100*time.Millisecond)
+	if err == nil {
+		t.Fatal("dial to a hanging server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("hung for %v, want prompt failure", elapsed)
+	}
+}
+
+func TestControlHealthOp(t *testing.T) {
+	_, srv, _ := controlFixture(t)
+	resp, err := ControlDial(srv.Addr(), ControlRequest{Op: "health"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || resp.Health == nil {
+		t.Fatalf("health = %+v", resp)
+	}
+	h := resp.Health
+	if h.Headless || h.StoreDegraded {
+		t.Errorf("fresh cluster health = %+v, want up and store ok", h)
+	}
+	if len(h.Nodes) != 2 {
+		t.Errorf("health nodes = %d, want 2", len(h.Nodes))
+	}
+	if h.LedgerSeq <= 0 {
+		t.Errorf("ledger seq = %d, want >0 after a launch", h.LedgerSeq)
+	}
+}
+
+// A session file left behind by a crashed mpirun is listed by
+// ScanSessions but fails the liveness probe — the classification
+// `ompi-run --reattach` uses to tell an adoptable corpse from a live
+// coordinator it must refuse to fight.
+func TestScanSessionsStaleFileFailsProbe(t *testing.T) {
+	if err := os.MkdirAll(SessionDir(), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	const pid = 999999999
+	stale := filepath.Join(SessionDir(), "999999999.addr")
+	if err := os.WriteFile(stale, []byte("127.0.0.1:1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Remove(stale)
+	sessions, err := ScanSessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, ok := sessions[pid]
+	if !ok {
+		t.Fatalf("stale session file not listed: %v", sessions)
+	}
+	if _, err := ControlDialTimeout(addr, ControlRequest{Op: "ping"}, 500*time.Millisecond); err == nil {
+		t.Error("probe of a dead session address succeeded")
+	}
+	// A live server at the same address flips the verdict.
+	c, err := New(Config{Nodes: []plm.NodeSpec{{Name: "n0", Slots: 1}}, Ins: trace.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv, err := c.ServeControl("", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := os.WriteFile(stale, []byte(srv.Addr()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sessions, err = ScanSessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ControlDialTimeout(sessions[pid], ControlRequest{Op: "ping"}, 2*time.Second)
+	if err != nil || !resp.OK {
+		t.Errorf("probe of a live session failed: %v %+v", err, resp)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"repro/internal/ompi/crcp"
 	"repro/internal/opal/crs"
 	"repro/internal/orte/filem"
+	"repro/internal/orte/ledger"
 	"repro/internal/orte/names"
 	"repro/internal/orte/plm"
 	"repro/internal/orte/snapc"
@@ -103,6 +104,9 @@ func (c *Cluster) Launch(spec JobSpec) (*Job, error) {
 // rank->node map (restart may re-place); restores supplies per-rank
 // restore specs.
 func (c *Cluster) launch(spec JobSpec, placementOverride map[int]string, restores []*ompi.RestoreSpec) (*Job, error) {
+	if err := c.headlessErr(); err != nil {
+		return nil, err
+	}
 	if spec.NP <= 0 {
 		return nil, fmt.Errorf("runtime: job needs NP > 0, got %d", spec.NP)
 	}
@@ -203,6 +207,8 @@ func (c *Cluster) launch(spec JobSpec, placementOverride map[int]string, restore
 	c.jobs[j.id] = j
 	c.mu.Unlock()
 	c.ins.Emit("hnp", "job.launch", "job %d np=%d app=%s", j.id, spec.NP, spec.Name)
+	c.ledgerAppend(ledger.TypeJobLaunch, int(j.id),
+		ledger.JobLaunch{Name: spec.Name, NP: spec.NP, Placement: placement})
 
 	for r := 0; r < spec.NP; r++ {
 		var rs *ompi.RestoreSpec
@@ -217,8 +223,25 @@ func (c *Cluster) launch(spec JobSpec, placementOverride map[int]string, restore
 		j.closeFabric() // release transport resources (TCP connections)
 		close(j.done)
 		c.ins.Emit("hnp", "job.done", "job %d", j.id)
+		c.ledgerAppend(ledger.TypeJobDone, int(j.id), nil)
 	}()
 	return j, nil
+}
+
+// fenceStaleDirectives fences every checkpoint interval allocated so
+// far on every rank: after an HNP crash, a directive from the dead
+// coordinator parked in a survivor's mailbox would force ranks to a
+// step frontier nobody coordinates (see CompleteRecovery for the same
+// fence at session close).
+func (j *Job) fenceStaleDirectives() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	fence := j.nextInterval - 1
+	for r := 0; r < j.spec.NP; r++ {
+		if p := j.procs[r]; p != nil {
+			p.FenceDirectives(fence)
+		}
+	}
 }
 
 // newRankProc builds one rank's process object, wired to the job's
@@ -436,6 +459,9 @@ var _ snapc.JobView = (*Job)(nil)
 // commit → replicate) finishes. Captures are serialized; the drain of
 // interval N overlaps the capture of interval N+1.
 func (c *Cluster) CheckpointJobAsync(id names.JobID, opts snapc.Options) (*snapc.Pending, error) {
+	if err := c.headlessErr(); err != nil {
+		return nil, err
+	}
 	j, err := c.Job(id)
 	if err != nil {
 		return nil, err
@@ -450,12 +476,19 @@ func (c *Cluster) CheckpointJobAsync(id names.JobID, opts snapc.Options) (*snapc
 	j.nextInterval++
 	j.mu.Unlock()
 	globalDir := snapshot.GlobalDirName(int(id))
-	cpt, err := c.snapcComp.Capture(c.snapcEnv, j, c.hnpEP, c.daemons, globalDir, interval, opts)
+	cpt, err := c.snapcComp.Capture(c.snapcEnv, j, c.hnpEndpoint(), c.daemons, globalDir, interval, opts)
 	if err != nil {
+		// An injected HNP crash inside the quiesce window takes the
+		// whole coordinator down: the directives already fanned out, the
+		// orteds seal their stages autonomously, and Reattach's journal
+		// rebuild resurrects the interval from them.
+		if errors.Is(err, snapc.ErrHNPCrashed) {
+			_ = c.CrashHNP(err)
+		}
 		return nil, err
 	}
 	j.noteCheckpoint(interval)
-	return c.drainer.Enqueue(cpt)
+	return c.Drainer().Enqueue(cpt)
 }
 
 // CheckpointJob runs a global checkpoint of the job through the SNAPC
@@ -475,6 +508,9 @@ func (c *Cluster) CheckpointJob(id names.JobID, opts snapc.Options) (snapc.Resul
 // on a different cluster or node mapping. Everything but the application
 // factory comes from the snapshot metadata — the user recalls nothing.
 func (c *Cluster) Restart(ref snapshot.GlobalRef, interval int, appFactory func(rank int) ompi.App) (*Job, error) {
+	if err := c.headlessErr(); err != nil {
+		return nil, err
+	}
 	meta, err := snapshot.ReadGlobal(ref, interval)
 	if err != nil {
 		return nil, err

@@ -18,6 +18,7 @@ import (
 	"repro/internal/ompi"
 	"repro/internal/ompi/btl"
 	"repro/internal/orte/filem"
+	"repro/internal/orte/ledger"
 	"repro/internal/orte/names"
 	"repro/internal/orte/snapc"
 	"sync"
@@ -274,6 +275,7 @@ func (j *Job) onNodeDeath(node string) bool {
 	fab.Close()
 	j.cluster.ins.Emit("runtime", "recovery.detect",
 		"job %d lost node %q (ranks %v); starting in-job recovery", j.id, node, lost)
+	j.cluster.ledgerAppend(ledger.TypeRecoveryBegin, int(j.id), ledger.RecoveryEvent{Node: node})
 	go h.HandleFailure(j, node, lost, s.detected)
 	return true
 }
@@ -337,6 +339,7 @@ func (j *Job) RespawnRank(rank int, node string, fab btl.JobFabric, restore *omp
 	j.mu.Unlock()
 	j.wg.Add(1)
 	go j.runRank(rank, epoch, proc, app, restore)
+	j.cluster.ledgerAppend(ledger.TypePlacement, int(j.id), ledger.Placement{Rank: rank, Node: node})
 	return nil
 }
 
@@ -388,6 +391,7 @@ func (j *Job) CompleteRecovery(fab btl.JobFabric, interval int, sources map[int]
 	j.mu.Unlock()
 	j.cluster.ins.Emit("runtime", "recovery.complete",
 		"job %d rebuilt at interval %d", j.id, interval)
+	j.cluster.ledgerAppend(ledger.TypeRecoveryComplete, int(j.id), ledger.RecoveryEvent{})
 }
 
 // AbortRecovery ends the active session with an error: parked survivors
@@ -403,6 +407,7 @@ func (j *Job) AbortRecovery(err error) {
 	}
 	s.abort(err)
 	j.cluster.ins.Emit("runtime", "recovery.abort", "job %d: %v", j.id, err)
+	j.cluster.ledgerAppend(ledger.TypeRecoveryAbort, int(j.id), ledger.RecoveryEvent{Reason: err.Error()})
 }
 
 // RankTable returns a snapshot of the per-rank view.
@@ -454,6 +459,9 @@ func (j *Job) GlobalDir() string { return snapshot.GlobalDirName(int(j.id)) }
 // roll back for free), then the job's recovery handler runs the same
 // freeze/respawn/re-knit session a failure would, minus the failure.
 func (c *Cluster) MigrateRank(id names.JobID, rank int, node string) error {
+	if err := c.headlessErr(); err != nil {
+		return err
+	}
 	j, err := c.Job(id)
 	if err != nil {
 		return err

@@ -10,6 +10,7 @@ package runtime
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -20,6 +21,7 @@ import (
 	"repro/internal/ompi/crcp"
 	"repro/internal/opal/crs"
 	"repro/internal/orte/filem"
+	"repro/internal/orte/ledger"
 	"repro/internal/orte/names"
 	"repro/internal/orte/plm"
 	"repro/internal/orte/rml"
@@ -93,14 +95,37 @@ type Cluster struct {
 	filemEnv *filem.Env
 	snapcEnv *snapc.Env
 	daemons  map[string]names.Name
-	drainer  *snapc.Drainer
+
+	// led is the HNP's durable job ledger: every control-plane mutation
+	// (launches, interval lifecycle, placements, deaths, recovery
+	// sessions) is written through so a crashed coordinator can be
+	// rebuilt from stable storage. Nil when hnp_ledger=false.
+	led *ledger.Ledger
+
+	// Failure-detector cadence, kept so Reattach can restart the
+	// monitor with the same parameters the cluster booted with.
+	hbInterval time.Duration
+	hbMiss     int
+
+	// lastBeat records when the HNP last heard each orted; the health
+	// op and the reattach handshake read it.
+	hbMu     sync.Mutex
+	lastBeat map[string]time.Time
 
 	mu      sync.Mutex
 	jobs    map[names.JobID]*Job
-	capMu   sync.Mutex // serializes capture phases (one interval captures at a time)
-	ckptMu  sync.Mutex // serializes drains/commits against scrub and restart
-	stopped bool
-	wg      sync.WaitGroup
+	drainer *snapc.Drainer // replaced wholesale by Reattach (guarded by mu)
+	// headless is the HNP-crash state: the coordinator endpoint is gone,
+	// the failure detector is stopped, and node deaths are deferred to
+	// pendingDeaths until Reattach rebuilds the control plane.
+	headless      bool
+	headlessCause error
+	crashedAt     time.Time
+	pendingDeaths []string
+	capMu         sync.Mutex // serializes capture phases (one interval captures at a time)
+	ckptMu        sync.Mutex // serializes drains/commits against scrub and restart
+	stopped       bool
+	wg            sync.WaitGroup
 }
 
 // New builds and starts a cluster: nodes, daemons and frameworks.
@@ -224,10 +249,29 @@ func New(cfg Config) (*Cluster, error) {
 	if inj != nil {
 		c.snapcEnv.Inject = inj.Fire
 	}
+	// The durable HNP job ledger (hnp_ledger=false disables it): the
+	// crash-safe record Reattach and the cold ompi-run --reattach path
+	// rebuild the control plane from.
+	if cfg.Params.Bool("hnp_ledger", true) {
+		dir := cfg.Params.String("hnp_ledger_dir", ledger.DefaultDir)
+		led, _, lerr := ledger.Open(c.stable, dir, ledger.Options{
+			CompactAt: cfg.Params.Int("hnp_ledger_compact_at", 0),
+		})
+		if lerr != nil {
+			return nil, fmt.Errorf("runtime: open HNP ledger: %w", lerr)
+		}
+		c.led = led
+	}
+	// Interval lifecycle events from the SNAPC layer write through to
+	// the ledger: captures, commits, discards and replica placements.
+	c.snapcEnv.Note = c.noteInterval
+
 	// The asynchronous drain engine: captures hand their intervals to
 	// this queue; its worker drains them under the checkpoint lock so
-	// commits never interleave with scrub or restart.
+	// commits never interleave with scrub or restart. An injected HNP
+	// crash mid-drain takes the whole coordinator down with it.
 	c.drainer = snapc.NewDrainer(c.snapcEnv, cfg.Params, &c.ckptMu)
+	c.drainer.SetCrashHook(func(err error) { _ = c.CrashHNP(err) })
 
 	// Runtime entities: HNP plus one orted (local coordinator) per node.
 	if c.hnpEP, err = c.router.Register(names.HNP); err != nil {
@@ -235,6 +279,8 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	hbInterval := cfg.Params.Duration("orted_heartbeat_interval", 15*time.Millisecond)
 	hbMiss := cfg.Params.Int("orted_heartbeat_miss", 20)
+	c.hbInterval, c.hbMiss = hbInterval, hbMiss
+	c.lastBeat = make(map[string]time.Time, len(c.order))
 	c.daemons = make(map[string]names.Name, len(c.order))
 	for i, nodeName := range c.order {
 		dn := names.Daemon(i)
@@ -253,10 +299,48 @@ func New(cfg Config) (*Cluster, error) {
 		go c.heartbeatLoop(nodeName, ep, hbInterval, hbMiss, c.nodes[nodeName].stopHB)
 	}
 	c.wg.Add(1)
-	go c.monitorLoop(hbInterval, hbMiss)
+	go c.monitorLoop(c.hnpEP, hbInterval, hbMiss)
 	c.ins.Emit("hnp", "cluster.up", "%d nodes", len(c.order))
 	return c, nil
 }
+
+// ledgerAppend writes one control-plane record through to the durable
+// job ledger. While the HNP is headless nothing is written — nobody is
+// home to hold the pen — and Reattach reconciles the gap from the
+// orteds' surviving state. Append failures (a stable-store outage)
+// leave the record buffered in the ledger; Lag surfaces the debt.
+func (c *Cluster) ledgerAppend(typ string, job int, payload any) {
+	if c.led == nil {
+		return
+	}
+	c.mu.Lock()
+	headless := c.headless
+	c.mu.Unlock()
+	if headless {
+		return
+	}
+	if err := c.led.Append(typ, job, payload); err != nil {
+		c.ins.Counter("ompi_hnp_ledger_append_errors_total").Inc()
+		c.ins.Emit("hnp", "ledger.lag", "%s buffered: %v", typ, err)
+	}
+}
+
+// noteInterval maps SNAPC interval lifecycle notes onto ledger records.
+func (c *Cluster) noteInterval(n snapc.IntervalNote) {
+	switch n.Event {
+	case "captured":
+		c.ledgerAppend(ledger.TypeIntervalCaptured, int(n.Job), ledger.IntervalEvent{Interval: n.Interval})
+	case "committed":
+		c.ledgerAppend(ledger.TypeIntervalCommitted, int(n.Job), ledger.IntervalEvent{Interval: n.Interval})
+	case "discarded":
+		c.ledgerAppend(ledger.TypeIntervalDiscarded, int(n.Job), ledger.IntervalEvent{Interval: n.Interval})
+	case "replicas", "stage-replicas":
+		c.ledgerAppend(ledger.TypeReplicasPlaced, int(n.Job), ledger.ReplicasPlaced{Interval: n.Interval, Nodes: n.Nodes})
+	}
+}
+
+// Ledger exposes the HNP's durable job ledger (nil when disabled).
+func (c *Cluster) Ledger() *ledger.Ledger { return c.led }
 
 // heartbeat is the orted liveness beacon sent to the HNP.
 type heartbeat struct {
@@ -299,9 +383,23 @@ func (c *Cluster) heartbeatLoop(node string, ep *rml.Endpoint, interval time.Dur
 		if err := ep.SendJSON(names.HNP, rml.TagHeartbeat, heartbeat{Node: node, Seq: seq}); err != nil {
 			c.mu.Lock()
 			stopping := c.stopped
+			headless := c.headless
 			c.mu.Unlock()
 			if stopping {
 				return
+			}
+			if headless {
+				// The HNP is gone, not the network: the orted stays up
+				// and keeps beating quietly so a reattached coordinator
+				// hears it immediately. No miss budget is charged — a
+				// headless window must not make healthy orteds give up.
+				misses = 0
+				select {
+				case <-stop:
+					return
+				case <-time.After(interval):
+				}
+				continue
 			}
 			misses++
 			if misses >= miss {
@@ -331,7 +429,7 @@ func (c *Cluster) heartbeatLoop(node string, ep *rml.Endpoint, interval time.Dur
 // declaration is what the rest of the runtime keys off — the HNP never
 // hears about a death directly, exactly like a real mpirun watching its
 // orted connections go quiet.
-func (c *Cluster) monitorLoop(interval time.Duration, miss int) {
+func (c *Cluster) monitorLoop(ep *rml.Endpoint, interval time.Duration, miss int) {
 	defer c.wg.Done()
 	if miss <= 0 {
 		miss = 1
@@ -345,11 +443,14 @@ func (c *Cluster) monitorLoop(interval time.Duration, miss int) {
 	lastScan := start
 	for {
 		var hb heartbeat
-		_, err := c.hnpEP.RecvJSONTimeout(rml.TagHeartbeat, &hb, interval)
+		_, err := ep.RecvJSONTimeout(rml.TagHeartbeat, &hb, interval)
 		now := time.Now()
 		switch {
 		case err == nil:
 			lastSeen[hb.Node] = now
+			c.hbMu.Lock()
+			c.lastBeat[hb.Node] = now
+			c.hbMu.Unlock()
 		case errors.Is(err, rml.ErrTimeout):
 			// quiet interval; fall through to the scan
 		default:
@@ -394,6 +495,37 @@ func (c *Cluster) KillNode(node string) error {
 		return nil
 	}
 	n.alive = false
+	headless := c.headless
+	if headless {
+		c.pendingDeaths = append(c.pendingDeaths, node)
+	}
+	c.mu.Unlock()
+	n.stopHeartbeat()
+	c.router.Deregister(c.daemons[node])
+	if headless {
+		// Nobody is watching: the node is dead (its orted vanished, its
+		// filesystem is unreachable) but the coordinator-side reaction —
+		// recovery sessions, whole-job aborts, the ledger record — waits
+		// for Reattach to process the deferred death.
+		c.ins.Emit("runtime", "node.down",
+			"node %q died while the HNP is down; death deferred to reattach", node)
+		return nil
+	}
+	c.ins.Emit("runtime", "node.down", "node %q is dead", node)
+	c.ledgerAppend(ledger.TypeNodeDead, 0, ledger.NodeDead{Node: node})
+	c.processNodeDeath(node)
+	return nil
+}
+
+// processNodeDeath runs the per-job reaction to a node-down
+// declaration: a job with a recovery handler survives the loss in-job
+// (the handler freezes it, respawns the lost ranks, and re-knits);
+// without one, losing a node kills the whole job (pre-recovery
+// semantics, and the fallback when recovery itself fails). Split from
+// KillNode so Reattach can replay deaths deferred from a headless
+// window.
+func (c *Cluster) processNodeDeath(node string) {
+	c.mu.Lock()
 	var victims []*Job
 	for _, j := range c.jobs {
 		if !j.Done() && j.hasRanksOn(node) {
@@ -401,19 +533,64 @@ func (c *Cluster) KillNode(node string) error {
 		}
 	}
 	c.mu.Unlock()
-	n.stopHeartbeat()
-	c.router.Deregister(c.daemons[node])
-	c.ins.Emit("runtime", "node.down", "node %q is dead", node)
 	for _, j := range victims {
-		// A job with a recovery handler survives the loss in-job: the
-		// handler freezes it, respawns the lost ranks, and re-knits.
-		// Without one, losing a node kills the whole job (pre-recovery
-		// semantics, and the fallback when recovery itself fails).
 		if j.onNodeDeath(node) {
 			continue
 		}
 		c.ins.Emit("runtime", "job.abort", "job %d lost node %q", j.id, node)
 		j.closeFabric()
+	}
+}
+
+// CrashHNP simulates the coordinator process dying while the orteds and
+// the ranks keep running: the HNP endpoint vanishes from the RML (the
+// orteds' heartbeats start bouncing, exactly like a dead mpirun's TCP
+// connections), the failure detector stops, and the drain engine fails
+// its queue. Node-local state — sealed stages, stage replicas, running
+// ranks — is untouched; Reattach rebuilds the control plane from the
+// durable ledger plus orted re-registration. Idempotent.
+func (c *Cluster) CrashHNP(cause error) error {
+	c.mu.Lock()
+	if c.stopped || c.headless {
+		c.mu.Unlock()
+		return nil
+	}
+	c.headless = true
+	c.headlessCause = cause
+	c.crashedAt = time.Now()
+	drainer := c.drainer
+	c.mu.Unlock()
+	// Dying gasp: the crash marker may or may not land on the ledger;
+	// nothing downstream depends on it (Reattach reconstructs from the
+	// regular records either way). Written directly — ledgerAppend
+	// already considers the HNP gone.
+	if c.led != nil {
+		_ = c.led.Append(ledger.TypeHNPCrashed, 0, ledger.CrashEvent{Cause: fmt.Sprint(cause)})
+	}
+	c.router.Deregister(names.HNP) // monitorLoop exits; heartbeats bounce
+	drainer.Crash(cause)
+	c.ins.Gauge("ompi_hnp_headless").Set(1)
+	c.ins.Counter("ompi_hnp_crashes_total").Inc()
+	c.ins.Emit("hnp", "hnp.crash", "HNP down: %v", cause)
+	return nil
+}
+
+// Headless reports whether the HNP is down (crashed and not yet
+// reattached). The orteds and ranks keep running; coordinator
+// operations fail with snapc.ErrHNPDown.
+func (c *Cluster) Headless() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.headless
+}
+
+// headlessErr returns the error coordinator entry points fail with
+// while the HNP is down, nil otherwise.
+func (c *Cluster) headlessErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.headless {
+		return fmt.Errorf("runtime: %w", snapc.ErrHNPDown)
 	}
 	return nil
 }
@@ -451,8 +628,10 @@ func (c *Cluster) Close() {
 		return
 	}
 	c.stopped = true
+	drainer := c.drainer
 	c.mu.Unlock()
-	c.drainer.Close()
+	drainer.Close()
+	_ = c.led.Flush() // nil-safe; land any buffered ledger records
 	for _, n := range c.nodes {
 		n.stopHeartbeat()
 	}
@@ -460,11 +639,25 @@ func (c *Cluster) Close() {
 	c.wg.Wait()
 }
 
-// Drainer exposes the cluster's asynchronous drain engine.
-func (c *Cluster) Drainer() *snapc.Drainer { return c.drainer }
+// Drainer exposes the cluster's asynchronous drain engine. Reattach
+// replaces the engine wholesale, so callers must not cache the pointer
+// across an HNP crash.
+func (c *Cluster) Drainer() *snapc.Drainer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.drainer
+}
 
 // FlushDrains blocks until every enqueued interval has drained.
-func (c *Cluster) FlushDrains() { c.drainer.Flush() }
+func (c *Cluster) FlushDrains() { c.Drainer().Flush() }
+
+// hnpEndpoint returns the HNP's current RML endpoint (replaced by
+// Reattach after a crash).
+func (c *Cluster) hnpEndpoint() *rml.Endpoint {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hnpEP
+}
 
 // RecoverDrains resolves a lineage's undrained journal entries against
 // this cluster's surviving nodes: fast-forward already-committed
@@ -566,7 +759,8 @@ func (c *Cluster) Job(id names.JobID) (*Job, error) {
 	return j, nil
 }
 
-// JobIDs lists the ids of all known jobs.
+// JobIDs lists the ids of all known jobs in ascending order (ids are
+// allocated sequentially, so the last element is the newest job).
 func (c *Cluster) JobIDs() []names.JobID {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -574,5 +768,6 @@ func (c *Cluster) JobIDs() []names.JobID {
 	for id := range c.jobs {
 		out = append(out, id)
 	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
 	return out
 }

@@ -18,17 +18,34 @@
 // The drain is FIFO and serialized on one worker deliberately: the
 // content-addressed dedup baseline of interval N+1 is interval N's
 // committed manifest, so commits must land in capture order.
+//
+// Degraded mode (DESIGN.md §5e): stable storage can suffer a transient
+// outage ("fs.outage:stable"). Outage-classified drain failures do NOT
+// abort the interval — the sealed node-local stages are preserved, the
+// interval is parked, and after snapc_store_outage_threshold
+// consecutive outages the store is marked DEGRADED
+// (ompi_store_degraded gauge). Checkpoints keep succeeding at the
+// local-stage level: tickets resolve with ErrStoreDegraded, journal
+// records the store cannot hold are buffered in memory, and
+// snapc_stage_replicas pushes each parked stage to a second node so a
+// parked interval survives a single node loss. A catch-up pass retries
+// with exponential backoff (snapc_store_retry_backoff) and reconciles
+// — flush buffered journal records, re-drain parked intervals in
+// capture order — when the store returns.
 package snapc
 
 import (
 	"fmt"
 	"path"
+	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/core/snapshot"
+	"repro/internal/faultsim"
 	"repro/internal/mca"
 	"repro/internal/ompi"
+	"repro/internal/orte/filem"
 	"repro/internal/orte/names"
 	"repro/internal/vfs"
 )
@@ -50,6 +67,11 @@ const (
 	// stable storage but before the journal's COMMITTED transition:
 	// recovery must fast-forward the journal, not re-drain.
 	InjectPreCommitJournal = "snapc.drain:pre-commit"
+	// InjectHNPCrashMidDrain fires after the DRAINING transition: the
+	// HNP dies with the journal saying DRAINING and the local stages
+	// sealed. The drain engine stops (tickets fail with ErrHNPDown) and
+	// a reattach re-drains the interval from the stages.
+	InjectHNPCrashMidDrain = "hnp.crash:mid-drain"
 )
 
 // Pending is a ticket for an interval handed to the Drainer. Wait
@@ -93,13 +115,29 @@ type Drainer struct {
 	maxQueue int   // snapc_drain_queue: max in-flight intervals
 	maxBytes int64 // snapc_stage_bytes_max: staged-bytes cap (0 = unlimited)
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	queue    []*drainItem
-	inflight int   // queued + actively draining
-	staged   int64 // staged bytes across in-flight intervals
-	closed   bool
-	workerWG sync.WaitGroup
+	outageThreshold int           // snapc_store_outage_threshold
+	retryBackoff    time.Duration // snapc_store_retry_backoff: first catch-up delay
+	retryMax        time.Duration // snapc_store_retry_max: backoff ceiling
+	stageReplicas   int           // snapc_stage_replicas: copies pushed per parked stage
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     []*drainItem
+	inflight  int   // queued + actively draining
+	staged    int64 // staged bytes across in-flight intervals
+	closed    bool
+	crashed   bool        // the HNP died; see Crash
+	crashHook func(error) // invoked when an hnp.crash fault fires mid-drain
+
+	degraded    bool // store marked DEGRADED (outageScore hit the threshold)
+	outageScore int  // consecutive outage-classified failures
+	parked      []*parkedInterval
+	backlog     map[string][]snapshot.JournalEntry // journal records the store couldn't hold
+	catchupOn   bool
+
+	workerWG  sync.WaitGroup
+	catchupWG sync.WaitGroup
+	fmu       sync.Mutex // serializes backlog flushes (worker vs catch-up)
 
 	jmu      sync.Mutex
 	journals map[string]*snapshot.Journal
@@ -110,27 +148,66 @@ type drainItem struct {
 	pending *Pending
 }
 
+// parkedInterval is a captured interval waiting out a store outage:
+// sealed node-local, optionally stage-replicated to holder nodes.
+type parkedInterval struct {
+	cpt *Captured
+	// replicas maps an origin node to the holder of its stage replica.
+	replicas map[string]string
+}
+
 // DefaultDrainQueue is the default snapc_drain_queue.
 const DefaultDrainQueue = 4
 
+// DefaultOutageThreshold is the default snapc_store_outage_threshold:
+// consecutive outage-classified failures before the store is marked
+// DEGRADED.
+const DefaultOutageThreshold = 2
+
 // NewDrainer builds the drain engine from the cluster's MCA
-// parameters (snapc_drain_queue, snapc_stage_bytes_max) and starts its
-// worker. lock may be nil.
+// parameters (snapc_drain_queue, snapc_stage_bytes_max, and the
+// degraded-mode knobs snapc_store_outage_threshold,
+// snapc_store_retry_backoff, snapc_store_retry_max,
+// snapc_stage_replicas) and starts its worker. lock may be nil.
 func NewDrainer(env *Env, params *mca.Params, lock sync.Locker) *Drainer {
 	d := &Drainer{
-		env:      env,
-		lock:     lock,
-		maxQueue: params.Int("snapc_drain_queue", DefaultDrainQueue),
-		maxBytes: params.Bytes("snapc_stage_bytes_max", 0),
-		journals: make(map[string]*snapshot.Journal),
+		env:             env,
+		lock:            lock,
+		maxQueue:        params.Int("snapc_drain_queue", DefaultDrainQueue),
+		maxBytes:        params.Bytes("snapc_stage_bytes_max", 0),
+		outageThreshold: params.Int("snapc_store_outage_threshold", DefaultOutageThreshold),
+		retryBackoff:    params.Duration("snapc_store_retry_backoff", 5*time.Millisecond),
+		retryMax:        params.Duration("snapc_store_retry_max", 250*time.Millisecond),
+		stageReplicas:   params.Int("snapc_stage_replicas", 1),
+		journals:        make(map[string]*snapshot.Journal),
+		backlog:         make(map[string][]snapshot.JournalEntry),
 	}
 	if d.maxQueue < 1 {
 		d.maxQueue = 1
+	}
+	if d.outageThreshold < 1 {
+		d.outageThreshold = 1
+	}
+	if d.retryBackoff <= 0 {
+		d.retryBackoff = 5 * time.Millisecond
+	}
+	if d.retryMax < d.retryBackoff {
+		d.retryMax = d.retryBackoff
 	}
 	d.cond = sync.NewCond(&d.mu)
 	d.workerWG.Add(1)
 	go d.worker()
 	return d
+}
+
+// SetCrashHook installs the callback invoked (on its own goroutine)
+// when an "hnp.crash:mid-drain" fault fires: the runtime passes its
+// CrashHNP so a drain-edge crash takes the whole control plane down,
+// not just the drain worker.
+func (d *Drainer) SetCrashHook(h func(error)) {
+	d.mu.Lock()
+	d.crashHook = h
+	d.mu.Unlock()
 }
 
 // Journal returns the shared drain-journal handle for one global
@@ -177,14 +254,30 @@ func journalEntry(cpt *Captured) snapshot.JournalEntry {
 // caller is the capture path, so the next capture cannot start until
 // Enqueue returns. Returns the ticket to Wait on.
 func (d *Drainer) Enqueue(cpt *Captured) (*Pending, error) {
-	if err := d.Journal(cpt.GlobalDir).Record(journalEntry(cpt)); err != nil {
-		return nil, fmt.Errorf("snapc: journal capture of interval %d: %w", cpt.Interval, err)
+	entry := journalEntry(cpt)
+	if err := d.Journal(cpt.GlobalDir).Record(entry); err != nil {
+		if !faultsim.IsOutage(err) {
+			return nil, fmt.Errorf("snapc: journal capture of interval %d: %w", cpt.Interval, err)
+		}
+		// The store can't hold the CAPTURED record right now. The
+		// capture itself is sealed node-local, so the checkpoint must
+		// not fail: buffer the record in memory and let the catch-up
+		// pass (or drainOne, whichever reaches the store first) persist
+		// it. Until then the in-memory backlog is the pin.
+		d.mu.Lock()
+		d.backlog[cpt.GlobalDir] = append(d.backlog[cpt.GlobalDir], entry)
+		d.mu.Unlock()
+		d.env.Ins.Counter("ompi_snapc_journal_backlogged_total").Inc()
+		d.env.Ins.Emit("snapc.drain", "drain.journal-backlogged",
+			"interval %d CAPTURED record buffered (store outage): %v", cpt.Interval, err)
+		d.noteOutage(err)
 	}
+	d.env.note(IntervalNote{Event: "captured", Job: cpt.Job.JobID(), Interval: cpt.Interval})
 	ins := d.env.Ins
 
 	d.mu.Lock()
 	blockStart := time.Time{}
-	for !d.closed && d.full(cpt.StagedBytes) {
+	for !d.closed && !d.crashed && d.full(cpt.StagedBytes) {
 		if blockStart.IsZero() {
 			blockStart = time.Now()
 			ins.Counter("ompi_snapc_captures_blocked_total").Inc()
@@ -192,6 +285,10 @@ func (d *Drainer) Enqueue(cpt *Captured) (*Pending, error) {
 				"interval %d blocked: %d in flight, %d staged bytes", cpt.Interval, d.inflight, d.staged)
 		}
 		d.cond.Wait()
+	}
+	if d.crashed {
+		d.mu.Unlock()
+		return nil, fmt.Errorf("%w; interval %d not drained", ErrHNPDown, cpt.Interval)
 	}
 	if d.closed {
 		d.mu.Unlock()
@@ -231,23 +328,44 @@ func (d *Drainer) full(addBytes int64) bool {
 }
 
 // worker is the single background drain loop: pop FIFO, drain, journal,
-// deliver.
+// deliver. While the store is DEGRADED it parks intervals without
+// touching stable storage; an outage-classified drain failure parks the
+// interval too — in both cases the ticket resolves with
+// ErrStoreDegraded, a degraded success.
 func (d *Drainer) worker() {
 	defer d.workerWG.Done()
 	for {
 		d.mu.Lock()
-		for len(d.queue) == 0 && !d.closed {
+		for len(d.queue) == 0 && !d.closed && !d.crashed {
 			d.cond.Wait()
 		}
-		if len(d.queue) == 0 && d.closed {
+		if len(d.queue) == 0 {
 			d.mu.Unlock()
-			return
+			return // closed or crashed, queue drained
 		}
 		it := d.queue[0]
 		d.queue = d.queue[1:]
+		degraded, crashed := d.degraded, d.crashed
 		d.mu.Unlock()
 
-		res, err := d.drainOne(it.cpt)
+		var res Result
+		var err error
+		switch {
+		case crashed:
+			err = fmt.Errorf("%w; interval %d not drained", ErrHNPDown, it.cpt.Interval)
+		case degraded:
+			d.park(it.cpt)
+			err = fmt.Errorf("interval %d: %w", it.cpt.Interval, ErrStoreDegraded)
+		default:
+			res, err = d.drainOne(it.cpt)
+			if err != nil && faultsim.IsOutage(err) {
+				d.noteOutage(err)
+				d.park(it.cpt)
+				err = fmt.Errorf("interval %d: %w (%v)", it.cpt.Interval, ErrStoreDegraded, err)
+			} else if err == nil {
+				d.resetOutage()
+			}
+		}
 
 		d.mu.Lock()
 		d.inflight--
@@ -272,6 +390,12 @@ func (d *Drainer) drainOne(cpt *Captured) (Result, error) {
 		defer d.lock.Unlock()
 	}
 	env := d.env
+	// Buffered journal records must land before any transition of this
+	// lineage: the CAPTURED record for this very interval may still be
+	// in the backlog. An outage here parks the interval.
+	if err := d.flushBacklog(cpt.GlobalDir); err != nil {
+		return Result{}, err
+	}
 	j := d.Journal(cpt.GlobalDir)
 	if err := env.fire(InjectPreDrain); err != nil {
 		env.Ins.Emit("snapc.drain", "drain.crash", "interval %d: %v", cpt.Interval, err)
@@ -280,15 +404,36 @@ func (d *Drainer) drainOne(cpt *Captured) (Result, error) {
 	if _, err := j.Transition(cpt.Interval, snapshot.StateDraining, ""); err != nil {
 		return Result{}, err
 	}
+	if err := env.fire(InjectHNPCrashMidDrain); err != nil {
+		// The coordinator process dies at the drain edge: journal says
+		// DRAINING, local stages sealed. Take the control plane down and
+		// leave everything in place for the reattach to re-drain.
+		env.Ins.Emit("snapc.drain", "drain.hnp-crash", "interval %d: %v", cpt.Interval, err)
+		d.mu.Lock()
+		hook := d.crashHook
+		d.mu.Unlock()
+		werr := fmt.Errorf("%w mid-drain of interval %d: %w", ErrHNPCrashed, cpt.Interval, err)
+		if hook != nil {
+			go hook(werr)
+		}
+		return Result{}, werr
+	}
 	if err := env.fire(InjectMidDrain); err != nil {
 		env.Ins.Emit("snapc.drain", "drain.crash", "interval %d: %v", cpt.Interval, err)
 		return Result{}, fmt.Errorf("snapc: drain interval %d: %w", cpt.Interval, err)
 	}
 	res, err := Drain(env, cpt)
 	if err != nil {
+		if faultsim.IsOutage(err) {
+			// Transient store outage: the stages were preserved
+			// (abortOrPreserve) and the journal still pins the interval.
+			// No DISCARDED edge — the caller parks it for catch-up.
+			return Result{}, err
+		}
 		if _, terr := j.Transition(cpt.Interval, snapshot.StateDiscarded, err.Error()); terr != nil {
 			env.Ins.Emit("snapc.drain", "drain.journal-error", "interval %d: %v", cpt.Interval, terr)
 		}
+		d.env.note(IntervalNote{Event: "discarded", Job: cpt.Job.JobID(), Interval: cpt.Interval})
 		return Result{}, err
 	}
 	if ierr := env.fire(InjectPreCommitJournal); ierr != nil {
@@ -298,7 +443,369 @@ func (d *Drainer) drainOne(cpt *Captured) (Result, error) {
 	if _, terr := j.Transition(cpt.Interval, snapshot.StateCommitted, ""); terr != nil {
 		return Result{}, terr
 	}
+	d.env.note(IntervalNote{Event: "committed", Job: cpt.Job.JobID(), Interval: cpt.Interval})
 	return res, nil
+}
+
+// StageReplicaBase is where a holder node keeps its copy of another
+// node's parked interval stage: the whole LocalBase tree (markers
+// included) of origin's share of the interval. Discoverable by path
+// alone, so recovery can use it even when the journal never learned of
+// the replica (the store was out when it was pushed).
+func StageReplicaBase(job names.JobID, interval int, origin string) string {
+	return fmt.Sprintf("tmp/ckpt_stage_replicas/job%d/%d/%s", job, interval, origin)
+}
+
+// flushBacklog persists the buffered journal records of one lineage, in
+// capture order. Returns the outage error if the store is still out;
+// records that can never land (non-outage failures) are dropped with a
+// log rather than wedging the backlog forever.
+func (d *Drainer) flushBacklog(globalDir string) error {
+	d.fmu.Lock()
+	defer d.fmu.Unlock()
+	for {
+		d.mu.Lock()
+		entries := d.backlog[globalDir]
+		if len(entries) == 0 {
+			d.mu.Unlock()
+			return nil
+		}
+		e := entries[0]
+		d.mu.Unlock()
+		err := d.Journal(globalDir).Record(e)
+		if err != nil && faultsim.IsOutage(err) {
+			return err
+		}
+		if err != nil {
+			d.env.Ins.Emit("snapc.drain", "drain.journal-error",
+				"dropping buffered CAPTURED record for interval %d: %v", e.Interval, err)
+		}
+		d.mu.Lock()
+		d.backlog[globalDir] = d.backlog[globalDir][1:]
+		if len(d.backlog[globalDir]) == 0 {
+			delete(d.backlog, globalDir)
+		}
+		d.mu.Unlock()
+	}
+}
+
+// park shelves a captured interval for the duration of a store outage:
+// the node-local stages stay sealed, and (snapc_stage_replicas > 0)
+// each origin node's stage is pushed to a second node so the parked
+// interval survives a single node loss while the store is out.
+func (d *Drainer) park(cpt *Captured) {
+	pi := &parkedInterval{cpt: cpt}
+	if d.stageReplicas > 0 {
+		pi.replicas = d.pushStageReplicas(cpt)
+	}
+	d.mu.Lock()
+	d.parked = append(d.parked, pi)
+	n := len(d.parked)
+	d.mu.Unlock()
+	d.env.Ins.Gauge("ompi_snapc_drain_parked").Set(float64(n))
+	d.env.Ins.Counter("ompi_snapc_intervals_parked_total").Inc()
+	d.env.note(IntervalNote{Event: "parked", Job: cpt.Job.JobID(), Interval: cpt.Interval})
+	d.env.Ins.Emit("snapc.drain", "drain.parked",
+		"interval %d parked node-local (store outage), %d parked total", cpt.Interval, n)
+	d.ensureCatchup()
+}
+
+// pushStageReplicas copies each origin node's share of a parked
+// interval to one other node (node→node FILEM, no stable storage
+// involved). Returns origin → holder for the copies that landed.
+func (d *Drainer) pushStageReplicas(cpt *Captured) map[string]string {
+	env := d.env
+	if env.Nodes == nil {
+		return nil
+	}
+	candidates := env.Nodes()
+	if len(candidates) < 2 {
+		return nil
+	}
+	origins := make([]string, 0, len(cpt.ByNode))
+	for node := range cpt.ByNode {
+		origins = append(origins, node)
+	}
+	sort.Strings(origins)
+	src := LocalBaseDir(cpt.Job.JobID(), cpt.Interval)
+	holders := make(map[string]string)
+	for idx, node := range origins {
+		holder := ""
+		for off := 1; off <= len(candidates); off++ {
+			if c := candidates[(idx+off)%len(candidates)]; c != node {
+				holder = c
+				break
+			}
+		}
+		if holder == "" {
+			continue
+		}
+		dst := StageReplicaBase(cpt.Job.JobID(), cpt.Interval, node)
+		req := filem.Request{SrcNode: node, SrcPath: src, DstNode: holder, DstPath: dst}
+		if _, err := env.Filem.Move(env.FilemEnv, []filem.Request{req}); err != nil {
+			env.Ins.Emit("snapc.drain", "drain.stage-replica-failed",
+				"interval %d stage %s -> %s: %v", cpt.Interval, node, holder, err)
+			continue
+		}
+		holders[node] = holder
+		env.Ins.Counter("ompi_snapc_stage_replicas_total").Inc()
+	}
+	if len(holders) > 0 {
+		held := make([]string, 0, len(holders))
+		for _, h := range holders {
+			held = append(held, h)
+		}
+		sort.Strings(held)
+		env.note(IntervalNote{Event: "stage-replicas", Job: cpt.Job.JobID(), Interval: cpt.Interval, Nodes: held})
+		env.Ins.Emit("snapc.drain", "drain.stage-replicated",
+			"interval %d: %d parked stages replicated node-to-node", cpt.Interval, len(holders))
+	}
+	return holders
+}
+
+// noteOutage counts one outage-classified failure; at the threshold the
+// store is marked DEGRADED. Either way the catch-up pass is (re)armed.
+func (d *Drainer) noteOutage(err error) {
+	d.mu.Lock()
+	d.outageScore++
+	trip := !d.degraded && d.outageScore >= d.outageThreshold
+	if trip {
+		d.degraded = true
+	}
+	d.mu.Unlock()
+	if trip {
+		d.env.Ins.Gauge("ompi_store_degraded").Set(1)
+		d.env.Ins.Counter("ompi_store_degraded_total").Inc()
+		d.env.Ins.Emit("snapc.drain", "store.degraded", "stable store marked DEGRADED: %v", err)
+	}
+	d.ensureCatchup()
+}
+
+// resetOutage clears the consecutive-failure score after a successful
+// drain; DEGRADED itself only clears once the catch-up pass reconciles
+// every parked interval and buffered journal record.
+func (d *Drainer) resetOutage() {
+	d.mu.Lock()
+	d.outageScore = 0
+	clear := d.degraded && len(d.parked) == 0 && len(d.backlog) == 0
+	if clear {
+		d.degraded = false
+	}
+	d.mu.Unlock()
+	if clear {
+		d.env.Ins.Gauge("ompi_store_degraded").Set(0)
+		d.env.Ins.Emit("snapc.drain", "store.recovered", "stable store back to OK")
+	}
+}
+
+// ensureCatchup starts the catch-up goroutine if it isn't running.
+func (d *Drainer) ensureCatchup() {
+	d.mu.Lock()
+	if d.catchupOn || d.closed || d.crashed {
+		d.mu.Unlock()
+		return
+	}
+	d.catchupOn = true
+	d.mu.Unlock()
+	d.catchupWG.Add(1)
+	go d.catchup()
+}
+
+// catchup is the degraded-mode reconciler: retry with exponential
+// backoff until the store takes writes again, then flush the buffered
+// journal records and drain the parked intervals in capture order.
+// Exits when everything is reconciled (clearing DEGRADED) or the
+// drainer stops.
+func (d *Drainer) catchup() {
+	defer d.catchupWG.Done()
+	backoff := d.retryBackoff
+	for {
+		time.Sleep(backoff)
+		d.mu.Lock()
+		if d.closed || d.crashed {
+			d.catchupOn = false
+			d.mu.Unlock()
+			return
+		}
+		dirs := make([]string, 0, len(d.backlog))
+		for dir := range d.backlog {
+			dirs = append(dirs, dir)
+		}
+		sort.Strings(dirs)
+		var next *parkedInterval
+		if len(d.parked) > 0 {
+			next = d.parked[0]
+		}
+		if next == nil && len(dirs) == 0 {
+			// Everything reconciled: clear DEGRADED and stand down.
+			wasDegraded := d.degraded
+			d.degraded = false
+			d.outageScore = 0
+			d.catchupOn = false
+			d.mu.Unlock()
+			d.env.Ins.Gauge("ompi_snapc_drain_parked").Set(0)
+			if wasDegraded {
+				d.env.Ins.Gauge("ompi_store_degraded").Set(0)
+				d.env.Ins.Emit("snapc.drain", "store.recovered",
+					"stable store back to OK; parked intervals reconciled")
+			}
+			return
+		}
+		d.mu.Unlock()
+
+		progress := true
+		for _, dir := range dirs {
+			if err := d.flushBacklog(dir); err != nil {
+				progress = false
+				break
+			}
+		}
+		if progress && next != nil {
+			progress = d.catchupOne(next)
+		}
+		if progress {
+			backoff = d.retryBackoff
+		} else if backoff *= 2; backoff > d.retryMax {
+			backoff = d.retryMax
+		}
+	}
+}
+
+// catchupOne reconciles the oldest parked interval: fast-forward when
+// it already committed on stable storage (the outage hit between the
+// commit and the journal edge), re-drain from the sealed stages
+// otherwise. Reports whether progress was made.
+func (d *Drainer) catchupOne(pi *parkedInterval) bool {
+	cpt := pi.cpt
+	env := d.env
+	ref := snapshot.GlobalRef{FS: env.Stable, Dir: cpt.GlobalDir}
+	committed := vfs.Exists(env.Stable, path.Join(ref.IntervalDir(cpt.Interval), snapshot.CommittedFile))
+	if committed {
+		j := d.Journal(cpt.GlobalDir)
+		if e, ok, err := j.Entry(cpt.Interval); err != nil || (ok && !e.State.Terminal()) {
+			if err == nil {
+				err = fastForward(j, e)
+			}
+			if err != nil {
+				if !faultsim.IsOutage(err) {
+					env.Ins.Emit("snapc.drain", "drain.journal-error",
+						"catch-up fast-forward of interval %d: %v", cpt.Interval, err)
+				}
+				return false
+			}
+		}
+		env.note(IntervalNote{Event: "committed", Job: cpt.Job.JobID(), Interval: cpt.Interval})
+	} else {
+		if _, err := d.drainOne(cpt); err != nil {
+			if faultsim.IsOutage(err) {
+				return false // still out; keep it parked
+			}
+			// Non-transient failure: drainOne already discarded it.
+			env.Ins.Emit("snapc.drain", "drain.catchup-failed", "interval %d: %v", cpt.Interval, err)
+		}
+	}
+	d.unpark(pi)
+	env.Ins.Counter("ompi_snapc_catchup_drains_total").Inc()
+	env.Ins.Emit("snapc.drain", "drain.catchup", "parked interval %d reconciled", cpt.Interval)
+	return true
+}
+
+// unpark removes a reconciled interval from the parked set and sweeps
+// its node-to-node stage replicas.
+func (d *Drainer) unpark(pi *parkedInterval) {
+	d.mu.Lock()
+	for i, p := range d.parked {
+		if p == pi {
+			d.parked = append(d.parked[:i], d.parked[i+1:]...)
+			break
+		}
+	}
+	n := len(d.parked)
+	d.mu.Unlock()
+	d.env.Ins.Gauge("ompi_snapc_drain_parked").Set(float64(n))
+	for origin, holder := range pi.replicas {
+		base := StageReplicaBase(pi.cpt.Job.JobID(), pi.cpt.Interval, origin)
+		if fsys, err := d.env.NodeFS(holder); err == nil && vfs.Exists(fsys, base) {
+			_ = d.env.Filem.Remove(d.env.FilemEnv, holder, []string{base})
+		}
+	}
+}
+
+// Crash fails the drain engine the way a dead HNP would: queued tickets
+// fail with ErrHNPDown, the worker and catch-up pass stop, and parked
+// or backlogged work stays exactly where it is — node-local stages
+// sealed, journal records buffered — for the reattach to rebuild from
+// the stage markers. Safe to call more than once; does not block on
+// the in-flight drain.
+func (d *Drainer) Crash(cause error) {
+	d.mu.Lock()
+	if d.crashed || d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.crashed = true
+	dropped := d.queue
+	d.queue = nil
+	d.inflight -= len(dropped)
+	for _, it := range dropped {
+		d.staged -= it.cpt.StagedBytes
+	}
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	for _, it := range dropped {
+		it.pending.err = fmt.Errorf("%w; interval %d dropped from drain queue: %v",
+			ErrHNPDown, it.cpt.Interval, cause)
+		close(it.pending.done)
+	}
+	d.env.Ins.Emit("snapc.drain", "drain.hnp-crashed",
+		"drain engine stopped (%d queued tickets failed): %v", len(dropped), cause)
+}
+
+// StoreHealth summarizes the drain engine's degraded-mode state for the
+// control plane's health report.
+type StoreHealth struct {
+	// Degraded reports the store DEGRADED window is open.
+	Degraded bool
+	// OutageScore is the consecutive outage-classified failure count.
+	OutageScore int
+	// Parked counts intervals sealed node-local awaiting catch-up.
+	Parked int
+	// JournalBacklog counts buffered journal records the store has not
+	// yet accepted.
+	JournalBacklog int
+	// QueueDepth is the in-flight drain queue depth.
+	QueueDepth int
+}
+
+// Health reports the drain engine's degraded-mode state.
+func (d *Drainer) Health() StoreHealth {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	h := StoreHealth{
+		Degraded: d.degraded, OutageScore: d.outageScore,
+		Parked: len(d.parked), QueueDepth: d.inflight,
+	}
+	for _, entries := range d.backlog {
+		h.JournalBacklog += len(entries)
+	}
+	return h
+}
+
+// AwaitCatchup blocks until no work is parked or backlogged and the
+// DEGRADED window has closed, or the timeout expires.
+func (d *Drainer) AwaitCatchup(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		h := d.Health()
+		if !h.Degraded && h.Parked == 0 && h.JournalBacklog == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("snapc: store catch-up incomplete after %v: %d parked, %d backlogged, degraded=%v",
+				timeout, h.Parked, h.JournalBacklog, h.Degraded)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 }
 
 // Flush blocks until every enqueued interval has drained.
@@ -317,12 +824,14 @@ func (d *Drainer) Close() {
 	if d.closed {
 		d.mu.Unlock()
 		d.workerWG.Wait()
+		d.catchupWG.Wait()
 		return
 	}
 	d.closed = true
 	d.cond.Broadcast()
 	d.mu.Unlock()
 	d.workerWG.Wait()
+	d.catchupWG.Wait()
 }
 
 // QueueDepth reports the in-flight interval count (queued + draining).
@@ -363,6 +872,7 @@ func Recover(env *Env, globalDir string, alive func(node string) bool) (RecoverR
 	}
 	for _, e := range und {
 		committed := vfs.Exists(env.Stable, path.Join(ref.IntervalDir(e.Interval), snapshot.CommittedFile))
+		plan, planOK := stagePlan(env, e, alive)
 		switch {
 		case committed:
 			// The drain finished; only the journal edge is missing
@@ -371,19 +881,23 @@ func Recover(env *Env, globalDir string, alive func(node string) bool) (RecoverR
 				return rep, err
 			}
 			rep.FastForwarded++
+			env.note(IntervalNote{Event: "committed", Job: names.JobID(e.JobID), Interval: e.Interval})
 			env.Ins.Emit("snapc.drain", "recover.fast-forward", "interval %d already committed", e.Interval)
-		case stageIntact(env, e, alive):
-			if err := redrain(env, j, globalDir, e); err != nil {
+		case planOK:
+			if err := redrain(env, j, globalDir, e, plan); err != nil {
 				rep.Discarded++
+				env.note(IntervalNote{Event: "discarded", Job: names.JobID(e.JobID), Interval: e.Interval})
 				env.Ins.Emit("snapc.drain", "recover.redrain-failed", "interval %d: %v", e.Interval, err)
 				continue
 			}
 			rep.Redrained++
+			env.note(IntervalNote{Event: "committed", Job: names.JobID(e.JobID), Interval: e.Interval})
 			env.Ins.Counter("ompi_snapc_intervals_redrained_total").Inc()
 			env.Ins.Emit("snapc.drain", "recover.redrained", "interval %d drained from surviving local stages", e.Interval)
 		default:
 			discardEntry(env, ref, j, e, alive, "captured node lost before drain")
 			rep.Discarded++
+			env.note(IntervalNote{Event: "discarded", Job: names.JobID(e.JobID), Interval: e.Interval})
 			env.Ins.Emit("snapc.drain", "recover.discarded", "interval %d: captured node lost before drain", e.Interval)
 		}
 	}
@@ -402,41 +916,80 @@ func fastForward(j *snapshot.Journal, e snapshot.JournalEntry) error {
 	return err
 }
 
-// stageIntact reports whether every node that captured the entry's
-// interval is still alive and still holds its sealed local stage.
-func stageIntact(env *Env, e snapshot.JournalEntry, alive func(string) bool) bool {
-	if alive == nil {
-		return false
+// stagePlan maps each node that captured the entry's interval to where
+// its share of the stage survives: the node itself (alive, marker
+// intact), or a survivor holding its parked stage replica (pushed by
+// the degraded-mode drain while the store was out). Reports false when
+// any node's share is gone both ways — the interval is unrecoverable.
+func stagePlan(env *Env, e snapshot.JournalEntry, alive func(string) bool) (map[string]string, bool) {
+	if alive == nil || len(e.Nodes) == 0 {
+		return nil, false
 	}
+	plan := make(map[string]string, len(e.Nodes))
 	for _, node := range e.Nodes {
-		if !alive(node) {
-			return false
+		if alive(node) {
+			if fsys, err := env.NodeFS(node); err == nil &&
+				vfs.Exists(fsys, path.Join(e.LocalBase, snapshot.LocalCommittedFile)) {
+				plan[node] = node
+				continue
+			}
 		}
-		fsys, err := env.NodeFS(node)
-		if err != nil || !vfs.Exists(fsys, path.Join(e.LocalBase, snapshot.LocalCommittedFile)) {
-			return false
+		// The origin's stage is gone: scan the survivors for its parked
+		// stage replica (discoverable by path — the journal may never
+		// have learned of it, the store was out when it was pushed).
+		holder := ""
+		if env.Nodes != nil {
+			base := StageReplicaBase(names.JobID(e.JobID), e.Interval, node)
+			for _, h := range env.Nodes() {
+				if h == node || !alive(h) {
+					continue
+				}
+				if fsys, err := env.NodeFS(h); err == nil &&
+					vfs.Exists(fsys, path.Join(base, snapshot.LocalCommittedFile)) {
+					holder = h
+					break
+				}
+			}
 		}
+		if holder == "" {
+			return nil, false
+		}
+		plan[node] = holder
 	}
-	return len(e.Nodes) > 0
+	return plan, true
 }
 
 // redrain replays an interval's drain from its journal entry alone: a
 // journalJob stands in for the live job, the DRAINING edge re-enters
 // (legal — that's what the edge exists for), and a real failure
-// discards the entry.
-func redrain(env *Env, j *snapshot.Journal, globalDir string, e snapshot.JournalEntry) error {
+// discards the entry. plan maps each origin node to where its stage
+// share actually lives (itself, or a stage-replica holder).
+func redrain(env *Env, j *snapshot.Journal, globalDir string, e snapshot.JournalEntry, plan map[string]string) error {
 	if _, err := j.Transition(e.Interval, snapshot.StateDraining, ""); err != nil {
 		return err
 	}
-	cpt := capturedFromEntry(e, globalDir)
+	cpt := capturedFromEntry(e, globalDir, plan)
 	if _, err := Drain(env, cpt); err != nil {
 		if _, terr := j.Transition(e.Interval, snapshot.StateDiscarded, err.Error()); terr != nil {
 			env.Ins.Emit("snapc.drain", "drain.journal-error", "interval %d: %v", e.Interval, terr)
 		}
 		return err
 	}
-	_, err := j.Transition(e.Interval, snapshot.StateCommitted, "")
-	return err
+	if _, err := j.Transition(e.Interval, snapshot.StateCommitted, ""); err != nil {
+		return err
+	}
+	// Sweep the consumed stage replicas: the interval is committed on
+	// stable storage, so the node-to-node copies are debris now.
+	for origin, actual := range plan {
+		if actual == origin {
+			continue
+		}
+		base := StageReplicaBase(names.JobID(e.JobID), e.Interval, origin)
+		if fsys, err := env.NodeFS(actual); err == nil && vfs.Exists(fsys, base) {
+			_ = env.Filem.Remove(env.FilemEnv, actual, []string{base})
+		}
+	}
+	return nil
 }
 
 // discardEntry marks an entry DISCARDED and removes whatever debris
@@ -458,14 +1011,30 @@ func discardEntry(env *Env, ref snapshot.GlobalRef, j *snapshot.Journal, e snaps
 			_ = env.Filem.Remove(env.FilemEnv, node, []string{e.LocalBase})
 		}
 	}
+	// Sweep any parked stage replicas of the discarded interval.
+	if env.Nodes != nil {
+		for _, origin := range e.Nodes {
+			base := StageReplicaBase(names.JobID(e.JobID), e.Interval, origin)
+			for _, h := range env.Nodes() {
+				if alive != nil && !alive(h) {
+					continue
+				}
+				if fsys, err := env.NodeFS(h); err == nil && vfs.Exists(fsys, base) {
+					_ = env.Filem.Remove(env.FilemEnv, h, []string{base})
+				}
+			}
+		}
+	}
 }
 
 // capturedFromEntry rebuilds the drain input from a journal entry.
 // KeepLocal is set: recovery runs on the restart path, and a surviving
 // node's sealed local stage is exactly what the restart-from-local
-// fast path wants to find.
-func capturedFromEntry(e snapshot.JournalEntry, globalDir string) *Captured {
-	job := &journalJob{entry: e, params: mca.FromMap(e.MCAParams)}
+// fast path wants to find. plan (optional) maps an origin node to the
+// survivor actually holding its stage share; procs whose origin died
+// are redirected to the holder's stage-replica tree.
+func capturedFromEntry(e snapshot.JournalEntry, globalDir string, plan map[string]string) *Captured {
+	job := &journalJob{entry: e, params: mca.FromMap(e.MCAParams), nodeMap: plan}
 	cpt := &Captured{
 		Job: job, GlobalDir: globalDir, Interval: e.Interval,
 		Opts:    Options{Terminate: e.Terminate, KeepLocal: true},
@@ -474,9 +1043,15 @@ func capturedFromEntry(e snapshot.JournalEntry, globalDir string) *Captured {
 		Began:   e.CapturedAt, StagedBytes: e.StagedBytes,
 	}
 	for _, p := range e.Procs {
-		cpt.ByNode[p.Node] = append(cpt.ByNode[p.Node], p.Vpid)
+		actual, dir := p.Node, p.Dir
+		if h, ok := plan[p.Node]; ok && h != p.Node {
+			actual = h
+			dir = path.Join(StageReplicaBase(names.JobID(e.JobID), e.Interval, p.Node),
+				snapshot.LocalDirName(p.Vpid))
+		}
+		cpt.ByNode[actual] = append(cpt.ByNode[actual], p.Vpid)
 		cpt.Results[p.Vpid] = procResult{
-			Vpid: p.Vpid, Component: p.Component, Dir: p.Dir,
+			Vpid: p.Vpid, Component: p.Component, Dir: dir,
 			QuiesceNS: p.QuiesceNS, CaptureNS: p.CaptureNS,
 		}
 	}
@@ -486,10 +1061,12 @@ func capturedFromEntry(e snapshot.JournalEntry, globalDir string) *Captured {
 // journalJob is the JobView a recovery re-drain presents to Drain: the
 // job is gone, but the journal entry recorded everything the drain
 // half of the lifecycle consults. Deliver is never called — the drain
-// phase only reads.
+// phase only reads. nodeMap redirects a dead origin node to the stage
+// replica's holder.
 type journalJob struct {
-	entry  snapshot.JournalEntry
-	params *mca.Params
+	entry   snapshot.JournalEntry
+	params  *mca.Params
+	nodeMap map[string]string
 }
 
 func (j *journalJob) JobID() names.JobID { return names.JobID(j.entry.JobID) }
@@ -500,6 +1077,9 @@ func (j *journalJob) Nodes() []string    { return j.entry.Nodes }
 func (j *journalJob) NodeOf(vpid int) string {
 	for _, p := range j.entry.Procs {
 		if p.Vpid == vpid {
+			if h, ok := j.nodeMap[p.Node]; ok {
+				return h
+			}
 			return p.Node
 		}
 	}

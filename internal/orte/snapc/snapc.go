@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/core/snapshot"
+	"repro/internal/faultsim"
 	"repro/internal/mca"
 	"repro/internal/ompi"
 	"repro/internal/orte/filem"
@@ -46,6 +47,24 @@ const FrameworkName = "snapc"
 // ErrNotCheckpointable reports that a target process opted out of
 // checkpointing, failing the whole request before any process acted.
 var ErrNotCheckpointable = errors.New("snapc: process is not checkpointable")
+
+// ErrHNPCrashed marks an operation cut short because the HNP itself
+// died mid-flight (the "hnp.crash:<when>" fault class). Unlike an
+// ordinary failure the interval is NOT aborted: the orteds seal their
+// local stages autonomously, and a later reattach rebuilds the drain
+// state from the stage markers and the journal.
+var ErrHNPCrashed = errors.New("snapc: HNP crashed")
+
+// ErrHNPDown rejects control-plane operations while the HNP is dead
+// (headless window between a crash and a reattach).
+var ErrHNPDown = errors.New("snapc: HNP is down")
+
+// ErrStoreDegraded reports a checkpoint that succeeded at the
+// local-stage level but could not reach stable storage: the store is in
+// a DEGRADED window, the interval is sealed node-local and parked, and
+// the catch-up drainer will commit it when the store returns. It is a
+// degraded success, not a failure — no checkpoint data was lost.
+var ErrStoreDegraded = errors.New("snapc: stable store degraded; interval parked node-local")
 
 // JobView is the coordinator's window onto a running job.
 type JobView interface {
@@ -94,12 +113,37 @@ type Env struct {
 	// local coordinator. Zero means DefaultAckTimeout.
 	AckTimeout time.Duration
 	// Inject is the fault-injection hook for the drain lifecycle edges
-	// ("snapc.drain:<edge>", see drain.go). Optional.
+	// ("snapc.drain:<edge>", see drain.go) and the HNP-crash edges
+	// ("hnp.crash:<when>"). Optional.
 	Inject func(point string) error
+	// Note, when set, receives interval lifecycle notifications
+	// (captured, committed, discarded, parked, replicas placed). The
+	// runtime uses it to write the HNP's durable job ledger through the
+	// asynchronous drain path it cannot otherwise observe. Optional;
+	// must not block.
+	Note func(IntervalNote)
 	// CleanupLocal removes node-local snapshot directories after the
 	// gather (the FILEM remove operation). Defaults to true via
 	// Options.
 	// (Set per request in Options.)
+}
+
+// IntervalNote is one interval lifecycle notification (Env.Note).
+type IntervalNote struct {
+	// Event is "captured", "committed", "discarded", "parked",
+	// "stage-replicas" or "replicas".
+	Event    string
+	Job      names.JobID
+	Interval int
+	// Nodes carries the holder set for replica events.
+	Nodes []string
+}
+
+// note delivers an interval lifecycle notification, if a sink is set.
+func (e *Env) note(n IntervalNote) {
+	if e.Note != nil {
+		e.Note(n)
+	}
 }
 
 // DefaultAckTimeout bounds the wait for local coordinator acks.
@@ -318,6 +362,17 @@ func (f *Full) Capture(env *Env, job JobView, hnp *rml.Endpoint, daemons map[str
 		ordered++
 	}
 
+	// HNP-crash edge: the coordinator dies after ordering the quiesce
+	// but before collecting a single ack. No abort — the local
+	// coordinators checkpoint and seal their stages autonomously (their
+	// acks go nowhere), and the interval is rebuilt from the
+	// LOCAL_COMMITTED markers when the HNP reattaches.
+	if err := env.fire("hnp.crash:quiesce"); err != nil {
+		err = fmt.Errorf("%w inside quiesce of interval %d: %w", ErrHNPCrashed, interval, err)
+		csp.End(err)
+		return nil, err
+	}
+
 	// Monitor progress: one ack per involved node (Fig. 1-E), all
 	// within one overall request deadline so a hung or silenced local
 	// coordinator cannot wedge the job — the interval is aborted
@@ -431,6 +486,21 @@ func abortInterval(env *Env, job JobView, byNode map[string][]int, globalDir str
 	env.Ins.Emit("snapc.global", "ckpt.aborted", "job %d interval %d: %v", job.JobID(), interval, cause)
 }
 
+// abortOrPreserve aborts a failed interval unless the failure is a
+// transient store outage: during an outage the sealed node-local stages
+// (and the journal entry pinning them) are deliberately preserved — the
+// drain engine parks the interval and the catch-up pass commits it when
+// the store returns. Destroying the stages here would turn a transient
+// outage into checkpoint loss.
+func abortOrPreserve(env *Env, job JobView, byNode map[string][]int, globalDir string, interval int, cause error) {
+	if faultsim.IsOutage(cause) {
+		env.Ins.Emit("snapc.global", "ckpt.outage",
+			"interval %d hit a store outage; local stages preserved: %v", interval, cause)
+		return
+	}
+	abortInterval(env, job, byNode, globalDir, interval, cause)
+}
+
 // gatherBaseline builds the content-addressed dedup index for one
 // gather: the checksum manifest of the newest interval committed before
 // this one, inverted to hash → path. Returns nil (a full gather) when
@@ -523,7 +593,7 @@ func finishGlobal(env *Env, cpt *Captured) (Result, error) {
 	// old payloads into this gather; start from a clean slate.
 	if vfs.Exists(env.Stable, stage) {
 		if err := env.Stable.Remove(stage); err != nil {
-			abortInterval(env, job, byNode, globalDir, interval, err)
+			abortOrPreserve(env, job, byNode, globalDir, interval, err)
 			dsp.End(err)
 			root.End(err)
 			return Result{}, fmt.Errorf("snapc: clear stale stage for interval %d: %w", interval, err)
@@ -547,7 +617,7 @@ func finishGlobal(env *Env, cpt *Captured) (Result, error) {
 	gsp.AddBytes(stats.Bytes)
 	gsp.End(err)
 	if err != nil {
-		abortInterval(env, job, byNode, globalDir, interval, err)
+		abortOrPreserve(env, job, byNode, globalDir, interval, err)
 		dsp.End(err)
 		root.End(err)
 		return Result{}, fmt.Errorf("snapc: gather to stable storage: %w", err)
@@ -612,7 +682,7 @@ func finishGlobal(env *Env, cpt *Captured) (Result, error) {
 	csp := root.Child("snapshot.commit")
 	if err := snapshot.WriteGlobal(ref, meta); err != nil {
 		csp.End(err)
-		abortInterval(env, job, byNode, globalDir, interval, err)
+		abortOrPreserve(env, job, byNode, globalDir, interval, err)
 		dsp.End(err)
 		root.End(err)
 		return Result{}, fmt.Errorf("snapc: commit global snapshot: %w", err)
@@ -634,7 +704,11 @@ func finishGlobal(env *Env, cpt *Captured) (Result, error) {
 		rsp = root.Child("replica.push")
 	}
 	repStart := time.Now()
-	repStats, placed := replicateInterval(env, ref, globalDir, interval, meta, dedup)
+	repStats, placedHolders := replicateInterval(env, ref, globalDir, interval, meta, dedup)
+	placed := len(placedHolders)
+	if placed > 0 {
+		env.note(IntervalNote{Event: "replicas", Job: job.JobID(), Interval: interval, Nodes: placedHolders})
+	}
 	if len(meta.Replicas) > 0 {
 		pb.ReplicaNS = int64(time.Since(repStart))
 	}
@@ -670,11 +744,11 @@ func finishGlobal(env *Env, cpt *Captured) (Result, error) {
 // baseline, so k-way placement re-ships only what changed. Every
 // pushed copy is verified standalone before it counts.
 func replicateInterval(env *Env, ref snapshot.GlobalRef, globalDir string, interval int,
-	meta snapshot.GlobalMeta, dedup bool) (filem.Stats, int) {
+	meta snapshot.GlobalMeta, dedup bool) (filem.Stats, []string) {
 	var total filem.Stats
-	placed := 0
+	var placed []string
 	if len(meta.Replicas) == 0 {
-		return total, 0
+		return total, nil
 	}
 	// Baseline index: the previous interval's manifest, shared across
 	// holders (the payload bytes are the same everywhere).
@@ -731,7 +805,7 @@ func replicateInterval(env *Env, ref snapshot.GlobalRef, globalDir string, inter
 			env.Ins.Emit("snapc.global", "ckpt.replica-failed", "interval %d -> %s: %v", interval, rec.Node, err)
 			continue
 		}
-		placed++
+		placed = append(placed, rec.Node)
 		env.Ins.Emit("snapc.global", "ckpt.replicated", "interval %d -> %s (%d bytes, %d moved, %d deduped)",
 			interval, rec.Node, stats.Bytes, stats.BytesMoved, stats.BytesDeduped)
 	}
@@ -752,7 +826,14 @@ func (f *Full) ServeLocal(env *Env, node string, ep *rml.Endpoint, resolve func(
 		}
 		ack := f.handleLocal(env, node, req, resolve)
 		if err := ep.SendJSON(from, rml.TagSnapcAck, ack); err != nil {
-			return fmt.Errorf("snapc local[%s]: ack: %w", node, err)
+			// The global coordinator vanished between the order and the
+			// ack — the HNP crashed mid-quiesce. The node's share of the
+			// interval is already sealed under its LOCAL_COMMITTED
+			// marker; keep serving so the reattached HNP finds a live
+			// local coordinator, not a dead loop.
+			env.Ins.Counter("ompi_snapc_orphaned_acks_total").Inc()
+			env.Ins.Emit("snapc.local["+node+"]", "ckpt.ack-orphaned",
+				"interval %d ack undeliverable (HNP down?): %v", req.Interval, err)
 		}
 	}
 }
