@@ -1,7 +1,7 @@
 // Command ompi-checkpoint requests a checkpoint of a running ompi-run
 // job, exactly mirroring the paper's asynchronous tool path (Fig. 1-A):
 //
-//	ompi-checkpoint [--term] [--async [--wait]] [--job N] PID_OF_OMPI_RUN
+//	ompi-checkpoint [--term] [--async [--wait]] [--job N] [--weight W] PID_OF_OMPI_RUN
 //
 // On success it prints the global snapshot reference — the single name
 // the user preserves to later restart the job. With --term the job is
@@ -12,6 +12,11 @@
 // deadline exceeded, a failed rank, a failed gather — always exits
 // non-zero with the abort cause on stderr and never prints a snapshot
 // reference.
+//
+// On a cluster running several jobs, --job selects which one to
+// checkpoint and --weight raises its drain QoS weight first, so a
+// maintenance checkpoint's gather is not starved by neighbors'
+// checkpoint traffic.
 package main
 
 import (
@@ -36,9 +41,10 @@ func run() error {
 	async := fs.Bool("async", false, "return after the capture phase; the drain to stable storage runs in the background")
 	wait := fs.Bool("wait", false, "with --async: block until the background drain commits")
 	jobID := fs.Int("job", 0, "job id (default: the only running job)")
+	weight := fs.Int("weight", 0, "set the job's drain QoS weight before checkpointing (multi-job clusters)")
 	addr := fs.String("addr", "", "control address (overrides PID lookup)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: ompi-checkpoint [--term] [--async [--wait]] [--job N] PID_OF_OMPI_RUN")
+		fmt.Fprintln(os.Stderr, "usage: ompi-checkpoint [--term] [--async [--wait]] [--job N] [--weight W] PID_OF_OMPI_RUN")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -61,6 +67,17 @@ func run() error {
 	}
 	if *wait && !*async {
 		return fmt.Errorf("--wait requires --async")
+	}
+	if *weight > 0 {
+		wresp, err := runtime.ControlDial(target, runtime.ControlRequest{
+			Op: "sched", Job: *jobID, Weight: *weight,
+		})
+		if err != nil {
+			return err
+		}
+		if !wresp.OK {
+			return fmt.Errorf("set drain weight: %s", wresp.Err)
+		}
 	}
 	resp, err := runtime.ControlDial(target, runtime.ControlRequest{
 		Op: "checkpoint", Job: *jobID, Terminate: *term,

@@ -26,6 +26,14 @@
 // headless, whether the stable store is in its DEGRADED window (and how
 // many intervals are parked node-local waiting for catch-up), the
 // durable job ledger's flush lag, and per-node heartbeat freshness.
+//
+// --jobs is the multi-job view: the ps columns joined with each job's
+// drain-scheduler state (QoS weight, queued drains), filterable with
+// --job. --sched prints the scheduler's per-lineage flow table, and
+// --weight N --job J sets job J's drain QoS weight:
+//
+//	ompi-ps --jobs PID_OF_OMPI_RUN
+//	ompi-ps --weight 8 --job 2 PID_OF_OMPI_RUN
 package main
 
 import (
@@ -56,7 +64,10 @@ func run() error {
 	ranks := fs.Bool("ranks", false, "list the per-rank table (node, state, interval, restore source)")
 	health := fs.Bool("health", false, "print the coordinator health view (headless, store, ledger, node heartbeats)")
 	migrate := fs.String("migrate", "", "move a rank: rank=N node=M (in-job, survivors keep running)")
-	job := fs.Int("job", 0, "job id for --ranks/--migrate (default: the only job)")
+	jobs := fs.Bool("jobs", false, "list jobs with their drain-scheduler state (weight, queued drains)")
+	schedView := fs.Bool("sched", false, "print the drain scheduler's per-lineage flow table")
+	weight := fs.Int("weight", 0, "with --job: set the job's drain QoS weight (implies --sched)")
+	job := fs.Int("job", 0, "job id for --ranks/--migrate/--jobs/--weight (default: the only job)")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: ompi-ps [--watch|--ranks|--migrate rank=N node=M] PID_OF_OMPI_RUN")
 		fs.PrintDefaults()
@@ -98,6 +109,12 @@ func run() error {
 	}
 	if *ranks {
 		return listRanks(target, *job)
+	}
+	if *jobs {
+		return listJobs(target, *job)
+	}
+	if *schedView || *weight > 0 {
+		return showSched(target, *job, *weight)
 	}
 	if *health {
 		return showHealth(target)
@@ -161,6 +178,64 @@ func listOnce(target string, withCounters bool) error {
 	sort.Strings(names)
 	for _, n := range names {
 		fmt.Printf("  %-40s %s\n", n, counters[n])
+	}
+	return nil
+}
+
+// listJobs prints the job-scoped view from the "jobs" op: ps columns
+// joined with each job's drain-scheduler state. job != 0 filters.
+func listJobs(target string, job int) error {
+	resp, err := runtime.ControlDial(target, runtime.ControlRequest{Op: "jobs", Job: job})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("%s", resp.Err)
+	}
+	fmt.Printf("%4s %-12s %4s %6s %6s %7s %7s  %s\n",
+		"JOB", "APP", "NP", "STATE", "CKPTS", "WEIGHT", "QUEUED", "NODES")
+	for _, j := range resp.Jobs {
+		state := "run"
+		if j.Done {
+			state = "done"
+		}
+		w := "-"
+		if j.Weight > 0 {
+			w = strconv.Itoa(j.Weight)
+		}
+		fmt.Printf("%4d %-12s %4d %6s %6d %7s %7d  %s\n",
+			j.Job, j.App, j.NP, state, j.Ckpts, w, j.QueuedDrains, strings.Join(j.Nodes, ","))
+	}
+	return nil
+}
+
+// showSched prints the drain scheduler's flow table; weight > 0 first
+// updates the selected job's QoS weight through the same op.
+func showSched(target string, job, weight int) error {
+	resp, err := runtime.ControlDial(target, runtime.ControlRequest{Op: "sched", Job: job, Weight: weight})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("%s", resp.Err)
+	}
+	s := resp.Sched
+	if s == nil {
+		return fmt.Errorf("mpirun replied without a sched payload (older version?)")
+	}
+	if weight > 0 {
+		fmt.Printf("drain weight set to %d\n", weight)
+	}
+	fmt.Printf("drain workers: %d\n", s.Workers)
+	fmt.Printf("%-24s %7s %7s %5s %12s %12s\n",
+		"FLOW", "WEIGHT", "QUEUED", "BUSY", "SERVED", "WAITING")
+	for _, f := range s.Flows {
+		busy := "-"
+		if f.Busy {
+			busy = "yes"
+		}
+		fmt.Printf("%-24s %7d %7d %5s %12d %12d\n",
+			f.Flow, f.Weight, f.Queued, busy, f.ServedCost, f.QueuedCost)
 	}
 	return nil
 }

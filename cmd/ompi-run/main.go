@@ -63,6 +63,7 @@ func run() error {
 	autoRestart := fs.Int("auto-restart", 0, "after a failure, restart the job up to N times from the newest valid snapshot (0 = off)")
 	recover := fs.String("recover", "whole-job", `node-loss posture: "whole-job" restarts the job from the newest snapshot; "in-job" respawns only the lost ranks in place and keeps the survivors running (falls back to whole-job when a session cannot converge)`)
 	reattachOnCrash := fs.Bool("reattach-on-crash", false, "rebuild the coordinator in place when it crashes mid-run instead of wedging the control plane")
+	drainWeight := fs.Int("drain-weight", 0, "drain QoS weight for this job in the multi-job checkpoint scheduler (0 = the snapc_sched_weight MCA parameter)")
 	reattach := fs.Bool("reattach", false, "adopt a crashed ompi-run's jobs: replay the durable job ledger under --stable and restart every unfinished job from its newest valid snapshot (no application argument needed)")
 	verbose := fs.Bool("v", false, "print trace summary at exit")
 	var mcaArgs mcaFlags
@@ -89,11 +90,11 @@ func run() error {
 		return fmt.Errorf("unknown --recover policy %q (want whole-job or in-job)", *recover)
 	}
 	sopts := core.SuperviseOptions{
-		AutoRestart:     *autoRestart,
 		CheckpointEvery: *every,
-		AsyncDrain:      *asyncDrain,
-		Recovery:        policy,
-		ReattachOnCrash: *reattachOnCrash,
+		Drain:           core.Drain{Async: *asyncDrain},
+		Recovery:        core.Recovery{Policy: policy, AutoRestart: *autoRestart},
+		Reattach:        core.Reattach{OnCrash: *reattachOnCrash},
+		Scheduler:       core.Scheduler{Weight: *drainWeight},
 		Progress: func(ck core.CheckpointResult) {
 			fmt.Printf("ompi-run: periodic Snapshot Ref.: %d %s\n", ck.Interval, ck.Dir)
 		},

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/ompi"
 	"repro/internal/ompi/coll"
@@ -78,7 +79,7 @@ func Usage(w io.Writer) {
 
 func init() {
 	Register("ring", "token ring: pass an accumulating sum around the ranks (-iters N, 0 = until checkpointed)", ringFactory)
-	Register("stencil", "1-D Jacobi stencil with halo exchange and periodic Allreduce (-steps N, -cells N)", stencilFactory)
+	Register("stencil", "1-D Jacobi stencil with halo exchange and periodic Allreduce (-steps N, -cells N, -delay D)", stencilFactory)
 	Register("alltoall", "all-to-all exchange stress (-rounds N)", alltoallFactory)
 }
 
@@ -135,24 +136,40 @@ func (a *RingApp) Step(p *ompi.Proc) (bool, error) {
 type StencilApp struct {
 	Steps int // 0 = run until checkpoint-terminated
 	Cells int
+	// Delay models per-step compute time as a sleep. Every simulated
+	// node shares the one host CPU, so a rank that busy-loops steps
+	// oversubscribes it in a way no real cluster would (there, compute
+	// burns the node's own cores). Sleeping instead keeps the step
+	// cadence — and the quiesce window a checkpoint must wait out —
+	// without the host-CPU artifact, which matters for latency-sensitive
+	// benchmarks with many concurrent ranks.
+	Delay time.Duration
 
 	State struct {
 		Iter int
 		Cell []float64
 	}
+	// scratch is the next-step buffer, swapped with State.Cell each
+	// step rather than reallocated: long-running ranks at -steps 0
+	// would otherwise allocate a full state-sized slice per step, and
+	// with hundreds of concurrent ranks that garbage dominates the
+	// host's GC time. Deliberately outside State: rebuilt lazily, never
+	// checkpointed.
+	scratch []float64
 }
 
 func stencilFactory(args []string) (func(rank int) ompi.App, error) {
 	fs := flag.NewFlagSet("stencil", flag.ContinueOnError)
 	steps := fs.Int("steps", 100, "steps (0 = run until checkpointed)")
 	cells := fs.Int("cells", 64, "cells per rank")
+	delay := fs.Duration("delay", 0, "sleep-modeled compute time per step (0 = busy-loop)")
 	if err := fs.Parse(args); err != nil {
 		return nil, fmt.Errorf("apps: stencil: %w", err)
 	}
 	if *cells < 2 {
 		return nil, fmt.Errorf("apps: stencil: need at least 2 cells, got %d", *cells)
 	}
-	return func(rank int) ompi.App { return &StencilApp{Steps: *steps, Cells: *cells} }, nil
+	return func(rank int) ompi.App { return &StencilApp{Steps: *steps, Cells: *cells, Delay: *delay} }, nil
 }
 
 // Setup implements ompi.App.
@@ -195,7 +212,10 @@ func (a *StencilApp) Step(p *ompi.Proc) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	next := make([]float64, len(cells))
+	if len(a.scratch) != len(cells) {
+		a.scratch = make([]float64, len(cells))
+	}
+	next := a.scratch
 	for i := range next {
 		lv := l[0]
 		if i > 0 {
@@ -207,12 +227,16 @@ func (a *StencilApp) Step(p *ompi.Proc) (bool, error) {
 		}
 		next[i] = (lv + cells[i] + rv) / 3
 	}
+	a.scratch = cells
 	a.State.Cell = next
 	a.State.Iter++
 	if a.State.Iter%8 == 0 {
 		if _, err := p.Allreduce(coll.Float64sToBytes([]float64{next[0]}), coll.SumFloat64); err != nil {
 			return false, err
 		}
+	}
+	if a.Delay > 0 {
+		time.Sleep(a.Delay)
 	}
 	return a.Steps > 0 && a.State.Iter >= a.Steps, nil
 }

@@ -56,9 +56,9 @@ func TestHNPCrashWithReattachMatchesFaultFree(t *testing.T) {
 		t.Fatal(err)
 	}
 	rep, err := sys.Supervise(job, factory, SuperviseOptions{
-		AutoRestart:     1,
 		CheckpointEvery: 5 * time.Millisecond,
-		ReattachOnCrash: true,
+		Recovery:        Recovery{AutoRestart: 1},
+		Reattach:        Reattach{OnCrash: true},
 	})
 	if err != nil {
 		t.Fatalf("Supervise: %v (report %+v)", err, rep)
@@ -107,7 +107,7 @@ func TestStoreOutageSuperviseDegradesAndCatchesUp(t *testing.T) {
 	}
 	rep, err := sys.Supervise(job, factory, SuperviseOptions{
 		CheckpointEvery: 5 * time.Millisecond,
-		AsyncDrain:      true,
+		Drain:           Drain{Async: true},
 	})
 	if err != nil {
 		t.Fatalf("Supervise: %v (report %+v)", err, rep)
@@ -164,9 +164,9 @@ func TestChaosTripleFaultConvergesToFaultFree(t *testing.T) {
 		t.Fatal(err)
 	}
 	rep, err := sys.Supervise(job, factory, SuperviseOptions{
-		AutoRestart:     2,
 		CheckpointEvery: 5 * time.Millisecond,
-		ReattachOnCrash: true,
+		Recovery:        Recovery{AutoRestart: 2},
+		Reattach:        Reattach{OnCrash: true},
 	})
 	if err != nil {
 		t.Fatalf("Supervise: %v (report %+v)", err, rep)

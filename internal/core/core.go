@@ -77,8 +77,82 @@ type System struct {
 // JobSpec re-exports the runtime job description.
 type JobSpec = runtime.JobSpec
 
-// Job re-exports the runtime job handle.
-type Job = runtime.Job
+// Job is the job-scoped API handle: the runtime job (all of whose
+// observation methods — JobID, Wait, Done, Nodes, NodeOf, Params,
+// RankTable — promote through) plus the per-job verbs. Every operation
+// a tool performs on one job of a multi-job cluster hangs off this
+// handle; the System-level verbs taking a names.JobID remain as thin
+// deprecated wrappers.
+type Job struct {
+	*runtime.Job
+	sys *System
+}
+
+// wrap binds a runtime job to its owning system. nil stays nil so
+// error paths pass through untouched.
+func (s *System) wrap(j *runtime.Job) *Job {
+	if j == nil {
+		return nil
+	}
+	return &Job{Job: j, sys: s}
+}
+
+// Checkpoint takes a global checkpoint of this job (optionally
+// terminating it) and returns the global snapshot reference.
+func (j *Job) Checkpoint(terminate bool) (CheckpointResult, error) {
+	return j.sys.checkpoint(j.JobID(), snapc.Options{Terminate: terminate})
+}
+
+// CheckpointAsync runs the capture phase of a global checkpoint of this
+// job and queues the drain; the ticket's Wait yields the committed
+// reference.
+func (j *Job) CheckpointAsync(terminate bool) (*PendingCheckpoint, error) {
+	return j.sys.checkpointAsync(j.JobID(), snapc.Options{Terminate: terminate})
+}
+
+// Supervise runs this job to completion under the supervision loop
+// (periodic checkpoints, automatic restart, optional in-job recovery).
+func (j *Job) Supervise(appFactory func(rank int) ompi.App, opts SuperviseOptions) (SuperviseReport, error) {
+	return j.sys.Supervise(j, appFactory, opts)
+}
+
+// Migrate moves one rank of this job onto another live node through an
+// in-job recovery session; the job keeps its identity.
+func (j *Job) Migrate(rank int, node string) error {
+	return j.sys.Migrate(j.JobID(), rank, node)
+}
+
+// EnableRecovery attaches the system's in-job recovery coordinator to
+// this job: node loss respawns only the lost ranks instead of killing
+// the job.
+func (j *Job) EnableRecovery() {
+	j.SetRecoveryHandler(j.sys.Recovery())
+}
+
+// Lineage returns the job's global snapshot lineage directory — the
+// flow key its drains are scheduled under and the reference its
+// restarts resolve from.
+func (j *Job) Lineage() string {
+	return snapshot.GlobalDirName(int(j.JobID()))
+}
+
+// SetDrainWeight sets this job's drain QoS weight in the multi-job
+// checkpoint scheduler (see sched): weight-proportional drain bandwidth
+// under contention, applied to intervals enqueued after the call.
+func (j *Job) SetDrainWeight(w int) {
+	j.sys.cluster.SetJobDrainWeight(j.JobID(), w)
+}
+
+// RestartLatest relaunches this job's lineage from its newest committed
+// interval. The receiver job should be done (terminated checkpoint or
+// failure); the returned handle is a fresh incarnation.
+func (j *Job) RestartLatest(appFactory func(rank int) ompi.App) (*Job, error) {
+	ref, err := j.sys.OpenGlobalSnapshot(j.Lineage())
+	if err != nil {
+		return nil, err
+	}
+	return j.sys.RestartLatest(ref, appFactory)
+}
 
 // CheckpointResult is what the paper's tools hand back to the user: the
 // single global snapshot reference (plus bookkeeping).
@@ -138,10 +212,22 @@ func (s *System) Close() { s.cluster.Close() }
 func (s *System) Cluster() *runtime.Cluster { return s.cluster }
 
 // Launch starts a parallel job.
-func (s *System) Launch(spec JobSpec) (*Job, error) { return s.cluster.Launch(spec) }
+func (s *System) Launch(spec JobSpec) (*Job, error) {
+	j, err := s.cluster.Launch(spec)
+	if err != nil {
+		return nil, err
+	}
+	return s.wrap(j), nil
+}
 
 // Job looks a job up by id.
-func (s *System) Job(id names.JobID) (*Job, error) { return s.cluster.Job(id) }
+func (s *System) Job(id names.JobID) (*Job, error) {
+	j, err := s.cluster.Job(id)
+	if err != nil {
+		return nil, err
+	}
+	return s.wrap(j), nil
+}
 
 // JobIDs lists known jobs.
 func (s *System) JobIDs() []names.JobID { return s.cluster.JobIDs() }
@@ -149,6 +235,8 @@ func (s *System) JobIDs() []names.JobID { return s.cluster.JobIDs() }
 // Checkpoint takes a global checkpoint of the job (optionally
 // terminating it) and returns the global snapshot reference — the one
 // name the user must preserve (paper §4).
+//
+// Deprecated: use the job-scoped handle, Job.Checkpoint.
 func (s *System) Checkpoint(id names.JobID, terminate bool) (CheckpointResult, error) {
 	return s.checkpoint(id, snapc.Options{Terminate: terminate})
 }
@@ -199,6 +287,8 @@ func (p *PendingCheckpoint) Wait() (CheckpointResult, error) {
 // checkpoint — the application blocks for quiesce + capture, then
 // resumes — and queues the interval for the background drain engine.
 // The returned ticket's Wait yields the committed snapshot reference.
+//
+// Deprecated: use the job-scoped handle, Job.CheckpointAsync.
 func (s *System) CheckpointAsync(id names.JobID, terminate bool) (*PendingCheckpoint, error) {
 	return s.checkpointAsync(id, snapc.Options{Terminate: terminate})
 }
@@ -226,7 +316,11 @@ func (s *System) RecoverDrains(dir string) (snapc.RecoverReport, error) {
 // application factory is supplied by the caller; process count, node
 // layout and runtime parameters all come from the snapshot metadata.
 func (s *System) Restart(ref snapshot.GlobalRef, interval int, appFactory func(rank int) ompi.App) (*Job, error) {
-	return s.cluster.Restart(ref, interval, appFactory)
+	j, err := s.cluster.Restart(ref, interval, appFactory)
+	if err != nil {
+		return nil, err
+	}
+	return s.wrap(j), nil
 }
 
 // RestartLatest restarts from the newest interval in ref.
@@ -276,35 +370,23 @@ func (s *System) Scrub(dir string, k int) snapshot.ScrubReport {
 
 // --- Supervision: periodic checkpoints + automatic restart -------------------
 
-// SuperviseOptions configure Supervise.
-type SuperviseOptions struct {
-	// AutoRestart is the number of restarts Supervise may attempt after
-	// a job failure (a lost node, a dead rank). 0 disables self-healing:
-	// the first failure is final.
-	AutoRestart int
-	// CheckpointEvery, when > 0, takes periodic global checkpoints of
-	// the supervised job. Failed checkpoint attempts are counted and
-	// logged but never abort the run — an aborted interval leaves the
-	// job unwedged by design.
-	CheckpointEvery time.Duration
-	// AsyncDrain takes the periodic checkpoints through the background
+// Drain configures how Supervise's periodic checkpoints move through
+// the drain pipeline. The zero value checkpoints synchronously.
+type Drain struct {
+	// Async takes the periodic checkpoints through the background
 	// drain engine: the ticker only pays the capture phase, drains
 	// overlap the application, and on a failure Supervise flushes the
 	// queue and recovers undrained journal entries (fast-forward,
 	// re-drain from surviving local stages, or discard) before picking
 	// the restart interval.
-	AsyncDrain bool
-	// Progress, when non-nil, is called after every committed checkpoint.
-	Progress func(CheckpointResult)
-	// ReattachOnCrash makes Supervise rebuild the coordinator when a
-	// checkpoint attempt reports the HNP crashed or down: the paper's
-	// mpirun, made crash-safe. The reattach re-registers the control
-	// plane over the still-running orteds, replays deaths from the
-	// headless window, and resolves the drain journal — no COMMITTED
-	// interval is lost; at most the in-flight one is re-drained or
-	// discarded.
-	ReattachOnCrash bool
-	// Recovery selects the node-loss posture. RecoverWholeJob (zero
+	Async bool
+}
+
+// Recovery configures the failure posture of a supervised job. The
+// zero value is the paper's baseline: no self-healing, whole-job
+// restart semantics.
+type Recovery struct {
+	// Policy selects the node-loss posture. RecoverWholeJob (zero
 	// value) keeps the paper's abort-and-restart behavior; RecoverInJob
 	// attaches the in-job recovery coordinator to every incarnation, so
 	// node loss respawns only the lost ranks (whole-job restart remains
@@ -312,7 +394,55 @@ type SuperviseOptions struct {
 	// keeps each periodic checkpoint's node-local stages (KeepLocal) —
 	// they are the zero-cost rollback source for the survivors — and
 	// prunes stages older than the newest committed interval.
-	Recovery RecoveryPolicy
+	Policy RecoveryPolicy
+	// AutoRestart is the number of restarts Supervise may attempt after
+	// a job failure (a lost node, a dead rank). 0 disables self-healing:
+	// the first failure is final.
+	AutoRestart int
+}
+
+// Reattach configures what Supervise does about a crashed coordinator.
+// The zero value leaves the HNP down (operations fail with ErrHNPDown
+// until an explicit System.Reattach).
+type Reattach struct {
+	// OnCrash makes Supervise rebuild the coordinator when a
+	// checkpoint attempt reports the HNP crashed or down: the paper's
+	// mpirun, made crash-safe. The reattach re-registers the control
+	// plane over the still-running orteds, replays deaths from the
+	// headless window, and resolves the drain journal — no COMMITTED
+	// interval is lost; at most the in-flight one is re-drained or
+	// discarded.
+	OnCrash bool
+}
+
+// Scheduler configures the supervised job's standing in the multi-job
+// checkpoint scheduler. The zero value inherits the job's
+// snapc_sched_weight MCA parameter (default 1).
+type Scheduler struct {
+	// Weight, when > 0, is set as the job's drain QoS weight (on every
+	// incarnation, restarts included) before supervision starts: the
+	// SFQ scheduler grants the lineage a weight-proportional share of
+	// drain bandwidth when several jobs checkpoint concurrently.
+	Weight int
+}
+
+// SuperviseOptions configure Supervise. Concern-specific knobs are
+// grouped into sub-structs (Drain, Recovery, Reattach, Scheduler);
+// every sub-struct's zero value is the conservative default, so
+// SuperviseOptions{CheckpointEvery: d} is a complete configuration.
+type SuperviseOptions struct {
+	// CheckpointEvery, when > 0, takes periodic global checkpoints of
+	// the supervised job. Failed checkpoint attempts are counted and
+	// logged but never abort the run — an aborted interval leaves the
+	// job unwedged by design.
+	CheckpointEvery time.Duration
+	// Progress, when non-nil, is called after every committed checkpoint.
+	Progress func(CheckpointResult)
+
+	Drain     Drain
+	Recovery  Recovery
+	Reattach  Reattach
+	Scheduler Scheduler
 }
 
 // RestartSource records which interval — and which copy of it — one
@@ -399,7 +529,7 @@ func (s *System) noteCkptErr(job names.JobID, err error, rep *SuperviseReport, m
 		return
 	}
 	s.ins.Emit("core", "supervise.ckpt-failed", "job %d: %v", job, err)
-	if opts.ReattachOnCrash &&
+	if opts.Reattach.OnCrash &&
 		(errors.Is(err, snapc.ErrHNPDown) || errors.Is(err, snapc.ErrHNPCrashed)) {
 		if s.reattach() {
 			mu.Lock()
@@ -429,7 +559,7 @@ func (s *System) noteCkptErr(job names.JobID, err error, rep *SuperviseReport, m
 func (s *System) Supervise(job *Job, appFactory func(rank int) ompi.App, opts SuperviseOptions) (SuperviseReport, error) {
 	var co *recovery.Coordinator
 	var base recovery.Stats
-	if opts.Recovery == RecoverInJob {
+	if opts.Recovery.Policy == RecoverInJob {
 		co = s.Recovery()
 		base = co.Stats()
 	}
@@ -464,6 +594,11 @@ func (s *System) superviseLoop(job *Job, appFactory func(rank int) ompi.App, opt
 			// incarnation dies (and this loop restarts it whole) only
 			// when a session falls back.
 			current.SetRecoveryHandler(co)
+		}
+		if opts.Scheduler.Weight > 0 {
+			// QoS: each incarnation's lineage gets the configured drain
+			// weight before its first periodic checkpoint can enqueue.
+			s.cluster.SetJobDrainWeight(current.JobID(), opts.Scheduler.Weight)
 		}
 		stop := make(chan struct{})
 		var tickers sync.WaitGroup
@@ -511,7 +646,7 @@ func (s *System) superviseLoop(job *Job, appFactory func(rank int) ompi.App, opt
 					if j.Done() {
 						return
 					}
-					if opts.AsyncDrain {
+					if opts.Drain.Async {
 						// Pay only the capture phase on the ticker; a
 						// collector goroutine (joined with the tickers)
 						// accounts for the drain when it lands.
@@ -565,12 +700,12 @@ func (s *System) superviseLoop(job *Job, appFactory func(rank int) ompi.App, opt
 		if err == nil {
 			return rep, nil
 		}
-		if rep.Restarts >= opts.AutoRestart {
+		if rep.Restarts >= opts.Recovery.AutoRestart {
 			return rep, err
 		}
 		// A restart needs a working coordinator: if the job died while the
 		// HNP was also down, rebuild the control plane first.
-		if opts.ReattachOnCrash && s.cluster.Headless() && s.reattach() {
+		if opts.Reattach.OnCrash && s.cluster.Headless() && s.reattach() {
 			mu.Lock()
 			rep.Reattaches++
 			mu.Unlock()

@@ -382,10 +382,9 @@ func TestRestartEquivalenceProperty(t *testing.T) {
 				policy = RecoverInJob
 			}
 			rep, err := sys.Supervise(job, factory, SuperviseOptions{
-				AutoRestart:     2,
 				CheckpointEvery: tc.every,
-				AsyncDrain:      tc.async,
-				Recovery:        policy,
+				Drain:           Drain{Async: tc.async},
+				Recovery:        Recovery{Policy: policy, AutoRestart: 2},
 			})
 			if err != nil {
 				t.Fatalf("Supervise: %v (report %+v)", err, rep)
@@ -482,7 +481,7 @@ func TestAsyncDrainSoak(t *testing.T) {
 	}
 	rep, err := sys.Supervise(job, factory, SuperviseOptions{
 		CheckpointEvery: 2 * time.Millisecond,
-		AsyncDrain:      true,
+		Drain:           Drain{Async: true},
 	})
 	if err != nil {
 		t.Fatalf("Supervise: %v (report %+v)", err, rep)

@@ -48,8 +48,8 @@ func TestSuperviseRestartsFromReplicaWhenStableStoreDies(t *testing.T) {
 	// a job node dies. Only the replicas can restart the job.
 	var once sync.Once
 	rep, err := sys.Supervise(job, factory, SuperviseOptions{
-		AutoRestart:     1,
 		CheckpointEvery: 5 * time.Millisecond,
+		Recovery:        Recovery{AutoRestart: 1},
 		Progress: func(CheckpointResult) {
 			once.Do(func() {
 				inj.AddRule(faultsim.Rule{Point: "node.storage-loss:stable", Times: 1})
@@ -121,8 +121,8 @@ func TestDurabilityFaultStorm(t *testing.T) {
 	}
 	var once sync.Once
 	rep, err := sys.Supervise(job, factory, SuperviseOptions{
-		AutoRestart:     1,
 		CheckpointEvery: 5 * time.Millisecond,
+		Recovery:        Recovery{AutoRestart: 1},
 		Progress: func(CheckpointResult) {
 			once.Do(func() {
 				// The storm: the shared store dies, and node2's replica tree

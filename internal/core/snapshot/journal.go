@@ -49,8 +49,14 @@ const (
 	JournalCorruptFile = "drain_journal.corrupt"
 	// maxJournalEntries bounds the journal: once every entry is terminal
 	// beyond this count, the oldest terminal entries are dropped. Keeps
-	// the file O(1) over long supervised runs.
-	maxJournalEntries = 64
+	// the file O(1) over long supervised runs. The cap is deliberately
+	// small: every Record/Transition rewrites the whole file through
+	// the stable store, so with many jobs checkpointing the journal
+	// traffic competes with the snapshot data itself for store
+	// bandwidth — terminal entries are history for ompi-snapshot stats,
+	// and only the undrained tail (which trim always pins) is needed
+	// for recovery.
+	maxJournalEntries = 16
 )
 
 // IntervalState is one interval's position in the capture/drain
@@ -224,7 +230,10 @@ func (j *Journal) store(entries []JournalEntry) error {
 		}
 		entries = trimmed
 	}
-	data, err := json.MarshalIndent(&journalDoc{Version: FormatVersion, Entries: entries}, "", "  ")
+	// Compact encoding: the journal is rewritten on every lifecycle
+	// transition of every interval, so its byte size is a recurring
+	// store-bandwidth cost, not a one-off (pipe through jq to inspect).
+	data, err := json.Marshal(&journalDoc{Version: FormatVersion, Entries: entries})
 	if err != nil {
 		return fmt.Errorf("snapshot: marshal drain journal: %w", err)
 	}

@@ -93,8 +93,8 @@ func TestSuperviseAutoRestartAfterNodeLoss(t *testing.T) {
 	// checkpoint has committed, so a valid snapshot is guaranteed.
 	var kill sync.Once
 	rep, err := sys.Supervise(job, factory, SuperviseOptions{
-		AutoRestart:     1,
 		CheckpointEvery: 5 * time.Millisecond,
+		Recovery:        Recovery{AutoRestart: 1},
 		Progress: func(CheckpointResult) {
 			kill.Do(func() {
 				if err := sys.Cluster().KillNode("node2"); err != nil {
@@ -319,8 +319,8 @@ func TestSeededFaultStormMatchesFaultFree(t *testing.T) {
 		t.Fatal(err)
 	}
 	rep, err := sys.Supervise(job, factory, SuperviseOptions{
-		AutoRestart:     2,
 		CheckpointEvery: 5 * time.Millisecond,
+		Recovery:        Recovery{AutoRestart: 2},
 	})
 	if err != nil {
 		t.Fatalf("Supervise: %v (report %+v)", err, rep)

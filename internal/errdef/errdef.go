@@ -1,0 +1,71 @@
+// Package errdef is the repository's shared error taxonomy: the
+// sentinel errors that cross package boundaries, gathered in one leaf
+// package so callers can classify failures with errors.Is without
+// importing the subsystem that produced them.
+//
+// Each producing package re-exports the sentinels it owns (for
+// example, snapc.ErrHNPDown aliases errdef.ErrHNPDown), so existing
+// call sites keep compiling and matching; errdef is the canonical
+// identity both sides compare against. The messages keep their
+// original package prefixes — the taxonomy unifies identity, not
+// wording.
+//
+// The package imports nothing but the standard library and must stay
+// that way: it sits below rml, filem, snapc, runtime and core in the
+// dependency order.
+package errdef
+
+import "errors"
+
+// Control-plane availability: the HNP (mpirun) as a failure domain.
+var (
+	// ErrHNPDown rejects coordinator operations while the HNP is dead —
+	// the headless window between a crash and a reattach. Checkpoints,
+	// launches and restarts fail with it; orteds and ranks keep running.
+	ErrHNPDown = errors.New("snapc: HNP is down")
+	// ErrHNPCrashed marks an operation cut short because the HNP died
+	// mid-flight (the "hnp.crash:<when>" fault class). Unlike an
+	// ordinary failure the interval is NOT aborted: the orteds seal
+	// their local stages autonomously and a reattach rebuilds from them.
+	ErrHNPCrashed = errors.New("snapc: HNP crashed")
+)
+
+// Stable storage: degraded-mode outcomes.
+var (
+	// ErrStoreDegraded reports a checkpoint that succeeded at the
+	// local-stage level but could not reach stable storage: a degraded
+	// success, not a failure — the interval is parked node-local and the
+	// catch-up drainer commits it when the store returns.
+	ErrStoreDegraded = errors.New("snapc: stable store degraded; interval parked node-local")
+)
+
+// Checkpoint request outcomes.
+var (
+	// ErrNotCheckpointable reports that a target process opted out of
+	// checkpointing, failing the whole request before any process acted.
+	ErrNotCheckpointable = errors.New("snapc: process is not checkpointable")
+	// ErrIntervalAborted tags checkpoint failures that aborted the
+	// interval atomically: node-local temporaries and staged data were
+	// removed, the job keeps running.
+	ErrIntervalAborted = errors.New("snapc: interval aborted:")
+)
+
+// Messaging (RML) transport conditions.
+var (
+	// ErrClosed: the endpoint (or whole router) has shut down.
+	ErrClosed = errors.New("rml: endpoint closed")
+	// ErrUnknownPeer: no endpoint is registered under the target name.
+	ErrUnknownPeer = errors.New("rml: unknown peer")
+	// ErrTimeout: a bounded receive expired.
+	ErrTimeout = errors.New("rml: receive timed out")
+)
+
+// File movement (FILEM) conditions.
+var (
+	// ErrUnknownNode reports a request naming a node the environment
+	// cannot resolve (dead nodes resolve to this too).
+	ErrUnknownNode = errors.New("filem: unknown node")
+	// ErrRequestTimeout reports a transfer whose modeled duration
+	// exceeded the per-request timeout.
+	ErrRequestTimeout = errors.New("filem: request timed out")
+)

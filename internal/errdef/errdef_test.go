@@ -1,0 +1,94 @@
+package errdef_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/errdef"
+	"repro/internal/orte/filem"
+	"repro/internal/orte/names"
+	"repro/internal/orte/rml"
+	"repro/internal/orte/snapc"
+)
+
+// The taxonomy contract: every producing package's exported sentinel is
+// the SAME error value as its errdef counterpart, so errors.Is matches
+// no matter which side of a package boundary classified the failure.
+func TestAliasesAreIdentical(t *testing.T) {
+	pairs := []struct {
+		name       string
+		pkg, canon error
+	}{
+		{"snapc.ErrHNPDown", snapc.ErrHNPDown, errdef.ErrHNPDown},
+		{"snapc.ErrHNPCrashed", snapc.ErrHNPCrashed, errdef.ErrHNPCrashed},
+		{"snapc.ErrStoreDegraded", snapc.ErrStoreDegraded, errdef.ErrStoreDegraded},
+		{"snapc.ErrNotCheckpointable", snapc.ErrNotCheckpointable, errdef.ErrNotCheckpointable},
+		{"rml.ErrClosed", rml.ErrClosed, errdef.ErrClosed},
+		{"rml.ErrUnknownPeer", rml.ErrUnknownPeer, errdef.ErrUnknownPeer},
+		{"rml.ErrTimeout", rml.ErrTimeout, errdef.ErrTimeout},
+		{"filem.ErrUnknownNode", filem.ErrUnknownNode, errdef.ErrUnknownNode},
+		{"filem.ErrRequestTimeout", filem.ErrRequestTimeout, errdef.ErrRequestTimeout},
+	}
+	for _, p := range pairs {
+		if p.pkg != p.canon {
+			t.Errorf("%s is not the canonical errdef value", p.name)
+		}
+		if !errors.Is(p.pkg, p.canon) || !errors.Is(p.canon, p.pkg) {
+			t.Errorf("errors.Is(%s, errdef counterpart) must hold both ways", p.name)
+		}
+	}
+}
+
+// Wrapped chains built in one package must classify via errdef in
+// another, arbitrarily deep.
+func TestWrappedChainsCrossBoundaries(t *testing.T) {
+	deep := fmt.Errorf("core: supervise: %w",
+		fmt.Errorf("runtime: checkpoint job 3: %w", snapc.ErrHNPDown))
+	if !errors.Is(deep, errdef.ErrHNPDown) {
+		t.Fatalf("double-wrapped snapc.ErrHNPDown must match errdef.ErrHNPDown")
+	}
+	if errors.Is(deep, errdef.ErrHNPCrashed) {
+		t.Fatalf("ErrHNPDown chain must not match ErrHNPCrashed")
+	}
+	degraded := fmt.Errorf("checkpoint interval 7: %w", errdef.ErrStoreDegraded)
+	if !errors.Is(degraded, snapc.ErrStoreDegraded) {
+		t.Fatalf("errdef-built chain must match the snapc alias")
+	}
+}
+
+// A real transport timeout produced by rml must carry the canonical
+// identity end to end.
+func TestLiveTimeoutCarriesTaxonomy(t *testing.T) {
+	r := rml.NewRouter()
+	defer r.Close()
+	ep, err := r.Register(names.Proc(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ep.RecvTimeout(rml.TagUser, 1)
+	if err == nil {
+		t.Fatal("expected a timeout")
+	}
+	if !errors.Is(err, errdef.ErrTimeout) || !errors.Is(err, rml.ErrTimeout) {
+		t.Fatalf("timeout error %v must match both errdef.ErrTimeout and rml.ErrTimeout", err)
+	}
+}
+
+// The distinct sentinels stay distinct: no accidental merging when the
+// taxonomy was centralized.
+func TestSentinelsAreDistinct(t *testing.T) {
+	all := []error{
+		errdef.ErrHNPDown, errdef.ErrHNPCrashed, errdef.ErrStoreDegraded,
+		errdef.ErrNotCheckpointable, errdef.ErrIntervalAborted,
+		errdef.ErrClosed, errdef.ErrUnknownPeer, errdef.ErrTimeout,
+		errdef.ErrUnknownNode, errdef.ErrRequestTimeout,
+	}
+	for i, a := range all {
+		for j, b := range all {
+			if i != j && errors.Is(a, b) {
+				t.Errorf("sentinel %d (%v) unexpectedly matches %d (%v)", i, a, j, b)
+			}
+		}
+	}
+}

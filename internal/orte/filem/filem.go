@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/errdef"
 	"repro/internal/mca"
 	"repro/internal/netsim"
 	"repro/internal/trace"
@@ -37,13 +38,14 @@ const FrameworkName = "filem"
 const StableNode = "#stable"
 
 // ErrUnknownNode reports a request naming a node the environment cannot
-// resolve.
-var ErrUnknownNode = errors.New("filem: unknown node")
+// resolve. It aliases errdef.ErrUnknownNode.
+var ErrUnknownNode = errdef.ErrUnknownNode
 
 // ErrRequestTimeout reports a transfer whose modeled duration exceeded
 // the per-request timeout: the coordinator treats the request as failed
-// rather than waiting out an unbounded stall.
-var ErrRequestTimeout = errors.New("filem: request timed out")
+// rather than waiting out an unbounded stall. It aliases
+// errdef.ErrRequestTimeout.
+var ErrRequestTimeout = errdef.ErrRequestTimeout
 
 // RetryPolicy bounds how FILEM reacts to transfer failures: up to Max
 // retries after the first attempt, waiting Backoff before the first

@@ -6,7 +6,10 @@
 // runtime-swappable like everything else:
 //
 //   - rr: round-robin ("by node") placement, orted-spawn style;
-//   - slurmsim: block ("by slot") placement, batch-scheduler style.
+//   - slurmsim: block ("by slot") placement, batch-scheduler style;
+//   - loadaware: least-loaded placement across concurrent jobs, for
+//     multi-job clusters where fresh launches and restarts should land
+//     away from nodes already crowded with other jobs' ranks.
 //
 // Placement matters to the C/R work because restart may map the same
 // ranks onto a different topology (paper §6.3: the PML "reconnects peers
@@ -27,6 +30,11 @@ const FrameworkName = "plm"
 type NodeSpec struct {
 	Name  string
 	Slots int // process slots (cores); must be >= 1
+	// Load is the number of ranks other jobs are already running on the
+	// node. Only the loadaware component consults it; rr and slurmsim
+	// place purely positionally. It does not consume Slots — the
+	// simulated nodes oversubscribe freely — it only biases placement.
+	Load int
 }
 
 // Component maps the ranks of a job onto nodes.
@@ -42,6 +50,7 @@ func NewFramework() *mca.Framework[Component] {
 	f := mca.NewFramework[Component](FrameworkName)
 	f.MustRegister(&RoundRobin{})
 	f.MustRegister(&SlurmSim{})
+	f.MustRegister(&LoadAware{})
 	return f
 }
 
@@ -135,3 +144,45 @@ func (*SlurmSim) MapProcs(nprocs int, nodes []NodeSpec) (map[int]string, error) 
 }
 
 var _ Component = (*SlurmSim)(nil)
+
+// LoadAware places each rank on the node with the fewest total ranks —
+// pre-existing Load from other jobs plus ranks this mapping has already
+// assigned — among nodes with free slots. Ties break in declaration
+// order, so an unloaded cluster degenerates to round-robin and the
+// mapping stays deterministic. Selected with plm=loadaware; its low
+// priority keeps rr the default.
+type LoadAware struct{}
+
+// Name implements mca.Component.
+func (*LoadAware) Name() string { return "loadaware" }
+
+// Priority implements mca.Component.
+func (*LoadAware) Priority() int { return 5 }
+
+// MapProcs implements Component.
+func (*LoadAware) MapProcs(nprocs int, nodes []NodeSpec) (map[int]string, error) {
+	if _, err := validate(nprocs, nodes); err != nil {
+		return nil, err
+	}
+	used := make([]int, len(nodes))
+	out := make(map[int]string, nprocs)
+	for rank := 0; rank < nprocs; rank++ {
+		best := -1
+		for i := range nodes {
+			if used[i] >= nodes[i].Slots {
+				continue
+			}
+			if best < 0 || nodes[i].Load+used[i] < nodes[best].Load+used[best] {
+				best = i
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("plm loadaware: ran out of slots at rank %d", rank)
+		}
+		out[rank] = nodes[best].Name
+		used[best]++
+	}
+	return out, nil
+}
+
+var _ Component = (*LoadAware)(nil)

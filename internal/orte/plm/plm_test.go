@@ -145,3 +145,59 @@ func TestQuickPlacementsComplete(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestLoadAwareAvoidsLoadedNodes(t *testing.T) {
+	nodes := []NodeSpec{
+		{Name: "n0", Slots: 4, Load: 3},
+		{Name: "n1", Slots: 4, Load: 0},
+		{Name: "n2", Slots: 4, Load: 1},
+		{Name: "n3", Slots: 4, Load: 0},
+	}
+	m, err := (&LoadAware{}).MapProcs(4, nodes)
+	if err != nil {
+		t.Fatalf("MapProcs: %v", err)
+	}
+	// n0 starts three ranks ahead of everyone else, so four placements
+	// across the other three nodes never reach its load level.
+	count := map[string]int{}
+	for _, n := range m {
+		count[n]++
+	}
+	if count["n0"] != 0 {
+		t.Errorf("loadaware placed %d ranks on the most loaded node n0", count["n0"])
+	}
+	if count["n1"]+count["n2"]+count["n3"] != 4 {
+		t.Errorf("placement incomplete: %v", m)
+	}
+}
+
+func TestLoadAwareUnloadedIsRoundRobin(t *testing.T) {
+	m, err := (&LoadAware{}).MapProcs(4, fourNodes)
+	if err != nil {
+		t.Fatalf("MapProcs: %v", err)
+	}
+	want := map[int]string{0: "n0", 1: "n1", 2: "n2", 3: "n3"}
+	for r, n := range want {
+		if m[r] != n {
+			t.Errorf("rank %d -> %q, want %q", r, m[r], n)
+		}
+	}
+}
+
+func TestLoadAwareRespectsSlots(t *testing.T) {
+	nodes := []NodeSpec{
+		{Name: "n0", Slots: 1, Load: 0},
+		{Name: "n1", Slots: 3, Load: 5},
+	}
+	m, err := (&LoadAware{}).MapProcs(4, nodes)
+	if err != nil {
+		t.Fatalf("MapProcs: %v", err)
+	}
+	count := map[string]int{}
+	for _, n := range m {
+		count[n]++
+	}
+	if count["n0"] != 1 || count["n1"] != 3 {
+		t.Errorf("slot capacity violated: %v", count)
+	}
+}

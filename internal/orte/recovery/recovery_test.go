@@ -281,9 +281,8 @@ func TestQuorumLossFallsBackToWholeJobRestart(t *testing.T) {
 	go func() {
 		defer close(done)
 		rep, serr = sys.Supervise(j, factory, core.SuperviseOptions{
-			AutoRestart:     1,
 			CheckpointEvery: 20 * time.Millisecond,
-			Recovery:        core.RecoverInJob,
+			Recovery:        core.Recovery{Policy: core.RecoverInJob, AutoRestart: 1},
 		})
 	}()
 	// Let at least one checkpoint commit, then take out a node hosting
@@ -326,9 +325,8 @@ func TestSecondNodeLossDuringRecoveryFallsBack(t *testing.T) {
 	go func() {
 		defer close(done)
 		rep, serr = sys.Supervise(j, factory, core.SuperviseOptions{
-			AutoRestart:     1,
 			CheckpointEvery: 20 * time.Millisecond,
-			Recovery:        core.RecoverInJob,
+			Recovery:        core.Recovery{Policy: core.RecoverInJob, AutoRestart: 1},
 		})
 	}()
 	waitForCounter(t, sys.Ins(), "ompi_snapc_intervals_committed_total", 1, 5*time.Second)
@@ -374,8 +372,8 @@ func TestInJobRecoveryRestoresFewerBytes(t *testing.T) {
 	go func() {
 		defer close(done)
 		rep, serr = whole.Supervise(jw, factory, core.SuperviseOptions{
-			AutoRestart:     1,
 			CheckpointEvery: 20 * time.Millisecond,
+			Recovery:        core.Recovery{AutoRestart: 1},
 		})
 	}()
 	waitForCounter(t, whole.Ins(), "ompi_snapc_intervals_committed_total", 1, 5*time.Second)

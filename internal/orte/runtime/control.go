@@ -13,7 +13,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core/snapshot"
 	"repro/internal/orte/names"
+	"repro/internal/orte/sched"
 	"repro/internal/orte/snapc"
 )
 
@@ -35,8 +37,31 @@ const DefaultControlTimeout = 30 * time.Second
 // per-user session directory keyed by its OS pid, so the tools address
 // the job exactly as the paper's tools do.
 
-// ControlRequest is one tool command. Op is "checkpoint", "ps",
-// "ranks", "migrate", "metrics" or "ping".
+// ControlVersion is the control protocol version spoken by this build.
+// Version 1 frames every exchange in a controlEnvelope; unversioned
+// (pre-envelope) requests are still accepted and answered in kind, so
+// old tools keep working against a new mpirun and vice versa.
+const ControlVersion = 1
+
+// controlEnvelope is the versioned request frame: the op travels in the
+// envelope, everything op-specific in Args (a ControlRequest).
+type controlEnvelope struct {
+	V    int             `json:"v"`
+	Op   string          `json:"op"`
+	Args json.RawMessage `json:"args,omitempty"`
+}
+
+// controlReply is the versioned response frame mirroring the envelope:
+// outcome in the frame, op-specific payload (a ControlResponse) in Body.
+type controlReply struct {
+	V    int             `json:"v"`
+	OK   bool            `json:"ok"`
+	Err  string          `json:"err,omitempty"`
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// ControlRequest is one tool command. Op is "checkpoint", "ps", "jobs",
+// "ranks", "migrate", "metrics", "health", "sched" or "ping".
 type ControlRequest struct {
 	Op        string `json:"op"`
 	Job       int    `json:"job,omitempty"` // 0 = the only/first job
@@ -51,9 +76,14 @@ type ControlRequest struct {
 	// live node Node through an in-job recovery session.
 	Rank int    `json:"rank,omitempty"`
 	Node string `json:"node,omitempty"`
+	// Weight parameterizes the "sched" op: > 0 sets Job's drain QoS
+	// weight before the scheduler snapshot is taken.
+	Weight int `json:"weight,omitempty"`
 }
 
-// ControlJobInfo describes one job in a "ps" response.
+// ControlJobInfo describes one job in a "ps" or "jobs" response. The
+// scheduler columns (Weight, QueuedDrains) are populated by the "jobs"
+// op only.
 type ControlJobInfo struct {
 	Job   int      `json:"job"`
 	App   string   `json:"app"`
@@ -61,6 +91,30 @@ type ControlJobInfo struct {
 	Nodes []string `json:"nodes"`
 	Done  bool     `json:"done"`
 	Ckpts int      `json:"checkpoints"`
+	// Weight is the job's drain QoS weight as last seen by the
+	// scheduler (0 until the lineage first enqueues a drain).
+	Weight int `json:"weight,omitempty"`
+	// QueuedDrains counts the job's intervals waiting in the drain
+	// scheduler.
+	QueuedDrains int `json:"queued_drains,omitempty"`
+}
+
+// ControlSchedFlow is one checkpoint lineage's row in a "sched"
+// response.
+type ControlSchedFlow struct {
+	Flow       string `json:"flow"` // global snapshot directory = lineage key
+	Weight     int    `json:"weight"`
+	Queued     int    `json:"queued"`
+	Busy       bool   `json:"busy"`
+	ServedCost int64  `json:"served_cost"`
+	QueuedCost int64  `json:"queued_cost"`
+}
+
+// ControlSched is the "sched" op's payload: the drain scheduler's
+// worker pool size and per-lineage SFQ state.
+type ControlSched struct {
+	Workers int                `json:"workers"`
+	Flows   []ControlSchedFlow `json:"flows,omitempty"`
 }
 
 // ControlRankInfo is one rank's row in a "ranks" response: where it
@@ -93,6 +147,8 @@ type ControlResponse struct {
 	Metrics string `json:"metrics,omitempty"`
 	// Health is the "health" op's payload.
 	Health *ControlHealth `json:"health,omitempty"`
+	// Sched is the "sched" op's payload.
+	Sched *ControlSched `json:"sched,omitempty"`
 }
 
 // ControlNodeHealth is one node's failure-detector row in a "health"
@@ -206,20 +262,54 @@ func (s *ControlServer) acceptLoop() {
 // pin an accept slot forever; the reply write is bounded the same way.
 // The handler itself (a synchronous checkpoint, say) is not bounded —
 // only the wire I/O is.
+//
+// Both wire dialects are served: a versioned controlEnvelope gets a
+// controlReply, a bare (pre-envelope) ControlRequest gets a bare
+// ControlResponse. The dialect is sniffed off the "v" field so old
+// tools and new mpiruns interoperate in either direction.
 func (s *ControlServer) serveConn(conn net.Conn) {
 	dec := json.NewDecoder(bufio.NewReader(conn))
 	enc := json.NewEncoder(conn)
-	var req ControlRequest
+	var raw json.RawMessage
 	_ = conn.SetReadDeadline(time.Now().Add(s.timeout))
-	if err := dec.Decode(&req); err != nil {
+	if err := dec.Decode(&raw); err != nil {
 		_ = conn.SetWriteDeadline(time.Now().Add(s.timeout))
 		_ = enc.Encode(ControlResponse{Err: fmt.Sprintf("bad request: %v", err)})
 		return
 	}
 	_ = conn.SetReadDeadline(time.Time{})
-	resp := s.handle(req)
+
+	var env controlEnvelope
+	versioned := json.Unmarshal(raw, &env) == nil && env.V > 0
+	var req ControlRequest
+	var decodeErr error
+	if versioned {
+		if env.V > ControlVersion {
+			decodeErr = fmt.Errorf("control version %d not supported (max %d)", env.V, ControlVersion)
+		} else if len(env.Args) > 0 {
+			decodeErr = json.Unmarshal(env.Args, &req)
+		}
+		req.Op = env.Op
+	} else {
+		decodeErr = json.Unmarshal(raw, &req)
+	}
+
+	var resp ControlResponse
+	if decodeErr != nil {
+		resp = ControlResponse{Err: fmt.Sprintf("bad request: %v", decodeErr)}
+	} else {
+		resp = s.handle(req)
+	}
 	_ = conn.SetWriteDeadline(time.Now().Add(s.timeout))
-	_ = enc.Encode(resp)
+	if !versioned {
+		_ = enc.Encode(resp)
+		return
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		body = nil
+	}
+	_ = enc.Encode(controlReply{V: ControlVersion, OK: resp.OK, Err: resp.Err, Body: body})
 }
 
 func (s *ControlServer) handle(req ControlRequest) ControlResponse {
@@ -242,6 +332,58 @@ func (s *ControlServer) handle(req ControlRequest) ControlResponse {
 			})
 		}
 		return ControlResponse{OK: true, Jobs: out}
+	case "jobs":
+		// The job-scoped view: "ps" columns joined with the drain
+		// scheduler's per-lineage state. --job filters to one job.
+		flows := make(map[string]sched.FlowState)
+		for _, f := range s.cluster.SchedFlows() {
+			flows[f.Key] = f
+		}
+		var out []ControlJobInfo
+		for _, id := range s.cluster.JobIDs() {
+			if req.Job != 0 && int(id) != req.Job {
+				continue
+			}
+			j, err := s.cluster.Job(id)
+			if err != nil {
+				continue
+			}
+			j.mu.Lock()
+			interval := j.nextInterval
+			j.mu.Unlock()
+			info := ControlJobInfo{
+				Job: int(id), App: j.spec.Name, NP: j.spec.NP,
+				Nodes: j.Nodes(), Done: j.Done(), Ckpts: interval,
+			}
+			if f, ok := flows[snapshot.GlobalDirName(int(id))]; ok {
+				info.Weight = f.Weight
+				info.QueuedDrains = f.Queued
+			}
+			out = append(out, info)
+		}
+		if req.Job != 0 && len(out) == 0 {
+			return ControlResponse{Err: fmt.Sprintf("no job %d", req.Job)}
+		}
+		return ControlResponse{OK: true, Jobs: out}
+	case "sched":
+		if req.Weight > 0 {
+			id, err := s.resolveJobID(req.Job)
+			if err != nil {
+				return ControlResponse{Err: err.Error()}
+			}
+			if _, err := s.cluster.Job(id); err != nil {
+				return ControlResponse{Err: err.Error()}
+			}
+			s.cluster.SetJobDrainWeight(id, req.Weight)
+		}
+		out := &ControlSched{Workers: s.cluster.Drainer().Workers()}
+		for _, f := range s.cluster.SchedFlows() {
+			out.Flows = append(out.Flows, ControlSchedFlow{
+				Flow: f.Key, Weight: f.Weight, Queued: f.Queued, Busy: f.Busy,
+				ServedCost: f.ServedCost, QueuedCost: f.QueuedCost,
+			})
+		}
+		return ControlResponse{OK: true, Sched: out}
 	case "ranks":
 		id, err := s.resolveJobID(req.Job)
 		if err != nil {
@@ -365,6 +507,10 @@ func ControlDial(addr string, req ControlRequest) (ControlResponse, error) {
 // connect, the request write, and the response read. A dead or wedged
 // mpirun fails the call instead of hanging the tool. timeout <= 0 means
 // unbounded (connect still uses DefaultControlTimeout).
+//
+// The request goes out framed in the versioned envelope; a reply
+// without a version is accepted as the pre-envelope flat form, so new
+// tools still talk to an old mpirun.
 func ControlDialTimeout(addr string, req ControlRequest, timeout time.Duration) (ControlResponse, error) {
 	connectTO := timeout
 	if connectTO <= 0 {
@@ -378,12 +524,32 @@ func ControlDialTimeout(addr string, req ControlRequest, timeout time.Duration) 
 	if timeout > 0 {
 		_ = conn.SetDeadline(time.Now().Add(timeout))
 	}
-	if err := json.NewEncoder(conn).Encode(req); err != nil {
+	args, err := json.Marshal(req)
+	if err != nil {
+		return ControlResponse{}, fmt.Errorf("runtime: encode control request: %w", err)
+	}
+	env := controlEnvelope{V: ControlVersion, Op: req.Op, Args: args}
+	if err := json.NewEncoder(conn).Encode(env); err != nil {
 		return ControlResponse{}, fmt.Errorf("runtime: send control request: %w", err)
 	}
-	var resp ControlResponse
-	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+	var raw json.RawMessage
+	if err := json.NewDecoder(conn).Decode(&raw); err != nil {
 		return ControlResponse{}, fmt.Errorf("runtime: read control response: %w", err)
+	}
+	var reply controlReply
+	if json.Unmarshal(raw, &reply) == nil && reply.V > 0 {
+		var resp ControlResponse
+		if len(reply.Body) > 0 {
+			if err := json.Unmarshal(reply.Body, &resp); err != nil {
+				return ControlResponse{}, fmt.Errorf("runtime: decode control reply body: %w", err)
+			}
+		}
+		resp.OK, resp.Err = reply.OK, reply.Err
+		return resp, nil
+	}
+	var resp ControlResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return ControlResponse{}, fmt.Errorf("runtime: decode control response: %w", err)
 	}
 	return resp, nil
 }

@@ -364,3 +364,108 @@ func TestScanSessionsStaleFileFailsProbe(t *testing.T) {
 }
 
 var _ = ompi.FuncApp{}
+
+// TestControlLegacyUnversionedRequest speaks the pre-envelope dialect
+// raw over the socket: a bare ControlRequest must still get a bare
+// ControlResponse, so tools built before the envelope keep working.
+func TestControlLegacyUnversionedRequest(t *testing.T) {
+	_, srv, _ := controlFixture(t)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte(`{"op":"ps"}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(buf)
+	if strings.Contains(body, `"v":`) {
+		t.Fatalf("legacy request answered with versioned reply: %s", body)
+	}
+	if !strings.Contains(body, `"ok":true`) || !strings.Contains(body, "stencil") {
+		t.Fatalf("legacy ps reply = %s", body)
+	}
+}
+
+// TestControlEnvelopeVersionRejected: a request claiming a future
+// protocol version must be refused, not half-parsed.
+func TestControlEnvelopeVersionRejected(t *testing.T) {
+	_, srv, _ := controlFixture(t)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte(`{"v":99,"op":"ps"}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(buf)
+	if !strings.Contains(body, "not supported") {
+		t.Fatalf("future-version reply = %s", body)
+	}
+}
+
+// TestControlJobsAndSchedOps drives the job-scoped ops end to end:
+// "jobs" joins ps columns with scheduler state, "sched" sets a weight
+// and returns the flow table.
+func TestControlJobsAndSchedOps(t *testing.T) {
+	c, srv, job := controlFixture(t)
+	// One committed checkpoint so the job's lineage exists in the
+	// scheduler's history.
+	if _, err := ControlDial(srv.Addr(), ControlRequest{Op: "checkpoint"}); err != nil {
+		t.Fatal(err)
+	}
+	c.FlushDrains()
+
+	resp, err := ControlDial(srv.Addr(), ControlRequest{Op: "jobs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || len(resp.Jobs) != 1 || resp.Jobs[0].App != "stencil" {
+		t.Fatalf("jobs = %+v", resp)
+	}
+	if resp.Jobs[0].Weight < 1 {
+		t.Errorf("jobs row missing scheduler weight: %+v", resp.Jobs[0])
+	}
+
+	// Filter to a job that does not exist.
+	resp, err = ControlDial(srv.Addr(), ControlRequest{Op: "jobs", Job: 999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || !strings.Contains(resp.Err, "no job") {
+		t.Fatalf("jobs --job 999 = %+v", resp)
+	}
+
+	// sched with a weight update: the next enqueue for the job uses it,
+	// and the reply carries the flow table and worker count.
+	resp, err = ControlDial(srv.Addr(), ControlRequest{Op: "sched", Job: int(job.JobID()), Weight: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || resp.Sched == nil || resp.Sched.Workers < 1 {
+		t.Fatalf("sched = %+v", resp)
+	}
+	if len(resp.Sched.Flows) != 1 || resp.Sched.Flows[0].ServedCost <= 0 {
+		t.Fatalf("sched flows = %+v", resp.Sched.Flows)
+	}
+	if _, err := ControlDial(srv.Addr(), ControlRequest{Op: "checkpoint"}); err != nil {
+		t.Fatal(err)
+	}
+	c.FlushDrains()
+	resp, err = ControlDial(srv.Addr(), ControlRequest{Op: "sched"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || len(resp.Sched.Flows) != 1 || resp.Sched.Flows[0].Weight != 7 {
+		t.Fatalf("weight update not applied: %+v", resp.Sched)
+	}
+}

@@ -77,3 +77,66 @@ func TestHeartbeatToleratesTransientSendFailures(t *testing.T) {
 		t.Fatalf("job failed after transient heartbeat faults: %v", err)
 	}
 }
+
+// TestBatchedHeartbeatPump forces batch mode on a small cluster and
+// checks the coalesced beacon path end to end: the detector sees every
+// node alive, an injected node kill still fires through the pump and
+// is declared, and a job launched in batch mode completes.
+func TestBatchedHeartbeatPump(t *testing.T) {
+	inj := faultsim.New(3, faultsim.Rule{Point: "node.kill:n2", After: 3, Times: 1})
+	params := mca.NewParams()
+	params.Set("orted_heartbeat_interval", "4ms")
+	params.Set("orted_heartbeat_miss", "10")
+	params.Set("orted_heartbeat_batch", "true")
+	c, err := New(Config{
+		Nodes: []plm.NodeSpec{
+			{Name: "n0", Slots: 2}, {Name: "n1", Slots: 2},
+			{Name: "n2", Slots: 2}, {Name: "n3", Slots: 2},
+		},
+		Params: params,
+		Ins:    trace.New(),
+		Faults: inj,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer c.Close()
+	if !c.hbBatch {
+		t.Fatalf("orted_heartbeat_batch=true did not enable the pump")
+	}
+
+	// The injected kill fires on the pump's third pass over n2.
+	waitForEvent(t, c.Log(), "node.kill", time.Second)
+	deadline := time.Now().Add(time.Second)
+	for c.Alive("n2") {
+		if time.Now().After(deadline) {
+			t.Fatalf("pump-injected kill never took n2 down")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Survivors keep beating through the shared message: nobody else may
+	// be declared dead, and the health view must show fresh beats.
+	time.Sleep(60 * time.Millisecond)
+	for _, n := range []string{"n0", "n1", "n3"} {
+		if !c.Alive(n) {
+			t.Fatalf("node %q declared dead under batched heartbeats", n)
+		}
+	}
+	h := c.Health()
+	for _, nh := range h.Nodes {
+		if nh.Node != "n2" && (nh.SinceBeat < 0 || nh.SinceBeat > 500*time.Millisecond) {
+			t.Fatalf("node %q has stale batched beat: %v", nh.Node, nh.SinceBeat)
+		}
+	}
+
+	// The shrunken cluster is still serviceable in batch mode.
+	factory, _ := newStencilFactory(16, 0)
+	j, err := c.Launch(JobSpec{Name: "hb-batch", NP: 3, AppFactory: factory})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if err := j.Wait(); err != nil {
+		t.Fatalf("job failed under batched heartbeats: %v", err)
+	}
+}

@@ -70,6 +70,11 @@ type Job struct {
 	apps      []ompi.App     // rank slots; entries replaced on respawn (mu)
 	fabric    btl.JobFabric  // job transport; Close aborts the job (mu)
 
+	// capMu serializes this job's capture phases: one interval of a job
+	// captures at a time, but different jobs capture concurrently —
+	// their coordinators share the HNP mailbox via job-matched receives.
+	capMu sync.Mutex
+
 	mu             sync.Mutex
 	checkpointable []ckptState
 	nextInterval   int
@@ -456,8 +461,9 @@ var _ snapc.JobView = (*Job)(nil)
 // checkpoint — quiesce → capture → release, ending with the interval
 // staged node-local — and hands the interval to the background drain
 // queue. The returned ticket's Wait blocks until the drain (gather →
-// commit → replicate) finishes. Captures are serialized; the drain of
-// interval N overlaps the capture of interval N+1.
+// commit → replicate) finishes. Captures are serialized per job — the
+// drain of interval N overlaps the capture of interval N+1, and
+// different jobs' captures overlap each other.
 func (c *Cluster) CheckpointJobAsync(id names.JobID, opts snapc.Options) (*snapc.Pending, error) {
 	if err := c.headlessErr(); err != nil {
 		return nil, err
@@ -466,8 +472,8 @@ func (c *Cluster) CheckpointJobAsync(id names.JobID, opts snapc.Options) (*snapc
 	if err != nil {
 		return nil, err
 	}
-	c.capMu.Lock()
-	defer c.capMu.Unlock()
+	j.capMu.Lock()
+	defer j.capMu.Unlock()
 	if err := j.awaitInitialized(10 * time.Second); err != nil {
 		return nil, err
 	}
@@ -476,7 +482,14 @@ func (c *Cluster) CheckpointJobAsync(id names.JobID, opts snapc.Options) (*snapc
 	j.nextInterval++
 	j.mu.Unlock()
 	globalDir := snapshot.GlobalDirName(int(id))
+	// The capture gate (snapc_capture_gate) bounds how many jobs
+	// quiesce-and-capture at once, in the drain scheduler's
+	// weighted-fair order; unlimited by default.
+	if err := c.Drainer().AcquireCapture(globalDir, j); err != nil {
+		return nil, err
+	}
 	cpt, err := c.snapcComp.Capture(c.snapcEnv, j, c.hnpEndpoint(), c.daemons, globalDir, interval, opts)
+	c.Drainer().ReleaseCapture(globalDir)
 	if err != nil {
 		// An injected HNP crash inside the quiesce window takes the
 		// whole coordinator down: the directives already fanned out, the

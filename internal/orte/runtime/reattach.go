@@ -80,7 +80,7 @@ func (c *Cluster) Reattach() (ReattachReport, error) {
 	// terminal. Swapped under the lock so concurrent Drainer() callers
 	// never see a torn pointer.
 	oldDrainer := c.drainer
-	c.drainer = snapc.NewDrainer(c.snapcEnv, c.params, &c.ckptMu)
+	c.drainer = snapc.NewDrainer(c.snapcEnv, c.params, c.ckptMu.RLocker())
 	c.drainer.SetCrashHook(func(err error) { _ = c.CrashHNP(err) })
 	c.mu.Unlock()
 	oldDrainer.Close()

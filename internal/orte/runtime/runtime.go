@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core/snapshot"
 	"repro/internal/faultsim"
 	"repro/internal/mca"
 	"repro/internal/netsim"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/orte/names"
 	"repro/internal/orte/plm"
 	"repro/internal/orte/rml"
+	"repro/internal/orte/sched"
 	"repro/internal/orte/snapc"
 	"repro/internal/trace"
 	"repro/internal/vfs"
@@ -96,6 +98,14 @@ type Cluster struct {
 	snapcEnv *snapc.Env
 	daemons  map[string]names.Name
 
+	// Batched heartbeat mode (orted_heartbeat_batch, auto-enabled at
+	// >= batchHeartbeatNodes nodes): one pump goroutine beats for every
+	// live orted instead of one goroutine + ticker per node.
+	hbBatch   bool
+	daemonEPs map[string]*rml.Endpoint
+	pumpStop  chan struct{}
+	pumpOnce  sync.Once
+
 	// led is the HNP's durable job ledger: every control-plane mutation
 	// (launches, interval lifecycle, placements, deaths, recovery
 	// sessions) is written through so a crashed coordinator can be
@@ -112,6 +122,13 @@ type Cluster struct {
 	hbMu     sync.Mutex
 	lastBeat map[string]time.Time
 
+	// replCount tracks how many interval replicas each node holds, fed
+	// from the SNAPC interval notes. With snapc_replica_spread=true the
+	// replica candidate list is ordered least-loaded-first from these
+	// counts, spreading concurrent jobs' replicas across the cluster.
+	replMu    sync.Mutex
+	replCount map[string]int
+
 	mu      sync.Mutex
 	jobs    map[names.JobID]*Job
 	drainer *snapc.Drainer // replaced wholesale by Reattach (guarded by mu)
@@ -122,10 +139,14 @@ type Cluster struct {
 	headlessCause error
 	crashedAt     time.Time
 	pendingDeaths []string
-	capMu         sync.Mutex // serializes capture phases (one interval captures at a time)
-	ckptMu        sync.Mutex // serializes drains/commits against scrub and restart
-	stopped       bool
-	wg            sync.WaitGroup
+	// ckptMu orders checkpoint-pipeline work against state surgery:
+	// drains and commits hold the read side (different jobs' lineages
+	// may drain concurrently under snapc_drain_workers > 1), while
+	// scrub, restart and drain recovery take the write side. Capture
+	// serialization is per job (Job.capMu), not cluster-wide.
+	ckptMu  sync.RWMutex
+	stopped bool
+	wg      sync.WaitGroup
 }
 
 // New builds and starts a cluster: nodes, daemons and frameworks.
@@ -246,6 +267,10 @@ func New(cfg Config) (*Cluster, error) {
 		Ins:        c.ins,
 		AckTimeout: cfg.Params.Duration("snapc_ack_timeout", 0),
 	}
+	c.replCount = make(map[string]int)
+	if cfg.Params.Bool("snapc_replica_spread", false) {
+		c.snapcEnv.Nodes = c.replicaCandidates
+	}
 	if inj != nil {
 		c.snapcEnv.Inject = inj.Fire
 	}
@@ -267,10 +292,11 @@ func New(cfg Config) (*Cluster, error) {
 	c.snapcEnv.Note = c.noteInterval
 
 	// The asynchronous drain engine: captures hand their intervals to
-	// this queue; its worker drains them under the checkpoint lock so
-	// commits never interleave with scrub or restart. An injected HNP
-	// crash mid-drain takes the whole coordinator down with it.
-	c.drainer = snapc.NewDrainer(c.snapcEnv, cfg.Params, &c.ckptMu)
+	// this queue; its workers drain them under the read side of the
+	// checkpoint lock, so commits never interleave with scrub or restart
+	// yet different jobs' lineages may drain concurrently. An injected
+	// HNP crash mid-drain takes the whole coordinator down with it.
+	c.drainer = snapc.NewDrainer(c.snapcEnv, cfg.Params, c.ckptMu.RLocker())
 	c.drainer.SetCrashHook(func(err error) { _ = c.CrashHNP(err) })
 
 	// Runtime entities: HNP plus one orted (local coordinator) per node.
@@ -282,6 +308,16 @@ func New(cfg Config) (*Cluster, error) {
 	c.hbInterval, c.hbMiss = hbInterval, hbMiss
 	c.lastBeat = make(map[string]time.Time, len(c.order))
 	c.daemons = make(map[string]names.Name, len(c.order))
+	c.daemonEPs = make(map[string]*rml.Endpoint, len(c.order))
+	// At control-plane scale, one goroutine + ticker per orted dominates
+	// scheduler load; the batched pump coalesces every live node's beacon
+	// into one RML message per interval. Auto-enabled at
+	// batchHeartbeatNodes; orted_heartbeat_batch forces it either way.
+	c.hbBatch = len(c.order) >= batchHeartbeatNodes
+	if s := cfg.Params.String("orted_heartbeat_batch", ""); s != "" {
+		c.hbBatch = cfg.Params.Bool("orted_heartbeat_batch", c.hbBatch)
+	}
+	c.pumpStop = make(chan struct{})
 	for i, nodeName := range c.order {
 		dn := names.Daemon(i)
 		ep, err := c.router.Register(dn)
@@ -289,14 +325,22 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 		c.daemons[nodeName] = dn
-		c.wg.Add(2)
+		c.daemonEPs[nodeName] = ep
+		c.wg.Add(1)
 		go func(nodeName string, ep *rml.Endpoint) {
 			defer c.wg.Done()
 			if err := c.snapcComp.ServeLocal(c.snapcEnv, nodeName, ep, c.resolveJob); err != nil {
 				c.ins.Emit("orted["+nodeName+"]", "orted.error", "%v", err)
 			}
 		}(nodeName, ep)
-		go c.heartbeatLoop(nodeName, ep, hbInterval, hbMiss, c.nodes[nodeName].stopHB)
+		if !c.hbBatch {
+			c.wg.Add(1)
+			go c.heartbeatLoop(nodeName, ep, hbInterval, hbMiss, c.nodes[nodeName].stopHB)
+		}
+	}
+	if c.hbBatch {
+		c.wg.Add(1)
+		go c.heartbeatPump(hbInterval)
 	}
 	c.wg.Add(1)
 	go c.monitorLoop(c.hnpEP, hbInterval, hbMiss)
@@ -335,17 +379,96 @@ func (c *Cluster) noteInterval(n snapc.IntervalNote) {
 	case "discarded":
 		c.ledgerAppend(ledger.TypeIntervalDiscarded, int(n.Job), ledger.IntervalEvent{Interval: n.Interval})
 	case "replicas", "stage-replicas":
+		c.replMu.Lock()
+		for _, node := range n.Nodes {
+			c.replCount[node]++
+		}
+		c.replMu.Unlock()
 		c.ledgerAppend(ledger.TypeReplicasPlaced, int(n.Job), ledger.ReplicasPlaced{Interval: n.Interval, Nodes: n.Nodes})
 	}
+}
+
+// replicaCandidates is the replica-spreading candidate list: the alive
+// nodes ordered by how many replicas each already holds (fewest first,
+// declaration order breaking ties). snapshot.PlaceReplicas preserves
+// relative candidate order within its off-job/on-job preference
+// classes, so under snapc_replica_spread the least-burdened eligible
+// node receives each new replica.
+func (c *Cluster) replicaCandidates() []string {
+	alive := c.AliveNodes()
+	c.replMu.Lock()
+	defer c.replMu.Unlock()
+	sort.SliceStable(alive, func(i, j int) bool {
+		return c.replCount[alive[i]] < c.replCount[alive[j]]
+	})
+	return alive
 }
 
 // Ledger exposes the HNP's durable job ledger (nil when disabled).
 func (c *Cluster) Ledger() *ledger.Ledger { return c.led }
 
-// heartbeat is the orted liveness beacon sent to the HNP.
+// heartbeat is the orted liveness beacon sent to the HNP. In batched
+// mode one wire message carries every live node's beacon in Batch and
+// the top-level fields are ignored.
 type heartbeat struct {
-	Node string `json:"node"`
-	Seq  int    `json:"seq"`
+	Node  string      `json:"node"`
+	Seq   int         `json:"seq"`
+	Batch []heartbeat `json:"batch,omitempty"`
+}
+
+// batchHeartbeatNodes is the cluster size at which the batched
+// heartbeat pump replaces per-orted beacon goroutines by default.
+const batchHeartbeatNodes = 128
+
+// heartbeatPump is the batched replacement for per-node heartbeatLoop
+// goroutines: a single ticker walks every live orted each interval,
+// fires its pending "node.kill:<node>" faults (so fault plans behave
+// identically in either mode), and coalesces the survivors' beacons
+// into one RML message sent from the first live node's daemon
+// endpoint. Send failures are tolerated quietly — a headless window or
+// transient transport fault must not silence healthy orteds, and the
+// HNP's detector owns the death declarations.
+func (c *Cluster) heartbeatPump(interval time.Duration) {
+	defer c.wg.Done()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	seq := make(map[string]int, len(c.order))
+	for {
+		select {
+		case <-c.pumpStop:
+			return
+		case <-tick.C:
+		}
+		var beats []heartbeat
+		var sender *rml.Endpoint
+		for _, node := range c.order {
+			if !c.Alive(node) {
+				continue
+			}
+			if err := c.faults.Fire("node.kill:" + node); err != nil {
+				c.ins.Emit("orted["+node+"]", "node.kill", "injected: %v", err)
+				_ = c.KillNode(node)
+				continue
+			}
+			seq[node]++
+			beats = append(beats, heartbeat{Node: node, Seq: seq[node]})
+			if sender == nil {
+				sender = c.daemonEPs[node]
+			}
+		}
+		if len(beats) == 0 {
+			// Every node is dead; nothing left to beat for.
+			return
+		}
+		if err := sender.SendJSON(names.HNP, rml.TagHeartbeat, heartbeat{Batch: beats}); err != nil {
+			c.mu.Lock()
+			stopping := c.stopped
+			c.mu.Unlock()
+			if stopping {
+				return
+			}
+		}
+	}
 }
 
 // heartbeatLoop is the orted's liveness beacon: a periodic message to the
@@ -446,6 +569,13 @@ func (c *Cluster) monitorLoop(ep *rml.Endpoint, interval time.Duration, miss int
 		_, err := ep.RecvJSONTimeout(rml.TagHeartbeat, &hb, interval)
 		now := time.Now()
 		switch {
+		case err == nil && len(hb.Batch) > 0:
+			c.hbMu.Lock()
+			for _, b := range hb.Batch {
+				lastSeen[b.Node] = now
+				c.lastBeat[b.Node] = now
+			}
+			c.hbMu.Unlock()
 		case err == nil:
 			lastSeen[hb.Node] = now
 			c.hbMu.Lock()
@@ -467,6 +597,31 @@ func (c *Cluster) monitorLoop(ep *rml.Endpoint, interval time.Duration, miss int
 		}
 		lastScan = now
 		cutoff := now.Add(-time.Duration(miss) * interval)
+		if c.hbBatch {
+			// In batch mode one message carries every live node's beat,
+			// so individual liveness is relative: a dead node is one
+			// missing from batches whose other members stayed fresh.
+			// Every node stale at once means no batch arrived at all —
+			// a descheduled pump under CPU oversubscription (thousands
+			// of rank goroutines at 1k+ nodes), not mass node death.
+			// Credit the unobservable window rather than declaring a
+			// healthy cluster dead.
+			fresh := false
+			for _, n := range c.order {
+				if !declared[n] && !lastSeen[n].Before(cutoff) {
+					fresh = true
+					break
+				}
+			}
+			if !fresh {
+				for n := range lastSeen {
+					if !declared[n] {
+						lastSeen[n] = now
+					}
+				}
+				continue
+			}
+		}
 		for _, n := range c.order {
 			if declared[n] || !lastSeen[n].Before(cutoff) {
 				continue
@@ -632,6 +787,7 @@ func (c *Cluster) Close() {
 	c.mu.Unlock()
 	drainer.Close()
 	_ = c.led.Flush() // nil-safe; land any buffered ledger records
+	c.pumpOnce.Do(func() { close(c.pumpStop) })
 	for _, n := range c.nodes {
 		n.stopHeartbeat()
 	}
@@ -650,6 +806,20 @@ func (c *Cluster) Drainer() *snapc.Drainer {
 
 // FlushDrains blocks until every enqueued interval has drained.
 func (c *Cluster) FlushDrains() { c.Drainer().Flush() }
+
+// SetJobDrainWeight sets a job's checkpoint-drain QoS weight: the SFQ
+// scheduler grants the job's lineage a weight-proportional share of
+// drain bandwidth when multiple jobs checkpoint concurrently. Weights
+// below 1 clamp to 1; the setting applies to intervals enqueued after
+// the call and survives until the HNP crashes (a reattached drain
+// engine starts from the per-job snapc_sched_weight parameters again).
+func (c *Cluster) SetJobDrainWeight(id names.JobID, weight int) {
+	c.Drainer().SetWeight(snapshot.GlobalDirName(int(id)), weight)
+}
+
+// SchedFlows exposes the drain scheduler's per-lineage state for the
+// control plane's sched op.
+func (c *Cluster) SchedFlows() []sched.FlowState { return c.Drainer().SchedFlows() }
 
 // hnpEndpoint returns the HNP's current RML endpoint (replaced by
 // Reattach after a crash).
@@ -678,16 +848,36 @@ func (c *Cluster) Nodes() []string {
 
 // NodeSpecs returns the launch specs of the surviving nodes: dead nodes
 // are excluded, so placement (including restart re-placement) only ever
-// targets live machines.
+// targets live machines. Each spec carries the node's current Load —
+// ranks of still-running jobs placed there — so the loadaware PLM
+// component can spread concurrent jobs across the cluster.
 func (c *Cluster) NodeSpecs() []plm.NodeSpec {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	jobs := make([]*Job, 0, len(c.jobs))
+	for _, j := range c.jobs {
+		jobs = append(jobs, j)
+	}
 	out := make([]plm.NodeSpec, 0, len(c.order))
 	for _, n := range c.order {
 		if !c.nodes[n].alive {
 			continue
 		}
 		out = append(out, plm.NodeSpec{Name: n, Slots: c.nodes[n].Slots})
+	}
+	c.mu.Unlock()
+	load := make(map[string]int)
+	for _, j := range jobs {
+		if j.Done() {
+			continue
+		}
+		j.mu.Lock()
+		for _, node := range j.placement {
+			load[node]++
+		}
+		j.mu.Unlock()
+	}
+	for i := range out {
+		out[i].Load = load[out[i].Name]
 	}
 	return out
 }

@@ -9,15 +9,31 @@
 // gather → commit → replicate half (DRAINING → COMMITTED) while the
 // next interval captures.
 //
-// Backpressure bounds the node-local stage: snapc_drain_queue caps the
-// in-flight intervals and snapc_stage_bytes_max caps their total
-// staged bytes; a capture that would exceed either blocks in Enqueue
-// (counted in ompi_snapc_captures_blocked_total and the blocked-time
-// histograms) until the worker catches up.
+// Backpressure bounds the node-local stage: snapc_drain_queue caps a
+// lineage's in-flight intervals and snapc_stage_bytes_max caps the
+// total staged bytes across all lineages; a capture that would exceed
+// either blocks in Enqueue (counted in
+// ompi_snapc_captures_blocked_total and the blocked-time histograms)
+// until the worker catches up. The count cap is deliberately
+// per-lineage: a storming job backpressures only itself, so a
+// high-priority neighbor is never blocked at admission behind another
+// job's backlog — only the staged-bytes cap, which models the shared
+// node-local staging resource, is global.
 //
-// The drain is FIFO and serialized on one worker deliberately: the
+// Scheduling (DESIGN.md §5f): intervals queue per lineage (one job's
+// global snapshot directory) and drain under a start-time fair queuing
+// discipline (internal/orte/sched). Within a lineage the drain stays
+// strictly FIFO and at most one interval is in service — the
 // content-addressed dedup baseline of interval N+1 is interval N's
-// committed manifest, so commits must land in capture order.
+// committed manifest, so commits must land in capture order. Across
+// lineages, snapc_drain_workers (default 1) sets how many drains run
+// concurrently and each lineage's QoS weight (snapc_sched_weight, or
+// SetWeight) sets its share of stable-store ingress, so one job's
+// checkpoint storm cannot starve a high-priority neighbor. The same
+// weighted-fair discipline optionally gates the capture phase itself
+// (snapc_capture_gate): simultaneous quiesce fan-outs from many jobs
+// contend for the control network and the nodes, and the gate keeps
+// that contention off a high-priority job's capture latency.
 //
 // Degraded mode (DESIGN.md §5e): stable storage can suffer a transient
 // outage ("fs.outage:stable"). Outage-classified drain failures do NOT
@@ -47,6 +63,7 @@ import (
 	"repro/internal/ompi"
 	"repro/internal/orte/filem"
 	"repro/internal/orte/names"
+	"repro/internal/orte/sched"
 	"repro/internal/vfs"
 )
 
@@ -103,17 +120,39 @@ func (p *Pending) Done() bool {
 }
 
 // Drainer is the bounded background drain queue: one per cluster,
-// shared by every job. A single worker goroutine pops intervals FIFO
-// and runs Drain under the cluster's checkpoint lock.
+// shared by every job. Worker goroutines (snapc_drain_workers, default
+// 1) pop intervals in weighted-fair order — strict FIFO within a
+// lineage — and run Drain under the cluster's checkpoint lock.
 type Drainer struct {
 	env *Env
 	// Lock, when set, is held around each background drain. The runtime
-	// passes its checkpoint mutex so drains serialize against scrub and
-	// restart exactly as synchronous checkpoints did.
+	// passes the read side of its checkpoint lock so drains serialize
+	// against scrub and restart exactly as synchronous checkpoints did,
+	// while drains of different lineages may proceed concurrently.
 	lock sync.Locker
 
-	maxQueue int   // snapc_drain_queue: max in-flight intervals
-	maxBytes int64 // snapc_stage_bytes_max: staged-bytes cap (0 = unlimited)
+	maxQueue int   // snapc_drain_queue: max in-flight intervals per lineage
+	maxBytes int64 // snapc_stage_bytes_max: global staged-bytes cap (0 = unlimited)
+	workers  int   // snapc_drain_workers: concurrent drain goroutines
+
+	// Capture gate: snapc_capture_gate bounds how many jobs may run the
+	// synchronous capture phase (quiesce → capture) at once, with slots
+	// granted in the same weighted-fair order the drain queue uses. A
+	// checkpoint storm contends for more than stable-store ingress —
+	// simultaneous quiesce fan-outs load the control network and the
+	// nodes themselves — and without a gate that contention lands on
+	// the one latency a high-priority job actually feels, its capture.
+	// 0 (the default) leaves capture admission unlimited.
+	// The one express slot on top of the gate is low-latency queuing
+	// (LLQ): a waiter whose weight strictly exceeds every in-service
+	// capture's may overflow the gate by one slot, so a high-priority
+	// job's capture never sits behind a full house of best-effort ones.
+	// Strict inequality bounds the overdraft — equal-weight waiters
+	// queue fairly rather than cascading through the express slot.
+	captureGate int
+	capQ        *sched.Queue
+	capBusy     int            // capture slots in service (incl. express)
+	capWeights  map[string]int // in-service capture weight by lineage
 
 	outageThreshold int           // snapc_store_outage_threshold
 	retryBackoff    time.Duration // snapc_store_retry_backoff: first catch-up delay
@@ -122,9 +161,11 @@ type Drainer struct {
 
 	mu        sync.Mutex
 	cond      *sync.Cond
-	queue     []*drainItem
-	inflight  int   // queued + actively draining
-	staged    int64 // staged bytes across in-flight intervals
+	sq        *sched.Queue   // weighted-fair queue of *drainItem, keyed by lineage
+	perJobQ   map[string]int // per-lineage in-flight counts, for the admission cap
+	weights   map[string]int // explicit per-lineage QoS weight overrides (SetWeight)
+	inflight  int            // queued + actively draining
+	staged    int64          // staged bytes across in-flight intervals
 	closed    bool
 	crashed   bool        // the HNP died; see Crash
 	crashHook func(error) // invoked when an hnp.crash fault fires mid-drain
@@ -165,25 +206,36 @@ const DefaultDrainQueue = 4
 const DefaultOutageThreshold = 2
 
 // NewDrainer builds the drain engine from the cluster's MCA
-// parameters (snapc_drain_queue, snapc_stage_bytes_max, and the
+// parameters (snapc_drain_queue, snapc_stage_bytes_max,
+// snapc_drain_workers, snapc_capture_gate, and the
 // degraded-mode knobs snapc_store_outage_threshold,
 // snapc_store_retry_backoff, snapc_store_retry_max,
-// snapc_stage_replicas) and starts its worker. lock may be nil.
+// snapc_stage_replicas) and starts its workers. lock may be nil.
 func NewDrainer(env *Env, params *mca.Params, lock sync.Locker) *Drainer {
 	d := &Drainer{
 		env:             env,
 		lock:            lock,
 		maxQueue:        params.Int("snapc_drain_queue", DefaultDrainQueue),
 		maxBytes:        params.Bytes("snapc_stage_bytes_max", 0),
+		workers:         params.Int("snapc_drain_workers", 1),
+		captureGate:     params.Int("snapc_capture_gate", 0),
+		capQ:            sched.New(),
+		capWeights:      make(map[string]int),
 		outageThreshold: params.Int("snapc_store_outage_threshold", DefaultOutageThreshold),
 		retryBackoff:    params.Duration("snapc_store_retry_backoff", 5*time.Millisecond),
 		retryMax:        params.Duration("snapc_store_retry_max", 250*time.Millisecond),
 		stageReplicas:   params.Int("snapc_stage_replicas", 1),
+		sq:              sched.New(),
+		perJobQ:         make(map[string]int),
+		weights:         make(map[string]int),
 		journals:        make(map[string]*snapshot.Journal),
 		backlog:         make(map[string][]snapshot.JournalEntry),
 	}
 	if d.maxQueue < 1 {
 		d.maxQueue = 1
+	}
+	if d.workers < 1 {
+		d.workers = 1
 	}
 	if d.outageThreshold < 1 {
 		d.outageThreshold = 1
@@ -195,10 +247,140 @@ func NewDrainer(env *Env, params *mca.Params, lock sync.Locker) *Drainer {
 		d.retryMax = d.retryBackoff
 	}
 	d.cond = sync.NewCond(&d.mu)
-	d.workerWG.Add(1)
-	go d.worker()
+	d.workerWG.Add(d.workers)
+	for i := 0; i < d.workers; i++ {
+		go d.worker()
+	}
 	return d
 }
+
+// SetWeight pins a lineage's QoS weight, overriding the job's
+// snapc_sched_weight parameter for intervals enqueued afterwards.
+func (d *Drainer) SetWeight(globalDir string, w int) {
+	if w < 1 {
+		w = 1
+	}
+	d.mu.Lock()
+	d.weights[globalDir] = w
+	d.mu.Unlock()
+}
+
+// weightFor resolves a lineage's QoS weight (with d.mu held): an
+// explicit SetWeight override wins, then the job's snapc_sched_weight
+// parameter, then 1.
+func (d *Drainer) weightFor(globalDir string, job JobView) int {
+	if w, ok := d.weights[globalDir]; ok {
+		return w
+	}
+	if w := job.Params().Int("snapc_sched_weight", 1); w > 1 {
+		return w
+	}
+	return 1
+}
+
+// captureGrant is one waiter's slot in the capture gate.
+type captureGrant struct{ granted bool }
+
+// AcquireCapture blocks until the lineage holds a capture-gate slot,
+// granted in weighted-fair order (same discipline and weights as the
+// drain queue) with one express slot for a strictly-higher-weight
+// waiter. A no-op when snapc_capture_gate is 0. Every successful
+// acquire must be paired with ReleaseCapture once the capture phase
+// ends, success or not.
+func (d *Drainer) AcquireCapture(globalDir string, job JobView) error {
+	if d.captureGate <= 0 {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	g := &captureGrant{}
+	d.capQ.Push(sched.Item{Key: globalDir, Cost: 1, Weight: d.weightFor(globalDir, job), Payload: g})
+	d.grantCapturesLocked()
+	waited := time.Time{}
+	for !g.granted && !d.closed && !d.crashed {
+		if waited.IsZero() {
+			waited = time.Now()
+			d.env.Ins.Counter("ompi_snapc_capture_gate_waits_total").Inc()
+		}
+		d.cond.Wait()
+	}
+	if !waited.IsZero() {
+		d.env.Ins.ObserveSeconds("ompi_snapc_capture_gate_wait_seconds", time.Since(waited))
+	}
+	switch {
+	case g.granted:
+		return nil
+	case d.crashed:
+		return fmt.Errorf("%w; capture gate abandoned", ErrHNPDown)
+	default:
+		return fmt.Errorf("snapc: drainer closed; capture gate abandoned")
+	}
+}
+
+// ReleaseCapture returns the lineage's capture-gate slot and grants
+// freed slots to waiters. A no-op when snapc_capture_gate is 0.
+func (d *Drainer) ReleaseCapture(globalDir string) {
+	if d.captureGate <= 0 {
+		return
+	}
+	d.mu.Lock()
+	d.capBusy--
+	delete(d.capWeights, globalDir)
+	d.capQ.Done(globalDir)
+	d.grantCapturesLocked()
+	d.cond.Broadcast()
+	d.mu.Unlock()
+}
+
+// grantCapturesLocked fills free capture slots in weighted-fair order,
+// then lets a strictly-higher-weight waiter into the express slot
+// (with d.mu held), waking the granted waiters.
+func (d *Drainer) grantCapturesLocked() {
+	granted := false
+	grant := func(it sched.Item) {
+		it.Payload.(*captureGrant).granted = true
+		d.capWeights[it.Key] = it.Weight
+		d.capBusy++
+		granted = true
+	}
+	for d.capBusy < d.captureGate {
+		it, ok := d.capQ.Pop()
+		if !ok {
+			break
+		}
+		grant(it)
+	}
+	if d.capBusy == d.captureGate {
+		if it, ok := d.capQ.ExpressPop(maxWeight(d.capWeights)); ok {
+			grant(it)
+		}
+	}
+	if granted {
+		d.cond.Broadcast()
+	}
+}
+
+// maxWeight returns the largest in-service capture weight (0 if none).
+func maxWeight(ws map[string]int) int {
+	m := 0
+	for _, w := range ws {
+		if w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// SchedFlows snapshots the scheduler's per-lineage state for the
+// control plane's "sched" view.
+func (d *Drainer) SchedFlows() []sched.FlowState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.sq.Flows()
+}
+
+// Workers reports the drain concurrency.
+func (d *Drainer) Workers() int { return d.workers }
 
 // SetCrashHook installs the callback invoked (on its own goroutine)
 // when an "hnp.crash:mid-drain" fault fires: the runtime passes its
@@ -276,8 +458,9 @@ func (d *Drainer) Enqueue(cpt *Captured) (*Pending, error) {
 	ins := d.env.Ins
 
 	d.mu.Lock()
+	key := cpt.GlobalDir
 	blockStart := time.Time{}
-	for !d.closed && !d.crashed && d.full(cpt.StagedBytes) {
+	for !d.closed && !d.crashed && d.full(cpt.StagedBytes, key) {
 		if blockStart.IsZero() {
 			blockStart = time.Now()
 			ins.Counter("ompi_snapc_captures_blocked_total").Inc()
@@ -304,7 +487,12 @@ func (d *Drainer) Enqueue(cpt *Captured) (*Pending, error) {
 	ins.ObserveSeconds("ompi_snapc_blocked_seconds", time.Duration(cpt.BlockedNS))
 	cpt.EnqueuedAt = time.Now()
 	p := &Pending{Interval: cpt.Interval, done: make(chan struct{})}
-	d.queue = append(d.queue, &drainItem{cpt: cpt, pending: p})
+	d.sq.Push(sched.Item{
+		Key: key, Cost: cpt.StagedBytes,
+		Weight:  d.weightFor(key, cpt.Job),
+		Payload: &drainItem{cpt: cpt, pending: p},
+	})
+	d.perJobQ[key]++
 	d.inflight++
 	d.staged += cpt.StagedBytes
 	ins.Gauge("ompi_snapc_drain_queue_depth").Set(float64(d.inflight))
@@ -314,11 +502,13 @@ func (d *Drainer) Enqueue(cpt *Captured) (*Pending, error) {
 }
 
 // full reports (with d.mu held) whether admitting another interval of
-// addBytes staged bytes would exceed a backpressure cap. An oversized
-// single interval is admitted once the queue is empty — blocking it
-// forever would deadlock the capture path.
-func (d *Drainer) full(addBytes int64) bool {
-	if d.inflight >= d.maxQueue {
+// addBytes staged bytes for lineage key would exceed a backpressure
+// cap: the per-lineage count cap (a storm backpressures only its own
+// job) or the global staged-bytes cap (the shared staging resource).
+// An oversized single interval is admitted once the queue is empty —
+// blocking it forever would deadlock the capture path.
+func (d *Drainer) full(addBytes int64, key string) bool {
+	if d.perJobQ[key] >= d.maxQueue {
 		return true
 	}
 	if d.maxBytes > 0 && d.inflight > 0 && d.staged+addBytes > d.maxBytes {
@@ -327,24 +517,31 @@ func (d *Drainer) full(addBytes int64) bool {
 	return false
 }
 
-// worker is the single background drain loop: pop FIFO, drain, journal,
-// deliver. While the store is DEGRADED it parks intervals without
-// touching stable storage; an outage-classified drain failure parks the
-// interval too — in both cases the ticket resolves with
-// ErrStoreDegraded, a degraded success.
+// worker is one background drain loop: pop the weighted-fair queue,
+// drain, journal, deliver. While the store is DEGRADED it parks
+// intervals without touching stable storage; an outage-classified drain
+// failure parks the interval too — in both cases the ticket resolves
+// with ErrStoreDegraded, a degraded success.
 func (d *Drainer) worker() {
 	defer d.workerWG.Done()
 	for {
 		d.mu.Lock()
-		for len(d.queue) == 0 && !d.closed && !d.crashed {
+		var it *drainItem
+		var key string
+		for {
+			if item, ok := d.sq.Pop(); ok {
+				it, key = item.Payload.(*drainItem), item.Key
+				break
+			}
+			// Nothing eligible: either the queue is empty, or every
+			// backlogged lineage has an interval in service on another
+			// worker (which will Done + broadcast).
+			if d.sq.Len() == 0 && (d.closed || d.crashed) {
+				d.mu.Unlock()
+				return
+			}
 			d.cond.Wait()
 		}
-		if len(d.queue) == 0 {
-			d.mu.Unlock()
-			return // closed or crashed, queue drained
-		}
-		it := d.queue[0]
-		d.queue = d.queue[1:]
 		degraded, crashed := d.degraded, d.crashed
 		d.mu.Unlock()
 
@@ -368,15 +565,26 @@ func (d *Drainer) worker() {
 		}
 
 		d.mu.Lock()
-		d.inflight--
-		d.staged -= it.cpt.StagedBytes
-		d.env.Ins.Gauge("ompi_snapc_drain_queue_depth").Set(float64(d.inflight))
-		d.cond.Broadcast()
+		d.sq.Done(key)
+		d.finishLocked(it)
 		d.mu.Unlock()
 
 		it.pending.res, it.pending.err = res, err
 		close(it.pending.done)
 	}
+}
+
+// finishLocked releases one in-flight interval's admission accounting
+// (with d.mu held) and wakes blocked enqueuers and idle workers.
+func (d *Drainer) finishLocked(it *drainItem) {
+	key := it.cpt.GlobalDir
+	d.inflight--
+	d.staged -= it.cpt.StagedBytes
+	if d.perJobQ[key]--; d.perJobQ[key] <= 0 {
+		delete(d.perJobQ, key)
+	}
+	d.env.Ins.Gauge("ompi_snapc_drain_queue_depth").Set(float64(d.inflight))
+	d.cond.Broadcast()
 }
 
 // drainOne runs one interval's gather → commit → replicate under the
@@ -744,11 +952,17 @@ func (d *Drainer) Crash(cause error) {
 		return
 	}
 	d.crashed = true
-	dropped := d.queue
-	d.queue = nil
-	d.inflight -= len(dropped)
-	for _, it := range dropped {
+	items := d.sq.DrainAll()
+	dropped := make([]*drainItem, 0, len(items))
+	for _, item := range items {
+		it := item.Payload.(*drainItem)
+		dropped = append(dropped, it)
+		d.inflight--
 		d.staged -= it.cpt.StagedBytes
+		key := it.cpt.GlobalDir
+		if d.perJobQ[key]--; d.perJobQ[key] <= 0 {
+			delete(d.perJobQ, key)
+		}
 	}
 	d.cond.Broadcast()
 	d.mu.Unlock()

@@ -472,3 +472,66 @@ func TestDrainFailureDiscardsInJournal(t *testing.T) {
 		t.Fatalf("Recover after discard = %+v, %v", rep, err)
 	}
 }
+
+// The capture gate: with one slot, a second lineage's capture waits for
+// release — but a strictly-higher-weight lineage rides the express slot
+// through a full gate, and an equal-weight one does not.
+func TestCaptureGateWeightedAdmissionAndExpressSlot(t *testing.T) {
+	h := newHarness(t, 4)
+	d := NewDrainer(h.env, drainParams("snapc_capture_gate", "1"), nil)
+	defer d.Close()
+	d.SetWeight("A", 1)
+	d.SetWeight("B", 1)
+	d.SetWeight("C", 8)
+
+	// A takes the only slot.
+	if err := d.AcquireCapture("A", h.job); err != nil {
+		t.Fatal(err)
+	}
+
+	// B (equal weight) must wait.
+	bDone := make(chan error, 1)
+	go func() { bDone <- d.AcquireCapture("B", h.job) }()
+	select {
+	case <-bDone:
+		t.Fatal("equal-weight capture admitted through a full gate")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// C (strictly higher weight) rides the express slot immediately,
+	// even with B already queued.
+	cDone := make(chan error, 1)
+	go func() { cDone <- d.AcquireCapture("C", h.job) }()
+	select {
+	case err := <-cDone:
+		if err != nil {
+			t.Fatalf("express acquire: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("higher-weight capture stuck behind a full gate")
+	}
+
+	// B is still gated: the express slot is an overdraft, not capacity.
+	select {
+	case <-bDone:
+		t.Fatal("equal-weight capture admitted while gate over capacity")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// Releases hand B the slot.
+	d.ReleaseCapture("C")
+	d.ReleaseCapture("A")
+	if err := <-bDone; err != nil {
+		t.Fatalf("queued acquire after release: %v", err)
+	}
+	d.ReleaseCapture("B")
+
+	// An unlimited gate (the default) is a no-op.
+	d2 := NewDrainer(h.env, drainParams(), nil)
+	defer d2.Close()
+	for i := 0; i < 8; i++ {
+		if err := d2.AcquireCapture("A", h.job); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -25,12 +25,15 @@
 package snapc
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"path"
+	"sync"
 	"time"
 
 	"repro/internal/core/snapshot"
+	"repro/internal/errdef"
 	"repro/internal/faultsim"
 	"repro/internal/mca"
 	"repro/internal/ompi"
@@ -46,25 +49,25 @@ const FrameworkName = "snapc"
 
 // ErrNotCheckpointable reports that a target process opted out of
 // checkpointing, failing the whole request before any process acted.
-var ErrNotCheckpointable = errors.New("snapc: process is not checkpointable")
+var ErrNotCheckpointable = errdef.ErrNotCheckpointable
 
 // ErrHNPCrashed marks an operation cut short because the HNP itself
 // died mid-flight (the "hnp.crash:<when>" fault class). Unlike an
 // ordinary failure the interval is NOT aborted: the orteds seal their
 // local stages autonomously, and a later reattach rebuilds the drain
 // state from the stage markers and the journal.
-var ErrHNPCrashed = errors.New("snapc: HNP crashed")
+var ErrHNPCrashed = errdef.ErrHNPCrashed
 
 // ErrHNPDown rejects control-plane operations while the HNP is dead
 // (headless window between a crash and a reattach).
-var ErrHNPDown = errors.New("snapc: HNP is down")
+var ErrHNPDown = errdef.ErrHNPDown
 
 // ErrStoreDegraded reports a checkpoint that succeeded at the
 // local-stage level but could not reach stable storage: the store is in
 // a DEGRADED window, the interval is sealed node-local and parked, and
 // the catch-up drainer will commit it when the store returns. It is a
 // degraded success, not a failure — no checkpoint data was lost.
-var ErrStoreDegraded = errors.New("snapc: stable store degraded; interval parked node-local")
+var ErrStoreDegraded = errdef.ErrStoreDegraded
 
 // JobView is the coordinator's window onto a running job.
 type JobView interface {
@@ -273,6 +276,22 @@ type localAck struct {
 	Err      string       `json:"err,omitempty"`
 }
 
+// ackForJob matches TagSnapcAck traffic belonging to one job, by
+// decoding just the job field of the payload. Undecodable messages
+// match too, so a corrupt ack surfaces as an error in the receiver
+// instead of rotting in the mailbox.
+func ackForJob(job names.JobID) func(rml.Message) bool {
+	return func(m rml.Message) bool {
+		var hdr struct {
+			Job int `json:"job"`
+		}
+		if err := json.Unmarshal(m.Data, &hdr); err != nil {
+			return true
+		}
+		return hdr.Job == int(job)
+	}
+}
+
 // Full is the centralized snapshot coordinator component.
 type Full struct{}
 
@@ -334,17 +353,15 @@ func (f *Full) Capture(env *Env, job JobView, hnp *rml.Endpoint, daemons map[str
 		byNode[n] = append(byNode[n], v)
 	}
 	base := localBaseDir(job.JobID(), interval)
-	ordered := 0
+	// Resolve every node's local coordinator before ordering any, so a
+	// missing daemon fails the request with no debris to sweep, then fan
+	// the orders out as one batch: at thousand-node scale the per-node
+	// SendJSON loop was 2N router-lock acquisitions on the hot path.
+	batch := make([]rml.Outgoing, 0, len(byNode))
 	for node, vpids := range byNode {
 		daemon, ok := daemons[node]
 		if !ok {
 			err := fmt.Errorf("snapc: no local coordinator on node %q", node)
-			if ordered > 0 {
-				// Nodes ordered before the failure are already capturing:
-				// abort the interval so their debris is swept rather than
-				// abandoned mid-flight.
-				abortInterval(env, job, byNode, globalDir, interval, err)
-			}
 			csp.End(err)
 			return nil, err
 		}
@@ -352,14 +369,19 @@ func (f *Full) Capture(env *Env, job JobView, hnp *rml.Endpoint, daemons map[str
 			Job: int(job.JobID()), Interval: interval,
 			Vpids: vpids, BaseDir: base, Terminate: opts.Terminate,
 		}
-		if err := hnp.SendJSON(daemon, rml.TagSnapcRequest, req); err != nil {
-			if ordered > 0 {
-				abortInterval(env, job, byNode, globalDir, interval, err)
-			}
+		out, err := rml.JSONOutgoing(daemon, rml.TagSnapcRequest, req)
+		if err != nil {
 			csp.End(err)
-			return nil, fmt.Errorf("snapc: order node %q: %w", node, err)
+			return nil, err
 		}
-		ordered++
+		batch = append(batch, out)
+	}
+	if err := hnp.SendBatch(batch); err != nil {
+		// Some orders may already be out: abort the interval so their
+		// debris is swept rather than abandoned mid-flight.
+		abortInterval(env, job, byNode, globalDir, interval, err)
+		csp.End(err)
+		return nil, fmt.Errorf("snapc: order local coordinators: %w", err)
 	}
 
 	// HNP-crash edge: the coordinator dies after ordering the quiesce
@@ -390,11 +412,20 @@ func (f *Full) Capture(env *Env, job JobView, hnp *rml.Endpoint, daemons map[str
 			csp.End(err)
 			return nil, err
 		}
-		var ack localAck
-		if _, err := hnp.RecvJSONTimeout(rml.TagSnapcAck, &ack, remaining); err != nil {
+		// Match only this job's acks: concurrent captures by other jobs
+		// share the HNP mailbox, and taking their acks here would wedge
+		// both coordinators.
+		m, err := hnp.RecvWhere(rml.TagSnapcAck, ackForJob(job.JobID()), remaining)
+		if err != nil {
 			abortInterval(env, job, byNode, globalDir, interval, err)
 			csp.End(err)
 			return nil, fmt.Errorf("snapc: waiting for local coordinators: %w", err)
+		}
+		var ack localAck
+		if err := json.Unmarshal(m.Data, &ack); err != nil {
+			abortInterval(env, job, byNode, globalDir, interval, err)
+			csp.End(err)
+			return nil, fmt.Errorf("snapc: decode ack from %v: %w", m.From, err)
 		}
 		// Discard stale acks from earlier (aborted or timed-out)
 		// intervals: without this match, a late ack would be
@@ -456,8 +487,9 @@ func newCaptured(job JobView, globalDir string, interval int, opts Options,
 	return cap
 }
 
-// errAborted tags checkpoint failures that aborted the interval.
-var errAborted = errors.New("snapc: interval aborted:")
+// errAborted tags checkpoint failures that aborted the interval. It is
+// exported through the shared taxonomy as errdef.ErrIntervalAborted.
+var errAborted = errdef.ErrIntervalAborted
 
 func ackTimeout(env *Env) time.Duration {
 	if env.AckTimeout > 0 {
@@ -813,8 +845,15 @@ func replicateInterval(env *Env, ref snapshot.GlobalRef, globalDir string, inter
 }
 
 // ServeLocal implements Component: the local coordinator loop for one
-// node's orted.
+// node's orted. Each request is handled on its own goroutine: with
+// several jobs sharing a node, one job's capture must not queue behind
+// another's quiesce — per-job ordering is already enforced upstream by
+// the per-job capture lock, so concurrent requests here always belong
+// to different jobs (or different intervals of an aborted one, which
+// the stale-ack matching on the HNP side discards).
 func (f *Full) ServeLocal(env *Env, node string, ep *rml.Endpoint, resolve func(names.JobID) (JobView, error)) error {
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
 	for {
 		var req localRequest
 		from, err := ep.RecvJSON(rml.TagSnapcRequest, &req)
@@ -824,17 +863,21 @@ func (f *Full) ServeLocal(env *Env, node string, ep *rml.Endpoint, resolve func(
 			}
 			return fmt.Errorf("snapc local[%s]: %w", node, err)
 		}
-		ack := f.handleLocal(env, node, req, resolve)
-		if err := ep.SendJSON(from, rml.TagSnapcAck, ack); err != nil {
-			// The global coordinator vanished between the order and the
-			// ack — the HNP crashed mid-quiesce. The node's share of the
-			// interval is already sealed under its LOCAL_COMMITTED
-			// marker; keep serving so the reattached HNP finds a live
-			// local coordinator, not a dead loop.
-			env.Ins.Counter("ompi_snapc_orphaned_acks_total").Inc()
-			env.Ins.Emit("snapc.local["+node+"]", "ckpt.ack-orphaned",
-				"interval %d ack undeliverable (HNP down?): %v", req.Interval, err)
-		}
+		handlers.Add(1)
+		go func(from names.Name, req localRequest) {
+			defer handlers.Done()
+			ack := f.handleLocal(env, node, req, resolve)
+			if err := ep.SendJSON(from, rml.TagSnapcAck, ack); err != nil {
+				// The global coordinator vanished between the order and the
+				// ack — the HNP crashed mid-quiesce. The node's share of the
+				// interval is already sealed under its LOCAL_COMMITTED
+				// marker; keep serving so the reattached HNP finds a live
+				// local coordinator, not a dead loop.
+				env.Ins.Counter("ompi_snapc_orphaned_acks_total").Inc()
+				env.Ins.Emit("snapc.local["+node+"]", "ckpt.ack-orphaned",
+					"interval %d ack undeliverable (HNP down?): %v", req.Interval, err)
+			}
+		}(from, req)
 	}
 }
 

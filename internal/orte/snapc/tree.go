@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/orte/names"
@@ -15,10 +16,13 @@ import (
 // technique the paper's framework design explicitly anticipates
 // ("initiating multiple local checkpoints concurrently in a hierarchal
 // tree structure", §5.1). Instead of the HNP messaging every node's
-// local coordinator directly, the request descends a binomial-ish
-// binary tree of daemons and the acknowledgements aggregate back up:
-// the HNP exchanges exactly two messages per checkpoint regardless of
-// node count, trading fan-out load at the root for tree depth.
+// local coordinator directly, the request descends a k-ary tree of
+// daemons and the acknowledgements aggregate back up: the HNP exchanges
+// exactly two messages per checkpoint regardless of node count, trading
+// fan-out load at the root for tree depth. The arity comes from the
+// snapc_tree_fanout parameter (default 2); at 1k+ nodes a wider tree
+// (8–16) keeps the depth at 3–4 levels while still bounding any one
+// daemon's relay load.
 //
 // The FILEM aggregation and metadata steps are identical to the full
 // component — only the coordination topology changes, which is exactly
@@ -33,20 +37,24 @@ func (*Tree) Priority() int { return 10 }
 
 // treeRequest descends the daemon tree. Nodes is the ordered list of
 // involved nodes (the tree's vertex numbering); each orted finds its own
-// index, relays to children 2i+1 and 2i+2, handles its local ranks, and
-// aggregates its subtree's results.
+// index i, relays to children k·i+1 … k·i+k, handles its local ranks,
+// and aggregates its subtree's results.
 type treeRequest struct {
-	Job       int              `json:"job"`
-	Interval  int              `json:"interval"`
-	BaseDir   string           `json:"base_dir"`
-	Terminate bool             `json:"terminate"`
-	Nodes     []string         `json:"nodes"`
-	Vpids     map[string][]int `json:"vpids"` // node -> ranks
-	Daemons   map[string]struct {
-		Job  int `json:"job"`
-		Vpid int `json:"vpid"`
-	} `json:"daemons"` // node -> daemon RML name
-	SelfIndex int `json:"self_index"` // receiver's position in Nodes
+	Job       int                   `json:"job"`
+	Interval  int                   `json:"interval"`
+	BaseDir   string                `json:"base_dir"`
+	Terminate bool                  `json:"terminate"`
+	Nodes     []string              `json:"nodes"`
+	Vpids     map[string][]int      `json:"vpids"`      // node -> ranks
+	Daemons   map[string]treeDaemon `json:"daemons"`    // node -> daemon RML name
+	SelfIndex int                   `json:"self_index"` // receiver's position in Nodes
+	Fanout    int                   `json:"fanout"`     // tree arity k (>= 2)
+}
+
+// treeDaemon is a daemon RML name in wire form.
+type treeDaemon struct {
+	Job  int `json:"job"`
+	Vpid int `json:"vpid"`
 }
 
 func (r *treeRequest) daemonName(node string) (names.Name, bool) {
@@ -94,10 +102,7 @@ func (t *Tree) Capture(env *Env, job JobView, hnp *rml.Endpoint, daemons map[str
 		Job: int(job.JobID()), Interval: interval,
 		BaseDir: localBaseDir(job.JobID(), interval), Terminate: opts.Terminate,
 		Nodes: nodes, Vpids: byNode,
-		Daemons: make(map[string]struct {
-			Job  int `json:"job"`
-			Vpid int `json:"vpid"`
-		}, len(nodes)),
+		Daemons: make(map[string]treeDaemon, len(nodes)),
 	}
 	for _, n := range nodes {
 		dn, ok := daemons[n]
@@ -106,14 +111,15 @@ func (t *Tree) Capture(env *Env, job JobView, hnp *rml.Endpoint, daemons map[str
 			csp.End(err)
 			return nil, err
 		}
-		req.Daemons[n] = struct {
-			Job  int `json:"job"`
-			Vpid int `json:"vpid"`
-		}{Job: int(dn.Job), Vpid: int(dn.Vpid)}
+		req.Daemons[n] = treeDaemon{Job: int(dn.Job), Vpid: int(dn.Vpid)}
 	}
 	// One message down to the root of the tree...
 	rootDaemon, _ := req.daemonName(nodes[0])
 	req.SelfIndex = 0
+	req.Fanout = job.Params().Int("snapc_tree_fanout", 2)
+	if req.Fanout < 2 {
+		req.Fanout = 2
+	}
 	if err := hnp.SendJSON(rootDaemon, rml.TagSnapcRequest, req); err != nil {
 		csp.End(err)
 		return nil, fmt.Errorf("snapc tree: order root %q: %w", nodes[0], err)
@@ -132,10 +138,18 @@ func (t *Tree) Capture(env *Env, job JobView, hnp *rml.Endpoint, daemons map[str
 			csp.End(err)
 			return nil, err
 		}
-		if _, err := hnp.RecvJSONTimeout(rml.TagSnapcAck, &ack, remaining); err != nil {
+		// Job-matched receive: concurrent captures by other jobs share
+		// the HNP mailbox (see Full.Capture).
+		m, err := hnp.RecvWhere(rml.TagSnapcAck, ackForJob(job.JobID()), remaining)
+		if err != nil {
 			abortInterval(env, job, byNode, globalDir, interval, err)
 			csp.End(err)
 			return nil, fmt.Errorf("snapc tree: waiting for aggregated ack: %w", err)
+		}
+		if err := json.Unmarshal(m.Data, &ack); err != nil {
+			abortInterval(env, job, byNode, globalDir, interval, err)
+			csp.End(err)
+			return nil, fmt.Errorf("snapc tree: decode ack from %v: %w", m.From, err)
 		}
 		if ack.Job != int(job.JobID()) || ack.Interval != interval {
 			log.Emit("snapc.global", "ckpt.stale-ack", "discarding ack for job %d interval %d (running interval %d)",
@@ -173,9 +187,15 @@ func (t *Tree) Capture(env *Env, job JobView, hnp *rml.Endpoint, daemons map[str
 }
 
 // ServeLocal implements Component: relay down, handle locally, aggregate
-// up.
+// up. Like Full.ServeLocal, each request runs on its own goroutine so
+// concurrent jobs' subtrees interleave on a shared node instead of
+// queueing; a subtree handler's child-ack collection matches on
+// (child, job, interval), so interleaved aggregations never steal each
+// other's traffic.
 func (t *Tree) ServeLocal(env *Env, node string, ep *rml.Endpoint, resolve func(names.JobID) (JobView, error)) error {
 	full := &Full{} // reuse the per-node checkpoint core
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
 	for {
 		var req treeRequest
 		from, err := ep.RecvJSON(rml.TagSnapcRequest, &req)
@@ -185,10 +205,19 @@ func (t *Tree) ServeLocal(env *Env, node string, ep *rml.Endpoint, resolve func(
 			}
 			return fmt.Errorf("snapc tree local[%s]: %w", node, err)
 		}
-		ack := t.handleSubtree(env, node, ep, req, full, resolve)
-		if err := ep.SendJSON(from, rml.TagSnapcAck, ack); err != nil {
-			return fmt.Errorf("snapc tree local[%s]: ack: %w", node, err)
-		}
+		handlers.Add(1)
+		go func(from names.Name, req treeRequest) {
+			defer handlers.Done()
+			ack := t.handleSubtree(env, node, ep, req, full, resolve)
+			if err := ep.SendJSON(from, rml.TagSnapcAck, ack); err != nil {
+				// Parent (or HNP) vanished mid-interval: same orphaned-ack
+				// tolerance as the full component — the subtree's stages
+				// are sealed, keep serving for the reattach.
+				env.Ins.Counter("ompi_snapc_orphaned_acks_total").Inc()
+				env.Ins.Emit("snapc.local["+node+"]", "ckpt.ack-orphaned",
+					"interval %d aggregated ack undeliverable: %v", req.Interval, err)
+			}
+		}(from, req)
 	}
 }
 
@@ -203,25 +232,32 @@ func (t *Tree) handleSubtree(env *Env, node string, ep *rml.Endpoint, req treeRe
 		return ack
 	}
 	// Relay to children first so subtrees work concurrently with our
-	// own local checkpoints.
+	// own local checkpoints. The relays go out as one batch: an interior
+	// vertex of a wide tree orders up to k children at once.
+	fanout := req.Fanout
+	if fanout < 2 {
+		fanout = 2 // requests from older coordinators carry no fanout
+	}
 	var children []names.Name
-	for _, ci := range []int{2*i + 1, 2*i + 2} {
-		if ci >= len(req.Nodes) {
-			continue
-		}
+	var relays []rml.Outgoing
+	for ci := fanout*i + 1; ci <= fanout*i+fanout && ci < len(req.Nodes); ci++ {
 		child := req.Nodes[ci]
 		dn, ok := req.daemonName(child)
 		if !ok {
 			ack.Err = fmt.Sprintf("snapc tree: no daemon for child node %q", child)
 			return ack
 		}
-		creq := req
-		creq.SelfIndex = ci
-		if err := ep.SendJSON(dn, rml.TagSnapcRequest, creq); err != nil {
+		out, err := rml.JSONOutgoing(dn, rml.TagSnapcRequest, pruneSubtree(req, ci, fanout))
+		if err != nil {
 			ack.Err = fmt.Sprintf("snapc tree: relay to %q: %v", child, err)
 			return ack
 		}
+		relays = append(relays, out)
 		children = append(children, dn)
+	}
+	if err := ep.SendBatch(relays); err != nil {
+		ack.Err = fmt.Sprintf("snapc tree: relay from vertex %d: %v", i, err)
+		return ack
 	}
 	env.Ins.Emit("snapc.local["+node+"]", "ckpt.tree-relay", "vertex %d, %d children", i, len(children))
 
@@ -243,7 +279,23 @@ func (t *Tree) handleSubtree(env *Env, node string, ep *rml.Endpoint, req treeRe
 	}
 	for _, child := range children {
 		var cack localAck
-		m, err := ep.RecvFromTimeout(child, rml.TagSnapcAck, timeout)
+		// Match on (sender, job, interval): with concurrent jobs (or a
+		// retried interval) traversing the same daemons, a child's ack
+		// for another coordination must stay queued for its own
+		// aggregator.
+		m, err := ep.RecvWhere(rml.TagSnapcAck, func(m rml.Message) bool {
+			if m.From != child {
+				return false
+			}
+			var hdr struct {
+				Job      int `json:"job"`
+				Interval int `json:"interval"`
+			}
+			if err := json.Unmarshal(m.Data, &hdr); err != nil {
+				return true
+			}
+			return hdr.Job == req.Job && hdr.Interval == req.Interval
+		}, timeout)
 		if err != nil {
 			ack.Err = fmt.Sprintf("snapc tree: waiting for child %v: %v", child, err)
 			return ack
@@ -259,6 +311,39 @@ func (t *Tree) handleSubtree(env *Env, node string, ep *rml.Endpoint, req treeRe
 		ack.Results = append(ack.Results, cack.Results...)
 	}
 	return ack
+}
+
+// pruneSubtree re-roots the request at vertex root: only the subtree's
+// nodes, in BFS order, with only their Vpids/Daemons rows. The heap
+// numbering is over a complete k-ary tree, and a subtree of a complete
+// k-ary tree is itself complete, so BFS relabeling from 0 preserves the
+// children-of-j-at-k·j+1…k·j+k arithmetic. Without pruning every relay
+// re-serializes the whole cluster's tables and the coordination's total
+// payload is O(n²) in node count; pruned it is O(n·depth), which is
+// what lets trees deeper than two levels win at 1k+ nodes.
+func pruneSubtree(req treeRequest, root, fanout int) treeRequest {
+	sub := treeRequest{
+		Job: req.Job, Interval: req.Interval, BaseDir: req.BaseDir,
+		Terminate: req.Terminate, SelfIndex: 0, Fanout: req.Fanout,
+	}
+	for queue := []int{root}; len(queue) > 0; queue = queue[1:] {
+		v := queue[0]
+		sub.Nodes = append(sub.Nodes, req.Nodes[v])
+		for c := fanout*v + 1; c <= fanout*v+fanout && c < len(req.Nodes); c++ {
+			queue = append(queue, c)
+		}
+	}
+	sub.Vpids = make(map[string][]int, len(sub.Nodes))
+	sub.Daemons = make(map[string]treeDaemon, len(sub.Nodes))
+	for _, n := range sub.Nodes {
+		if vpids, ok := req.Vpids[n]; ok {
+			sub.Vpids[n] = vpids
+		}
+		if d, ok := req.Daemons[n]; ok {
+			sub.Daemons[n] = d
+		}
+	}
+	return sub
 }
 
 var _ Component = (*Tree)(nil)
