@@ -14,6 +14,7 @@
 //	A10    BenchmarkAsyncDrainPipeline
 //	A11    BenchmarkRecoveryVsRestart
 //	A12    BenchmarkLedgerOverhead, BenchmarkHNPReattachMTTR
+//	A14    BenchmarkCadence
 //
 // Run with: go test -bench=. -benchmem
 //
@@ -40,6 +41,7 @@ import (
 	"repro/internal/ompi/crcp"
 	"repro/internal/ompi/pml"
 	"repro/internal/opal/inc"
+	"repro/internal/orte/cadence"
 	"repro/internal/orte/filem"
 	"repro/internal/orte/snapc"
 	"repro/internal/trace"
@@ -1006,6 +1008,110 @@ func BenchmarkLedgerOverhead(b *testing.B) {
 			if err := job.Wait(); err != nil {
 				b.Fatal(err)
 			}
+		})
+	}
+}
+
+// BenchmarkCadence is ablation A14: checkpoint cadence policy under a
+// seeded fault plan — a sweep of fixed single-level blocking cadences
+// (the classic pre-multilevel policy) against the self-tuning
+// multilevel engine (`--levels auto`), on a bandwidth-throttled stable
+// store as in A10: stable ingress, not capture, is the checkpoint
+// bottleneck. Each iteration supervises a finite stencil job (steps ×
+// delay of real compute) through a node kill with auto-restart; the
+// headline metric is waste-ms/run, the wall time beyond the fault-free
+// ideal: checkpoint overhead + rollback recompute + restart latency,
+// the exact sum Young/Daly trades off. Fixed cadences lose on one side
+// or the other — tight ones block through the throttled gather every
+// interval, loose ones lose a long rollback window per kill. The tuner
+// pays cheap L1/L2 holds (sealed node-local, never crossing the
+// throttled ingress) at a tight learned cadence and rare asynchronous
+// L3 commits, so its waste undercuts every fixed point in the sweep.
+func BenchmarkCadence(b *testing.B) {
+	const (
+		np    = 8
+		steps = 100
+		cells = 4096    // ~32 KiB of state per rank, ~256 KiB per interval
+		rate  = 4 << 20 // stable-store write bandwidth: 4 MiB/s
+	)
+	const delay = 4 * time.Millisecond
+	ideal := time.Duration(steps) * delay
+	type policy struct {
+		name string
+		opts core.SuperviseOptions
+	}
+	var policies []policy
+	for _, d := range []time.Duration{
+		3 * time.Millisecond, 6 * time.Millisecond, 12 * time.Millisecond,
+		24 * time.Millisecond, 48 * time.Millisecond,
+	} {
+		policies = append(policies, policy{
+			name: fmt.Sprintf("fixed=%s", d),
+			opts: core.SuperviseOptions{CheckpointEvery: d},
+		})
+	}
+	policies = append(policies, policy{
+		name: "auto",
+		opts: core.SuperviseOptions{Levels: core.Levels{
+			Auto:   true,
+			Replan: 4 * time.Millisecond,
+			Tuning: cadence.Config{Min: 3 * time.Millisecond, Max: 300 * time.Millisecond},
+		}},
+	})
+	for _, pol := range policies {
+		b.Run("cadence="+pol.name, func(b *testing.B) {
+			var waste, blocked time.Duration
+			var ckpts, retunes int
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				params := mca.NewParams()
+				params.Set("fault_plan", "seed=13; node.kill:node2=after30,once")
+				params.Set("snapc_stage_replicas", "1")
+				params.Set("orted_heartbeat_interval", "10ms")
+				params.Set("orted_heartbeat_miss", "8")
+				// A kill can tear a capture fan-out in half; fail the torn
+				// frontier at detection speed, not the 10s conservative
+				// default, so one unlucky overlap does not dominate a run.
+				params.Set("ompi_directive_timeout", "100ms")
+				sys, err := core.NewSystem(core.Options{
+					Nodes: 5, SlotsPerNode: 3, Params: params,
+					Stable: vfs.NewThrottle(vfs.NewMem(), rate),
+					Ins:    trace.New(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				args := []string{
+					"-steps", fmt.Sprint(steps), "-cells", fmt.Sprint(cells),
+					"-delay", delay.String(),
+				}
+				factory, err := apps.Lookup("stencil", args)
+				if err != nil {
+					b.Fatal(err)
+				}
+				job, err := sys.Launch(core.JobSpec{Name: "stencil", Args: args, NP: np, AppFactory: factory})
+				if err != nil {
+					b.Fatal(err)
+				}
+				opts := pol.opts
+				opts.Recovery = core.Recovery{AutoRestart: 3}
+				start := time.Now()
+				b.StartTimer()
+				rep, err := sys.Supervise(job, factory, opts)
+				b.StopTimer()
+				if err != nil {
+					b.Fatalf("Supervise: %v (report %+v)", err, rep)
+				}
+				waste += time.Since(start) - ideal
+				blocked += time.Duration(rep.Phases.BlockedNS)
+				ckpts += rep.Checkpoints + rep.LevelCheckpoints[0] + rep.LevelCheckpoints[1]
+				retunes += rep.Retunes
+				sys.Close()
+			}
+			b.ReportMetric(waste.Seconds()*1e3/float64(b.N), "waste-ms/run")
+			b.ReportMetric(blocked.Seconds()*1e3/float64(b.N), "blocked-ms/run")
+			b.ReportMetric(float64(ckpts)/float64(b.N), "ckpts/run")
+			b.ReportMetric(float64(retunes)/float64(b.N), "retunes/run")
 		})
 	}
 }

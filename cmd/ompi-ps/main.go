@@ -67,6 +67,7 @@ func run() error {
 	jobs := fs.Bool("jobs", false, "list jobs with their drain-scheduler state (weight, queued drains)")
 	schedView := fs.Bool("sched", false, "print the drain scheduler's per-lineage flow table")
 	weight := fs.Int("weight", 0, "with --job: set the job's drain QoS weight (implies --sched)")
+	tuner := fs.Bool("tuner", false, "print the job's Young/Daly cadence-tuner state (per-level interval, cost, MTBF, retunes)")
 	job := fs.Int("job", 0, "job id for --ranks/--migrate/--jobs/--weight (default: the only job)")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: ompi-ps [--watch|--ranks|--migrate rank=N node=M] PID_OF_OMPI_RUN")
@@ -115,6 +116,9 @@ func run() error {
 	}
 	if *schedView || *weight > 0 {
 		return showSched(target, *job, *weight)
+	}
+	if *tuner {
+		return showTuner(target, *job)
 	}
 	if *health {
 		return showHealth(target)
@@ -260,6 +264,43 @@ func listRanks(target string, job int) error {
 			src = "launch"
 		}
 		fmt.Printf("%4d %-10s %-10s %8s  %s\n", r.Rank, r.Node, r.State, iv, src)
+	}
+	return nil
+}
+
+// showTuner prints the "tuner" op's view: the supervised job's
+// multilevel cadence plan — per level, the planned interval, the
+// EWMA-smoothed checkpoint cost, the MTBF estimate of the failure
+// class the level protects against, and how often the tuner retuned.
+func showTuner(target string, job int) error {
+	resp, err := runtime.ControlDial(target, runtime.ControlRequest{Op: "tuner", Job: job})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("%s", resp.Err)
+	}
+	t := resp.Tuner
+	if t == nil {
+		return fmt.Errorf("mpirun replied without a tuner payload (older version?)")
+	}
+	mode := "fixed cadences"
+	if t.Auto {
+		mode = "auto (Young/Daly)"
+	}
+	fmt.Printf("cadence tuner: %s\n", mode)
+	fmt.Printf("%-6s %12s %12s %12s %9s %8s %10s\n",
+		"LEVEL", "INTERVAL", "COST", "MTBF", "FAILURES", "RETUNES", "SUPPRESSED")
+	for _, l := range t.Levels {
+		dur := func(ns int64) string {
+			if ns <= 0 {
+				return "-"
+			}
+			return time.Duration(ns).String()
+		}
+		fmt.Printf("%-6s %12s %12s %12s %9d %8d %10d\n",
+			l.Label, dur(l.IntervalNS), dur(l.CostNS), dur(l.MTBFNS),
+			l.Failures, l.Retunes, l.Suppressed)
 	}
 	return nil
 }

@@ -60,6 +60,7 @@ func run() error {
 	stable := fs.String("stable", "./ompi_stable", "stable storage directory (survives this process)")
 	every := fs.Duration("checkpoint-every", 0, "take a global checkpoint periodically (0 = off)")
 	asyncDrain := fs.Bool("async-drain", false, "drain periodic checkpoints in the background: the job only blocks for the capture phase")
+	levelsSpec := fs.String("levels", "", `multilevel checkpointing: "auto" self-tunes every level's cadence (Young/Daly), or fixed cadences like "l1=5ms,l2=25ms,l3=200ms" (an omitted level is off). Keys combine: "auto,l1=5ms" seeds the tuner; "replan=D", "min=D", "max=D" bound it`)
 	autoRestart := fs.Int("auto-restart", 0, "after a failure, restart the job up to N times from the newest valid snapshot (0 = off)")
 	recover := fs.String("recover", "whole-job", `node-loss posture: "whole-job" restarts the job from the newest snapshot; "in-job" respawns only the lost ranks in place and keeps the survivors running (falls back to whole-job when a session cannot converge)`)
 	reattachOnCrash := fs.Bool("reattach-on-crash", false, "rebuild the coordinator in place when it crashes mid-run instead of wedging the control plane")
@@ -98,6 +99,13 @@ func run() error {
 		Progress: func(ck core.CheckpointResult) {
 			fmt.Printf("ompi-run: periodic Snapshot Ref.: %d %s\n", ck.Interval, ck.Dir)
 		},
+	}
+	if *levelsSpec != "" {
+		lv, err := parseLevels(*levelsSpec)
+		if err != nil {
+			return err
+		}
+		sopts.Levels = lv
 	}
 	if *reattach {
 		if fs.NArg() > 0 {
@@ -158,6 +166,48 @@ func run() error {
 	return nil
 }
 
+// parseLevels parses the --levels spec: a comma-separated list of
+// "auto", per-level cadences (l1=5ms), and tuner bounds (replan, min,
+// max).
+func parseLevels(spec string) (core.Levels, error) {
+	var lv core.Levels
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if strings.EqualFold(part, "auto") {
+			lv.Auto = true
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return lv, fmt.Errorf(`--levels: %q is not "auto" or key=duration`, part)
+		}
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return lv, fmt.Errorf("--levels: %s: %w", k, err)
+		}
+		switch strings.ToLower(k) {
+		case "l1":
+			lv.L1 = d
+		case "l2":
+			lv.L2 = d
+		case "l3":
+			lv.L3 = d
+		case "replan":
+			lv.Replan = d
+		case "min":
+			lv.Tuning.Min = d
+		case "max":
+			lv.Tuning.Max = d
+		default:
+			return lv, fmt.Errorf("--levels: unknown key %q (want l1, l2, l3, replan, min, max or auto)", k)
+		}
+	}
+	return lv, nil
+}
+
 // printReport renders one supervised run's summary lines.
 func printReport(rep core.SuperviseReport) {
 	if rep.FailedCheckpoints > 0 {
@@ -170,22 +220,30 @@ func printReport(rep core.SuperviseReport) {
 	if rep.Restarts > 0 {
 		fmt.Printf("ompi-run: recovered from %d failure(s) via auto-restart\n", rep.Restarts)
 		// Which interval — and which copy of it — each restart used:
-		// a replica source means the restart survived primary loss.
+		// a replica source means the restart survived primary loss, a
+		// held source means it never touched stable storage at all.
 		for i, src := range rep.Sources {
 			state := "intact primary"
-			if src.Repaired {
+			switch {
+			case src.Repaired:
 				state = "primary repaired from " + src.Copy
+			case strings.HasPrefix(src.Copy, "held:"):
+				state = "hold-direct, no stable round trip"
 			}
 			fmt.Printf("ompi-run: restart %d used %s interval %d (%s, %s)\n",
 				i+1, src.Dir, src.Interval, src.Copy, state)
 		}
 	}
+	if lc := rep.LevelCheckpoints; lc[0]+lc[1]+lc[2] > 0 || rep.Retunes > 0 {
+		fmt.Printf("ompi-run: levels: %d L1 seal(s), %d L2 promotion(s), %d L3 commit(s), %d cadence retune(s)\n",
+			lc[0], lc[1], lc[2], rep.Retunes)
+	}
 	if rep.Scrubs > 0 {
 		fmt.Printf("ompi-run: %d periodic scrub pass(es) completed\n", rep.Scrubs)
 	}
-	if dr := rep.DrainRecovery; dr.FastForwarded+dr.Redrained+dr.Discarded > 0 {
-		fmt.Printf("ompi-run: drain recovery: %d fast-forwarded, %d re-drained, %d discarded\n",
-			dr.FastForwarded, dr.Redrained, dr.Discarded)
+	if dr := rep.DrainRecovery; dr.FastForwarded+dr.Redrained+dr.Discarded+dr.Superseded > 0 {
+		fmt.Printf("ompi-run: drain recovery: %d fast-forwarded, %d re-drained, %d discarded, %d superseded\n",
+			dr.FastForwarded, dr.Redrained, dr.Discarded, dr.Superseded)
 	}
 	if rep.DegradedCheckpoints > 0 {
 		fmt.Printf("ompi-run: %d checkpoint(s) landed node-local during a stable-store outage (parked for catch-up)\n",

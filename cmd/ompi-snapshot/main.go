@@ -207,9 +207,14 @@ func stats(ref snapshot.GlobalRef) error {
 }
 
 // journalStats prints the drain journal, when one exists: each
-// interval's position in the two-phase lifecycle. Undrained entries
-// (CAPTURED/DRAINING) mean the interval exists only on the original
-// nodes' local stores — not restartable from this stable store.
+// interval's position in the two-phase lifecycle and its checkpoint
+// level. The LEVEL column tells the durability rungs apart: "L1"
+// (node-local hold), "L2" (replica-promoted hold), "L3" (stable
+// commit) — and "parked" for intervals backlogged through a
+// stable-store outage, which are a degraded state, not a cadence-held
+// L1 checkpoint. Undrained entries mean the interval exists only on
+// the original nodes' local stores — not restartable from this stable
+// store alone.
 func journalStats(ref snapshot.GlobalRef) error {
 	entries, err := snapshot.OpenJournal(ref).Load()
 	if err != nil {
@@ -219,20 +224,55 @@ func journalStats(ref snapshot.GlobalRef) error {
 		return nil
 	}
 	fmt.Printf("\ndrain journal:\n")
-	fmt.Printf("%-8s %-10s %12s %-20s %s\n", "INTERVAL", "STATE", "STAGED", "UPDATED", "CAUSE")
-	undrained := 0
+	fmt.Printf("%-8s %-10s %-7s %12s %-20s %s\n", "INTERVAL", "STATE", "LEVEL", "STAGED", "UPDATED", "CAUSE")
+	undrained, parked := 0, 0
 	for _, e := range entries {
 		if !e.State.Terminal() {
 			undrained++
 		}
-		fmt.Printf("%-8d %-10s %12d %-20s %s\n",
-			e.Interval, e.State, e.StagedBytes,
+		if e.Parked {
+			parked++
+		}
+		fmt.Printf("%-8d %-10s %-7s %12d %-20s %s\n",
+			e.Interval, e.State, e.LevelLabel(), e.StagedBytes,
 			e.UpdatedAt.Format("2006-01-02 15:04:05"), e.Cause)
 	}
 	if undrained > 0 {
 		fmt.Printf("%d interval(s) captured but not drained: their payload lives only on the\noriginal nodes' local stores (ompi-restart discards them)\n", undrained)
 	}
+	if parked > 0 {
+		fmt.Printf("%d interval(s) parked by a stable-store outage (degraded, awaiting catch-up —\nnot cadence-held L1 checkpoints)\n", parked)
+	}
+	levelStats(ref, entries)
 	return nil
+}
+
+// levelStats prints the multilevel survey: each known interval's
+// presence across the L1/L2/L3 rungs and whether it is restorable.
+// From this standalone tool only the stable rung is reachable, so
+// sub-stable holds show their journal label with no probed stages.
+func levelStats(ref snapshot.GlobalRef, entries []snapshot.JournalEntry) {
+	jobID := 0
+	if len(entries) > 0 {
+		if meta, err := snapshot.ReadGlobal(ref, entries[len(entries)-1].Interval); err == nil {
+			jobID = int(meta.JobID)
+		}
+	}
+	res := &snapshot.Resolver{Ref: ref}
+	infos := res.SurveyLevels(jobID, entries)
+	if len(infos) == 0 {
+		return
+	}
+	fmt.Printf("\nlevels:\n")
+	fmt.Printf("%-8s %-7s %-6s %8s %8s %s\n", "INTERVAL", "LEVEL", "BEST", "L1-NODES", "L2-HELD", "RESTORABLE")
+	for _, info := range infos {
+		best := "-"
+		if info.Best > 0 {
+			best = fmt.Sprintf("L%d", info.Best)
+		}
+		fmt.Printf("%-8d %-7s %-6s %8d %8d %v\n",
+			info.Interval, info.Label, best, len(info.L1Nodes), len(info.L2Held), info.Restorable)
+	}
 }
 
 // manifestOverlap sizes an interval's payload and the portion whose

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/core/snapshot"
+	"repro/internal/vfs"
+)
+
+// captureStdout runs fn with os.Stdout redirected into a pipe and
+// returns everything it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	out, rerr := io.ReadAll(r)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if ferr != nil {
+		t.Fatalf("stats: %v", ferr)
+	}
+	return string(out)
+}
+
+// Regression (PR 10 satellite): `ompi-snapshot stats` must not
+// conflate degraded-mode parked intervals with cadence-held L1
+// checkpoints. Both share CAPTURED state and node-local stages, but
+// parked entries are backlog from a store outage — the table labels
+// them "parked" and the summary calls them out separately.
+func TestStatsLabelsParkedDistinctFromHeld(t *testing.T) {
+	fsys := vfs.NewMem()
+	ref := snapshot.GlobalRef{FS: fsys, Dir: "ompi_global_snapshot_7.ckpt"}
+	j := snapshot.OpenJournal(ref)
+	held := snapshot.JournalEntry{
+		Interval: 1, State: snapshot.StateCaptured,
+		JobID: 7, NumProcs: 2, Nodes: []string{"node0", "node1"},
+		LocalBase: "/tmp/stage", Level: snapshot.LevelLocal,
+	}
+	if err := j.Record(held); err != nil {
+		t.Fatal(err)
+	}
+	parked := held
+	parked.Interval, parked.Level, parked.Parked = 2, 0, true
+	if err := j.Record(parked); err != nil {
+		t.Fatal(err)
+	}
+
+	out := captureStdout(t, func() error { return journalStats(ref) })
+
+	// Scan only the drain-journal table; the levels survey below it
+	// also leads rows with the interval number.
+	journalSection, _, _ := strings.Cut(out, "\nlevels:")
+	var heldLine, parkedLine string
+	for _, line := range strings.Split(journalSection, "\n") {
+		f := strings.Fields(line)
+		if len(f) < 3 || f[1] != "CAPTURED" {
+			continue
+		}
+		switch f[0] {
+		case "1":
+			heldLine = line
+		case "2":
+			parkedLine = line
+		}
+	}
+	if heldLine == "" || parkedLine == "" {
+		t.Fatalf("stats table missing interval rows:\n%s", out)
+	}
+	if f := strings.Fields(heldLine); f[2] != "L1" {
+		t.Errorf("held interval labeled %q, want L1 (line %q)", f[2], heldLine)
+	}
+	if f := strings.Fields(parkedLine); f[2] != "parked" {
+		t.Errorf("parked interval labeled %q, want parked (line %q)", f[2], parkedLine)
+	}
+	if !strings.Contains(out, "parked by a stable-store outage") {
+		t.Errorf("stats output missing the parked summary line:\n%s", out)
+	}
+	if !strings.Contains(out, "not cadence-held L1 checkpoints") {
+		t.Errorf("parked summary does not disambiguate from cadence holds:\n%s", out)
+	}
+	if strings.Count(out, "parked by a stable-store outage") != 1 ||
+		!strings.Contains(out, "1 interval(s) parked") {
+		t.Errorf("parked summary should count exactly the one parked interval:\n%s", out)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/mca"
 	"repro/internal/netsim"
 	"repro/internal/ompi"
+	"repro/internal/orte/cadence"
 	"repro/internal/orte/names"
 	"repro/internal/orte/plm"
 	"repro/internal/orte/recovery"
@@ -443,6 +444,10 @@ type SuperviseOptions struct {
 	Recovery  Recovery
 	Reattach  Reattach
 	Scheduler Scheduler
+	// Levels runs the multilevel checkpoint engine (L1 node-local
+	// seals, L2 replica promotions, L3 stable commits on independent —
+	// optionally self-tuning — cadences); see the Levels type.
+	Levels Levels
 }
 
 // RestartSource records which interval — and which copy of it — one
@@ -470,6 +475,12 @@ type SuperviseReport struct {
 	// Phases accumulates every committed interval's PhaseBreakdown:
 	// total time and bytes spent per checkpoint phase over the run.
 	Phases snapshot.PhaseBreakdown
+	// LevelCheckpoints counts the level engine's work by level: index 0
+	// (L1) node-local seals, index 1 (L2) replica promotions, index 2
+	// (L3) stable commits it took (those also count in Checkpoints).
+	LevelCheckpoints [cadence.NumLevels]int
+	// Retunes counts cadence changes the auto Young/Daly tuner adopted.
+	Retunes int
 	// Sources records, per restart, the snapshot copy it used.
 	Sources []RestartSource
 	// DrainRecovery accumulates what the failure-path drain recovery
@@ -587,6 +598,12 @@ func (s *System) superviseLoop(job *Job, appFactory func(rank int) ompi.App, opt
 	current := job
 	scrubEvery := job.Params().Duration("scrub_interval", 0)
 	replicas := job.Params().Int("filem_replicas", 0)
+	// The level engine's tuner outlives incarnations: a restart keeps
+	// the cost and cadence estimates, only the tickers re-enter.
+	var lsup *levelSup
+	if opts.Levels.enabled() {
+		lsup = newLevelSup(s, opts, snapc.Options{KeepLocal: co != nil}, co != nil, &rep, &mu)
+	}
 	for {
 		if co != nil {
 			// Every incarnation opts into in-job recovery: node loss
@@ -694,6 +711,13 @@ func (s *System) superviseLoop(job *Job, appFactory func(rank int) ompi.App, opt
 				}
 			}(current)
 		}
+		if lsup != nil {
+			tickers.Add(1)
+			go func(j *Job) {
+				defer tickers.Done()
+				lsup.run(j, stop)
+			}(current)
+		}
 		err := current.Wait()
 		close(stop)
 		tickers.Wait()
@@ -717,6 +741,25 @@ func (s *System) superviseLoop(job *Job, appFactory func(rank int) ompi.App, opt
 		// stages are re-drained (and become restart candidates), the
 		// rest are discarded with their debris.
 		s.cluster.FlushDrains()
+		// Hold-direct restart (level engine only): when the failed
+		// lineage holds a restorable interval newer than anything it
+		// committed, relaunch straight from the sealed stages and stage
+		// replicas, skipping the stable round trip on the MTTR path.
+		// Any miss falls through to the drain-recovery path below.
+		if lsup != nil {
+			if next, interval, cp, ok := s.holdRestart(current, appFactory); ok {
+				rep.Restarts++
+				rep.Recovered = true
+				s.ins.Counter("ompi_supervise_restarts_total").Inc()
+				dir := snapshot.GlobalDirName(int(current.JobID()))
+				rep.Sources = append(rep.Sources, RestartSource{Dir: dir, Interval: interval, Copy: cp})
+				s.ins.Emit("core", "supervise.restart", "job %d failed (%v); restarted as job %d from %s interval %d (%s)",
+					current.JobID(), err, next.JobID(), dir, interval, cp)
+				dirs = append(dirs, snapshot.GlobalDirName(int(next.JobID())))
+				current = next
+				continue
+			}
+		}
 		for _, dir := range dirs {
 			rr, rerr := s.cluster.RecoverDrains(dir)
 			if rerr != nil {
@@ -726,10 +769,11 @@ func (s *System) superviseLoop(job *Job, appFactory func(rank int) ompi.App, opt
 			rep.DrainRecovery.FastForwarded += rr.FastForwarded
 			rep.DrainRecovery.Redrained += rr.Redrained
 			rep.DrainRecovery.Discarded += rr.Discarded
-			if rr.FastForwarded+rr.Redrained+rr.Discarded > 0 {
+			rep.DrainRecovery.Superseded += rr.Superseded
+			if rr.FastForwarded+rr.Redrained+rr.Discarded+rr.Superseded > 0 {
 				s.ins.Emit("core", "supervise.drain-recovered",
-					"%s: %d fast-forwarded, %d re-drained, %d discarded",
-					dir, rr.FastForwarded, rr.Redrained, rr.Discarded)
+					"%s: %d fast-forwarded, %d re-drained, %d discarded, %d superseded",
+					dir, rr.FastForwarded, rr.Redrained, rr.Discarded, rr.Superseded)
 			}
 		}
 		res, interval, cp, verr := s.newestValid(dirs)

@@ -133,6 +133,39 @@ type JournalEntry struct {
 	UpdatedAt   time.Time `json:"updated_at"`
 	// Cause explains a DISCARDED entry.
 	Cause string `json:"cause,omitempty"`
+
+	// Level is the interval's checkpoint level while it is held short of
+	// a stable commit (DESIGN.md §5g): 1 = sealed node-local stages
+	// only, 2 = stages plus per-node stage replicas on peer nodes. Zero
+	// on entries written before multilevel checkpointing (and on entries
+	// that went straight into the stable drain pipeline) — level-wise
+	// those are L1 until the drain commits them.
+	Level int `json:"level,omitempty"`
+	// Parked marks a degraded-mode interval: the stable store was out
+	// when its drain came due, so the drain engine parked it node-local
+	// (with stage replicas) for the catch-up pass. Parked intervals
+	// share the CAPTURED state and LOCAL_COMMITTED stages with L1-held
+	// intervals but are *backlog*, not cadence policy — stats must not
+	// conflate them. Cleared on any terminal transition.
+	Parked bool `json:"parked,omitempty"`
+}
+
+// LevelLabel renders the interval's durability rung for the stats
+// table: "parked" for degraded-mode backlog, "L3" once committed
+// stable, "L2" for replica-held, "L1" for stages-only (including
+// legacy entries recorded before levels existed), "-" for discards.
+func (e JournalEntry) LevelLabel() string {
+	switch {
+	case e.State == StateDiscarded:
+		return "-"
+	case e.State == StateCommitted:
+		return "L3"
+	case e.Parked:
+		return "parked"
+	case e.Level >= 2:
+		return fmt.Sprintf("L%d", e.Level)
+	}
+	return "L1"
 }
 
 // Journal is the drain journal of one global snapshot lineage.
@@ -310,12 +343,54 @@ func (j *Journal) Transition(interval int, to IntervalState, cause string) (Jour
 		if to == StateDiscarded {
 			entries[i].Cause = cause
 		}
+		if to.Terminal() {
+			// Whatever rung held it, the lifecycle is over: a committed
+			// interval is stable (L3), a discarded one is gone.
+			entries[i].Parked = false
+		}
 		if err := j.store(entries); err != nil {
 			return JournalEntry{}, err
 		}
 		return entries[i], nil
 	}
 	return JournalEntry{}, fmt.Errorf("snapshot: drain journal has no entry for interval %d", interval)
+}
+
+// amend rewrites one interval's entry in place via fn — the journal's
+// metadata edit path for fields orthogonal to the lifecycle state
+// machine (level, parked flag). Missing intervals are an error: amend
+// never creates entries.
+func (j *Journal) amend(interval int, fn func(*JournalEntry)) (JournalEntry, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	entries, err := j.load()
+	if err != nil {
+		return JournalEntry{}, err
+	}
+	for i := range entries {
+		if entries[i].Interval != interval {
+			continue
+		}
+		fn(&entries[i])
+		entries[i].UpdatedAt = time.Now()
+		if err := j.store(entries); err != nil {
+			return JournalEntry{}, err
+		}
+		return entries[i], nil
+	}
+	return JournalEntry{}, fmt.Errorf("snapshot: drain journal has no entry for interval %d", interval)
+}
+
+// SetLevel records an interval's held checkpoint level (1 or 2) — the
+// durable record of an L1→L2 promotion. Lifecycle state is untouched.
+func (j *Journal) SetLevel(interval, level int) (JournalEntry, error) {
+	return j.amend(interval, func(e *JournalEntry) { e.Level = level })
+}
+
+// SetParked flags (or unflags) an interval as degraded-mode backlog so
+// stats can tell parked intervals from cadence-held L1/L2 ones.
+func (j *Journal) SetParked(interval int, parked bool) (JournalEntry, error) {
+	return j.amend(interval, func(e *JournalEntry) { e.Parked = parked })
 }
 
 // Undrained returns the entries still mid-lifecycle (CAPTURED or

@@ -304,6 +304,80 @@ func TestJournalTrimsOldestTerminal(t *testing.T) {
 	}
 }
 
+// Level and Parked ride beside the lifecycle state machine: SetLevel
+// records an L1→L2 promotion durably, SetParked flags degraded-mode
+// backlog, and any terminal transition clears the parked flag (a
+// committed interval is L3, a discarded one is gone).
+func TestSetLevelAndSetParked(t *testing.T) {
+	j := testJournal(t)
+	if err := j.Record(captured(1)); err != nil {
+		t.Fatal(err)
+	}
+	e, err := j.SetLevel(1, 2)
+	if err != nil || e.Level != 2 {
+		t.Fatalf("SetLevel: %+v, %v", e, err)
+	}
+	got, _, _ := j.Entry(1)
+	if got.Level != 2 || got.State != StateCaptured {
+		t.Fatalf("persisted: %+v", got)
+	}
+	if _, err := j.SetLevel(9, 2); err == nil {
+		t.Fatal("SetLevel created a phantom entry")
+	}
+	e, err = j.SetParked(1, true)
+	if err != nil || !e.Parked {
+		t.Fatalf("SetParked: %+v, %v", e, err)
+	}
+	if _, err := j.SetParked(9, true); err == nil {
+		t.Fatal("SetParked created a phantom entry")
+	}
+	// Commit path clears Parked.
+	if _, err := j.Transition(1, StateDraining, ""); err != nil {
+		t.Fatal(err)
+	}
+	e, err = j.Transition(1, StateCommitted, "")
+	if err != nil || e.Parked {
+		t.Fatalf("commit left Parked set: %+v, %v", e, err)
+	}
+	// Discard path clears Parked too.
+	if err := j.Record(captured(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.SetParked(2, true); err != nil {
+		t.Fatal(err)
+	}
+	e, err = j.Transition(2, StateDiscarded, "nodes gone")
+	if err != nil || e.Parked {
+		t.Fatalf("discard left Parked set: %+v, %v", e, err)
+	}
+}
+
+// The stats label: parked intervals must NOT render as L1 even though
+// they share the CAPTURED state and LOCAL_COMMITTED stages (the
+// degraded-mode regression ISSUE 10 satellite d fixes).
+func TestLevelLabel(t *testing.T) {
+	cases := []struct {
+		name string
+		e    JournalEntry
+		want string
+	}{
+		{"legacy-captured", JournalEntry{State: StateCaptured}, "L1"},
+		{"l1-held", JournalEntry{State: StateCaptured, Level: 1}, "L1"},
+		{"l2-held", JournalEntry{State: StateCaptured, Level: 2}, "L2"},
+		{"parked", JournalEntry{State: StateCaptured, Parked: true}, "parked"},
+		{"parked-wins-over-level", JournalEntry{State: StateCaptured, Level: 2, Parked: true}, "parked"},
+		{"draining", JournalEntry{State: StateDraining}, "L1"},
+		{"committed", JournalEntry{State: StateCommitted}, "L3"},
+		{"committed-ignores-stale-level", JournalEntry{State: StateCommitted, Level: 2}, "L3"},
+		{"discarded", JournalEntry{State: StateDiscarded}, "-"},
+	}
+	for _, tc := range cases {
+		if got := tc.e.LevelLabel(); got != tc.want {
+			t.Errorf("%s: LevelLabel() = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
 // A journal rewrite is atomic: the temp file never survives a store. A
 // corrupt or version-skewed journal is quarantined — moved aside under
 // JournalCorruptFile for post-mortem, the journal restarts empty — so

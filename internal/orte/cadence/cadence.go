@@ -1,0 +1,305 @@
+// Package cadence computes checkpoint intervals from first principles:
+// the Young/Daly optimal checkpoint interval sqrt(2·δ·MTBF), applied
+// per durability level (DESIGN.md §5g).
+//
+// The multilevel pipeline gives each level its own cost δ and its own
+// failure process: an L1 seal costs only the application-blocked
+// quiesce+capture and protects against process faults, an L2 replica
+// push costs one node-to-node stage copy and protects against a node
+// loss, an L3 stable commit costs the full gather→commit→replicate
+// drain and protects against losing the cluster's node-local state
+// (and rides out stable-store outages). The Tuner closes the loop:
+// EWMA-smoothed per-level cost observations plus observed failure
+// counts yield a per-level MTBF estimate, the Young/Daly formula yields
+// the target interval, and hysteresis keeps the planner from thrashing
+// on noisy estimates. A level that has seen no failure yet plans
+// against a Laplace prior — one assumed failure at the horizon of the
+// observation window — so a cold start is protected immediately and
+// the cadence relaxes as sqrt(elapsed) while the window stays clean.
+//
+// Everything here is a pure function of its inputs — no wall clock, no
+// goroutines — so the planner is exactly testable: the same
+// observations always plan the same cadences.
+package cadence
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Checkpoint levels. Levels are ordered by durability: a higher level's
+// copy subsumes the lower levels' protection for the same interval.
+const (
+	// L1 is the node-local rung: the interval is sealed under
+	// LOCAL_COMMITTED markers on the nodes that captured it.
+	L1 = 1
+	// L2 is the replica rung: each node's sealed stage also lives on a
+	// peer node, so the interval survives a single node loss.
+	L2 = 2
+	// L3 is the stable rung: the interval is gathered, committed and
+	// replicated on stable storage.
+	L3 = 3
+	// NumLevels is how many levels the tuner plans for.
+	NumLevels = 3
+)
+
+// Defaults for Config's zero values.
+const (
+	DefaultMin        = time.Millisecond
+	DefaultMax        = time.Minute
+	DefaultHysteresis = 0.25
+	DefaultAlpha      = 0.3
+)
+
+// Optimal is the Young/Daly first-order optimum: the checkpoint
+// interval sqrt(2·δ·MTBF) for a checkpoint of cost δ under a mean time
+// between failures MTBF. Degenerate inputs return 0 ("no opinion"):
+// a non-positive cost means the level is free (checkpoint as often as
+// the floor allows) and a non-positive MTBF means no failure has been
+// observed (checkpoint as rarely as the ceiling allows) — the caller's
+// clamp decides both. In the high-failure-rate regime where the
+// first-order optimum exceeds the MTBF itself (2·δ > MTBF), the
+// interval degenerates to the MTBF: checkpointing less than once per
+// expected failure period can never help.
+func Optimal(cost, mtbf time.Duration) time.Duration {
+	if cost <= 0 || mtbf <= 0 {
+		return 0
+	}
+	iv := time.Duration(math.Sqrt(2 * float64(cost) * float64(mtbf)))
+	if iv > mtbf {
+		iv = mtbf
+	}
+	return iv
+}
+
+// MTBF estimates the mean time between failures from a failure count
+// observed over an elapsed window. Zero failures (or a non-positive
+// window) return 0: no estimate, not "infinitely reliable".
+func MTBF(failures int, elapsed time.Duration) time.Duration {
+	if failures <= 0 || elapsed <= 0 {
+		return 0
+	}
+	return elapsed / time.Duration(failures)
+}
+
+// Config bounds the Tuner's plans. The zero value uses the package
+// defaults.
+type Config struct {
+	// Min and Max clamp every planned interval. Min also serves as the
+	// plan when a level's cost is effectively free; Max is where the
+	// Laplace-prior backoff settles once a long window stays
+	// failure-free.
+	Min, Max time.Duration
+	// Hysteresis is the minimum relative change (|new−current|/current)
+	// a recomputed target must show before the tuner adopts it. Noisy
+	// cost and MTBF estimates otherwise retune every replan tick.
+	Hysteresis float64
+	// Alpha is the EWMA weight of the newest cost observation.
+	Alpha float64
+}
+
+// withDefaults resolves the zero values.
+func (c Config) withDefaults() Config {
+	if c.Min <= 0 {
+		c.Min = DefaultMin
+	}
+	if c.Max < c.Min {
+		c.Max = DefaultMax
+		if c.Max < c.Min {
+			c.Max = c.Min
+		}
+	}
+	if c.Hysteresis <= 0 {
+		c.Hysteresis = DefaultHysteresis
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = DefaultAlpha
+	}
+	return c
+}
+
+// clamp bounds a raw target, resolving the degenerate 0 ("no opinion")
+// cases: free checkpoints run at Min, an empty observation window (no
+// elapsed time at all — the Laplace prior covers the failure-free case)
+// at Max.
+func (c Config) clamp(raw time.Duration, cost, mtbf time.Duration) time.Duration {
+	switch {
+	case mtbf <= 0:
+		// No observation window at all: back off to the ceiling.
+		return c.Max
+	case raw <= 0 && cost <= 0:
+		// Failures observed and the level is free: the floor.
+		return c.Min
+	}
+	if raw < c.Min {
+		return c.Min
+	}
+	if raw > c.Max {
+		return c.Max
+	}
+	return raw
+}
+
+// LevelPlan is one level's tuner state snapshot.
+type LevelPlan struct {
+	// Level is the checkpoint level (L1..L3).
+	Level int
+	// Interval is the currently planned cadence.
+	Interval time.Duration
+	// Cost is the EWMA-smoothed checkpoint cost δ.
+	Cost time.Duration
+	// MTBF is the failure-interval estimate from the last Plan call —
+	// the Laplace prior (the elapsed window itself) while the level has
+	// observed no failure.
+	MTBF time.Duration
+	// Failures is the observed failure count from the last Plan call.
+	Failures int
+	// Retunes counts adopted interval changes; Suppressed counts
+	// recomputations the hysteresis band swallowed.
+	Retunes    int
+	Suppressed int
+}
+
+// State is a snapshot of the whole tuner, fit for the control plane.
+type State struct {
+	// Auto reports the tuner is re-planning online (false when the
+	// levels run fixed cadences and the tuner only records them).
+	Auto bool
+	// Levels holds one plan per level, L1 first.
+	Levels []LevelPlan
+}
+
+// Tuner plans per-level checkpoint cadences. Safe for concurrent use:
+// the supervise loop observes and plans while the control plane reads
+// State.
+type Tuner struct {
+	cfg Config
+
+	mu     sync.Mutex
+	auto   bool
+	levels [NumLevels]LevelPlan
+	seeded [NumLevels]bool // cost has at least one observation
+}
+
+// New builds a tuner with the given bounds (zero Config = defaults).
+func New(cfg Config) *Tuner {
+	t := &Tuner{cfg: cfg.withDefaults()}
+	for i := range t.levels {
+		t.levels[i].Level = i + 1
+	}
+	return t
+}
+
+// Config reports the tuner's resolved bounds.
+func (t *Tuner) Config() Config { return t.cfg }
+
+// SetAuto records whether the tuner drives the cadences (true) or just
+// mirrors fixed ones (false); surfaced via State.
+func (t *Tuner) SetAuto(auto bool) {
+	t.mu.Lock()
+	t.auto = auto
+	t.mu.Unlock()
+}
+
+// SetInterval seeds (or pins) a level's current cadence without
+// counting a retune — the starting point hysteresis measures against.
+func (t *Tuner) SetInterval(level int, iv time.Duration) {
+	if level < L1 || level > NumLevels {
+		return
+	}
+	t.mu.Lock()
+	t.levels[level-1].Interval = iv
+	t.mu.Unlock()
+}
+
+// Interval reports a level's current planned cadence.
+func (t *Tuner) Interval(level int) time.Duration {
+	if level < L1 || level > NumLevels {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.levels[level-1].Interval
+}
+
+// ObserveCost folds one checkpoint-cost sample into a level's EWMA
+// estimate. Non-positive samples are ignored (a free observation says
+// nothing about δ).
+func (t *Tuner) ObserveCost(level int, cost time.Duration) {
+	if level < L1 || level > NumLevels || cost <= 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ls := &t.levels[level-1]
+	if !t.seeded[level-1] {
+		ls.Cost = cost
+		t.seeded[level-1] = true
+		return
+	}
+	ls.Cost = time.Duration(t.cfg.Alpha*float64(cost) + (1-t.cfg.Alpha)*float64(ls.Cost))
+}
+
+// Plan recomputes one level's cadence from its EWMA cost and the
+// failure history (failures observed over elapsed), returning the
+// planned interval and whether it changed. A recomputed target inside
+// the hysteresis band of the current interval is suppressed; a level
+// with no current interval adopts the first target unconditionally.
+func (t *Tuner) Plan(level, failures int, elapsed time.Duration) (time.Duration, bool) {
+	if level < L1 || level > NumLevels {
+		return 0, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ls := &t.levels[level-1]
+	ls.Failures = failures
+	ls.MTBF = MTBF(failures, elapsed)
+	raw := Optimal(ls.Cost, ls.MTBF)
+	if ls.MTBF <= 0 && elapsed > 0 {
+		// Laplace prior: a failure-free window is not evidence of
+		// reliability, it is absence of evidence — and a cold-started
+		// level parked at the ceiling is one failure away from losing
+		// the whole run. Assume one failure at the horizon (MTBF =
+		// elapsed): the plan starts tight and relaxes as sqrt(elapsed)
+		// while the window stays clean, converging to the ceiling. The
+		// thrash cap (interval ≤ MTBF) is deliberately skipped — it
+		// encodes a measured failure rate, which the prior is not.
+		ls.MTBF = elapsed
+		if ls.Cost > 0 {
+			raw = time.Duration(math.Sqrt(2 * float64(ls.Cost) * float64(elapsed)))
+		}
+	}
+	target := t.cfg.clamp(raw, ls.Cost, ls.MTBF)
+	if ls.Interval > 0 {
+		delta := math.Abs(float64(target-ls.Interval)) / float64(ls.Interval)
+		if delta < t.cfg.Hysteresis {
+			ls.Suppressed++
+			return ls.Interval, false
+		}
+	}
+	if target == ls.Interval {
+		return ls.Interval, false
+	}
+	ls.Interval = target
+	ls.Retunes++
+	return target, true
+}
+
+// State snapshots every level's plan.
+func (t *Tuner) State() State {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := State{Auto: t.auto, Levels: make([]LevelPlan, NumLevels)}
+	copy(st.Levels, t.levels[:])
+	return st
+}
+
+// LevelName renders a level for tables and logs ("L1".."L3").
+func LevelName(level int) string {
+	if level < L1 || level > NumLevels {
+		return fmt.Sprintf("L?%d", level)
+	}
+	return fmt.Sprintf("L%d", level)
+}

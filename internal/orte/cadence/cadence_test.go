@@ -1,0 +1,274 @@
+package cadence
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// within asserts got is within tol of want (sqrt goes through float64).
+func within(t *testing.T, got, want, tol time.Duration) {
+	t.Helper()
+	if d := got - want; d < -tol || d > tol {
+		t.Fatalf("got %v, want %v (±%v)", got, want, tol)
+	}
+}
+
+func TestOptimalGolden(t *testing.T) {
+	cases := []struct {
+		name       string
+		cost, mtbf time.Duration
+		want       time.Duration // hand-computed sqrt(2·δ·MTBF)
+	}{
+		{"textbook", 2 * time.Second, 100 * time.Second, 20 * time.Second},
+		{"sqrt1000s", 500 * time.Millisecond, 1000 * time.Second, 31622776601 * time.Nanosecond},
+		{"millis", time.Millisecond, time.Second, 44721359 * time.Nanosecond},
+		{"cheap-level", 100 * time.Microsecond, 10 * time.Second, 44721359 * time.Nanosecond},
+		// 2·δ > MTBF: the first-order optimum sqrt(100 s²)=10s exceeds
+		// the 5s MTBF, so the interval degenerates to the MTBF.
+		{"cost-exceeds-mtbf", 10 * time.Second, 5 * time.Second, 5 * time.Second},
+		{"zero-cost", 0, time.Minute, 0},
+		{"zero-mtbf", time.Second, 0, 0},
+		{"negative", -time.Second, -time.Minute, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			within(t, Optimal(tc.cost, tc.mtbf), tc.want, time.Microsecond)
+		})
+	}
+}
+
+func TestMTBF(t *testing.T) {
+	cases := []struct {
+		name     string
+		failures int
+		elapsed  time.Duration
+		want     time.Duration
+	}{
+		{"four-over-minute", 4, time.Minute, 15 * time.Second},
+		{"one", 1, 10 * time.Second, 10 * time.Second},
+		{"zero-failures", 0, time.Hour, 0},
+		{"zero-elapsed", 3, 0, 0},
+		{"negative-failures", -1, time.Second, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := MTBF(tc.failures, tc.elapsed); got != tc.want {
+				t.Fatalf("MTBF(%d, %v) = %v, want %v", tc.failures, tc.elapsed, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestPlanDegenerateInputs(t *testing.T) {
+	cfg := Config{Min: 2 * time.Millisecond, Max: 100 * time.Millisecond}
+	t.Run("long-clean-window-relaxes-to-ceiling", func(t *testing.T) {
+		tn := New(cfg)
+		tn.ObserveCost(L3, 5*time.Millisecond)
+		// Laplace prior over a minute: sqrt(2·5ms·60s) ≈ 775ms > Max.
+		iv, changed := tn.Plan(L3, 0, time.Minute)
+		if iv != 100*time.Millisecond || !changed {
+			t.Fatalf("zero failures: got (%v, %v), want ceiling (100ms, true)", iv, changed)
+		}
+	})
+	t.Run("short-clean-window-plans-prior", func(t *testing.T) {
+		tn := New(cfg)
+		tn.ObserveCost(L3, 5*time.Millisecond)
+		// No failure observed is not "infinitely reliable": the Laplace
+		// prior assumes one failure at the horizon, sqrt(2·5ms·100ms) ≈
+		// 31.6ms — a cold start is protected, not parked at the ceiling.
+		iv, _ := tn.Plan(L3, 0, 100*time.Millisecond)
+		if iv < 31*time.Millisecond || iv > 32*time.Millisecond {
+			t.Fatalf("prior plan = %v, want ~31.6ms", iv)
+		}
+		if lp := tn.State().Levels[L3-1]; lp.MTBF != 100*time.Millisecond || lp.Failures != 0 {
+			t.Fatalf("prior state = %+v, want MTBF=window, failures=0", lp)
+		}
+	})
+	t.Run("prior-skips-thrash-cap", func(t *testing.T) {
+		tn := New(cfg)
+		tn.ObserveCost(L3, 50*time.Millisecond)
+		// A measured MTBF of 20ms with δ=50ms would degenerate to the
+		// MTBF; the prior is not a measured rate, so the sqrt form
+		// stands: sqrt(2·50ms·20ms) ≈ 44.7ms.
+		iv, _ := tn.Plan(L3, 0, 20*time.Millisecond)
+		if iv < 44*time.Millisecond || iv > 45*time.Millisecond {
+			t.Fatalf("prior plan = %v, want ~44.7ms (uncapped)", iv)
+		}
+	})
+	t.Run("no-window-plans-ceiling", func(t *testing.T) {
+		tn := New(cfg)
+		tn.ObserveCost(L3, 5*time.Millisecond)
+		iv, _ := tn.Plan(L3, 0, 0)
+		if iv != 100*time.Millisecond {
+			t.Fatalf("empty window: got %v, want ceiling", iv)
+		}
+	})
+	t.Run("free-cost-plans-floor", func(t *testing.T) {
+		tn := New(cfg)
+		// Failures observed but no cost sample yet: δ unknown ≈ free.
+		iv, _ := tn.Plan(L1, 10, time.Second)
+		if iv != 2*time.Millisecond {
+			t.Fatalf("free cost: got %v, want floor 2ms", iv)
+		}
+	})
+	t.Run("cost-exceeds-mtbf-clamps", func(t *testing.T) {
+		tn := New(cfg)
+		tn.ObserveCost(L3, time.Second)
+		// 100 failures over 1s: MTBF 10ms, δ=1s. Raw optimum sqrt(2·1s·10ms)
+		// ≈ 141ms > MTBF → degenerates to 10ms, inside [2ms, 100ms].
+		iv, _ := tn.Plan(L3, 100, time.Second)
+		if iv != 10*time.Millisecond {
+			t.Fatalf("thrash regime: got %v, want MTBF 10ms", iv)
+		}
+	})
+	t.Run("below-floor-clamps", func(t *testing.T) {
+		tn := New(cfg)
+		tn.ObserveCost(L1, time.Microsecond)
+		// sqrt(2·1µs·100µs) ≈ 14µs < Min.
+		iv, _ := tn.Plan(L1, 10000, time.Second)
+		if iv != 2*time.Millisecond {
+			t.Fatalf("got %v, want floor 2ms", iv)
+		}
+	})
+	t.Run("invalid-level", func(t *testing.T) {
+		tn := New(cfg)
+		if iv, changed := tn.Plan(0, 1, time.Second); iv != 0 || changed {
+			t.Fatalf("level 0: got (%v, %v)", iv, changed)
+		}
+		if iv, changed := tn.Plan(NumLevels+1, 1, time.Second); iv != 0 || changed {
+			t.Fatalf("level %d: got (%v, %v)", NumLevels+1, iv, changed)
+		}
+	})
+}
+
+func TestPlanHysteresis(t *testing.T) {
+	cfg := Config{Min: time.Millisecond, Max: time.Minute, Hysteresis: 0.25, Alpha: 1}
+	tn := New(cfg)
+	tn.ObserveCost(L2, 2*time.Second)
+	// First plan adopts unconditionally: sqrt(2·2s·100s) = 20s.
+	iv, changed := tn.Plan(L2, 6, 10*time.Minute)
+	if !changed || iv != 20*time.Second {
+		t.Fatalf("first plan: got (%v, %v), want (20s, true)", iv, changed)
+	}
+	// A nudged MTBF (120s → target ~21.9s, +9.5%) sits inside the 25%
+	// band: suppressed, interval unchanged.
+	iv, changed = tn.Plan(L2, 5, 10*time.Minute)
+	if changed || iv != 20*time.Second {
+		t.Fatalf("inside band: got (%v, %v), want (20s, false)", iv, changed)
+	}
+	// A doubled failure rate (MTBF 50s → target ~14.1s, −29%) breaks the
+	// band: adopted.
+	iv, changed = tn.Plan(L2, 12, 10*time.Minute)
+	if !changed {
+		t.Fatalf("outside band: interval %v not adopted", iv)
+	}
+	within(t, iv, 14142135623*time.Nanosecond, time.Millisecond)
+	st := tn.State()
+	lp := st.Levels[L2-1]
+	if lp.Retunes != 2 || lp.Suppressed != 1 {
+		t.Fatalf("retunes/suppressed = %d/%d, want 2/1", lp.Retunes, lp.Suppressed)
+	}
+	if lp.Failures != 12 || lp.MTBF != 50*time.Second {
+		t.Fatalf("state failures/mtbf = %d/%v, want 12/50s", lp.Failures, lp.MTBF)
+	}
+}
+
+func TestObserveCostEWMA(t *testing.T) {
+	tn := New(Config{Alpha: 0.5})
+	tn.ObserveCost(L1, 10*time.Millisecond) // seeds
+	tn.ObserveCost(L1, 20*time.Millisecond) // 0.5·20 + 0.5·10 = 15
+	if got := tn.State().Levels[0].Cost; got != 15*time.Millisecond {
+		t.Fatalf("EWMA cost = %v, want 15ms", got)
+	}
+	tn.ObserveCost(L1, 0)            // ignored
+	tn.ObserveCost(L1, -time.Second) // ignored
+	tn.ObserveCost(0, time.Second)   // out of range: ignored
+	tn.ObserveCost(NumLevels+1, time.Second)
+	if got := tn.State().Levels[0].Cost; got != 15*time.Millisecond {
+		t.Fatalf("degenerate samples moved the EWMA to %v", got)
+	}
+}
+
+func TestSetIntervalAndState(t *testing.T) {
+	tn := New(Config{})
+	tn.SetAuto(true)
+	tn.SetInterval(L1, 4*time.Millisecond)
+	tn.SetInterval(L3, 64*time.Millisecond)
+	tn.SetInterval(0, time.Second)           // ignored
+	tn.SetInterval(NumLevels+1, time.Second) // ignored
+	if got := tn.Interval(L1); got != 4*time.Millisecond {
+		t.Fatalf("Interval(L1) = %v", got)
+	}
+	if got := tn.Interval(99); got != 0 {
+		t.Fatalf("Interval(99) = %v, want 0", got)
+	}
+	st := tn.State()
+	if !st.Auto || len(st.Levels) != NumLevels {
+		t.Fatalf("state = %+v", st)
+	}
+	if st.Levels[0].Interval != 4*time.Millisecond || st.Levels[2].Interval != 64*time.Millisecond {
+		t.Fatalf("levels = %+v", st.Levels)
+	}
+	for i, lp := range st.Levels {
+		if lp.Level != i+1 {
+			t.Fatalf("level index %d numbered %d", i, lp.Level)
+		}
+	}
+	// Seeding via SetInterval is not a retune.
+	if st.Levels[0].Retunes != 0 {
+		t.Fatalf("SetInterval counted a retune")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Min != DefaultMin || cfg.Max != DefaultMax ||
+		cfg.Hysteresis != DefaultHysteresis || cfg.Alpha != DefaultAlpha {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	// Max below Min collapses to Min, never inverts.
+	cfg = Config{Min: time.Hour, Max: time.Second}.withDefaults()
+	if cfg.Max != time.Hour {
+		t.Fatalf("inverted bounds: Max = %v, want Min %v", cfg.Max, time.Hour)
+	}
+	if New(Config{Alpha: 2}).Config().Alpha != DefaultAlpha {
+		t.Fatalf("alpha > 1 not reset to default")
+	}
+}
+
+func TestLevelName(t *testing.T) {
+	if LevelName(L1) != "L1" || LevelName(L2) != "L2" || LevelName(L3) != "L3" {
+		t.Fatalf("level names wrong")
+	}
+	if LevelName(7) != "L?7" {
+		t.Fatalf("out-of-range name = %q", LevelName(7))
+	}
+}
+
+// The planner must be deterministic: identical observations plan
+// identical cadences (no wall clock, no randomness).
+func TestPlanDeterministic(t *testing.T) {
+	plan := func() []time.Duration {
+		tn := New(Config{Min: time.Millisecond, Max: time.Second})
+		out := make([]time.Duration, 0, NumLevels)
+		for lvl := L1; lvl <= NumLevels; lvl++ {
+			tn.ObserveCost(lvl, time.Duration(lvl)*5*time.Millisecond)
+			iv, _ := tn.Plan(lvl, 3*lvl, 30*time.Second)
+			out = append(out, iv)
+		}
+		return out
+	}
+	a, b := plan(), plan()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("plan %d diverged: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// And the formula is monotone in MTBF: more failures, shorter plans.
+	m1 := Optimal(time.Second, 100*time.Second)
+	m2 := Optimal(time.Second, 400*time.Second)
+	if !(m2 > m1) || math.Abs(float64(m2)/float64(m1)-2) > 0.01 {
+		t.Fatalf("sqrt scaling broken: %v vs %v", m1, m2)
+	}
+}

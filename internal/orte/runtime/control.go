@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/core/snapshot"
+	"repro/internal/orte/cadence"
 	"repro/internal/orte/names"
 	"repro/internal/orte/sched"
 	"repro/internal/orte/snapc"
@@ -149,6 +150,28 @@ type ControlResponse struct {
 	Health *ControlHealth `json:"health,omitempty"`
 	// Sched is the "sched" op's payload.
 	Sched *ControlSched `json:"sched,omitempty"`
+	// Tuner is the "tuner" op's payload: the job's cadence-tuner plan.
+	Tuner *ControlTuner `json:"tuner,omitempty"`
+}
+
+// ControlTunerLevel is one checkpoint level's row in a "tuner"
+// response. Durations are nanoseconds (time.Duration wire form).
+type ControlTunerLevel struct {
+	Level      int    `json:"level"`
+	Label      string `json:"label"`
+	IntervalNS int64  `json:"interval_ns"`
+	CostNS     int64  `json:"cost_ns"`
+	MTBFNS     int64  `json:"mtbf_ns"`
+	Failures   int    `json:"failures"`
+	Retunes    int    `json:"retunes"`
+	Suppressed int    `json:"suppressed"`
+}
+
+// ControlTuner is the wire form of a supervised job's Young/Daly
+// cadence-tuner state (ompi-ps --tuner).
+type ControlTuner struct {
+	Auto   bool                `json:"auto"`
+	Levels []ControlTunerLevel `json:"levels,omitempty"`
 }
 
 // ControlNodeHealth is one node's failure-detector row in a "health"
@@ -438,6 +461,29 @@ func (s *ControlServer) handle(req ControlRequest) ControlResponse {
 			})
 		}
 		return ControlResponse{OK: true, Health: out}
+	case "tuner":
+		id, err := s.resolveJobID(req.Job)
+		if err != nil {
+			return ControlResponse{Err: err.Error()}
+		}
+		st, ok := s.cluster.TunerState(id)
+		if !ok {
+			return ControlResponse{Err: fmt.Sprintf("job %d publishes no cadence tuner (supervise with --levels)", id)}
+		}
+		out := &ControlTuner{Auto: st.Auto}
+		for _, lp := range st.Levels {
+			out.Levels = append(out.Levels, ControlTunerLevel{
+				Level:      lp.Level,
+				Label:      cadence.LevelName(lp.Level),
+				IntervalNS: int64(lp.Interval),
+				CostNS:     int64(lp.Cost),
+				MTBFNS:     int64(lp.MTBF),
+				Failures:   lp.Failures,
+				Retunes:    lp.Retunes,
+				Suppressed: lp.Suppressed,
+			})
+		}
+		return ControlResponse{OK: true, Tuner: out}
 	case "checkpoint":
 		id, err := s.resolveJobID(req.Job)
 		if err != nil {

@@ -465,6 +465,18 @@ var _ snapc.JobView = (*Job)(nil)
 // drain of interval N overlaps the capture of interval N+1, and
 // different jobs' captures overlap each other.
 func (c *Cluster) CheckpointJobAsync(id names.JobID, opts snapc.Options) (*snapc.Pending, error) {
+	cpt, err := c.captureJob(id, opts)
+	if err != nil {
+		return nil, err
+	}
+	return c.Drainer().Enqueue(cpt)
+}
+
+// captureJob is the synchronous half every checkpoint flavor shares:
+// quiesce → capture → release under the capture gate, ending with the
+// interval staged node-local. CheckpointJobAsync hands the result to
+// the drain queue; CheckpointJobLevel seals it at a sub-stable level.
+func (c *Cluster) captureJob(id names.JobID, opts snapc.Options) (*snapc.Captured, error) {
 	if err := c.headlessErr(); err != nil {
 		return nil, err
 	}
@@ -501,7 +513,7 @@ func (c *Cluster) CheckpointJobAsync(id names.JobID, opts snapc.Options) (*snapc
 		return nil, err
 	}
 	j.noteCheckpoint(interval)
-	return c.Drainer().Enqueue(cpt)
+	return cpt, nil
 }
 
 // CheckpointJob runs a global checkpoint of the job through the SNAPC

@@ -171,6 +171,7 @@ func (c *Cluster) Reattach() (ReattachReport, error) {
 		rep.Recovered.FastForwarded += rr.FastForwarded
 		rep.Recovered.Redrained += rr.Redrained
 		rep.Recovered.Discarded += rr.Discarded
+		rep.Recovered.Superseded += rr.Superseded
 	}
 
 	// Reconcile the ledger: jobs that finished while nobody was

@@ -504,8 +504,21 @@ func (c *Cluster) Filem() (filem.Component, *filem.Env) { return c.filemComp, c.
 // than keepFrom on every live node. Supervising with KeepLocal retention
 // accumulates one sealed stage per interval; only the newest committed
 // one is a useful in-job recovery source.
+//
+// Sub-stable intervals are exempt no matter their age: for an L1/L2
+// hold (or an interval parked through a store outage) the sealed stage
+// IS the checkpoint until a stable commit absorbs it, so a held or
+// otherwise undrained interval is never pruned — the level-aware
+// retention rule of DESIGN.md §5g.
 func (c *Cluster) PruneLocalStages(id names.JobID, keepFrom int) {
 	base := path.Dir(snapc.LocalBaseDir(id, 0)) // tmp/ckpt/job<id>
+	pinned := c.Drainer().Held(snapshot.GlobalDirName(int(id)))
+	ref := snapshot.GlobalRef{FS: c.stable, Dir: snapshot.GlobalDirName(int(id))}
+	if und, err := snapshot.OpenJournal(ref).Undrained(); err == nil {
+		for _, e := range und {
+			pinned[e.Interval] = e.Level
+		}
+	}
 	for _, node := range c.AliveNodes() {
 		fs, err := c.nodeFS(node)
 		if err != nil {
@@ -518,6 +531,9 @@ func (c *Cluster) PruneLocalStages(id names.JobID, keepFrom int) {
 		for _, e := range entries {
 			iv, err := strconv.Atoi(e.Name)
 			if err != nil || iv >= keepFrom {
+				continue
+			}
+			if _, held := pinned[iv]; held {
 				continue
 			}
 			_ = fs.Remove(path.Join(base, e.Name))

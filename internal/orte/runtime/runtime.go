@@ -21,6 +21,7 @@ import (
 	"repro/internal/ompi/btl"
 	"repro/internal/ompi/crcp"
 	"repro/internal/opal/crs"
+	"repro/internal/orte/cadence"
 	"repro/internal/orte/filem"
 	"repro/internal/orte/ledger"
 	"repro/internal/orte/names"
@@ -128,6 +129,11 @@ type Cluster struct {
 	// counts, spreading concurrent jobs' replicas across the cluster.
 	replMu    sync.Mutex
 	replCount map[string]int
+
+	// tuners mirrors each supervised job's latest cadence-tuner plan
+	// (published by core's Supervise) for the control plane to read.
+	tunerMu sync.Mutex
+	tuners  map[names.JobID]cadence.State
 
 	mu      sync.Mutex
 	jobs    map[names.JobID]*Job
@@ -834,6 +840,10 @@ func (c *Cluster) hnpEndpoint() *rml.Endpoint {
 // intervals, re-drain from intact local stages, discard the rest. The
 // drain queue must be idle (flush first).
 func (c *Cluster) RecoverDrains(globalDir string) (snapc.RecoverReport, error) {
+	// Abandon in-memory sub-stable holds first: recovery owns the
+	// lineage's CAPTURED entries and re-drains or discards them from the
+	// on-disk state alone, exactly as after a crash.
+	c.Drainer().DropHeld(globalDir)
 	c.ckptMu.Lock()
 	defer c.ckptMu.Unlock()
 	return snapc.Recover(c.snapcEnv, globalDir, c.Alive)

@@ -176,8 +176,16 @@ type Drainer struct {
 	backlog     map[string][]snapshot.JournalEntry // journal records the store couldn't hold
 	catchupOn   bool
 
+	// held tracks the intervals sealed at a sub-stable checkpoint level
+	// (L1/L2, DESIGN.md §5g) per lineage, intervals ascending. Held
+	// intervals are journaled CAPTURED but deliberately NOT queued for
+	// drain — PromoteStable hands the newest one to the queue, and a
+	// stable commit releases the older ones it supersedes.
+	held map[string][]*heldInterval
+
 	workerWG  sync.WaitGroup
 	catchupWG sync.WaitGroup
+	heldWG    sync.WaitGroup
 	fmu       sync.Mutex // serializes backlog flushes (worker vs catch-up)
 
 	jmu      sync.Mutex
@@ -195,6 +203,11 @@ type parkedInterval struct {
 	cpt *Captured
 	// replicas maps an origin node to the holder of its stage replica.
 	replicas map[string]string
+	// marked reports the journal entry carries the Parked flag. The
+	// flag write usually fails at park time (the store is out — that is
+	// why the interval parked), so the catch-up pass retries it until
+	// it lands or the interval reconciles.
+	marked bool
 }
 
 // DefaultDrainQueue is the default snapc_drain_queue.
@@ -230,6 +243,7 @@ func NewDrainer(env *Env, params *mca.Params, lock sync.Locker) *Drainer {
 		weights:         make(map[string]int),
 		journals:        make(map[string]*snapshot.Journal),
 		backlog:         make(map[string][]snapshot.JournalEntry),
+		held:            make(map[string][]*heldInterval),
 	}
 	if d.maxQueue < 1 {
 		d.maxQueue = 1
@@ -430,31 +444,44 @@ func journalEntry(cpt *Captured) snapshot.JournalEntry {
 	return e
 }
 
+// record journals a CAPTURED entry for the lineage, buffering it in
+// the in-memory backlog through a store outage — the capture itself is
+// sealed node-local, so the checkpoint must not fail just because the
+// store cannot hold the record right now. The catch-up pass (or
+// drainOne, whichever reaches the store first) persists the backlog.
+func (d *Drainer) record(globalDir string, entry snapshot.JournalEntry) error {
+	if err := d.Journal(globalDir).Record(entry); err != nil {
+		if !faultsim.IsOutage(err) {
+			return fmt.Errorf("snapc: journal capture of interval %d: %w", entry.Interval, err)
+		}
+		d.mu.Lock()
+		d.backlog[globalDir] = append(d.backlog[globalDir], entry)
+		d.mu.Unlock()
+		d.env.Ins.Counter("ompi_snapc_journal_backlogged_total").Inc()
+		d.env.Ins.Emit("snapc.drain", "drain.journal-backlogged",
+			"interval %d CAPTURED record buffered (store outage): %v", entry.Interval, err)
+		d.noteOutage(err)
+	}
+	return nil
+}
+
 // Enqueue journals a captured interval (CAPTURED) and stages it for
 // the background drain, blocking first if the queue or staged-bytes
 // backpressure cap is hit. The block is application-blocked time: the
 // caller is the capture path, so the next capture cannot start until
 // Enqueue returns. Returns the ticket to Wait on.
 func (d *Drainer) Enqueue(cpt *Captured) (*Pending, error) {
-	entry := journalEntry(cpt)
-	if err := d.Journal(cpt.GlobalDir).Record(entry); err != nil {
-		if !faultsim.IsOutage(err) {
-			return nil, fmt.Errorf("snapc: journal capture of interval %d: %w", cpt.Interval, err)
-		}
-		// The store can't hold the CAPTURED record right now. The
-		// capture itself is sealed node-local, so the checkpoint must
-		// not fail: buffer the record in memory and let the catch-up
-		// pass (or drainOne, whichever reaches the store first) persist
-		// it. Until then the in-memory backlog is the pin.
-		d.mu.Lock()
-		d.backlog[cpt.GlobalDir] = append(d.backlog[cpt.GlobalDir], entry)
-		d.mu.Unlock()
-		d.env.Ins.Counter("ompi_snapc_journal_backlogged_total").Inc()
-		d.env.Ins.Emit("snapc.drain", "drain.journal-backlogged",
-			"interval %d CAPTURED record buffered (store outage): %v", cpt.Interval, err)
-		d.noteOutage(err)
+	if err := d.record(cpt.GlobalDir, journalEntry(cpt)); err != nil {
+		return nil, err
 	}
 	d.env.note(IntervalNote{Event: "captured", Job: cpt.Job.JobID(), Interval: cpt.Interval})
+	return d.enqueue(cpt)
+}
+
+// enqueue is the admission half of Enqueue: backpressure, then the
+// weighted-fair push. The interval must already be journaled (Enqueue)
+// or held under a journal entry from an earlier Seal (PromoteStable).
+func (d *Drainer) enqueue(cpt *Captured) (*Pending, error) {
 	ins := d.env.Ins
 
 	d.mu.Lock()
@@ -652,16 +679,22 @@ func (d *Drainer) drainOne(cpt *Captured) (Result, error) {
 		return Result{}, terr
 	}
 	d.env.note(IntervalNote{Event: "committed", Job: cpt.Job.JobID(), Interval: cpt.Interval})
+	env.Ins.Counter("ompi_ckpt_level3_committed_total").Inc()
+	// A stable commit subsumes every older interval still held at L1/L2:
+	// a higher level now has a strictly newer verified copy.
+	d.releaseHeldBelow(cpt.GlobalDir, cpt.Interval)
 	return res, nil
 }
 
 // StageReplicaBase is where a holder node keeps its copy of another
-// node's parked interval stage: the whole LocalBase tree (markers
-// included) of origin's share of the interval. Discoverable by path
-// alone, so recovery can use it even when the journal never learned of
-// the replica (the store was out when it was pushed).
+// node's held or parked interval stage: the whole LocalBase tree
+// (markers included) of origin's share of the interval. Discoverable by
+// path alone, so recovery can use it even when the journal never
+// learned of the replica (the store was out when it was pushed). The
+// convention itself lives in core/snapshot beside the other level
+// paths; this is the names.JobID-typed view.
 func StageReplicaBase(job names.JobID, interval int, origin string) string {
-	return fmt.Sprintf("tmp/ckpt_stage_replicas/job%d/%d/%s", job, interval, origin)
+	return snapshot.StageReplicaBase(int(job), interval, origin)
 }
 
 // flushBacklog persists the buffered journal records of one lineage, in
@@ -706,6 +739,7 @@ func (d *Drainer) park(cpt *Captured) {
 	if d.stageReplicas > 0 {
 		pi.replicas = d.pushStageReplicas(cpt)
 	}
+	pi.marked = d.markParked(cpt.GlobalDir, cpt.Interval)
 	d.mu.Lock()
 	d.parked = append(d.parked, pi)
 	n := len(d.parked)
@@ -716,6 +750,34 @@ func (d *Drainer) park(cpt *Captured) {
 	d.env.Ins.Emit("snapc.drain", "drain.parked",
 		"interval %d parked node-local (store outage), %d parked total", cpt.Interval, n)
 	d.ensureCatchup()
+}
+
+// markParked flags an interval's journal entry as degraded-mode
+// backlog, so the stats table never renders parked intervals as
+// cadence-held L1 ones (they share the CAPTURED state and the
+// LOCAL_COMMITTED stage markers). The entry may still be sitting in
+// the in-memory backlog — flag it there so the eventual Record carries
+// the flag; otherwise write through to the journal. Reports whether
+// the flag durably landed (a store outage usually defeats the write at
+// park time; the catch-up pass retries).
+func (d *Drainer) markParked(globalDir string, interval int) bool {
+	d.mu.Lock()
+	for i := range d.backlog[globalDir] {
+		if d.backlog[globalDir][i].Interval == interval {
+			d.backlog[globalDir][i].Parked = true
+			d.mu.Unlock()
+			return true
+		}
+	}
+	d.mu.Unlock()
+	if _, err := d.Journal(globalDir).SetParked(interval, true); err != nil {
+		if !faultsim.IsOutage(err) {
+			d.env.Ins.Emit("snapc.drain", "drain.journal-error",
+				"marking interval %d parked: %v", interval, err)
+		}
+		return false
+	}
+	return true
 }
 
 // pushStageReplicas copies each origin node's share of a parked
@@ -844,6 +906,12 @@ func (d *Drainer) catchup() {
 		if len(d.parked) > 0 {
 			next = d.parked[0]
 		}
+		var unmarked []*parkedInterval
+		for _, pi := range d.parked {
+			if !pi.marked {
+				unmarked = append(unmarked, pi)
+			}
+		}
 		if next == nil && len(dirs) == 0 {
 			// Everything reconciled: clear DEGRADED and stand down.
 			wasDegraded := d.degraded
@@ -866,6 +934,15 @@ func (d *Drainer) catchup() {
 			if err := d.flushBacklog(dir); err != nil {
 				progress = false
 				break
+			}
+		}
+		// Retry the parked flag for intervals whose park-time write the
+		// outage defeated — stats must not misread them as L1 holds.
+		for _, pi := range unmarked {
+			if d.markParked(pi.cpt.GlobalDir, pi.cpt.Interval) {
+				d.mu.Lock()
+				pi.marked = true
+				d.mu.Unlock()
 			}
 		}
 		if progress && next != nil {
@@ -903,6 +980,7 @@ func (d *Drainer) catchupOne(pi *parkedInterval) bool {
 			}
 		}
 		env.note(IntervalNote{Event: "committed", Job: cpt.Job.JobID(), Interval: cpt.Interval})
+		d.releaseHeldBelow(cpt.GlobalDir, cpt.Interval)
 	} else {
 		if _, err := d.drainOne(cpt); err != nil {
 			if faultsim.IsOutage(err) {
@@ -952,6 +1030,10 @@ func (d *Drainer) Crash(cause error) {
 		return
 	}
 	d.crashed = true
+	// Held intervals stay sealed node-local (stage replicas included);
+	// the reattach rebuilds their journal entries from the markers. Only
+	// the in-memory hold is dropped.
+	d.held = make(map[string][]*heldInterval)
 	items := d.sq.DrainAll()
 	dropped := make([]*drainItem, 0, len(items))
 	for _, item := range items {
@@ -984,6 +1066,9 @@ type StoreHealth struct {
 	OutageScore int
 	// Parked counts intervals sealed node-local awaiting catch-up.
 	Parked int
+	// Held counts intervals held at a sub-stable checkpoint level
+	// (L1/L2) across all lineages.
+	Held int
 	// JournalBacklog counts buffered journal records the store has not
 	// yet accepted.
 	JournalBacklog int
@@ -1001,6 +1086,9 @@ func (d *Drainer) Health() StoreHealth {
 	}
 	for _, entries := range d.backlog {
 		h.JournalBacklog += len(entries)
+	}
+	for _, hs := range d.held {
+		h.Held += len(hs)
 	}
 	return h
 }
@@ -1039,6 +1127,7 @@ func (d *Drainer) Close() {
 		d.mu.Unlock()
 		d.workerWG.Wait()
 		d.catchupWG.Wait()
+		d.heldWG.Wait()
 		return
 	}
 	d.closed = true
@@ -1046,6 +1135,7 @@ func (d *Drainer) Close() {
 	d.mu.Unlock()
 	d.workerWG.Wait()
 	d.catchupWG.Wait()
+	d.heldWG.Wait()
 }
 
 // QueueDepth reports the in-flight interval count (queued + draining).
@@ -1066,16 +1156,28 @@ type RecoverReport struct {
 	// Discarded intervals were unrecoverable: a captured node died, a
 	// local stage was incomplete, or the re-drain itself failed.
 	Discarded int
+	// Superseded intervals were older cadence holds dominated by a
+	// newer interval recovery had already committed. A restart only
+	// ever resumes from the newest committed interval, so re-draining
+	// the rest of the held backlog through stable storage would spend
+	// MTTR on bandwidth nothing reads back — they are discarded under
+	// the same retention rule a live stable commit applies when it
+	// releases the holds below it.
+	Superseded int
 }
 
-// Recover resolves every undrained journal entry of one global
-// snapshot lineage after a failure or restart: fast-forward the
-// journal when the interval already committed, re-drain from the
-// nodes' local stages when every captured node survived with its
-// LOCAL_COMMITTED marker intact, and discard (with debris cleanup)
-// otherwise. alive reports whether a node survived; nil means no node
-// survived. Must not run concurrently with an active Drainer on the
-// same lineage — flush or close it first.
+// Recover resolves the undrained journal entries of one global
+// snapshot lineage after a failure or restart, newest interval first:
+// fast-forward the journal when the interval already committed,
+// re-drain from the nodes' local stages when every captured node
+// survived with its LOCAL_COMMITTED marker intact, and discard (with
+// debris cleanup) otherwise. Once one interval has recovered to
+// COMMITTED, every older undrained entry is superseded and discarded
+// without a drain — restart resumes from the newest commit only, and
+// putting a multilevel hold backlog through stable storage would
+// stretch MTTR for nothing. alive reports whether a node survived; nil
+// means no node survived. Must not run concurrently with an active
+// Drainer on the same lineage — flush or close it first.
 func Recover(env *Env, globalDir string, alive func(node string) bool) (RecoverReport, error) {
 	var rep RecoverReport
 	ref := snapshot.GlobalRef{FS: env.Stable, Dir: globalDir}
@@ -1084,7 +1186,22 @@ func Recover(env *Env, globalDir string, alive func(node string) bool) (RecoverR
 	if err != nil {
 		return rep, err
 	}
+	// Newest-first: the first interval that reaches COMMITTED (by
+	// fast-forward or re-drain) supersedes every older undrained hold —
+	// under multilevel cadences a whole backlog of L1/L2 holds can be
+	// pending between stable commits, and committing each one would put
+	// the full backlog through the stable store on the MTTR path.
+	sort.Slice(und, func(i, k int) bool { return und[i].Interval > und[k].Interval })
+	recovered := -1
 	for _, e := range und {
+		if recovered >= 0 {
+			discardEntry(env, ref, j, e, alive,
+				fmt.Sprintf("superseded by recovered interval %d", recovered))
+			rep.Superseded++
+			env.note(IntervalNote{Event: "discarded", Job: names.JobID(e.JobID), Interval: e.Interval})
+			env.Ins.Emit("snapc.drain", "recover.superseded", "interval %d: superseded by recovered interval %d", e.Interval, recovered)
+			continue
+		}
 		committed := vfs.Exists(env.Stable, path.Join(ref.IntervalDir(e.Interval), snapshot.CommittedFile))
 		plan, planOK := stagePlan(env, e, alive)
 		switch {
@@ -1095,6 +1212,7 @@ func Recover(env *Env, globalDir string, alive func(node string) bool) (RecoverR
 				return rep, err
 			}
 			rep.FastForwarded++
+			recovered = e.Interval
 			env.note(IntervalNote{Event: "committed", Job: names.JobID(e.JobID), Interval: e.Interval})
 			env.Ins.Emit("snapc.drain", "recover.fast-forward", "interval %d already committed", e.Interval)
 		case planOK:
@@ -1105,6 +1223,7 @@ func Recover(env *Env, globalDir string, alive func(node string) bool) (RecoverR
 				continue
 			}
 			rep.Redrained++
+			recovered = e.Interval
 			env.note(IntervalNote{Event: "committed", Job: names.JobID(e.JobID), Interval: e.Interval})
 			env.Ins.Counter("ompi_snapc_intervals_redrained_total").Inc()
 			env.Ins.Emit("snapc.drain", "recover.redrained", "interval %d drained from surviving local stages", e.Interval)
@@ -1214,6 +1333,12 @@ func discardEntry(env *Env, ref snapshot.GlobalRef, j *snapshot.Journal, e snaps
 	if _, err := j.Transition(e.Interval, snapshot.StateDiscarded, cause); err != nil {
 		env.Ins.Emit("snapc.drain", "drain.journal-error", "interval %d: %v", e.Interval, err)
 	}
+	sweepEntry(env, ref, e, alive)
+}
+
+// sweepEntry removes an abandoned interval's debris: the stable-storage
+// stage and any surviving nodes' local stages and stage replicas.
+func sweepEntry(env *Env, ref snapshot.GlobalRef, e snapshot.JournalEntry, alive func(string) bool) {
 	if stage := ref.StageDir(e.Interval); vfs.Exists(env.Stable, stage) {
 		_ = env.Stable.Remove(stage)
 	}
@@ -1225,7 +1350,7 @@ func discardEntry(env *Env, ref snapshot.GlobalRef, j *snapshot.Journal, e snaps
 			_ = env.Filem.Remove(env.FilemEnv, node, []string{e.LocalBase})
 		}
 	}
-	// Sweep any parked stage replicas of the discarded interval.
+	// Sweep any held or parked stage replicas of the abandoned interval.
 	if env.Nodes != nil {
 		for _, origin := range e.Nodes {
 			base := StageReplicaBase(names.JobID(e.JobID), e.Interval, origin)

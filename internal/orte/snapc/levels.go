@@ -1,0 +1,327 @@
+// Multilevel checkpoint holds (DESIGN.md §5g): the drain engine's
+// side of the L1/L2/L3 level split.
+//
+// A synchronous checkpoint (or an Enqueue) always heads for L3 — the
+// stable commit. Seal stops short: the interval is journaled CAPTURED
+// exactly as Enqueue would, but it is *held* instead of queued — the
+// sealed node-local stages ARE the checkpoint (L1), optionally
+// replicated node-to-node (L2), and nothing touches stable storage.
+// Because a held interval is indistinguishable from a crash-interrupted
+// drain (CAPTURED entry + LOCAL_COMMITTED markers + optional stage
+// replicas), the existing Recover pass doubles as a multilevel restart
+// path: it re-drains the held interval from the stages — or a peer's
+// replica — into a stable commit before relaunch. The fast path skips
+// even that: NewestRestorableHold finds the newest fully-survivable
+// hold and the runtime relaunches straight from the stages and
+// replicas (runtime.RestartFromHold), so a restart never pays the
+// stable-store ingress for data only the restart itself will read.
+//
+// Promotion runs on the cadence tuner's schedules: PromoteReplicas
+// lifts the newest L1 hold to L2 (stage replicas pushed to peer
+// nodes); PromoteStable hands the newest hold to the ordinary drain
+// queue, which commits it at L3. The level-aware retention rule is in
+// releaseHeldBelow: a stable commit of interval N releases every older
+// hold — a higher level now has a strictly newer verified copy — and
+// never the newest, so the best restart point at each level only moves
+// forward.
+package snapc
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core/snapshot"
+	"repro/internal/faultsim"
+	"repro/internal/vfs"
+)
+
+// heldInterval is one captured interval held at a sub-stable level:
+// journaled CAPTURED, sealed node-local, deliberately not queued for
+// drain.
+type heldInterval struct {
+	cpt   *Captured
+	level int
+	// replicas maps an origin node to the holder of its stage replica
+	// (level >= LevelReplica).
+	replicas map[string]string
+}
+
+// Seal journals a captured interval (CAPTURED, with its level) and
+// holds it at a sub-stable checkpoint level instead of queueing it for
+// drain: LevelLocal keeps only the sealed node-local stages, and
+// LevelReplica additionally pushes each origin's stage to a peer node.
+// A held interval is released by the next stable commit that supersedes
+// it, promoted by PromoteReplicas/PromoteStable, or rebuilt by the
+// recovery pass after a crash.
+func (d *Drainer) Seal(cpt *Captured, level int) error {
+	if level < snapshot.LevelLocal || level >= snapshot.LevelStable {
+		return fmt.Errorf("snapc: interval %d: cannot seal at level %d (want L1 or L2)", cpt.Interval, level)
+	}
+	entry := journalEntry(cpt)
+	entry.Level = level
+	if err := d.record(cpt.GlobalDir, entry); err != nil {
+		return err
+	}
+	h := &heldInterval{cpt: cpt, level: level}
+	if level >= snapshot.LevelReplica && d.stageReplicas > 0 {
+		h.replicas = d.pushStageReplicas(cpt)
+	}
+	d.mu.Lock()
+	switch {
+	case d.crashed:
+		d.mu.Unlock()
+		return fmt.Errorf("%w; interval %d not held", ErrHNPDown, cpt.Interval)
+	case d.closed:
+		d.mu.Unlock()
+		return fmt.Errorf("snapc: drainer closed; interval %d not held", cpt.Interval)
+	}
+	// Captures are strictly monotone per lineage, so append keeps the
+	// hold list intervals-ascending.
+	d.held[cpt.GlobalDir] = append(d.held[cpt.GlobalDir], h)
+	n := d.heldCountLocked()
+	d.mu.Unlock()
+	ins := d.env.Ins
+	ins.Gauge("ompi_snapc_drain_held").Set(float64(n))
+	ins.Counter(fmt.Sprintf("ompi_ckpt_level%d_captured_total", level)).Inc()
+	// The application-blocked share of a held interval is capture only —
+	// no drain backpressure ever applies.
+	ins.ObserveSeconds("ompi_snapc_blocked_seconds", time.Duration(cpt.BlockedNS))
+	d.env.note(IntervalNote{Event: "captured", Job: cpt.Job.JobID(), Interval: cpt.Interval})
+	ins.Emit("snapc.drain", "drain.held",
+		"interval %d sealed at L%d (held node-local, not drained)", cpt.Interval, level)
+	return nil
+}
+
+// PromoteReplicas lifts the lineage's newest L1 hold to L2: each origin
+// node's sealed stage is copied to a peer, so the interval survives a
+// single node loss without stable storage. Returns the promoted
+// interval, or false when nothing is promotable (no L1 hold, or no
+// replica landed).
+func (d *Drainer) PromoteReplicas(globalDir string) (int, bool) {
+	d.mu.Lock()
+	var target *heldInterval
+	hs := d.held[globalDir]
+	for i := len(hs) - 1; i >= 0; i-- {
+		if hs[i].level < snapshot.LevelReplica {
+			target = hs[i]
+			break
+		}
+	}
+	d.mu.Unlock()
+	if target == nil {
+		return 0, false
+	}
+	holders := d.pushStageReplicas(target.cpt)
+	if len(holders) == 0 {
+		return 0, false
+	}
+	d.mu.Lock()
+	target.level = snapshot.LevelReplica
+	target.replicas = holders
+	d.mu.Unlock()
+	d.markLevel(globalDir, target.cpt.Interval, snapshot.LevelReplica)
+	d.env.Ins.Counter("ompi_ckpt_level2_promoted_total").Inc()
+	d.env.Ins.Emit("snapc.drain", "drain.promoted",
+		"interval %d promoted L1 -> L2 (%d stage replicas)", target.cpt.Interval, len(holders))
+	return target.cpt.Interval, true
+}
+
+// PromoteStable hands the lineage's newest hold to the drain queue for
+// a stable (L3) commit, on the same ticket contract as Enqueue. The
+// older holds are NOT queued — the commit supersedes them and
+// releaseHeldBelow discards them, preserving the per-lineage rule that
+// commits land in capture order (only the newest hold ever drains).
+// Returns (nil, false, nil) when the lineage holds nothing.
+func (d *Drainer) PromoteStable(globalDir string) (*Pending, bool, error) {
+	d.mu.Lock()
+	hs := d.held[globalDir]
+	if len(hs) == 0 {
+		d.mu.Unlock()
+		return nil, false, nil
+	}
+	target := hs[len(hs)-1]
+	if d.held[globalDir] = hs[:len(hs)-1]; len(hs) == 1 {
+		delete(d.held, globalDir)
+	}
+	n := d.heldCountLocked()
+	d.mu.Unlock()
+	d.env.Ins.Gauge("ompi_snapc_drain_held").Set(float64(n))
+	p, err := d.enqueue(target.cpt)
+	if err != nil {
+		// Admission failed (closed or crashed): put the hold back — the
+		// interval is still journaled and sealed node-local.
+		d.mu.Lock()
+		d.held[globalDir] = append(d.held[globalDir], target)
+		d.mu.Unlock()
+		return nil, true, err
+	}
+	if len(target.replicas) > 0 {
+		// Once the stable commit lands, the node-to-node stage replicas
+		// are debris (a parked drain sweeps them in unpark; the held path
+		// sweeps them here).
+		d.heldWG.Add(1)
+		go func() {
+			defer d.heldWG.Done()
+			if _, werr := p.Wait(); werr == nil {
+				d.sweepStageReplicas(target.cpt, target.replicas)
+			}
+		}()
+	}
+	return p, true, nil
+}
+
+// releaseHeldBelow discards every hold of the lineage older than a
+// just-committed interval: the stable rung now has a strictly newer
+// verified copy, so the L1/L2 copies are superseded. The newest hold —
+// and anything captured after the committed interval — stays. This is
+// the level-aware retention rule: the newest L1/L2 hold is never
+// collected by a lower-numbered commit, only by one that absorbs it.
+func (d *Drainer) releaseHeldBelow(globalDir string, below int) {
+	d.mu.Lock()
+	hs := d.held[globalDir]
+	keep := hs[:0]
+	var drop []*heldInterval
+	for _, h := range hs {
+		if h.cpt.Interval < below {
+			drop = append(drop, h)
+		} else {
+			keep = append(keep, h)
+		}
+	}
+	if len(keep) == 0 {
+		delete(d.held, globalDir)
+	} else {
+		d.held[globalDir] = keep
+	}
+	n := d.heldCountLocked()
+	d.mu.Unlock()
+	if len(drop) == 0 {
+		return
+	}
+	d.env.Ins.Gauge("ompi_snapc_drain_held").Set(float64(n))
+	ref := snapshot.GlobalRef{FS: d.env.Stable, Dir: globalDir}
+	j := d.Journal(globalDir)
+	cause := fmt.Sprintf("superseded by stable commit of interval %d", below)
+	for _, h := range drop {
+		iv := h.cpt.Interval
+		// The CAPTURED record may still sit in the outage backlog — drop
+		// it there so the flush never resurrects a superseded interval.
+		d.mu.Lock()
+		bl := d.backlog[globalDir]
+		for i, e := range bl {
+			if e.Interval == iv {
+				d.backlog[globalDir] = append(bl[:i], bl[i+1:]...)
+				if len(d.backlog[globalDir]) == 0 {
+					delete(d.backlog, globalDir)
+				}
+				break
+			}
+		}
+		d.mu.Unlock()
+		if e, ok, err := j.Entry(iv); err == nil && ok && !e.State.Terminal() {
+			discardEntry(d.env, ref, j, e, nil, cause)
+		} else {
+			// Never journaled durably (backlogged through an outage):
+			// sweep the stages from the rebuilt entry alone.
+			sweepEntry(d.env, ref, journalEntry(h.cpt), nil)
+		}
+		d.env.note(IntervalNote{Event: "discarded", Job: h.cpt.Job.JobID(), Interval: iv})
+		d.env.Ins.Counter("ompi_ckpt_superseded_total").Inc()
+		d.env.Ins.Emit("snapc.drain", "drain.superseded", "held interval %d %s", iv, cause)
+	}
+}
+
+// DropHeld abandons the in-memory holds of one lineage without touching
+// the journal or the stages, returning how many were dropped. The
+// recovery pass calls this before Recover so recovery owns the CAPTURED
+// entries — it re-drains or discards them from the on-disk state alone,
+// exactly as after a crash.
+func (d *Drainer) DropHeld(globalDir string) int {
+	d.mu.Lock()
+	n := len(d.held[globalDir])
+	delete(d.held, globalDir)
+	total := d.heldCountLocked()
+	d.mu.Unlock()
+	if n > 0 {
+		d.env.Ins.Gauge("ompi_snapc_drain_held").Set(float64(total))
+	}
+	return n
+}
+
+// Held reports the lineage's held intervals and their levels.
+func (d *Drainer) Held(globalDir string) map[int]int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[int]int, len(d.held[globalDir]))
+	for _, h := range d.held[globalDir] {
+		out[h.cpt.Interval] = h.level
+	}
+	return out
+}
+
+// heldCountLocked sums the holds across all lineages (with d.mu held).
+func (d *Drainer) heldCountLocked() int {
+	n := 0
+	for _, hs := range d.held {
+		n += len(hs)
+	}
+	return n
+}
+
+// markLevel makes an interval's journal entry carry its checkpoint
+// level. Like markParked, the entry may still be in the outage backlog
+// — mutate it there so the eventual Record carries the level; otherwise
+// write through. Reports whether the level durably landed.
+func (d *Drainer) markLevel(globalDir string, interval, level int) bool {
+	d.mu.Lock()
+	for i := range d.backlog[globalDir] {
+		if d.backlog[globalDir][i].Interval == interval {
+			d.backlog[globalDir][i].Level = level
+			d.mu.Unlock()
+			return true
+		}
+	}
+	d.mu.Unlock()
+	if _, err := d.Journal(globalDir).SetLevel(interval, level); err != nil {
+		if !faultsim.IsOutage(err) {
+			d.env.Ins.Emit("snapc.drain", "drain.journal-error",
+				"marking interval %d level %d: %v", interval, level, err)
+		}
+		return false
+	}
+	return true
+}
+
+// sweepStageReplicas removes an interval's node-to-node stage replicas
+// once a stable commit made them debris.
+func (d *Drainer) sweepStageReplicas(cpt *Captured, replicas map[string]string) {
+	for origin, holder := range replicas {
+		base := StageReplicaBase(cpt.Job.JobID(), cpt.Interval, origin)
+		if fsys, err := d.env.NodeFS(holder); err == nil && vfs.Exists(fsys, base) {
+			_ = d.env.Filem.Remove(d.env.FilemEnv, holder, []string{base})
+		}
+	}
+}
+
+// NewestRestorableHold scans a lineage's undrained journal entries,
+// newest first, for an interval whose every captured share survives —
+// on its origin node's sealed stage, or on a peer node's stage replica
+// when the origin died — and returns the entry plus the origin→source
+// plan. It is the read-only half of a hold-direct restart: no journal
+// transition, no stable-store write, so a caller that cannot use the
+// hold has lost nothing by asking.
+func NewestRestorableHold(env *Env, globalDir string, alive func(node string) bool) (snapshot.JournalEntry, map[string]string, bool, error) {
+	ref := snapshot.GlobalRef{FS: env.Stable, Dir: globalDir}
+	und, err := snapshot.OpenJournal(ref).Undrained()
+	if err != nil {
+		return snapshot.JournalEntry{}, nil, false, err
+	}
+	sort.Slice(und, func(i, k int) bool { return und[i].Interval > und[k].Interval })
+	for _, e := range und {
+		if plan, ok := stagePlan(env, e, alive); ok {
+			return e, plan, true, nil
+		}
+	}
+	return snapshot.JournalEntry{}, nil, false, nil
+}

@@ -303,9 +303,11 @@ func (*Full) Priority() int { return 20 }
 
 // LocalBaseDir is where a node keeps its local snapshots for one
 // checkpoint interval of one job. Exported for the restart fast path,
-// which probes surviving nodes for a still-valid local stage.
+// which probes surviving nodes for a still-valid local stage. The
+// convention itself lives in core/snapshot beside the other level
+// paths; this is the names.JobID-typed view.
 func LocalBaseDir(job names.JobID, interval int) string {
-	return fmt.Sprintf("tmp/ckpt/job%d/%d", job, interval)
+	return snapshot.LocalStageBase(int(job), interval)
 }
 
 // localBaseDir is the package-internal alias.
